@@ -1,0 +1,77 @@
+// Experiment E9 — the compiler-directive front end is cheap.
+//
+// Throughput of lexing, parsing, and full semantic binding of directive
+// scripts, on a synthetic corpus of the paper's directive shapes. The
+// reproduction holds if binding stays in the microseconds-per-line range —
+// i.e. directives are a negligible compile-time cost next to the data
+// movement they control.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "directives/interp.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace hpfnt;
+
+std::string corpus_line(int k) {
+  switch (k % 6) {
+    case 0:
+      return cat("REAL AR", k, "(", 100 + k % 900, ")\n");
+    case 1:
+      return cat("!HPF$ DISTRIBUTE AR", k - 1, "(BLOCK)\n");
+    case 2:
+      return cat("REAL BR", k, "(", 64 + k % 64, ",", 32 + k % 32, ")\n");
+    case 3:
+      return cat("!HPF$ DISTRIBUTE BR", k - 1, "(CYCLIC(", 1 + k % 7,
+                 "), :)\n");
+    case 4:
+      return cat("REAL CR", k, "(", 128, ")\n");
+    default:
+      return cat("!HPF$ ALIGN CR", k - 1, "(I) WITH AR", (k / 6) * 6,
+                 "(I+1)\n");
+  }
+}
+
+std::string build_corpus(int lines) {
+  std::string src;
+  for (int k = 0; k < lines; ++k) src += corpus_line(k);
+  return src;
+}
+
+void BM_Lex(benchmark::State& state) {
+  const std::string src = build_corpus(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dir::lex(src));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_Parse(benchmark::State& state) {
+  const std::string src = build_corpus(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dir::parse_program(src));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+void BM_BindAndApply(benchmark::State& state) {
+  const std::string src = build_corpus(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ProcessorSpace space(64);
+    dir::Interpreter in(space);
+    in.run(src);
+    benchmark::DoNotOptimize(in.env().array_names());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+
+BENCHMARK(BM_Lex)->Arg(60)->Arg(600);
+BENCHMARK(BM_Parse)->Arg(60)->Arg(600);
+BENCHMARK(BM_BindAndApply)->Arg(60)->Arg(600);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// Experiment E1 — "GENERAL_BLOCK ... can be implemented efficiently" (paper
+// §1, §4.1.2, citing [13]).
+//
+// Measures the cost of the two primitive queries every compiled reference
+// goes through — owner(i) and local_index(i) — for each distribution
+// format, over N = 2^20 elements. The reproduction holds if GENERAL_BLOCK
+// (binary search, O(log NP)) stays within a small factor of BLOCK/CYCLIC
+// (pure arithmetic) and well below INDIRECT (memory-bound table walk).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/dist_format.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace hpfnt;
+
+constexpr Extent kN = 1 << 20;
+
+DistFormat make_format(int which, Extent n, Extent np) {
+  switch (which) {
+    case 0:
+      return DistFormat::block();
+    case 1:
+      return DistFormat::vienna_block();
+    case 2:
+      return DistFormat::cyclic(1);
+    case 3:
+      return DistFormat::cyclic(8);
+    case 4: {  // irregular but realistic general block (balanced +-30%)
+      Rng rng(7);
+      std::vector<Extent> bounds;
+      Extent prev = 0;
+      for (Extent p = 1; p < np; ++p) {
+        const Extent target = n * p / np;
+        const Extent jitter = (n / np) / 3;
+        prev = std::max(prev, std::min(n, target + rng.uniform(-jitter, jitter)));
+        bounds.push_back(prev);
+      }
+      return DistFormat::general_block(std::move(bounds));
+    }
+    default: {  // indirect: random owner per index
+      Rng rng(11);
+      std::vector<Extent> map(static_cast<std::size_t>(n));
+      for (auto& owner : map) owner = rng.uniform(1, np);
+      return DistFormat::indirect(std::move(map));
+    }
+  }
+}
+
+const char* format_name(int which) {
+  switch (which) {
+    case 0:
+      return "BLOCK";
+    case 1:
+      return "VIENNA_BLOCK";
+    case 2:
+      return "CYCLIC(1)";
+    case 3:
+      return "CYCLIC(8)";
+    case 4:
+      return "GENERAL_BLOCK";
+    default:
+      return "INDIRECT";
+  }
+}
+
+void BM_Owner(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const Extent np = state.range(1);
+  DimMapping m = DimMapping::bind(make_format(which, kN, np), kN, np);
+  // Pseudo-random probe sequence (defeats the branch predictor the way a
+  // compiled scatter of references would).
+  Rng rng(123);
+  std::vector<Index1> probes(4096);
+  for (auto& i : probes) i = rng.uniform(1, kN);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.owner(probes[k]));
+    k = (k + 1) & 4095;
+  }
+  state.SetLabel(format_name(which));
+}
+
+void BM_LocalIndex(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const Extent np = state.range(1);
+  DimMapping m = DimMapping::bind(make_format(which, kN, np), kN, np);
+  Rng rng(321);
+  std::vector<Index1> probes(4096);
+  for (auto& i : probes) i = rng.uniform(1, kN);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m.local_index(probes[k]));
+    k = (k + 1) & 4095;
+  }
+  state.SetLabel(format_name(which));
+}
+
+void AllFormats(benchmark::internal::Benchmark* b) {
+  for (int which = 0; which <= 5; ++which) {
+    for (Extent np : {16, 64, 256}) {
+      b->Args({which, np});
+    }
+  }
+}
+
+BENCHMARK(BM_Owner)->Apply(AllFormats);
+BENCHMARK(BM_LocalIndex)->Apply(AllFormats);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Experiments E5 and E10 — procedure-boundary costs (paper §7, §8.1.2).
+//
+// E5: CALL SUB(A(2:996:2)) with A CYCLIC(3), over growing N: a dummy that
+// *inherits* its distribution (DISTRIBUTE X *) moves nothing; an explicit
+// specification pays a remap of the section at call AND return. This is
+// precisely why the paper expects subroutines to inherit by default.
+//
+// E10: the four §7 dummy-mapping modes compared at fixed N, including
+// inheritance-matching (free when the actual matches) and the implicit
+// compiler mapping.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/data_env.hpp"
+#include "exec/redistribute_exec.hpp"
+#include "machine/metrics.hpp"
+
+using namespace hpfnt;
+
+namespace {
+
+struct CallCost {
+  Extent in_msgs = 0;
+  Extent in_bytes = 0;
+  Extent out_msgs = 0;
+  Extent out_bytes = 0;
+  double time_us = 0.0;
+};
+
+CallCost price_call(Machine& machine, ProcessorSpace& space, Extent n,
+                    const DummyMapping& mapping) {
+  DataEnv env(space);
+  DistArray& a = env.real("A", IndexDomain{Dim(1, n)});
+  env.distribute(a, {DistFormat::cyclic(3)},
+                 ProcessorRef(space.find("Q")));
+  ProgramState state(machine);
+  state.create(env, a);
+
+  ProcedureSig sub{"SUB", {DummySpec{"X", ElemType::kReal, mapping, false}}};
+  const Index1 hi = n - 4;
+  CallFrame frame =
+      env.call(sub, {ActualArg::of_section(a.id(), {Triplet(2, hi, 2)})});
+  std::vector<StepStats> in = enter_call(state, env, frame);
+  std::vector<StepStats> out = exit_call(state, env, frame);
+  CallCost cost;
+  cost.in_msgs = in[0].messages;
+  cost.in_bytes = in[0].bytes;
+  cost.out_msgs = out[0].messages;
+  cost.out_bytes = out[0].bytes;
+  cost.time_us = in[0].time_us + out[0].time_us;
+  return cost;
+}
+
+}  // namespace
+
+int main() {
+  constexpr Extent kProcs = 16;
+  Machine machine(kProcs);
+  ProcessorSpace space(kProcs);
+  space.declare("Q", IndexDomain::of_extents({kProcs}));
+  ProcessorRef q(space.find("Q"));
+
+  std::printf("E5: CALL SUB(A(2:N-4:2)), A CYCLIC(3) over %lld processors "
+              "(paper §8.1.2)\n\n",
+              static_cast<long long>(kProcs));
+  TextTable table({"N", "dummy mapping", "call bytes", "return bytes",
+                   "est. round trip"});
+  for (Extent n : {1000, 10000, 100000}) {
+    for (int mode = 0; mode < 3; ++mode) {
+      DummyMapping mapping =
+          mode == 0   ? DummyMapping::inherit()
+          : mode == 1 ? DummyMapping::explicit_dist({DistFormat::cyclic(3)}, q)
+                      : DummyMapping::explicit_dist({DistFormat::block()}, q);
+      const char* name = mode == 0   ? "DISTRIBUTE X *  (inherit)"
+                         : mode == 1 ? "explicit CYCLIC(3)"
+                                     : "explicit BLOCK";
+      CallCost c = price_call(machine, space, n, mapping);
+      table.add_row({std::to_string(n), name, format_bytes(c.in_bytes),
+                     format_bytes(c.out_bytes), format_us(c.time_us)});
+    }
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  std::printf("E10: the four §7 dummy-mapping modes, N=10000\n\n");
+  TextTable modes({"mode", "directive", "call-site remap?",
+                   "round-trip bytes"});
+  struct ModeRow {
+    const char* mode;
+    const char* directive;
+    DummyMapping mapping;
+  };
+  const std::vector<ModeRow> rows = {
+      {"1 explicit", "DISTRIBUTE X(BLOCK) TO Q",
+       DummyMapping::explicit_dist({DistFormat::block()}, q)},
+      {"2 inherited", "DISTRIBUTE X *", DummyMapping::inherit()},
+      {"3 inheritance-matching (match)", "DISTRIBUTE X *(CYCLIC(3)) TO Q",
+       DummyMapping::inherit_match({DistFormat::cyclic(3)}, q)},
+      {"4 implicit", "(none)", DummyMapping::implicit()},
+  };
+  for (const ModeRow& row : rows) {
+    // Whole-array actual so mode 3 can match exactly.
+    DataEnv env(space);
+    DistArray& a = env.real("A", IndexDomain{Dim(1, 10000)});
+    env.distribute(a, {DistFormat::cyclic(3)}, q);
+    ProgramState state(machine);
+    state.create(env, a);
+    ProcedureSig sub{"SUB",
+                     {DummySpec{"X", ElemType::kReal, row.mapping, false}}};
+    CallFrame frame = env.call(sub, {ActualArg::whole(a.id())});
+    std::vector<StepStats> in = enter_call(state, env, frame);
+    std::vector<StepStats> out = exit_call(state, env, frame);
+    modes.add_row({row.mode, row.directive,
+                   frame.call_events.empty() ? "no" : "yes",
+                   format_bytes(in[0].bytes + out[0].bytes)});
+  }
+  std::printf("%s\n", modes.to_string().c_str());
+  std::printf("Inheritance is free; every forced mapping pays the section "
+              "size twice per call (§8.1.2).\n");
+  return 0;
+}

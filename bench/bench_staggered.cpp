@@ -1,0 +1,157 @@
+// Experiment E2 — the §8.1.1 staggered grid (Thole example), and
+// Experiment E2b — the footnote: with the *HPF* definition of BLOCK the
+// direct distribution "will cause a problem if and only if the number of
+// processors divides N exactly".
+//
+// For each (N, grid) the Thole update P = U(0:N-1,:)+U(1:N,:)+V(:,0:N-1)
+// +V(:,1:N) is priced under:
+//   template (CYCLIC,CYCLIC)  — the "worst possible effect";
+//   template (BLOCK,BLOCK)    — a good template distribution;
+//   direct VIENNA_BLOCK       — the paper's template-free solution;
+//   direct HPF BLOCK          — the footnote's problem case.
+// Expected shape: cyclic-template ~100% remote; the block schemes
+// boundary-only; HPF-block strictly worse than Vienna-block exactly when
+// NP | N.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/data_env.hpp"
+#include "exec/assign.hpp"
+#include "hpf/hpf_model.hpp"
+#include "machine/metrics.hpp"
+
+using namespace hpfnt;
+
+namespace {
+
+AssignResult run_update(Machine& machine, ProcessorSpace& space, Extent n,
+                        const Distribution& du, const Distribution& dv,
+                        const Distribution& dp) {
+  DataEnv env(space);
+  DistArray& u = env.real("U", IndexDomain{Dim(0, n), Dim(1, n)});
+  DistArray& v = env.real("V", IndexDomain{Dim(1, n), Dim(0, n)});
+  DistArray& p = env.real("P", IndexDomain{Dim(1, n), Dim(1, n)});
+  ProgramState state(machine);
+  state.create_with(u, du);
+  state.create_with(v, dv);
+  state.create_with(p, dp);
+  const Triplet full(1, n);
+  SecExpr rhs = SecExpr::section(u, {Triplet(0, n - 1), full}) +
+                SecExpr::section(u, {Triplet(1, n), full}) +
+                SecExpr::section(v, {full, Triplet(0, n - 1)}) +
+                SecExpr::section(v, {full, Triplet(1, n)});
+  return assign_on_layout(state, p, {full, full}, rhs, "staggered");
+}
+
+AssignResult run_template_scheme(Machine& machine, ProcessorSpace& space,
+                                 Extent n, const ProcessorArrangement& grid,
+                                 bool cyclic) {
+  hpf::HpfModel model(space);
+  hpf::HpfTemplate& t =
+      model.declare_template("T", IndexDomain{Dim(0, 2 * n), Dim(0, 2 * n)});
+  hpf::HpfArray& u =
+      model.declare_array("U", IndexDomain{Dim(0, n), Dim(1, n)});
+  hpf::HpfArray& v =
+      model.declare_array("V", IndexDomain{Dim(1, n), Dim(0, n)});
+  hpf::HpfArray& p =
+      model.declare_array("P", IndexDomain{Dim(1, n), Dim(1, n)});
+  AlignExpr i = AlignExpr::dummy(0);
+  AlignExpr j = AlignExpr::dummy(1);
+  model.align_to_template(
+      p, t, AlignSpec({AligneeSub::dummy(0, "I"), AligneeSub::dummy(1, "J")},
+                      {BaseSub::of_expr(i * 2 - 1),
+                       BaseSub::of_expr(j * 2 - 1)}));
+  model.align_to_template(
+      u, t, AlignSpec({AligneeSub::dummy(0, "I"), AligneeSub::dummy(1, "J")},
+                      {BaseSub::of_expr(i * 2), BaseSub::of_expr(j * 2 - 1)}));
+  model.align_to_template(
+      v, t, AlignSpec({AligneeSub::dummy(0, "I"), AligneeSub::dummy(1, "J")},
+                      {BaseSub::of_expr(i * 2 - 1), BaseSub::of_expr(j * 2)}));
+  model.distribute_template(
+      t,
+      cyclic ? std::vector<DistFormat>{DistFormat::cyclic(),
+                                       DistFormat::cyclic()}
+             : std::vector<DistFormat>{DistFormat::block(),
+                                       DistFormat::block()},
+      ProcessorRef(grid));
+  return run_update(machine, space, n, model.distribution_of(u),
+                    model.distribution_of(v), model.distribution_of(p));
+}
+
+AssignResult run_direct_scheme(Machine& machine, ProcessorSpace& space,
+                               Extent n, const ProcessorArrangement& grid,
+                               const DistFormat& fmt) {
+  std::vector<DistFormat> fmts{fmt, fmt};
+  Distribution du = Distribution::formats(IndexDomain{Dim(0, n), Dim(1, n)},
+                                          fmts, ProcessorRef(grid));
+  Distribution dv = Distribution::formats(IndexDomain{Dim(1, n), Dim(0, n)},
+                                          fmts, ProcessorRef(grid));
+  Distribution dp = Distribution::formats(IndexDomain{Dim(1, n), Dim(1, n)},
+                                          fmts, ProcessorRef(grid));
+  return run_update(machine, space, n, du, dv, dp);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E2: staggered grid P=U+U+V+V (paper §8.1.1)\n\n");
+  struct Config {
+    Extent n;
+    Extent side;  // processor grid is side x side
+  };
+  for (const Config cfg : {Config{64, 2}, Config{64, 4}, Config{256, 4}}) {
+    const Extent procs = cfg.side * cfg.side;
+    Machine machine(procs);
+    ProcessorSpace space(procs);
+    const ProcessorArrangement& grid = space.declare(
+        "G", IndexDomain::of_extents({cfg.side, cfg.side}));
+    std::printf("N=%lld on %lldx%lld processors:\n",
+                static_cast<long long>(cfg.n),
+                static_cast<long long>(cfg.side),
+                static_cast<long long>(cfg.side));
+    TextTable table(
+        {"scheme", "remote reads", "messages", "bytes", "est. time"});
+    auto add = [&](const std::string& name, const AssignResult& r) {
+      table.add_row({name, format_pct(r.remote_read_fraction),
+                     format_count(r.step.messages), format_bytes(r.step.bytes),
+                     format_us(r.step.time_us)});
+    };
+    add("template (CYCLIC,CYCLIC)",
+        run_template_scheme(machine, space, cfg.n, grid, true));
+    add("template (BLOCK,BLOCK)",
+        run_template_scheme(machine, space, cfg.n, grid, false));
+    add("direct VIENNA_BLOCK (paper)",
+        run_direct_scheme(machine, space, cfg.n, grid,
+                          DistFormat::vienna_block()));
+    add("direct HPF BLOCK",
+        run_direct_scheme(machine, space, cfg.n, grid, DistFormat::block()));
+    std::printf("%s\n", table.to_string().c_str());
+  }
+
+  // E2b: the footnote — HPF BLOCK hurts iff NP | N.
+  std::printf("E2b: footnote — HPF BLOCK vs VIENNA_BLOCK on 4x4 processors\n");
+  std::printf("(\"this will cause a problem if and only if the number of "
+              "processors divides N exactly\")\n\n");
+  TextTable fn({"N", "NP | N?", "remote reads (VIENNA)", "remote reads (HPF)",
+                "HPF/VIENNA bytes"});
+  Machine machine(16);
+  ProcessorSpace space(16);
+  const ProcessorArrangement& grid =
+      space.declare("G", IndexDomain::of_extents({4, 4}));
+  for (Extent n : {63, 64, 65, 127, 128, 129}) {
+    AssignResult vienna = run_direct_scheme(machine, space, n, grid,
+                                            DistFormat::vienna_block());
+    AssignResult hpf = run_direct_scheme(machine, space, n, grid,
+                                         DistFormat::block());
+    const double ratio = vienna.step.bytes == 0
+                             ? 0.0
+                             : static_cast<double>(hpf.step.bytes) /
+                                   static_cast<double>(vienna.step.bytes);
+    fn.add_row({std::to_string(n), (n % 4 == 0) ? "yes" : "no",
+                format_pct(vienna.remote_read_fraction),
+                format_pct(hpf.remote_read_fraction), format_ratio(ratio)});
+  }
+  std::printf("%s\n", fn.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,60 @@
+// The paper's §6 example, executed verbatim by the directive interpreter
+// (READ replaced by scalar assignments, as the interpreter requires).
+// Demonstrates: deferred mapping attributes on allocatables, REALIGN of an
+// allocated array, REDISTRIBUTE of a DYNAMIC allocatable, and DEALLOCATE
+// semantics.
+#include <cstdio>
+
+#include "core/inquiry.hpp"
+#include "directives/interp.hpp"
+
+using namespace hpfnt;
+
+int main() {
+  ProcessorSpace space(32);
+  dir::Interpreter in(space);
+
+  const char* program =
+      "REAL,ALLOCATABLE(:,:) :: A,B\n"
+      "REAL,ALLOCATABLE(:) :: C,D\n"
+      "!HPF$ PROCESSORS PR(32)\n"
+      "!HPF$ DISTRIBUTE A(CYCLIC,BLOCK)\n"
+      "!HPF$ DISTRIBUTE(BLOCK) :: C,D\n"
+      "!HPF$ DYNAMIC B,C\n"
+      "M = 3\n"
+      "N = 4\n"
+      "ALLOCATE(A(N*M,N*M))\n"
+      "ALLOCATE(B(N,N))\n"
+      "!HPF$ REALIGN B(:,:) WITH A(M::M,1::M)\n"
+      "ALLOCATE(C(10000), D(10000))\n"
+      "!HPF$ REDISTRIBUTE C(CYCLIC) TO PR\n";
+
+  std::printf("Running the paper's §6 example program:\n\n%s\n", program);
+  in.run(program);
+
+  DataEnv& env = in.env();
+  for (const char* name : {"A", "B", "C", "D"}) {
+    const DistArray& array = env.find(name);
+    DistributionInfo info = inquire_distribution(env.distribution_of(array));
+    AlignmentInfo align = inquire_alignment(env, array);
+    std::printf("%s %s -> %s", name, array.domain().to_string().c_str(),
+                info.description.c_str());
+    if (align.is_aligned) {
+      std::printf("   [aligned to %s via %s]", align.base_name.c_str(),
+                  align.function.c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nDEALLOCATE(B): arrays aligned to a deallocated base become "
+              "primaries (§6)\n");
+  in.run("DEALLOCATE(B)\n");
+  std::printf("A still mapped: %s\n",
+              env.distribution_of("A").to_string().c_str());
+
+  std::printf("\nTrace:\n");
+  for (const std::string& line : in.trace()) {
+    std::printf("  %s\n", line.c_str());
+  }
+  return 0;
+}

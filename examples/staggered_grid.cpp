@@ -1,0 +1,137 @@
+// The §8.1.1 staggered-grid example (posted by C. A. Thole on the HPFF
+// mailing list), run three ways:
+//   1. HPF templates, template distributed (CYCLIC,CYCLIC): the "worst
+//      possible effect" — every stencil neighbor lands remote;
+//   2. HPF templates, template distributed (BLOCK,BLOCK);
+//   3. the paper's template-free solution: DISTRIBUTE (BLOCK,BLOCK)::U,V,P
+//      with the Vienna block definition.
+// The simulator prices the update P = U(0:N-1,:)+U(1:N,:)+V(:,0:N-1)+V(:,1:N)
+// under each mapping.
+#include <cstdio>
+#include <vector>
+
+#include "core/data_env.hpp"
+#include "exec/assign.hpp"
+#include "hpf/hpf_model.hpp"
+#include "machine/metrics.hpp"
+
+using namespace hpfnt;
+
+namespace {
+
+constexpr Extent kN = 32;
+
+struct Result {
+  std::string scheme;
+  AssignResult update;
+};
+
+/// Creates U, V, P with the given storage layouts and runs the staggered
+/// update once, priced by the machine simulator.
+AssignResult run_update(Machine& machine, ProcessorSpace& space,
+                        const Distribution& du, const Distribution& dv,
+                        const Distribution& dp) {
+  DataEnv env(space);
+  DistArray& u = env.real("U", IndexDomain{Dim(0, kN), Dim(1, kN)});
+  DistArray& v = env.real("V", IndexDomain{Dim(1, kN), Dim(0, kN)});
+  DistArray& p = env.real("P", IndexDomain{Dim(1, kN), Dim(1, kN)});
+
+  ProgramState state(machine);
+  state.create_with(u, du);
+  state.create_with(v, dv);
+  state.create_with(p, dp);
+  state.fill(u.id(), [](const IndexTuple& i) {
+    return static_cast<double>(i[0] + i[1]);
+  });
+  state.fill(v.id(), [](const IndexTuple& i) {
+    return static_cast<double>(i[0] - i[1]);
+  });
+
+  const Triplet full(1, kN);
+  SecExpr rhs = SecExpr::section(u, {Triplet(0, kN - 1), full}) +
+                SecExpr::section(u, {Triplet(1, kN), full}) +
+                SecExpr::section(v, {full, Triplet(0, kN - 1)}) +
+                SecExpr::section(v, {full, Triplet(1, kN)});
+  return assign_on_layout(state, p, {full, full}, rhs,
+                          "staggered P = U+U+V+V");
+}
+
+}  // namespace
+
+int main() {
+  Machine machine(16);
+  ProcessorSpace space(16);
+  const ProcessorArrangement& grid =
+      space.declare("G", IndexDomain::of_extents({4, 4}));
+
+  const IndexDomain ud{Dim(0, kN), Dim(1, kN)};
+  const IndexDomain vd{Dim(1, kN), Dim(0, kN)};
+  const IndexDomain pd{Dim(1, kN), Dim(1, kN)};
+
+  std::vector<Result> results;
+
+  // --- schemes 1 and 2: the HPF template program ----------------------------
+  for (const bool cyclic : {true, false}) {
+    hpf::HpfModel model(space);
+    hpf::HpfTemplate& t = model.declare_template(
+        "T", IndexDomain{Dim(0, 2 * kN), Dim(0, 2 * kN)});
+    hpf::HpfArray& u = model.declare_array("U", ud);
+    hpf::HpfArray& v = model.declare_array("V", vd);
+    hpf::HpfArray& p = model.declare_array("P", pd);
+    AlignExpr i = AlignExpr::dummy(0);
+    AlignExpr j = AlignExpr::dummy(1);
+    model.align_to_template(
+        p, t, AlignSpec({AligneeSub::dummy(0, "I"), AligneeSub::dummy(1, "J")},
+                        {BaseSub::of_expr(i * 2 - 1),
+                         BaseSub::of_expr(j * 2 - 1)}));
+    model.align_to_template(
+        u, t, AlignSpec({AligneeSub::dummy(0, "I"), AligneeSub::dummy(1, "J")},
+                        {BaseSub::of_expr(i * 2),
+                         BaseSub::of_expr(j * 2 - 1)}));
+    model.align_to_template(
+        v, t, AlignSpec({AligneeSub::dummy(0, "I"), AligneeSub::dummy(1, "J")},
+                        {BaseSub::of_expr(i * 2 - 1),
+                         BaseSub::of_expr(j * 2)}));
+    model.distribute_template(
+        t,
+        cyclic ? std::vector<DistFormat>{DistFormat::cyclic(),
+                                         DistFormat::cyclic()}
+               : std::vector<DistFormat>{DistFormat::block(),
+                                         DistFormat::block()},
+        ProcessorRef(grid));
+    results.push_back({cyclic ? "template (CYCLIC,CYCLIC)"
+                              : "template (BLOCK,BLOCK)",
+                       run_update(machine, space, model.distribution_of(u),
+                                  model.distribution_of(v),
+                                  model.distribution_of(p))});
+  }
+
+  // --- scheme 3: the paper's template-free solution --------------------------
+  {
+    auto vblocks = std::vector<DistFormat>{DistFormat::vienna_block(),
+                                           DistFormat::vienna_block()};
+    Distribution du = Distribution::formats(ud, vblocks, ProcessorRef(grid));
+    Distribution dv = Distribution::formats(vd, vblocks, ProcessorRef(grid));
+    Distribution dp = Distribution::formats(pd, vblocks, ProcessorRef(grid));
+    results.push_back({"direct (BLOCK,BLOCK), no template",
+                       run_update(machine, space, du, dv, dp)});
+  }
+
+  std::printf(
+      "Staggered grid P = U+U+V+V, N=%lld, 4x4 processors (paper §8.1.1)\n\n",
+      static_cast<long long>(kN));
+  TextTable table(
+      {"scheme", "remote reads", "messages", "bytes", "est. time"});
+  for (const Result& r : results) {
+    table.add_row({r.scheme, format_pct(r.update.remote_read_fraction),
+                   format_count(r.update.step.messages),
+                   format_bytes(r.update.step.bytes),
+                   format_us(r.update.step.time_us)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf(
+      "The (CYCLIC,CYCLIC) template sends every neighbor remote — \"the "
+      "worst possible effect\" (§8.1.1);\nthe paper's direct block "
+      "distribution achieves collocation with no template at all.\n");
+  return 0;
+}

@@ -1,0 +1,145 @@
+#include "balance/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace hpfnt {
+
+namespace {
+
+double total_weight(const std::vector<double>& weights) {
+  return std::accumulate(weights.begin(), weights.end(), 0.0);
+}
+
+/// Can `weights` be split into at most `np` contiguous blocks, each of
+/// weight <= cap? If yes, fills `bounds` with the NP-1 upper bounds of a
+/// witness (greedily packed as full as possible).
+bool feasible(const std::vector<double>& weights, Extent np, double cap,
+              std::vector<Extent>* bounds) {
+  if (bounds) bounds->clear();
+  Extent blocks_used = 1;
+  double current = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] > cap) return false;  // a single element exceeds the cap
+    if (current + weights[i] <= cap) {
+      current += weights[i];
+      continue;
+    }
+    // Close the current block before index i (1-based bound = i).
+    if (bounds) bounds->push_back(static_cast<Extent>(i));
+    if (++blocks_used > np) return false;
+    current = weights[i];
+  }
+  if (bounds) {
+    // Remaining blocks are empty; pad bounds to NP-1 entries.
+    while (static_cast<Extent>(bounds->size()) < np - 1) {
+      bounds->push_back(static_cast<Extent>(weights.size()));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Extent> greedy_partition(const std::vector<double>& weights,
+                                     Extent np) {
+  if (np < 1) throw ConformanceError("partition needs np >= 1");
+  const double target = total_weight(weights) / static_cast<double>(np);
+  std::vector<Extent> bounds;
+  bounds.reserve(static_cast<std::size_t>(np - 1));
+  double current = 0.0;
+  Extent blocks_closed = 0;
+  for (std::size_t i = 0; i < weights.size() && blocks_closed < np - 1; ++i) {
+    current += weights[i];
+    // Close the block when reaching the target; prefer closing at the
+    // element that brings us nearer the target than leaving it out would.
+    if (current >= target) {
+      const double overshoot = current - target;
+      const double undershoot = target - (current - weights[i]);
+      Extent end = static_cast<Extent>(i + 1);
+      if (undershoot < overshoot && end > 1 &&
+          (bounds.empty() || bounds.back() < end - 1)) {
+        end -= 1;  // leave the last element for the next block
+      }
+      bounds.push_back(end);
+      current = end == static_cast<Extent>(i + 1) ? 0.0 : weights[i];
+      ++blocks_closed;
+    }
+  }
+  while (static_cast<Extent>(bounds.size()) < np - 1) {
+    bounds.push_back(static_cast<Extent>(weights.size()));
+  }
+  return bounds;
+}
+
+std::vector<Extent> optimal_partition(const std::vector<double>& weights,
+                                      Extent np) {
+  if (np < 1) throw ConformanceError("partition needs np >= 1");
+  double lo = 0.0;
+  for (double w : weights) lo = std::max(lo, w);
+  double hi = total_weight(weights);
+  // Parametric search on the bottleneck value: 60 halvings reach machine
+  // precision on doubles.
+  for (int iter = 0; iter < 60 && hi - lo > 1e-9 * (1.0 + hi); ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible(weights, np, mid, nullptr)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  std::vector<Extent> bounds;
+  if (!feasible(weights, np, hi, &bounds)) {
+    // hi started at the total, which is always feasible; reaching here
+    // means numerical trouble only.
+    throw InternalError("optimal_partition lost feasibility");
+  }
+  return bounds;
+}
+
+PartitionQuality evaluate_partition(const std::vector<double>& weights,
+                                    const std::vector<Extent>& bounds,
+                                    Extent np) {
+  PartitionQuality q;
+  const double total = total_weight(weights);
+  q.mean_load = total / static_cast<double>(np);
+  Extent start = 0;
+  for (Extent p = 0; p < np; ++p) {
+    const Extent end = p + 1 < np ? bounds[static_cast<std::size_t>(p)]
+                                  : static_cast<Extent>(weights.size());
+    double load = 0.0;
+    for (Extent i = start; i < end; ++i) {
+      load += weights[static_cast<std::size_t>(i)];
+    }
+    q.max_load = std::max(q.max_load, load);
+    start = end;
+  }
+  q.imbalance = q.mean_load > 0.0 ? q.max_load / q.mean_load : 1.0;
+  return q;
+}
+
+PartitionQuality evaluate_mapping(const std::vector<double>& weights,
+                                  const DimMapping& mapping) {
+  PartitionQuality q;
+  const double total = total_weight(weights);
+  q.mean_load = total / static_cast<double>(mapping.np());
+  for (Index1 p = 1; p <= mapping.np(); ++p) {
+    double load = 0.0;
+    mapping.for_each_owned(p, [&](Index1 i) {
+      load += weights[static_cast<std::size_t>(i - 1)];
+    });
+    q.max_load = std::max(q.max_load, load);
+  }
+  q.imbalance = q.mean_load > 0.0 ? q.max_load / q.mean_load : 1.0;
+  return q;
+}
+
+DistFormat balanced_general_block(const std::vector<double>& weights,
+                                  Extent np, bool optimal) {
+  return DistFormat::general_block(optimal ? optimal_partition(weights, np)
+                                           : greedy_partition(weights, np));
+}
+
+}  // namespace hpfnt

@@ -1,0 +1,52 @@
+// GENERAL_BLOCK partitioners (paper §1: irregular block distributions "are
+// important for the support of load balancing, and can be implemented
+// efficiently [13]").
+//
+// Given per-index work weights, these compute the NP contiguous blocks —
+// i.e. the G array of GENERAL_BLOCK(G) — that balance the per-processor
+// load:
+//   * greedy_partition: single left-to-right pass targeting total/NP per
+//     block; O(N).
+//   * optimal_partition: minimizes the bottleneck (maximum block weight)
+//     exactly, by parametric search over the bottleneck value with a
+//     feasibility sweep; O(N log(sum w)).
+#pragma once
+
+#include <vector>
+
+#include "core/dist_format.hpp"
+#include "core/types.hpp"
+
+namespace hpfnt {
+
+struct PartitionQuality {
+  double max_load = 0.0;   // heaviest block
+  double mean_load = 0.0;  // total / NP
+  double imbalance = 1.0;  // max / mean (1.0 is perfect)
+};
+
+/// Greedy contiguous partition of `weights` into `np` blocks. Returns the
+/// NP-1 upper bounds forming the G array of GENERAL_BLOCK(G).
+std::vector<Extent> greedy_partition(const std::vector<double>& weights,
+                                     Extent np);
+
+/// Bottleneck-optimal contiguous partition (minimizes the maximum block
+/// weight). Same G-array convention.
+std::vector<Extent> optimal_partition(const std::vector<double>& weights,
+                                      Extent np);
+
+/// Load statistics of a partition given as GENERAL_BLOCK bounds.
+PartitionQuality evaluate_partition(const std::vector<double>& weights,
+                                    const std::vector<Extent>& bounds,
+                                    Extent np);
+
+/// Load statistics of an arbitrary bound DimMapping (BLOCK, CYCLIC, ...)
+/// under the same weights, for comparing formats.
+PartitionQuality evaluate_mapping(const std::vector<double>& weights,
+                                  const DimMapping& mapping);
+
+/// Convenience: a GENERAL_BLOCK format balanced for `weights`.
+DistFormat balanced_general_block(const std::vector<double>& weights,
+                                  Extent np, bool optimal = true);
+
+}  // namespace hpfnt

@@ -1,0 +1,212 @@
+#include "core/align_expr.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+AlignExpr AlignExpr::constant(Index1 c) {
+  auto n = std::make_shared<Node>();
+  n->op = Op::kConst;
+  n->value = c;
+  return AlignExpr(std::move(n));
+}
+
+AlignExpr AlignExpr::dummy(int dummy_id) {
+  auto n = std::make_shared<Node>();
+  n->op = Op::kDummy;
+  n->dummy = dummy_id;
+  return AlignExpr(std::move(n));
+}
+
+AlignExpr AlignExpr::make_binary(Op op, AlignExpr a, AlignExpr b) {
+  auto n = std::make_shared<Node>();
+  n->op = op;
+  n->lhs = a.node_;
+  n->rhs = b.node_;
+  return AlignExpr(std::move(n));
+}
+
+AlignExpr AlignExpr::add(AlignExpr a, AlignExpr b) {
+  return make_binary(Op::kAdd, std::move(a), std::move(b));
+}
+AlignExpr AlignExpr::sub(AlignExpr a, AlignExpr b) {
+  return make_binary(Op::kSub, std::move(a), std::move(b));
+}
+AlignExpr AlignExpr::mul(AlignExpr a, AlignExpr b) {
+  return make_binary(Op::kMul, std::move(a), std::move(b));
+}
+AlignExpr AlignExpr::max(AlignExpr a, AlignExpr b) {
+  return make_binary(Op::kMax, std::move(a), std::move(b));
+}
+AlignExpr AlignExpr::min(AlignExpr a, AlignExpr b) {
+  return make_binary(Op::kMin, std::move(a), std::move(b));
+}
+
+AlignExpr AlignExpr::neg(AlignExpr a) {
+  auto n = std::make_shared<Node>();
+  n->op = Op::kNeg;
+  n->lhs = a.node_;
+  return AlignExpr(std::move(n));
+}
+
+Index1 AlignExpr::eval_node(const Node& n, Index1 j) {
+  switch (n.op) {
+    case Op::kConst:
+      return n.value;
+    case Op::kDummy:
+      return j;
+    case Op::kAdd:
+      return eval_node(*n.lhs, j) + eval_node(*n.rhs, j);
+    case Op::kSub:
+      return eval_node(*n.lhs, j) - eval_node(*n.rhs, j);
+    case Op::kMul:
+      return eval_node(*n.lhs, j) * eval_node(*n.rhs, j);
+    case Op::kNeg:
+      return -eval_node(*n.lhs, j);
+    case Op::kMax:
+      return std::max(eval_node(*n.lhs, j), eval_node(*n.rhs, j));
+    case Op::kMin:
+      return std::min(eval_node(*n.lhs, j), eval_node(*n.rhs, j));
+  }
+  throw InternalError("unreachable align-expr op");
+}
+
+Index1 AlignExpr::eval(Index1 dummy_value) const {
+  return eval_node(*node_, dummy_value);
+}
+
+void AlignExpr::find_dummy(const Node& n, std::optional<int>& found) {
+  switch (n.op) {
+    case Op::kConst:
+      return;
+    case Op::kDummy:
+      if (found.has_value() && *found != n.dummy) {
+        throw ConformanceError(
+            "skew alignment: an alignment expression uses two different "
+            "align-dummies (§5.1 excludes this)");
+      }
+      found = n.dummy;
+      return;
+    default:
+      if (n.lhs) find_dummy(*n.lhs, found);
+      if (n.rhs) find_dummy(*n.rhs, found);
+  }
+}
+
+std::optional<int> AlignExpr::used_dummy() const {
+  std::optional<int> found;
+  find_dummy(*node_, found);
+  return found;
+}
+
+std::optional<AlignExpr::Linear> AlignExpr::linear_node(const Node& n) {
+  switch (n.op) {
+    case Op::kConst:
+      return Linear{0, n.value};
+    case Op::kDummy:
+      return Linear{1, 0};
+    case Op::kAdd: {
+      auto l = linear_node(*n.lhs);
+      auto r = linear_node(*n.rhs);
+      if (!l || !r) return std::nullopt;
+      return Linear{l->a + r->a, l->b + r->b};
+    }
+    case Op::kSub: {
+      auto l = linear_node(*n.lhs);
+      auto r = linear_node(*n.rhs);
+      if (!l || !r) return std::nullopt;
+      return Linear{l->a - r->a, l->b - r->b};
+    }
+    case Op::kMul: {
+      auto l = linear_node(*n.lhs);
+      auto r = linear_node(*n.rhs);
+      if (!l || !r) return std::nullopt;
+      if (l->a != 0 && r->a != 0) return std::nullopt;  // J*J is not linear
+      return Linear{l->a * r->b + r->a * l->b, l->b * r->b};
+    }
+    case Op::kNeg: {
+      auto l = linear_node(*n.lhs);
+      if (!l) return std::nullopt;
+      return Linear{-l->a, -l->b};
+    }
+    case Op::kMax:
+    case Op::kMin:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<AlignExpr::Linear> AlignExpr::linear() const {
+  return linear_node(*node_);
+}
+
+bool AlignExpr::is_injective() const {
+  auto lin = linear();
+  return lin.has_value() && lin->a != 0;
+}
+
+std::string AlignExpr::render(const Node& n, const std::string& dummy_name) {
+  switch (n.op) {
+    case Op::kConst:
+      return std::to_string(n.value);
+    case Op::kDummy:
+      return dummy_name;
+    case Op::kAdd:
+      return "(" + render(*n.lhs, dummy_name) + "+" +
+             render(*n.rhs, dummy_name) + ")";
+    case Op::kSub:
+      return "(" + render(*n.lhs, dummy_name) + "-" +
+             render(*n.rhs, dummy_name) + ")";
+    case Op::kMul:
+      return render(*n.lhs, dummy_name) + "*" + render(*n.rhs, dummy_name);
+    case Op::kNeg:
+      return "-" + render(*n.lhs, dummy_name);
+    case Op::kMax:
+      return "MAX(" + render(*n.lhs, dummy_name) + "," +
+             render(*n.rhs, dummy_name) + ")";
+    case Op::kMin:
+      return "MIN(" + render(*n.lhs, dummy_name) + "," +
+             render(*n.rhs, dummy_name) + ")";
+  }
+  return "?";
+}
+
+std::string AlignExpr::to_string() const { return to_string("J"); }
+
+std::string AlignExpr::to_string(const std::string& dummy_name) const {
+  return render(*node_, dummy_name);
+}
+
+AlignExpr operator+(AlignExpr a, AlignExpr b) {
+  return AlignExpr::add(std::move(a), std::move(b));
+}
+AlignExpr operator-(AlignExpr a, AlignExpr b) {
+  return AlignExpr::sub(std::move(a), std::move(b));
+}
+AlignExpr operator*(AlignExpr a, AlignExpr b) {
+  return AlignExpr::mul(std::move(a), std::move(b));
+}
+AlignExpr operator+(AlignExpr a, Index1 b) {
+  return AlignExpr::add(std::move(a), AlignExpr::constant(b));
+}
+AlignExpr operator-(AlignExpr a, Index1 b) {
+  return AlignExpr::sub(std::move(a), AlignExpr::constant(b));
+}
+AlignExpr operator*(AlignExpr a, Index1 b) {
+  return AlignExpr::mul(std::move(a), AlignExpr::constant(b));
+}
+AlignExpr operator+(Index1 a, AlignExpr b) {
+  return AlignExpr::add(AlignExpr::constant(a), std::move(b));
+}
+AlignExpr operator-(Index1 a, AlignExpr b) {
+  return AlignExpr::sub(AlignExpr::constant(a), std::move(b));
+}
+AlignExpr operator*(Index1 a, AlignExpr b) {
+  return AlignExpr::mul(AlignExpr::constant(a), std::move(b));
+}
+AlignExpr operator-(AlignExpr a) { return AlignExpr::neg(std::move(a)); }
+
+}  // namespace hpfnt

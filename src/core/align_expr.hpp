@@ -1,0 +1,104 @@
+// Alignment expressions (paper §5.1).
+//
+// A base subscript of an ALIGN directive is either dummyless (a scalar
+// integer expression with no align-dummy) or a dummy-use expression in
+// exactly one align-dummy J. The operators "+", "-", "*" form expressions
+// linear in J; because linear expressions cannot express truncation at the
+// ends of an alignment, the paper additionally admits the intrinsics MAX
+// and MIN (LBOUND, UBOUND and SIZE are resolved to constants at binding
+// time by the front end, since they only query declared shapes).
+//
+// AlignExpr is a small immutable expression tree with evaluation, dummy
+// analysis (which dummy occurs; skew detection needs "at most one"), and
+// linear-coefficient extraction for the analytic fast paths.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/types.hpp"
+
+namespace hpfnt {
+
+class AlignExpr {
+ public:
+  enum class Op { kConst, kDummy, kAdd, kSub, kMul, kNeg, kMax, kMin };
+
+  /// The literal constant c.
+  static AlignExpr constant(Index1 c);
+
+  /// The align-dummy with (0-based) alignee-dimension id `dummy_id`.
+  static AlignExpr dummy(int dummy_id);
+
+  static AlignExpr add(AlignExpr a, AlignExpr b);
+  static AlignExpr sub(AlignExpr a, AlignExpr b);
+  static AlignExpr mul(AlignExpr a, AlignExpr b);
+  static AlignExpr neg(AlignExpr a);
+  static AlignExpr max(AlignExpr a, AlignExpr b);
+  static AlignExpr min(AlignExpr a, AlignExpr b);
+
+  Op op() const noexcept { return node_->op; }
+
+  /// Evaluates with the given value for every dummy occurrence. (Expressions
+  /// reference at most one dummy, checked at directive binding time.)
+  Index1 eval(Index1 dummy_value) const;
+
+  /// Evaluates a dummyless expression.
+  Index1 eval_const() const { return eval(0); }
+
+  /// The dummy id used, or nullopt when dummyless. Throws ConformanceError
+  /// when two *different* dummies occur in one expression (skew alignment,
+  /// excluded by §5.1: "Each J_i may occur in at most one y_j").
+  std::optional<int> used_dummy() const;
+
+  /// If the expression is linear a*J + b (no MAX/MIN), returns {a, b}.
+  struct Linear {
+    Index1 a;
+    Index1 b;
+  };
+  std::optional<Linear> linear() const;
+
+  /// True when the expression is strictly monotonic in its dummy wherever
+  /// it is linear (|a| >= 1); MAX/MIN expressions report false.
+  bool is_injective() const;
+
+  /// Rendering with the dummy shown as `dummy_name` (default "J").
+  std::string to_string() const;
+  std::string to_string(const std::string& dummy_name) const;
+
+ private:
+  struct Node {
+    Op op;
+    Index1 value = 0;  // kConst
+    int dummy = -1;    // kDummy
+    std::shared_ptr<const Node> lhs;
+    std::shared_ptr<const Node> rhs;
+  };
+
+  explicit AlignExpr(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  static AlignExpr make_binary(Op op, AlignExpr a, AlignExpr b);
+  static Index1 eval_node(const Node& n, Index1 j);
+  static void find_dummy(const Node& n, std::optional<int>& found);
+  static std::optional<Linear> linear_node(const Node& n);
+  static std::string render(const Node& n, const std::string& dummy_name);
+
+  std::shared_ptr<const Node> node_;
+};
+
+// Operator sugar so alignment functions read like the directives:
+//   AlignExpr::dummy(0) * 2 - 1   for   "2*I-1".
+AlignExpr operator+(AlignExpr a, AlignExpr b);
+AlignExpr operator-(AlignExpr a, AlignExpr b);
+AlignExpr operator*(AlignExpr a, AlignExpr b);
+AlignExpr operator+(AlignExpr a, Index1 b);
+AlignExpr operator-(AlignExpr a, Index1 b);
+AlignExpr operator*(AlignExpr a, Index1 b);
+AlignExpr operator+(Index1 a, AlignExpr b);
+AlignExpr operator-(Index1 a, AlignExpr b);
+AlignExpr operator*(Index1 a, AlignExpr b);
+AlignExpr operator-(AlignExpr a);
+
+}  // namespace hpfnt

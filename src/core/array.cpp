@@ -1,0 +1,100 @@
+#include "core/array.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+Extent elem_bytes(ElemType type) {
+  switch (type) {
+    case ElemType::kReal:
+      return 4;
+    case ElemType::kDoublePrecision:
+      return 8;
+    case ElemType::kInteger:
+      return 4;
+    case ElemType::kLogical:
+      return 4;
+  }
+  return 4;
+}
+
+const char* elem_type_name(ElemType type) {
+  switch (type) {
+    case ElemType::kReal:
+      return "REAL";
+    case ElemType::kDoublePrecision:
+      return "DOUBLE PRECISION";
+    case ElemType::kInteger:
+      return "INTEGER";
+    case ElemType::kLogical:
+      return "LOGICAL";
+  }
+  return "?";
+}
+
+DistArray::DistArray(ArrayId id, std::string name, ElemType type,
+                     IndexDomain domain, ArrayAttrs attrs)
+    : id_(id),
+      name_(std::move(name)),
+      type_(type),
+      rank_(domain.rank()),
+      domain_(std::move(domain)),
+      attrs_(attrs),
+      created_(true) {
+  if (attrs_.allocatable) {
+    // Allocatables with a full shape use the deferred constructor.
+    created_ = false;
+    domain_ = IndexDomain();
+  }
+}
+
+DistArray::DistArray(ArrayId id, std::string name, ElemType type, int rank,
+                     ArrayAttrs attrs)
+    : id_(id), name_(std::move(name)), type_(type), rank_(rank), attrs_(attrs) {
+  attrs_.allocatable = true;
+}
+
+const IndexDomain& DistArray::domain() const {
+  if (!created_) {
+    throw ConformanceError("array '" + name_ +
+                           "' is not created (unallocated allocatable)");
+  }
+  return domain_;
+}
+
+void DistArray::create(IndexDomain domain) {
+  if (created_) {
+    throw ConformanceError("array '" + name_ + "' is already allocated");
+  }
+  if (domain.rank() != rank_) {
+    throw ConformanceError(cat("ALLOCATE shape rank ", domain.rank(),
+                               " differs from declared rank ", rank_, " of '",
+                               name_, "'"));
+  }
+  domain_ = std::move(domain);
+  created_ = true;
+}
+
+void DistArray::destroy() {
+  if (!created_) {
+    throw ConformanceError("array '" + name_ + "' is not allocated");
+  }
+  created_ = false;
+  domain_ = IndexDomain();
+}
+
+std::string DistArray::to_string() const {
+  std::string out = cat(elem_type_name(type_), " ", name_);
+  if (created_) {
+    out += domain_.to_string();
+  } else {
+    out += cat("(rank ", rank_, ", unallocated)");
+  }
+  if (attrs_.allocatable) out += " ALLOCATABLE";
+  if (attrs_.dynamic) out += " DYNAMIC";
+  if (is_dummy_) out += " DUMMY";
+  return out;
+}
+
+}  // namespace hpfnt

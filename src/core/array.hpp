@@ -1,0 +1,82 @@
+// Array descriptors. A DistArray is the model-level description of a data
+// array (or scalar, as a rank-0 array, §2.2): its name, element type, index
+// domain, and the attribute flags that drive mapping semantics — DYNAMIC
+// (may be REDISTRIBUTE/REALIGNed, §4.2/§5.2) and ALLOCATABLE (created and
+// destroyed by ALLOCATE/DEALLOCATE, §6). Dummy arguments are marked so the
+// procedure rules of §7 can restore mappings on exit.
+//
+// Descriptors carry no data; element storage lives in the simulated
+// processor memories (exec/storage).
+#pragma once
+
+#include <string>
+
+#include "core/index_domain.hpp"
+#include "core/types.hpp"
+
+namespace hpfnt {
+
+enum class ElemType { kReal, kDoublePrecision, kInteger, kLogical };
+
+/// Storage size in bytes, used by the communication cost model.
+Extent elem_bytes(ElemType type);
+
+const char* elem_type_name(ElemType type);
+
+struct ArrayAttrs {
+  bool dynamic = false;      // DYNAMIC directive given
+  bool allocatable = false;  // ALLOCATABLE attribute
+};
+
+class DistArray {
+ public:
+  DistArray(ArrayId id, std::string name, ElemType type, IndexDomain domain,
+            ArrayAttrs attrs);
+
+  /// Allocatable declaration: the shape is deferred until ALLOCATE.
+  DistArray(ArrayId id, std::string name, ElemType type, int rank,
+            ArrayAttrs attrs);
+
+  ArrayId id() const noexcept { return id_; }
+  const std::string& name() const noexcept { return name_; }
+  ElemType type() const noexcept { return type_; }
+  int rank() const noexcept { return rank_; }
+  const ArrayAttrs& attrs() const noexcept { return attrs_; }
+
+  bool is_dynamic() const noexcept { return attrs_.dynamic; }
+  bool is_allocatable() const noexcept { return attrs_.allocatable; }
+
+  /// True between creation (declaration, or ALLOCATE for allocatables) and
+  /// DEALLOCATE. Only created arrays participate in the alignment forest
+  /// (§2.4 considers arrays that "have been created").
+  bool is_created() const noexcept { return created_; }
+
+  /// The array's standard index domain I^A. Only valid when created.
+  const IndexDomain& domain() const;
+
+  bool is_dummy() const noexcept { return is_dummy_; }
+
+  Extent size() const { return domain().size(); }
+  Extent bytes() const { return size() * elem_bytes(type_); }
+
+  std::string to_string() const;
+
+ private:
+  friend class DataEnv;
+
+  void create(IndexDomain domain);
+  void destroy();
+  void mark_dummy() noexcept { is_dummy_ = true; }
+  void mark_dynamic() noexcept { attrs_.dynamic = true; }
+
+  ArrayId id_;
+  std::string name_;
+  ElemType type_;
+  int rank_;
+  IndexDomain domain_;
+  ArrayAttrs attrs_;
+  bool created_ = false;
+  bool is_dummy_ = false;
+};
+
+}  // namespace hpfnt

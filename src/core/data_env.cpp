@@ -1,0 +1,505 @@
+#include "core/data_env.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+namespace {
+
+std::atomic<ArrayId> g_next_array_id{0};
+
+ArrayId next_id() { return g_next_array_id.fetch_add(1); }
+
+/// Near-square factorization of `p` into `rank` factors (largest first),
+/// by multiplying prime factors onto the currently smallest dimension.
+std::vector<Extent> factorize(Extent p, int rank) {
+  std::vector<Extent> dims(static_cast<std::size_t>(rank), 1);
+  std::vector<Extent> primes;
+  Extent rest = p;
+  for (Extent f = 2; f * f <= rest; ++f) {
+    while (rest % f == 0) {
+      primes.push_back(f);
+      rest /= f;
+    }
+  }
+  if (rest > 1) primes.push_back(rest);
+  std::sort(primes.rbegin(), primes.rend());
+  for (Extent f : primes) {
+    auto smallest = std::min_element(dims.begin(), dims.end());
+    *smallest *= f;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return dims;
+}
+
+}  // namespace
+
+DataEnv::DataEnv(ProcessorSpace& space) : space_(&space) {}
+
+DistArray& DataEnv::register_array(std::unique_ptr<DistArray> array) {
+  if (has(array->name())) {
+    throw ConformanceError("array '" + array->name() + "' declared twice");
+  }
+  arrays_.push_back(std::move(array));
+  deferred_.emplace_back();
+  order_.push_back(arrays_.back()->id());
+  return *arrays_.back();
+}
+
+DistArray& DataEnv::real(const std::string& name, const IndexDomain& domain) {
+  return declare(name, ElemType::kReal, domain);
+}
+
+DistArray& DataEnv::integer(const std::string& name,
+                            const IndexDomain& domain) {
+  return declare(name, ElemType::kInteger, domain);
+}
+
+DistArray& DataEnv::declare(const std::string& name, ElemType type,
+                            const IndexDomain& domain, ArrayAttrs attrs) {
+  if (attrs.allocatable) {
+    return declare_allocatable(name, type, domain.rank(), attrs);
+  }
+  DistArray& a = register_array(
+      std::make_unique<DistArray>(next_id(), name, type, domain, attrs));
+  forest_.add_primary(a.id(), implicit_distribution(domain));
+  return a;
+}
+
+DistArray& DataEnv::declare_allocatable(const std::string& name, ElemType type,
+                                        int rank, ArrayAttrs attrs) {
+  attrs.allocatable = true;
+  return register_array(
+      std::make_unique<DistArray>(next_id(), name, type, rank, attrs));
+}
+
+DistArray& DataEnv::scalar(const std::string& name, ElemType type) {
+  return declare(name, type, IndexDomain());
+}
+
+void DataEnv::dynamic(DistArray& array) { array.mark_dynamic(); }
+
+bool DataEnv::has(const std::string& name) const noexcept {
+  for (const auto& a : arrays_) {
+    if (iequals(a->name(), name)) return true;
+  }
+  return false;
+}
+
+DistArray& DataEnv::find(const std::string& name) {
+  for (auto& a : arrays_) {
+    if (iequals(a->name(), name)) return *a;
+  }
+  throw ConformanceError("unknown array '" + name + "'");
+}
+
+const DistArray& DataEnv::find(const std::string& name) const {
+  for (const auto& a : arrays_) {
+    if (iequals(a->name(), name)) return *a;
+  }
+  throw ConformanceError("unknown array '" + name + "'");
+}
+
+DistArray& DataEnv::array(ArrayId id) {
+  for (auto& a : arrays_) {
+    if (a->id() == id) return *a;
+  }
+  throw InternalError("array id not in this environment");
+}
+
+const DistArray& DataEnv::array(ArrayId id) const {
+  for (const auto& a : arrays_) {
+    if (a->id() == id) return *a;
+  }
+  throw InternalError("array id not in this environment");
+}
+
+std::vector<std::string> DataEnv::array_names() const {
+  std::vector<std::string> names;
+  names.reserve(arrays_.size());
+  for (const auto& a : arrays_) names.push_back(a->name());
+  return names;
+}
+
+DataEnv::Deferred& DataEnv::deferred_of(ArrayId id) {
+  for (std::size_t i = 0; i < arrays_.size(); ++i) {
+    if (arrays_[i]->id() == id) return deferred_[i];
+  }
+  throw InternalError("array id not in this environment");
+}
+
+Distribution DataEnv::build_format_distribution(const IndexDomain& domain,
+                                                std::vector<DistFormat> formats,
+                                                ProcessorRef target) const {
+  if (!target.valid()) {
+    int distributed = 0;
+    for (const DistFormat& f : formats) {
+      if (!f.is_collapsed()) ++distributed;
+    }
+    target = const_cast<DataEnv*>(this)->default_target(distributed);
+  }
+  return Distribution::formats(domain, std::move(formats), std::move(target));
+}
+
+void DataEnv::distribute(DistArray& array, std::vector<DistFormat> formats,
+                         ProcessorRef target) {
+  Deferred& d = deferred_of(array.id());
+  if (d.kind != Deferred::Kind::kNone) {
+    throw ConformanceError("array '" + array.name() +
+                           "' already has a mapping directive");
+  }
+  if (array.is_allocatable()) {
+    // §6: the attributes are propagated to each ALLOCATE instance.
+    d.kind = Deferred::Kind::kDistribute;
+    d.formats = std::move(formats);
+    d.target = std::move(target);
+    if (array.is_created()) {
+      forest_.set_distribution(
+          array.id(),
+          build_format_distribution(array.domain(), d.formats, d.target));
+    }
+    return;
+  }
+  d.kind = Deferred::Kind::kDistribute;
+  forest_.set_distribution(
+      array.id(),
+      build_format_distribution(array.domain(), std::move(formats),
+                                std::move(target)));
+}
+
+void DataEnv::align(DistArray& alignee, DistArray& base,
+                    const AlignSpec& spec) {
+  Deferred& d = deferred_of(alignee.id());
+  if (d.kind != Deferred::Kind::kNone) {
+    throw ConformanceError("array '" + alignee.name() +
+                           "' already has a mapping directive");
+  }
+  if (&alignee == &base) {
+    throw ConformanceError("an array cannot be aligned to itself");
+  }
+  if (!alignee.is_allocatable() && base.is_allocatable()) {
+    throw ConformanceError(
+        "a local array which is not ALLOCATABLE cannot be aligned in the "
+        "specification part to an allocatable array (§6)");
+  }
+  if (alignee.is_allocatable()) {
+    d.kind = Deferred::Kind::kAlign;
+    d.base = base.id();
+    d.spec = spec;
+    return;
+  }
+  AlignmentFunction alpha = spec.reduce(alignee.domain(), base.domain());
+  d.kind = Deferred::Kind::kAlign;
+  d.base = base.id();
+  d.spec = spec;
+  forest_.make_secondary(alignee.id(), base.id(), std::move(alpha));
+}
+
+std::vector<RemapEvent> DataEnv::redistribute(DistArray& array,
+                                              std::vector<DistFormat> formats,
+                                              ProcessorRef target) {
+  if (!array.is_created()) {
+    throw ConformanceError("REDISTRIBUTE of the unallocated array '" +
+                           array.name() + "'");
+  }
+  if (!array.is_dynamic()) {
+    throw ConformanceError(
+        "REDISTRIBUTE may only be used for arrays declared DYNAMIC (§4.2): "
+        "'" + array.name() + "' is not DYNAMIC");
+  }
+  // Snapshot the mappings that are about to change: the array itself and,
+  // when it is a primary, every secondary aligned to it (§4.2).
+  std::vector<RemapEvent> events;
+  {
+    RemapEvent event;
+    event.dummy = array.id();
+    event.from = distribution_of(array);
+    event.reason = "REDISTRIBUTE " + array.name();
+    events.push_back(std::move(event));
+  }
+  std::vector<ArrayId> followers;
+  if (forest_.is_primary(array.id())) {
+    followers = forest_.children_of(array.id());
+    for (ArrayId child : followers) {
+      RemapEvent event;
+      event.dummy = child;
+      event.from = forest_.distribution_of(child);
+      event.reason = "REDISTRIBUTE " + array.name() + ": aligned array " +
+                     this->array(child).name() + " follows (§4.2)";
+      events.push_back(std::move(event));
+    }
+  }
+  Distribution next = build_format_distribution(array.domain(),
+                                                std::move(formats),
+                                                std::move(target));
+  forest_.redistribute(array.id(), next);
+  events[0].to = std::move(next);
+  for (std::size_t k = 0; k < followers.size(); ++k) {
+    events[k + 1].to = forest_.distribution_of(followers[k]);
+  }
+  return events;
+}
+
+RemapEvent DataEnv::realign(DistArray& alignee, DistArray& base,
+                            const AlignSpec& spec) {
+  if (!alignee.is_created()) {
+    throw ConformanceError("REALIGN of the unallocated array '" +
+                           alignee.name() + "'");
+  }
+  if (!base.is_created()) {
+    throw ConformanceError("REALIGN to the unallocated array '" + base.name() +
+                           "'");
+  }
+  if (!alignee.is_dynamic()) {
+    throw ConformanceError(
+        "REALIGN may only be used for arrays declared DYNAMIC (§5.2): '" +
+        alignee.name() + "' is not DYNAMIC");
+  }
+  AlignmentFunction alpha = spec.reduce(alignee.domain(), base.domain());
+  RemapEvent event;
+  event.dummy = alignee.id();
+  event.from = distribution_of(alignee);
+  forest_.realign(alignee.id(), base.id(), std::move(alpha));
+  event.to = distribution_of(alignee);
+  event.reason = "REALIGN " + alignee.name() + " WITH " + base.name();
+  return event;
+}
+
+void DataEnv::allocate(DistArray& array, const IndexDomain& domain) {
+  if (!array.is_allocatable()) {
+    throw ConformanceError("ALLOCATE of the non-allocatable array '" +
+                           array.name() + "'");
+  }
+  array.create(domain);
+  const Deferred& d = deferred_of(array.id());
+  switch (d.kind) {
+    case Deferred::Kind::kNone:
+      forest_.add_primary(array.id(), implicit_distribution(domain));
+      break;
+    case Deferred::Kind::kDistribute:
+      forest_.add_primary(
+          array.id(),
+          build_format_distribution(domain, d.formats, d.target));
+      break;
+    case Deferred::Kind::kAlign: {
+      const DistArray& base = this->array(d.base);
+      if (!base.is_created()) {
+        throw ConformanceError(
+            "ALLOCATE of '" + array.name() + "': its alignment base '" +
+            base.name() + "' is not created (§6 requires the base to exist)");
+      }
+      AlignmentFunction alpha = d.spec->reduce(domain, base.domain());
+      forest_.add_secondary(array.id(), base.id(), std::move(alpha));
+      break;
+    }
+  }
+}
+
+void DataEnv::deallocate(DistArray& array) {
+  if (!array.is_allocatable()) {
+    throw ConformanceError("DEALLOCATE of the non-allocatable array '" +
+                           array.name() + "'");
+  }
+  if (!array.is_created()) {
+    throw ConformanceError("DEALLOCATE of the unallocated array '" +
+                           array.name() + "'");
+  }
+  // §6: the array is removed from the alignment forest; each array directly
+  // aligned to it becomes the primary of a new tree.
+  forest_.remove(array.id());
+  array.destroy();
+}
+
+Distribution DataEnv::distribution_of(const DistArray& array) const {
+  if (!array.is_created()) {
+    throw ConformanceError("array '" + array.name() +
+                           "' has no distribution: it is not created");
+  }
+  return forest_.distribution_of(array.id());
+}
+
+Distribution DataEnv::distribution_of(const std::string& name) const {
+  return distribution_of(find(name));
+}
+
+bool DataEnv::is_primary(const DistArray& array) const {
+  return forest_.is_primary(array.id());
+}
+
+const DistArray* DataEnv::aligned_to(const DistArray& array) const {
+  const ArrayId base = forest_.parent_of(array.id());
+  return base == kNoArray ? nullptr : &this->array(base);
+}
+
+ProcessorRef DataEnv::default_target(int rank) const {
+  auto* self = const_cast<DataEnv*>(this);
+  if (rank == 0) {
+    const std::string name = "$CTL";
+    if (!space_->has(name)) self->space_->declare_scalar(name);
+    return ProcessorRef(space_->find(name));
+  }
+  const std::string name = cat("$AP", rank);
+  if (!space_->has(name)) {
+    std::vector<Extent> dims = factorize(space_->processor_count(), rank);
+    self->space_->declare(name, IndexDomain::of_extents(dims));
+  }
+  return ProcessorRef(space_->find(name));
+}
+
+Distribution DataEnv::implicit_distribution(const IndexDomain& domain) const {
+  if (domain.rank() == 0) {
+    return Distribution::formats(domain, {}, default_target(0));
+  }
+  std::vector<DistFormat> formats;
+  formats.reserve(static_cast<std::size_t>(domain.rank()));
+  formats.push_back(DistFormat::block());
+  for (int d = 1; d < domain.rank(); ++d) {
+    formats.push_back(DistFormat::collapsed());
+  }
+  return Distribution::formats(domain, std::move(formats), default_target(1));
+}
+
+CallFrame DataEnv::call(const ProcedureSig& sig,
+                        const std::vector<ActualArg>& actuals,
+                        bool interface_visible) {
+  if (sig.dummies.size() != actuals.size()) {
+    throw ConformanceError(cat("procedure ", sig.name, " expects ",
+                               sig.dummies.size(), " arguments, got ",
+                               actuals.size()));
+  }
+  CallFrame frame;
+  frame.procedure = sig.name;
+  frame.callee = std::make_unique<DataEnv>(*space_);
+  DataEnv& callee = *frame.callee;
+
+  for (std::size_t k = 0; k < sig.dummies.size(); ++k) {
+    const DummySpec& spec = sig.dummies[k];
+    const ActualArg& actual_arg = actuals[k];
+    DistArray& actual = array(actual_arg.array);
+    if (!actual.is_created()) {
+      throw ConformanceError("actual argument '" + actual.name() +
+                             "' is not created");
+    }
+
+    Distribution actual_dist = distribution_of(actual);
+    IndexDomain dummy_domain;
+    Distribution inherited;
+    if (actual_arg.section.empty()) {
+      dummy_domain = actual.domain();
+      inherited = actual_dist;
+    } else {
+      dummy_domain = actual.domain().section_domain(actual_arg.section);
+      inherited =
+          Distribution::section_view(actual_dist, actual_arg.section);
+    }
+
+    // Register the dummy in the callee scope; its mapping is installed
+    // below, outside the caller's alignment forest (§7).
+    DistArray& dummy = callee.register_array(std::make_unique<DistArray>(
+        next_id(), spec.name, spec.type, dummy_domain, ArrayAttrs{}));
+    dummy.mark_dummy();
+    if (spec.dynamic) dummy.mark_dynamic();
+
+    Distribution entry;
+    switch (spec.mapping.mode) {
+      case DummyMapping::Mode::kInherit:
+        entry = inherited;
+        break;
+      case DummyMapping::Mode::kExplicit: {
+        entry = callee.build_format_distribution(
+            dummy_domain, spec.mapping.formats, spec.mapping.target);
+        if (!entry.structurally_equal(inherited) &&
+            !entry.same_mapping(inherited)) {
+          RemapEvent event;
+          event.dummy = dummy.id();
+          event.from = inherited;
+          event.to = entry;
+          event.reason = cat("call ", sig.name, ": explicit distribution of ",
+                             spec.name);
+          frame.call_events.push_back(std::move(event));
+        }
+        break;
+      }
+      case DummyMapping::Mode::kInheritMatch: {
+        Distribution specified = callee.build_format_distribution(
+            dummy_domain, spec.mapping.formats, spec.mapping.target);
+        if (specified.structurally_equal(inherited) ||
+            specified.same_mapping(inherited)) {
+          entry = inherited;
+        } else if (interface_visible) {
+          // §7: with the interface visible, the language processor arranges
+          // the remapping of the actual argument.
+          entry = specified;
+          RemapEvent event;
+          event.dummy = dummy.id();
+          event.from = inherited;
+          event.to = entry;
+          event.reason = cat("call ", sig.name,
+                             ": inheritance-matching remap of ", spec.name);
+          frame.call_events.push_back(std::move(event));
+        } else {
+          throw ConformanceError(
+              cat("call ", sig.name, ": the inherited distribution of ",
+                  spec.name,
+                  " does not match its inheritance-matching specification "
+                  "and no interface is visible — the program is not "
+                  "HPF-conforming (§7)"));
+        }
+        break;
+      }
+      case DummyMapping::Mode::kImplicit: {
+        entry = callee.implicit_distribution(dummy_domain);
+        if (!entry.structurally_equal(inherited) &&
+            !entry.same_mapping(inherited)) {
+          RemapEvent event;
+          event.dummy = dummy.id();
+          event.from = inherited;
+          event.to = entry;
+          event.reason = cat("call ", sig.name,
+                             ": implicit distribution of ", spec.name);
+          frame.call_events.push_back(std::move(event));
+        }
+        break;
+      }
+    }
+
+    callee.forest_.add_primary(dummy.id(), entry);
+
+    BoundArg bound;
+    bound.dummy = dummy.id();
+    bound.actual = actual.id();
+    bound.section = actual_arg.section;
+    bound.inherited = std::move(inherited);
+    bound.entry = std::move(entry);
+    frame.args.push_back(std::move(bound));
+  }
+  return frame;
+}
+
+std::vector<RemapEvent> DataEnv::return_from(CallFrame& frame) {
+  std::vector<RemapEvent> events;
+  if (!frame.callee) {
+    throw InternalError("return_from on an already-returned frame");
+  }
+  for (const BoundArg& arg : frame.args) {
+    Distribution current = frame.callee->distribution_of(
+        frame.callee->array(arg.dummy));
+    if (!current.structurally_equal(arg.inherited) &&
+        !current.same_mapping(arg.inherited)) {
+      RemapEvent event;
+      event.dummy = arg.dummy;
+      event.from = std::move(current);
+      event.to = arg.inherited;
+      event.reason = cat("return from ", frame.procedure,
+                         ": restore the original distribution (§7)");
+      events.push_back(std::move(event));
+    }
+  }
+  return events;
+}
+
+}  // namespace hpfnt

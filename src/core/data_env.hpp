@@ -1,0 +1,259 @@
+// The data environment: one program unit's data space 𝒜 (paper §2.4) —
+// declarations, mapping directives, the allocatable lifecycle (§6), and
+// procedure boundaries (§7).
+//
+// A DataEnv owns array descriptors and the alignment forest for one scope.
+// Directives are applied in program order:
+//   * declarations enter non-allocatable arrays into the forest immediately
+//     (with the compiler's implicit distribution until a directive says
+//     otherwise); allocatable arrays stay outside until ALLOCATE;
+//   * DISTRIBUTE / ALIGN in the specification part replace the implicit
+//     mapping (deferred for allocatables and re-applied per instance, §6);
+//   * REDISTRIBUTE / REALIGN require the DYNAMIC attribute and follow the
+//     forest transition rules (§4.2, §5.2);
+//   * DEALLOCATE removes the array; arrays aligned to it become primaries
+//     of new degenerate trees with their current distributions (§6).
+//
+// Procedure calls (§7) build a fresh DataEnv for the callee: "the alignment
+// tree is local to a procedure", so an actual argument is never connected
+// to its caller-side tree during the call. A dummy's mapping comes from one
+// of the four modes — explicit, inherited (*), inheritance-matching (* d),
+// or implicit — and the original distribution is restored on exit. The
+// returned events describe the data movement each mode implies; the exec
+// layer prices and performs them.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/array.hpp"
+#include "core/forest.hpp"
+#include "core/processors.hpp"
+
+namespace hpfnt {
+
+/// How a dummy argument receives its distribution (§7).
+struct DummyMapping {
+  enum class Mode {
+    kExplicit,      // DISTRIBUTE A d [TO r]   — remap to d, restore on exit
+    kInherit,       // DISTRIBUTE A *          — take the actual's mapping
+    kInheritMatch,  // DISTRIBUTE A * d [TO r] — inherit, must match d
+    kImplicit,      // no directive            — compiler's implicit mapping
+  };
+  Mode mode = Mode::kImplicit;
+  std::vector<DistFormat> formats;  // kExplicit / kInheritMatch
+  ProcessorRef target;              // optional; invalid() -> default target
+
+  static DummyMapping inherit() {
+    DummyMapping m;
+    m.mode = Mode::kInherit;
+    return m;
+  }
+  static DummyMapping explicit_dist(std::vector<DistFormat> formats,
+                                    ProcessorRef target = {}) {
+    DummyMapping m;
+    m.mode = Mode::kExplicit;
+    m.formats = std::move(formats);
+    m.target = std::move(target);
+    return m;
+  }
+  static DummyMapping inherit_match(std::vector<DistFormat> formats,
+                                    ProcessorRef target = {}) {
+    DummyMapping m;
+    m.mode = Mode::kInheritMatch;
+    m.formats = std::move(formats);
+    m.target = std::move(target);
+    return m;
+  }
+  static DummyMapping implicit() { return {}; }
+};
+
+/// One dummy argument of a procedure signature. Dummies are assumed-shape:
+/// the index domain comes from the actual argument at each call.
+struct DummySpec {
+  std::string name;
+  ElemType type = ElemType::kReal;
+  DummyMapping mapping;
+  bool dynamic = false;  // may the callee REDISTRIBUTE/REALIGN it?
+};
+
+struct ProcedureSig {
+  std::string name;
+  std::vector<DummySpec> dummies;
+};
+
+/// An actual argument: a whole array or a regular section of one (§8.1.2).
+struct ActualArg {
+  ArrayId array = kNoArray;
+  std::vector<Triplet> section;  // empty = whole array
+
+  static ActualArg whole(ArrayId id) { return {id, {}}; }
+  static ActualArg of_section(ArrayId id, std::vector<Triplet> s) {
+    return {id, std::move(s)};
+  }
+};
+
+/// A mapping change implying data movement, produced at procedure
+/// boundaries. `from` and `to` share the dummy's index domain; the exec
+/// layer counts the elements whose owner sets differ.
+struct RemapEvent {
+  ArrayId dummy = kNoArray;   // callee-scope array whose mapping changes
+  Distribution from;
+  Distribution to;
+  std::string reason;
+};
+
+class DataEnv;
+
+/// The callee scope plus the argument bindings of one active call.
+struct BoundArg {
+  ArrayId dummy = kNoArray;          // id in the callee environment
+  ArrayId actual = kNoArray;         // id in the caller environment
+  std::vector<Triplet> section;      // section of the actual (may be empty)
+  Distribution inherited;            // mapping of the actual('s section) at entry
+  Distribution entry;                // dummy mapping after call-site remap
+};
+
+struct CallFrame {
+  std::string procedure;
+  std::unique_ptr<DataEnv> callee;
+  std::vector<BoundArg> args;
+  std::vector<RemapEvent> call_events;  // movement implied at the call
+};
+
+class DataEnv {
+ public:
+  explicit DataEnv(ProcessorSpace& space);
+
+  ProcessorSpace& space() noexcept { return *space_; }
+  const ProcessorSpace& space() const noexcept { return *space_; }
+
+  // --- declarations (specification part) ---------------------------------
+
+  /// REAL name(domain).
+  DistArray& real(const std::string& name, const IndexDomain& domain);
+
+  /// INTEGER name(domain).
+  DistArray& integer(const std::string& name, const IndexDomain& domain);
+
+  DistArray& declare(const std::string& name, ElemType type,
+                     const IndexDomain& domain, ArrayAttrs attrs = {});
+
+  /// REAL, ALLOCATABLE :: name(:,:,...) with the given rank.
+  DistArray& declare_allocatable(const std::string& name, ElemType type,
+                                 int rank, ArrayAttrs attrs = {});
+
+  /// A scalar: rank-0 array with a one-element index domain (§2.2).
+  DistArray& scalar(const std::string& name, ElemType type = ElemType::kReal);
+
+  /// The DYNAMIC directive.
+  void dynamic(DistArray& array);
+
+  // --- lookup -------------------------------------------------------------
+
+  bool has(const std::string& name) const noexcept;
+  DistArray& find(const std::string& name);
+  const DistArray& find(const std::string& name) const;
+  DistArray& array(ArrayId id);
+  const DistArray& array(ArrayId id) const;
+
+  /// Names of all declared arrays, in declaration order.
+  std::vector<std::string> array_names() const;
+
+  // --- mapping directives --------------------------------------------------
+
+  /// DISTRIBUTE array(formats) [TO target]. An invalid target selects the
+  /// compiler's default arrangement of matching rank. For allocatables the
+  /// specification is deferred and applied to every instance (§6).
+  void distribute(DistArray& array, std::vector<DistFormat> formats,
+                  ProcessorRef target = {});
+
+  /// ALIGN alignee(...) WITH base(...). Deferred for allocatable alignees.
+  /// A non-allocatable array cannot be aligned to an allocatable one in the
+  /// specification part (§6).
+  void align(DistArray& alignee, DistArray& base, const AlignSpec& spec);
+
+  /// REDISTRIBUTE (§4.2); requires the DYNAMIC attribute and a created
+  /// array. Returns one movement event for the array itself plus one per
+  /// secondary aligned to it — §4.2 redistributes every alignee "in such a
+  /// way that the relationship expressed by the alignment function ... is
+  /// kept invariant", which moves their data too.
+  std::vector<RemapEvent> redistribute(DistArray& array,
+                                       std::vector<DistFormat> formats,
+                                       ProcessorRef target = {});
+
+  /// REALIGN (§5.2); requires a DYNAMIC, created alignee.
+  RemapEvent realign(DistArray& alignee, DistArray& base,
+                     const AlignSpec& spec);
+
+  // --- allocatable lifecycle (§6) ------------------------------------------
+
+  void allocate(DistArray& array, const IndexDomain& domain);
+  void deallocate(DistArray& array);
+
+  // --- queries ---------------------------------------------------------------
+
+  /// The array's current distribution δ; derives CONSTRUCT(α, δ_base) for
+  /// secondaries.
+  Distribution distribution_of(const DistArray& array) const;
+  Distribution distribution_of(const std::string& name) const;
+
+  bool is_primary(const DistArray& array) const;
+
+  /// The base the array is aligned to, or nullptr for primaries.
+  const DistArray* aligned_to(const DistArray& array) const;
+
+  const AlignmentForest& forest() const noexcept { return forest_; }
+
+  /// The compiler's implicit distribution: BLOCK on the first dimension
+  /// over the default one-dimensional arrangement (scalars go to the
+  /// control processor's scalar arrangement).
+  Distribution implicit_distribution(const IndexDomain& domain) const;
+
+  /// The compiler's default target of a given rank: the whole machine
+  /// factorized into a near-square grid.
+  ProcessorRef default_target(int rank) const;
+
+  // --- procedures (§7) -------------------------------------------------------
+
+  /// Calls `sig` with the given actuals. Builds the callee environment,
+  /// binds each dummy per its mapping mode, and records the implied
+  /// movement. `interface_visible` models the caller knowing the callee's
+  /// interface (interface blocks): with it, an inheritance-matching
+  /// mismatch is remapped; without it, the mismatch is a conformance error
+  /// (§7, mode 3).
+  CallFrame call(const ProcedureSig& sig, const std::vector<ActualArg>& actuals,
+                 bool interface_visible = true);
+
+  /// Ends the call: computes the events that restore every dummy's original
+  /// mapping ("the original distribution must be restored on procedure
+  /// exit"). The frame's callee environment stays readable afterwards.
+  std::vector<RemapEvent> return_from(CallFrame& frame);
+
+ private:
+  struct Deferred {
+    enum class Kind { kNone, kDistribute, kAlign };
+    Kind kind = Kind::kNone;
+    std::vector<DistFormat> formats;
+    ProcessorRef target;
+    ArrayId base = kNoArray;
+    std::optional<AlignSpec> spec;
+  };
+
+  DistArray& register_array(std::unique_ptr<DistArray> array);
+  Distribution build_format_distribution(const IndexDomain& domain,
+                                         std::vector<DistFormat> formats,
+                                         ProcessorRef target) const;
+  void apply_deferred(DistArray& array);
+  Deferred& deferred_of(ArrayId id);
+
+  ProcessorSpace* space_;
+  std::vector<std::unique_ptr<DistArray>> arrays_;
+  AlignmentForest forest_;
+  std::vector<Deferred> deferred_;  // parallel to arrays_ (by local position)
+  std::vector<ArrayId> order_;      // declaration order (ids)
+};
+
+}  // namespace hpfnt

@@ -1,0 +1,512 @@
+#include "core/distribution.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+namespace {
+
+void insert_unique(OwnerSet& set, ApId p) {
+  for (ApId q : set) {
+    if (q == p) return;
+  }
+  set.push_back(p);
+}
+
+OwnerSet sorted(OwnerSet set) {
+  std::sort(set.begin(), set.end());
+  return set;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Payload hierarchy (internal).
+// ---------------------------------------------------------------------------
+
+struct Distribution::Payload {
+  virtual ~Payload() = default;
+  virtual Kind kind() const = 0;
+  virtual const IndexDomain& domain() const = 0;
+  virtual OwnerSet owners(const IndexTuple& index) const = 0;
+  virtual bool replicates() const = 0;
+  virtual std::string to_string() const = 0;
+
+  // Generic element-iteration fallbacks; specialized payloads override.
+  virtual Extent local_count(ApId p) const {
+    Extent count = 0;
+    domain().for_each([&](const IndexTuple& idx) {
+      for (ApId q : owners(idx)) {
+        if (q == p) {
+          ++count;
+          break;
+        }
+      }
+    });
+    return count;
+  }
+
+  virtual void for_each_owned(
+      ApId p, const std::function<void(const IndexTuple&)>& fn) const {
+    domain().for_each([&](const IndexTuple& idx) {
+      for (ApId q : owners(idx)) {
+        if (q == p) {
+          fn(idx);
+          break;
+        }
+      }
+    });
+  }
+};
+
+// --- kFormats ---------------------------------------------------------------
+
+struct Distribution::FormatsPayload final : Distribution::Payload {
+  IndexDomain array_domain;
+  std::vector<DistFormat> format_list;
+  ProcessorRef target;
+  std::vector<DimMapping> mappings;   // one per array dimension
+  std::vector<int> target_dim_of;     // -1 for collapsed dimensions
+
+  Kind kind() const override { return Kind::kFormats; }
+  const IndexDomain& domain() const override { return array_domain; }
+
+  bool replicates() const override {
+    for (const DimMapping& m : mappings) {
+      if (m.may_replicate()) return true;
+    }
+    if (target.arrangement().is_scalar()) {
+      // Replication depends on the space's scalar-placement policy; probe.
+      return target.owners_at(IndexTuple{}).size() > 1;
+    }
+    return false;
+  }
+
+  OwnerSet owners(const IndexTuple& index) const override {
+    if (!array_domain.contains(index)) {
+      throw MappingError(cat("index outside distributee domain ",
+                             array_domain.to_string()));
+    }
+    const int n = array_domain.rank();
+    // Per-dimension owner positions; usually singletons.
+    std::vector<DimOwnerSet> dim_owners;
+    dim_owners.reserve(static_cast<std::size_t>(n));
+    bool any_multi = false;
+    for (int d = 0; d < n; ++d) {
+      const DimMapping& m = mappings[static_cast<std::size_t>(d)];
+      if (m.kind() == FormatKind::kCollapsed) continue;
+      const Index1 norm =
+          index[static_cast<std::size_t>(d)] - array_domain.lower(d) + 1;
+      DimOwnerSet o = m.owners(norm);
+      if (o.size() > 1) any_multi = true;
+      dim_owners.push_back(o);
+    }
+    OwnerSet out;
+    if (!any_multi) {
+      IndexTuple coords;
+      coords.resize(dim_owners.size());
+      for (std::size_t k = 0; k < dim_owners.size(); ++k) {
+        coords[k] = dim_owners[k].front();
+      }
+      for (ApId p : target.owners_at(coords)) insert_unique(out, p);
+      return out;
+    }
+    // Cartesian product over replicated per-dimension owner sets.
+    IndexTuple coords;
+    coords.resize(dim_owners.size());
+    SmallVector<Index1, kMaxRank> pos(dim_owners.size(), 0);
+    while (true) {
+      for (std::size_t k = 0; k < dim_owners.size(); ++k) {
+        coords[k] = dim_owners[k][static_cast<std::size_t>(pos[k])];
+      }
+      for (ApId p : target.owners_at(coords)) insert_unique(out, p);
+      std::size_t k = 0;
+      for (; k < dim_owners.size(); ++k) {
+        if (static_cast<std::size_t>(++pos[k]) < dim_owners[k].size()) break;
+        pos[k] = 0;
+      }
+      if (k == dim_owners.size()) break;
+    }
+    return out;
+  }
+
+  Extent local_count(ApId p) const override {
+    Extent total = 0;
+    target.domain().for_each([&](const IndexTuple& coords) {
+      OwnerSet procs = target.owners_at(coords);
+      bool mine = false;
+      for (ApId q : procs) {
+        if (q == p) mine = true;
+      }
+      if (!mine) return;
+      Extent product = 1;
+      std::size_t c = 0;
+      for (std::size_t d = 0; d < mappings.size(); ++d) {
+        const DimMapping& m = mappings[d];
+        if (m.kind() == FormatKind::kCollapsed) {
+          product *= m.n();
+        } else {
+          product *= m.local_count(coords[c++]);
+        }
+      }
+      total += product;
+    });
+    return total;
+  }
+
+  void for_each_owned(
+      ApId p, const std::function<void(const IndexTuple&)>& fn) const override {
+    const int n = array_domain.rank();
+    target.domain().for_each([&](const IndexTuple& coords) {
+      OwnerSet procs = target.owners_at(coords);
+      bool mine = false;
+      for (ApId q : procs) {
+        if (q == p) mine = true;
+      }
+      if (!mine) return;
+      // Enumerate the cartesian product of per-dimension owned index lists
+      // in Fortran order (first dimension fastest).
+      std::vector<std::vector<Index1>> lists(static_cast<std::size_t>(n));
+      std::size_t c = 0;
+      for (int d = 0; d < n; ++d) {
+        const DimMapping& m = mappings[static_cast<std::size_t>(d)];
+        auto& list = lists[static_cast<std::size_t>(d)];
+        const Index1 base = array_domain.lower(d) - 1;
+        if (m.kind() == FormatKind::kCollapsed) {
+          list.reserve(static_cast<std::size_t>(m.n()));
+          for (Index1 i = 1; i <= m.n(); ++i) list.push_back(base + i);
+        } else {
+          m.for_each_owned(coords[c++],
+                           [&](Index1 i) { list.push_back(base + i); });
+        }
+        if (list.empty()) return;  // this coordinate owns nothing
+      }
+      IndexTuple idx;
+      idx.resize(static_cast<std::size_t>(n));
+      SmallVector<Index1, kMaxRank> pos(static_cast<std::size_t>(n), 0);
+      for (int d = 0; d < n; ++d) {
+        idx[static_cast<std::size_t>(d)] =
+            lists[static_cast<std::size_t>(d)].front();
+      }
+      while (true) {
+        fn(idx);
+        int d = 0;
+        for (; d < n; ++d) {
+          auto& list = lists[static_cast<std::size_t>(d)];
+          if (static_cast<std::size_t>(++pos[static_cast<std::size_t>(d)]) <
+              list.size()) {
+            idx[static_cast<std::size_t>(d)] =
+                list[static_cast<std::size_t>(pos[static_cast<std::size_t>(d)])];
+            break;
+          }
+          pos[static_cast<std::size_t>(d)] = 0;
+          idx[static_cast<std::size_t>(d)] = list.front();
+        }
+        if (d == n) break;
+      }
+    });
+  }
+
+  std::string to_string() const override {
+    std::vector<std::string> parts;
+    parts.reserve(format_list.size());
+    for (const DistFormat& f : format_list) parts.push_back(f.to_string());
+    return "(" + join(parts, ", ") + ") TO " + target.to_string();
+  }
+};
+
+// --- kConstructed ------------------------------------------------------------
+
+struct Distribution::ConstructedPayload final : Distribution::Payload {
+  AlignmentFunction alpha;
+  Distribution base_dist;
+
+  ConstructedPayload(AlignmentFunction a, Distribution b)
+      : alpha(std::move(a)), base_dist(std::move(b)) {}
+
+  Kind kind() const override { return Kind::kConstructed; }
+  const IndexDomain& domain() const override {
+    return alpha.alignee_domain();
+  }
+
+  bool replicates() const override {
+    return alpha.replicates() || base_dist.replicates();
+  }
+
+  OwnerSet owners(const IndexTuple& index) const override {
+    // Definition 4: δ_A(i) = union of δ_B(j) over j in α(i).
+    OwnerSet out;
+    alpha.for_each_image(index, [&](const IndexTuple& j) {
+      for (ApId p : base_dist.owners(j)) insert_unique(out, p);
+    });
+    return out;
+  }
+
+  std::string to_string() const override {
+    return "ALIGNED " + alpha.to_string() + " WITH " + base_dist.to_string();
+  }
+};
+
+// --- kSectionView -------------------------------------------------------------
+
+struct Distribution::SectionPayload final : Distribution::Payload {
+  Distribution parent;
+  std::vector<Triplet> section;
+  IndexDomain view_domain;
+
+  Kind kind() const override { return Kind::kSectionView; }
+  const IndexDomain& domain() const override { return view_domain; }
+  bool replicates() const override { return parent.replicates(); }
+
+  OwnerSet owners(const IndexTuple& index) const override {
+    if (!view_domain.contains(index)) {
+      throw MappingError("index outside section-view domain");
+    }
+    return parent.owners(
+        parent.domain().section_parent_index(section, index));
+  }
+
+  std::string to_string() const override {
+    std::vector<std::string> parts;
+    for (const Triplet& t : section) parts.push_back(t.to_string());
+    return "SECTION(" + join(parts, ", ") + ") OF " + parent.to_string();
+  }
+};
+
+// --- kExplicit -----------------------------------------------------------------
+
+struct Distribution::ExplicitPayload final : Distribution::Payload {
+  IndexDomain map_domain;
+  std::vector<OwnerSet> owner_table;
+  bool any_replicated = false;
+
+  Kind kind() const override { return Kind::kExplicit; }
+  const IndexDomain& domain() const override { return map_domain; }
+  bool replicates() const override { return any_replicated; }
+
+  OwnerSet owners(const IndexTuple& index) const override {
+    return owner_table[static_cast<std::size_t>(map_domain.linearize(index))];
+  }
+
+  std::string to_string() const override {
+    return cat("EXPLICIT(<", owner_table.size(), " elements>)");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Distribution (public surface).
+// ---------------------------------------------------------------------------
+
+Distribution Distribution::formats(const IndexDomain& array_domain,
+                                   std::vector<DistFormat> format_list,
+                                   ProcessorRef target) {
+  if (!target.valid()) {
+    throw ConformanceError("DISTRIBUTE requires a distribution target");
+  }
+  const int n = array_domain.rank();
+  if (static_cast<int>(format_list.size()) != n) {
+    throw ConformanceError(
+        cat("distribution format list has length ", format_list.size(),
+            " but the distributee has rank ", n,
+            " (§4.1: the length of this list must be n)"));
+  }
+  int distributed_dims = 0;
+  for (const DistFormat& f : format_list) {
+    if (!f.is_collapsed()) ++distributed_dims;
+  }
+  if (distributed_dims != target.rank()) {
+    throw ConformanceError(
+        cat("distribution target ", target.to_string(), " has rank ",
+            target.rank(), " but the format list distributes ",
+            distributed_dims,
+            " dimensions (§4.1: the rank of R must be n reduced by the "
+            "number of colons)"));
+  }
+  auto payload = std::make_shared<FormatsPayload>();
+  payload->array_domain = array_domain;
+  payload->target = std::move(target);
+  payload->mappings.reserve(static_cast<std::size_t>(n));
+  payload->target_dim_of.assign(static_cast<std::size_t>(n), -1);
+  int next_target_dim = 0;
+  for (int d = 0; d < n; ++d) {
+    const DistFormat& f = format_list[static_cast<std::size_t>(d)];
+    if (f.is_collapsed()) {
+      payload->mappings.push_back(
+          DimMapping::bind(f, array_domain.extent(d), 1));
+    } else {
+      payload->target_dim_of[static_cast<std::size_t>(d)] = next_target_dim;
+      payload->mappings.push_back(DimMapping::bind(
+          f, array_domain.extent(d), payload->target.extent(next_target_dim)));
+      ++next_target_dim;
+    }
+  }
+  payload->format_list = std::move(format_list);
+  return Distribution(std::move(payload));
+}
+
+Distribution Distribution::constructed(AlignmentFunction alpha,
+                                       Distribution base) {
+  if (!base.valid()) {
+    throw ConformanceError("CONSTRUCT requires a base distribution");
+  }
+  if (alpha.base_domain() != base.domain()) {
+    throw ConformanceError(
+        "CONSTRUCT: the alignment's base domain differs from the base "
+        "distribution's domain");
+  }
+  return Distribution(std::make_shared<ConstructedPayload>(std::move(alpha),
+                                                           std::move(base)));
+}
+
+Distribution Distribution::section_view(Distribution parent,
+                                        std::vector<Triplet> section) {
+  if (!parent.valid()) {
+    throw ConformanceError("section view requires a parent distribution");
+  }
+  auto payload = std::make_shared<SectionPayload>();
+  payload->view_domain = parent.domain().section_domain(section);
+  payload->parent = std::move(parent);
+  payload->section = std::move(section);
+  return Distribution(std::move(payload));
+}
+
+Distribution Distribution::explicit_map(IndexDomain domain,
+                                        std::vector<OwnerSet> owners) {
+  if (static_cast<Extent>(owners.size()) != domain.size()) {
+    throw ConformanceError(cat("explicit owner table has ", owners.size(),
+                               " entries for a domain of size ",
+                               domain.size()));
+  }
+  auto payload = std::make_shared<ExplicitPayload>();
+  for (OwnerSet& set : owners) {
+    if (set.empty()) {
+      throw ConformanceError(
+          "distributions are total (§2.2): every element needs >= 1 owner");
+    }
+    set = sorted(std::move(set));
+    if (set.size() > 1) payload->any_replicated = true;
+  }
+  payload->map_domain = std::move(domain);
+  payload->owner_table = std::move(owners);
+  return Distribution(std::move(payload));
+}
+
+Distribution Distribution::replicated(const IndexDomain& domain,
+                                      ProcessorRef target) {
+  std::vector<ApId> aps = target.all_aps();
+  OwnerSet everyone;
+  for (ApId p : aps) insert_unique(everyone, p);
+  std::vector<OwnerSet> owners(static_cast<std::size_t>(domain.size()),
+                               everyone);
+  return explicit_map(domain, std::move(owners));
+}
+
+const Distribution::Payload& Distribution::payload() const {
+  if (!payload_) throw InternalError("empty Distribution dereferenced");
+  return *payload_;
+}
+
+Distribution::Kind Distribution::kind() const { return payload().kind(); }
+
+const IndexDomain& Distribution::domain() const { return payload().domain(); }
+
+OwnerSet Distribution::owners(const IndexTuple& index) const {
+  return payload().owners(index);
+}
+
+ApId Distribution::first_owner(const IndexTuple& index) const {
+  OwnerSet set = payload().owners(index);
+  ApId best = set.front();
+  for (ApId p : set) best = std::min(best, p);
+  return best;
+}
+
+bool Distribution::is_owner(ApId p, const IndexTuple& index) const {
+  for (ApId q : payload().owners(index)) {
+    if (q == p) return true;
+  }
+  return false;
+}
+
+bool Distribution::replicates() const { return payload().replicates(); }
+
+Extent Distribution::local_count(ApId p) const {
+  return payload().local_count(p);
+}
+
+void Distribution::for_each_owned(
+    ApId p, const std::function<void(const IndexTuple&)>& fn) const {
+  payload().for_each_owned(p, fn);
+}
+
+Distribution Distribution::materialize() const {
+  const IndexDomain& dom = domain();
+  std::vector<OwnerSet> table;
+  table.reserve(static_cast<std::size_t>(dom.size()));
+  dom.for_each(
+      [&](const IndexTuple& idx) { table.push_back(owners(idx)); });
+  return explicit_map(dom, std::move(table));
+}
+
+bool Distribution::same_mapping(const Distribution& other) const {
+  if (domain() != other.domain()) return false;
+  bool equal = true;
+  domain().for_each([&](const IndexTuple& idx) {
+    if (!equal) return;
+    if (sorted(owners(idx)) != sorted(other.owners(idx))) equal = false;
+  });
+  return equal;
+}
+
+bool Distribution::structurally_equal(const Distribution& other) const {
+  if (kind() != Kind::kFormats || other.kind() != Kind::kFormats) return false;
+  const auto& a = static_cast<const FormatsPayload&>(payload());
+  const auto& b = static_cast<const FormatsPayload&>(other.payload());
+  return a.array_domain == b.array_domain &&
+         a.format_list == b.format_list && a.target == b.target;
+}
+
+const std::vector<DistFormat>& Distribution::format_list() const {
+  if (kind() != Kind::kFormats) {
+    throw InternalError("format_list on a non-format distribution");
+  }
+  return static_cast<const FormatsPayload&>(payload()).format_list;
+}
+
+const ProcessorRef& Distribution::target() const {
+  if (kind() != Kind::kFormats) {
+    throw InternalError("target on a non-format distribution");
+  }
+  return static_cast<const FormatsPayload&>(payload()).target;
+}
+
+const DimMapping& Distribution::dim_mapping(int dim) const {
+  if (kind() != Kind::kFormats) {
+    throw InternalError("dim_mapping on a non-format distribution");
+  }
+  return static_cast<const FormatsPayload&>(payload())
+      .mappings.at(static_cast<std::size_t>(dim));
+}
+
+const AlignmentFunction& Distribution::alignment() const {
+  if (kind() != Kind::kConstructed) {
+    throw InternalError("alignment on a non-constructed distribution");
+  }
+  return static_cast<const ConstructedPayload&>(payload()).alpha;
+}
+
+const Distribution& Distribution::base() const {
+  if (kind() != Kind::kConstructed) {
+    throw InternalError("base on a non-constructed distribution");
+  }
+  return static_cast<const ConstructedPayload&>(payload()).base_dist;
+}
+
+std::string Distribution::to_string() const {
+  return valid() ? payload().to_string() : "<undistributed>";
+}
+
+}  // namespace hpfnt

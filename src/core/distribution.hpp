@@ -1,0 +1,135 @@
+// Distributions (paper §2.2): total index mappings δ : I^A → P(I^R) \ {∅}
+// from an array's index domain to the index domain of a processor
+// arrangement (or section). Every array element is mapped to one or more
+// abstract processors — its owners — which store it in local memory.
+//
+// A Distribution is an immutable value (cheap to copy; payload shared).
+// Four payloads realize the mappings the model needs:
+//
+//   kFormats      per-dimension distribution formats over an explicit
+//                 target — what a DISTRIBUTE directive specifies (§4.1)
+//   kConstructed  CONSTRUCT(α, δ_B): the derived distribution of an array
+//                 aligned to B (§2.3/Definition 4). Holds α and δ_B, so a
+//                 REDISTRIBUTE of the base is reflected automatically when
+//                 the forest re-derives (§4.2)
+//   kSectionView  the distribution a dummy argument inherits when an array
+//                 *section* is passed (§8.1.2: SUB(A(2:996:2))) — the
+//                 parent's mapping restricted to the section, renumbered to
+//                 the section's own standard domain
+//   kExplicit     a materialized per-element owner table; used to freeze a
+//                 secondary array's mapping when it is orphaned by REALIGN
+//                 or DEALLOCATE (§5.2, §6), and by inherited dummies
+//
+// Ownership queries never allocate on the single-owner fast path.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/alignment.hpp"
+#include "core/dist_format.hpp"
+#include "core/index_domain.hpp"
+#include "core/processors.hpp"
+#include "core/types.hpp"
+
+namespace hpfnt {
+
+class Distribution {
+ public:
+  enum class Kind { kFormats, kConstructed, kSectionView, kExplicit };
+
+  Distribution() = default;
+
+  /// DISTRIBUTE array(formats...) TO target. The number of non-":" formats
+  /// must equal the target's rank (§4.1); a conceptually scalar target
+  /// requires all-":" formats.
+  static Distribution formats(const IndexDomain& array_domain,
+                              std::vector<DistFormat> format_list,
+                              ProcessorRef target);
+
+  /// CONSTRUCT(α, δ_B) — Definition 4. α's base domain must equal the base
+  /// distribution's domain.
+  static Distribution constructed(AlignmentFunction alpha, Distribution base);
+
+  /// The mapping of `section` of an array distributed by `parent`, as seen
+  /// by a dummy argument with its own standard [1:size] domain.
+  static Distribution section_view(Distribution parent,
+                                   std::vector<Triplet> section);
+
+  /// A materialized mapping; owners_by_position is indexed by the domain's
+  /// linearization and each entry must be non-empty (totality, §2.2).
+  static Distribution explicit_map(IndexDomain domain,
+                                   std::vector<OwnerSet> owners_by_position);
+
+  /// Replicates every element of `domain` over all of `target`.
+  static Distribution replicated(const IndexDomain& domain,
+                                 ProcessorRef target);
+
+  bool valid() const noexcept { return payload_ != nullptr; }
+  Kind kind() const;
+
+  /// The distributee's index domain I^A.
+  const IndexDomain& domain() const;
+
+  /// δ(index): the owning abstract processors. Never empty.
+  OwnerSet owners(const IndexTuple& index) const;
+
+  /// The first owner (canonical "computing" replica).
+  ApId first_owner(const IndexTuple& index) const;
+
+  bool is_owner(ApId p, const IndexTuple& index) const;
+
+  /// True when some element may have more than one owner.
+  bool replicates() const;
+
+  /// Number of elements p owns (counting each owned element once).
+  Extent local_count(ApId p) const;
+
+  /// Calls fn for every index owned by p, in Fortran order.
+  void for_each_owned(ApId p,
+                      const std::function<void(const IndexTuple&)>& fn) const;
+
+  /// Freezes the mapping into a kExplicit distribution (used when the
+  /// forest must detach a derived distribution from its base).
+  Distribution materialize() const;
+
+  /// Element-wise equality of mappings: same domain and same owner sets
+  /// everywhere. O(|I^A| · rank). This is the semantic comparison behind
+  /// inheritance matching (§7, mode 3).
+  bool same_mapping(const Distribution& other) const;
+
+  /// Fast structural comparison: true only for two kFormats distributions
+  /// with equal domains, formats, and targets. (May return false for
+  /// mappings that are element-wise equal.)
+  bool structurally_equal(const Distribution& other) const;
+
+  /// Accessors for kFormats payloads; throw InternalError otherwise.
+  const std::vector<DistFormat>& format_list() const;
+  const ProcessorRef& target() const;
+  const DimMapping& dim_mapping(int dim) const;
+
+  /// Accessors for kConstructed payloads.
+  const AlignmentFunction& alignment() const;
+  const Distribution& base() const;
+
+  /// Human-readable description, e.g. "(BLOCK, CYCLIC(4)) TO PR".
+  std::string to_string() const;
+
+ private:
+  struct Payload;
+  struct FormatsPayload;
+  struct ConstructedPayload;
+  struct SectionPayload;
+  struct ExplicitPayload;
+
+  explicit Distribution(std::shared_ptr<const Payload> payload)
+      : payload_(std::move(payload)) {}
+
+  const Payload& payload() const;
+
+  std::shared_ptr<const Payload> payload_;
+};
+
+}  // namespace hpfnt

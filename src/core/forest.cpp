@@ -1,0 +1,245 @@
+#include "core/forest.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+AlignmentForest::Node& AlignmentForest::node(ArrayId id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    throw InternalError("array is not in the alignment forest");
+  }
+  return it->second;
+}
+
+const AlignmentForest::Node& AlignmentForest::node(ArrayId id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    throw InternalError("array is not in the alignment forest");
+  }
+  return it->second;
+}
+
+void AlignmentForest::add_primary(ArrayId id, Distribution dist) {
+  if (contains(id)) {
+    throw InternalError("array added to the alignment forest twice");
+  }
+  if (!dist.valid()) {
+    throw ConformanceError("a primary array requires a distribution");
+  }
+  Node n;
+  n.dist = std::move(dist);
+  nodes_.emplace(id, std::move(n));
+}
+
+void AlignmentForest::add_secondary(ArrayId id, ArrayId base,
+                                    AlignmentFunction alpha) {
+  if (contains(id)) {
+    throw InternalError("array added to the alignment forest twice");
+  }
+  if (!contains(base)) {
+    throw ConformanceError(
+        "the alignment base must be created before its alignee (§6)");
+  }
+  Node& b = node(base);
+  if (b.secondary) {
+    throw ConformanceError(
+        "an array occurring as an alignment base must not itself be aligned "
+        "(§2.4, constraint 1)");
+  }
+  Node n;
+  n.secondary = true;
+  n.parent = base;
+  n.alpha = std::move(alpha);
+  nodes_.emplace(id, std::move(n));
+  b.children.push_back(id);
+}
+
+void AlignmentForest::make_secondary(ArrayId id, ArrayId base,
+                                     AlignmentFunction alpha) {
+  Node& n = node(id);
+  if (n.secondary) {
+    throw ConformanceError(
+        "an alignee can be aligned with only one alignment base (§2.4, "
+        "constraint 2)");
+  }
+  if (!n.children.empty()) {
+    throw ConformanceError(
+        "aligning an array that is itself an alignment base would create an "
+        "alignment tree of height 2 (§2.4 limits heights to 1)");
+  }
+  if (id == base) {
+    throw ConformanceError("an array cannot be aligned to itself");
+  }
+  Node& b = node(base);
+  if (b.secondary) {
+    throw ConformanceError(
+        "an array occurring as an alignment base must not itself be aligned "
+        "(§2.4, constraint 1)");
+  }
+  n.secondary = true;
+  n.parent = base;
+  n.alpha = std::move(alpha);
+  n.dist = Distribution();
+  b.children.push_back(id);
+}
+
+bool AlignmentForest::contains(ArrayId id) const noexcept {
+  return nodes_.find(id) != nodes_.end();
+}
+
+bool AlignmentForest::is_primary(ArrayId id) const {
+  return !node(id).secondary;
+}
+
+ArrayId AlignmentForest::parent_of(ArrayId id) const {
+  const Node& n = node(id);
+  return n.secondary ? n.parent : kNoArray;
+}
+
+const std::vector<ArrayId>& AlignmentForest::children_of(ArrayId id) const {
+  return node(id).children;
+}
+
+const AlignmentFunction& AlignmentForest::alignment_of(ArrayId id) const {
+  const Node& n = node(id);
+  if (!n.secondary) {
+    throw InternalError("alignment_of on a primary array");
+  }
+  return n.alpha;
+}
+
+Distribution AlignmentForest::distribution_of(ArrayId id) const {
+  const Node& n = node(id);
+  if (!n.secondary) return n.dist;
+  const Node& base = node(n.parent);
+  return Distribution::constructed(n.alpha, base.dist);
+}
+
+void AlignmentForest::set_distribution(ArrayId id, Distribution dist) {
+  Node& n = node(id);
+  if (n.secondary) {
+    throw ConformanceError(
+        "a distribution may be specified only for arrays that are not "
+        "aligned (§2.4: primaries are the only arrays with this property)");
+  }
+  if (!dist.valid()) {
+    throw ConformanceError("a primary array requires a distribution");
+  }
+  n.dist = std::move(dist);
+}
+
+void AlignmentForest::detach_from_parent(ArrayId id) {
+  Node& n = node(id);
+  if (!n.secondary) return;
+  Node& p = node(n.parent);
+  p.children.erase(std::remove(p.children.begin(), p.children.end(), id),
+                   p.children.end());
+  n.secondary = false;
+  n.parent = kNoArray;
+}
+
+void AlignmentForest::orphan_children(ArrayId id) {
+  Node& n = node(id);
+  std::vector<ArrayId> children = n.children;
+  for (ArrayId child : children) {
+    // "made into primary arrays of degenerate trees with their current
+    // distribution" (§5.2 step 1): snapshot the derived distribution.
+    Distribution snapshot = distribution_of(child);
+    Node& c = node(child);
+    c.secondary = false;
+    c.parent = kNoArray;
+    c.dist = std::move(snapshot);
+  }
+  n.children.clear();
+}
+
+void AlignmentForest::redistribute(ArrayId id, Distribution dist) {
+  if (!dist.valid()) {
+    throw ConformanceError("REDISTRIBUTE requires a distribution");
+  }
+  Node& n = node(id);
+  if (n.secondary) {
+    // §4.2: B is disconnected and made into a new degenerate tree.
+    detach_from_parent(id);
+  }
+  node(id).dist = std::move(dist);
+}
+
+void AlignmentForest::realign(ArrayId id, ArrayId base,
+                              AlignmentFunction alpha) {
+  if (!contains(base)) {
+    throw ConformanceError("REALIGN base array is not created");
+  }
+  if (id == base) {
+    throw ConformanceError("an array cannot be realigned to itself");
+  }
+  // Step 1: orphan id's secondaries (if primary) / detach id (if secondary).
+  orphan_children(id);
+  detach_from_parent(id);
+  Node& b = node(base);
+  if (b.secondary) {
+    throw ConformanceError(
+        "the base of a REALIGN must not itself be aligned (§2.4, "
+        "constraint 1)");
+  }
+  // Steps 2 and 3: id becomes a secondary of base; its distribution is
+  // CONSTRUCT(α, δ_base) from now on (derived on demand).
+  Node& n = node(id);
+  n.secondary = true;
+  n.parent = base;
+  n.alpha = std::move(alpha);
+  n.dist = Distribution();
+  b.children.push_back(id);
+}
+
+void AlignmentForest::remove(ArrayId id) {
+  orphan_children(id);
+  detach_from_parent(id);
+  nodes_.erase(id);
+}
+
+std::vector<ArrayId> AlignmentForest::ids() const {
+  std::vector<ArrayId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, n] : nodes_) out.push_back(id);
+  return out;
+}
+
+void AlignmentForest::check_invariants() const {
+  for (const auto& [id, n] : nodes_) {
+    if (n.secondary) {
+      if (!n.children.empty()) {
+        throw InternalError(
+            "alignment tree of height > 1: a secondary has children");
+      }
+      auto it = nodes_.find(n.parent);
+      if (it == nodes_.end()) {
+        throw InternalError("secondary points to a missing base");
+      }
+      if (it->second.secondary) {
+        throw InternalError("alignment base is itself aligned");
+      }
+      const auto& siblings = it->second.children;
+      if (std::find(siblings.begin(), siblings.end(), id) == siblings.end()) {
+        throw InternalError("secondary missing from its base's child list");
+      }
+    } else {
+      if (!n.dist.valid()) {
+        throw InternalError("primary array without a distribution");
+      }
+      for (ArrayId child : n.children) {
+        auto it = nodes_.find(child);
+        if (it == nodes_.end() || !it->second.secondary ||
+            it->second.parent != id) {
+          throw InternalError("inconsistent parent/child link");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hpfnt

@@ -1,0 +1,157 @@
+#include "core/index_domain.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+IndexDomain::IndexDomain(std::initializer_list<Dim> dims) {
+  dims_.reserve(dims.size());
+  for (const Dim& d : dims) dims_.emplace_back(d.lower, d.upper);
+}
+
+IndexDomain IndexDomain::of_extents(const std::vector<Extent>& extents) {
+  std::vector<Triplet> dims;
+  dims.reserve(extents.size());
+  for (Extent e : extents) dims.emplace_back(1, e);
+  return IndexDomain(std::move(dims));
+}
+
+Extent IndexDomain::size() const noexcept {
+  Extent total = 1;
+  for (const Triplet& t : dims_) total *= t.size();
+  return total;
+}
+
+bool IndexDomain::is_standard() const noexcept {
+  for (const Triplet& t : dims_) {
+    if (!t.is_standard()) return false;
+  }
+  return true;
+}
+
+bool IndexDomain::contains(const IndexTuple& index) const noexcept {
+  if (static_cast<int>(index.size()) != rank()) return false;
+  for (int d = 0; d < rank(); ++d) {
+    if (!dims_[static_cast<size_t>(d)].contains(index[static_cast<size_t>(d)]))
+      return false;
+  }
+  return true;
+}
+
+Extent IndexDomain::linearize(const IndexTuple& index) const {
+  if (!contains(index)) {
+    std::string subs;
+    for (std::size_t i = 0; i < index.size(); ++i) {
+      if (i) subs += ",";
+      subs += std::to_string(index[i]);
+    }
+    throw MappingError(cat("index (", subs, ") outside domain ", to_string()));
+  }
+  Extent pos = 0;
+  Extent pitch = 1;
+  for (int d = 0; d < rank(); ++d) {
+    const Triplet& t = dims_[static_cast<size_t>(d)];
+    pos += t.position_of(index[static_cast<size_t>(d)]) * pitch;
+    pitch *= t.size();
+  }
+  return pos;
+}
+
+IndexTuple IndexDomain::delinearize(Extent position) const {
+  if (position < 0 || position >= size()) {
+    throw MappingError(cat("linear position ", position,
+                           " outside domain of size ", size()));
+  }
+  IndexTuple out;
+  out.resize(static_cast<std::size_t>(rank()));
+  for (int d = 0; d < rank(); ++d) {
+    const Triplet& t = dims_[static_cast<size_t>(d)];
+    out[static_cast<size_t>(d)] = t.at(position % t.size());
+    position /= t.size();
+  }
+  return out;
+}
+
+void IndexDomain::for_each(
+    const std::function<void(const IndexTuple&)>& fn) const {
+  if (empty()) return;
+  IndexTuple current;
+  current.resize(static_cast<std::size_t>(rank()));
+  for (int d = 0; d < rank(); ++d) {
+    current[static_cast<size_t>(d)] = dims_[static_cast<size_t>(d)].lower();
+  }
+  if (rank() == 0) {
+    fn(current);
+    return;
+  }
+  // Odometer walk, first dimension fastest (Fortran order).
+  std::vector<Extent> pos(static_cast<std::size_t>(rank()), 0);
+  while (true) {
+    fn(current);
+    int d = 0;
+    for (; d < rank(); ++d) {
+      const Triplet& t = dims_[static_cast<size_t>(d)];
+      if (++pos[static_cast<size_t>(d)] < t.size()) {
+        current[static_cast<size_t>(d)] = t.at(pos[static_cast<size_t>(d)]);
+        break;
+      }
+      pos[static_cast<size_t>(d)] = 0;
+      current[static_cast<size_t>(d)] = t.lower();
+    }
+    if (d == rank()) return;
+  }
+}
+
+void IndexDomain::validate_section(const std::vector<Triplet>& section) const {
+  if (static_cast<int>(section.size()) != rank()) {
+    throw MappingError(cat("section rank ", section.size(),
+                           " does not match domain rank ", rank()));
+  }
+  for (int d = 0; d < rank(); ++d) {
+    const Triplet& s = section[static_cast<size_t>(d)];
+    const Triplet& t = dims_[static_cast<size_t>(d)];
+    if (s.empty()) continue;
+    if (!t.contains(s.lower()) || !t.contains(s.last())) {
+      throw MappingError(cat("section ", s.to_string(), " leaves dimension ",
+                             d + 1, " of domain ", to_string()));
+    }
+  }
+}
+
+IndexDomain IndexDomain::section_domain(
+    const std::vector<Triplet>& section) const {
+  validate_section(section);
+  std::vector<Triplet> dims;
+  dims.reserve(section.size());
+  for (const Triplet& s : section) dims.emplace_back(1, s.size());
+  return IndexDomain(std::move(dims));
+}
+
+IndexTuple IndexDomain::section_parent_index(
+    const std::vector<Triplet>& section, const IndexTuple& section_index) const {
+  if (section_index.size() != section.size()) {
+    throw MappingError("section index rank mismatch");
+  }
+  IndexTuple out;
+  out.resize(section.size());
+  for (std::size_t d = 0; d < section.size(); ++d) {
+    const Triplet& s = section[d];
+    const Extent k = section_index[d] - 1;  // section domains are [1:size]
+    if (k < 0 || k >= s.size()) {
+      throw MappingError(cat("section position ", section_index[d],
+                             " outside 1:", s.size()));
+    }
+    out[d] = s.at(k);
+  }
+  return out;
+}
+
+std::string IndexDomain::to_string() const {
+  std::vector<std::string> parts;
+  parts.reserve(dims_.size());
+  for (const Triplet& t : dims_) parts.push_back(t.to_string());
+  return "(" + join(parts, ", ") + ")";
+}
+
+}  // namespace hpfnt

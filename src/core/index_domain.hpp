@@ -1,0 +1,107 @@
+// Index domains (paper §2.1): an index domain I of rank n is an ordered set
+// of subscript tuples represented by a subscript-triplet-list of length n.
+// A *standard* index domain has stride 1 in every triplet; every declared
+// array A is associated with a standard index domain I^A.
+//
+// The domain provides membership tests, Fortran-order (column-major)
+// linearization — the basis for EQUIVALENCE-style processor association
+// (§3) and for local storage layout — and element iteration.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/triplet.hpp"
+#include "core/types.hpp"
+
+namespace hpfnt {
+
+/// Convenience builder for one dimension of a standard domain: Dim(0, N)
+/// reads like the Fortran declaration A(0:N).
+struct Dim {
+  Index1 lower;
+  Index1 upper;
+  Dim(Index1 l, Index1 u) : lower(l), upper(u) {}
+  /// Fortran default lower bound: Dim(n) == 1:n.
+  explicit Dim(Index1 n) : lower(1), upper(n) {}
+};
+
+class IndexDomain {
+ public:
+  /// Rank-0 domain: exactly one (empty) tuple. Scalars are modeled this way
+  /// (paper §2.2: "treating them as if they were associated with an index
+  /// domain consisting of exactly one element").
+  IndexDomain() = default;
+
+  explicit IndexDomain(std::vector<Triplet> dims) : dims_(std::move(dims)) {}
+
+  IndexDomain(std::initializer_list<Dim> dims);
+
+  /// Domain [1:e1, 1:e2, ...] from plain extents.
+  static IndexDomain of_extents(const std::vector<Extent>& extents);
+
+  int rank() const noexcept { return static_cast<int>(dims_.size()); }
+
+  const Triplet& dim(int d) const { return dims_.at(static_cast<size_t>(d)); }
+  const std::vector<Triplet>& dims() const noexcept { return dims_; }
+
+  Index1 lower(int d) const { return dim(d).lower(); }
+  Index1 upper(int d) const { return dim(d).upper(); }
+  Extent extent(int d) const { return dim(d).size(); }
+
+  /// Total number of indices (product of extents); 1 for rank-0.
+  Extent size() const noexcept;
+
+  bool empty() const noexcept { return size() == 0; }
+
+  /// True iff every triplet has stride 1 (paper §2.1). Declared arrays and
+  /// processor arrangements always have standard domains.
+  bool is_standard() const noexcept;
+
+  /// Membership of a subscript tuple; false if rank differs.
+  bool contains(const IndexTuple& index) const noexcept;
+
+  /// Column-major (Fortran order) position of `index`, 0-based.
+  /// Throws MappingError when the tuple is not in the domain.
+  Extent linearize(const IndexTuple& index) const;
+
+  /// Inverse of linearize. Throws MappingError when out of range.
+  IndexTuple delinearize(Extent position) const;
+
+  /// Calls `fn` for every index in Fortran order (first dimension varies
+  /// fastest). Rank-0 domains invoke `fn` once with the empty tuple.
+  void for_each(const std::function<void(const IndexTuple&)>& fn) const;
+
+  /// The domain obtained by taking a section (one triplet per dimension,
+  /// positions interpreted against this domain's index values, not
+  /// positions): section of A(0:9) by [2:8:2] is the domain {2,4,6,8}
+  /// rebased? No — the *domain of the section as its own object* is
+  /// standard [1:size] per dimension (Fortran 90 dummy-array semantics).
+  /// Use `section_parent_index` to map back.
+  IndexDomain section_domain(const std::vector<Triplet>& section) const;
+
+  /// Maps an index of the section's standard domain back to the parent
+  /// domain's index. `section` must be the same list given to
+  /// section_domain.
+  IndexTuple section_parent_index(const std::vector<Triplet>& section,
+                                  const IndexTuple& section_index) const;
+
+  /// Validates that `section` selects only indices of this domain.
+  void validate_section(const std::vector<Triplet>& section) const;
+
+  /// "(0:10, 1:5:2)" rendering; "()" for rank-0.
+  std::string to_string() const;
+
+  friend bool operator==(const IndexDomain& a, const IndexDomain& b) {
+    return a.dims_ == b.dims_;
+  }
+  friend bool operator!=(const IndexDomain& a, const IndexDomain& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<Triplet> dims_;
+};
+
+}  // namespace hpfnt

@@ -1,0 +1,263 @@
+#include "core/processors.hpp"
+
+#include <functional>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+ProcessorArrangement::ProcessorArrangement(const ProcessorSpace* space,
+                                           std::string name,
+                                           IndexDomain domain,
+                                           Extent ap_offset)
+    : space_(space),
+      name_(std::move(name)),
+      domain_(std::move(domain)),
+      ap_offset_(ap_offset) {}
+
+OwnerSet ProcessorArrangement::owners_of(const IndexTuple& index) const {
+  OwnerSet owners;
+  if (!is_scalar()) {
+    owners.push_back(ap_of(index));
+    return owners;
+  }
+  switch (space_->scalar_placement()) {
+    case ScalarPlacement::kControlProcessor:
+      owners.push_back(space_->resolve(ap_offset_));
+      break;
+    case ScalarPlacement::kArbitrary: {
+      const ApId chosen = static_cast<ApId>(
+          std::hash<std::string>{}(name_) % static_cast<std::size_t>(
+                                                space_->processor_count()));
+      owners.push_back(chosen);
+      break;
+    }
+    case ScalarPlacement::kReplicated:
+      for (ApId p = 0; p < space_->processor_count(); ++p) owners.push_back(p);
+      break;
+  }
+  return owners;
+}
+
+ApId ProcessorArrangement::ap_of(const IndexTuple& index) const {
+  if (is_scalar()) {
+    OwnerSet owners = owners_of(index);
+    return owners.front();
+  }
+  return space_->resolve(ap_offset_ + domain_.linearize(index));
+}
+
+bool ProcessorArrangement::index_of_ap(ApId ap, IndexTuple& out) const {
+  const Extent local = ap - ap_offset_;
+  if (local < 0 || local >= domain_.size()) return false;
+  out = domain_.delinearize(local);
+  return true;
+}
+
+ProcessorSpace::ProcessorSpace(Extent processor_count,
+                               ScalarPlacement scalar_placement,
+                               OversizePolicy oversize)
+    : processor_count_(processor_count),
+      scalar_placement_(scalar_placement),
+      oversize_(oversize) {
+  if (processor_count <= 0) {
+    throw ConformanceError("a machine must have at least one processor");
+  }
+}
+
+const ProcessorArrangement& ProcessorSpace::declare(const std::string& name,
+                                                    const IndexDomain& domain) {
+  return declare_at(name, domain, 0);
+}
+
+const ProcessorArrangement& ProcessorSpace::declare_at(
+    const std::string& name, const IndexDomain& domain, Extent ap_offset) {
+  if (has(name)) {
+    throw ConformanceError("processor arrangement '" + name +
+                           "' declared twice");
+  }
+  if (domain.rank() > 0 && domain.empty()) {
+    throw ConformanceError("processor arrangement '" + name +
+                           "' must have a non-empty index domain");
+  }
+  if (!domain.is_standard()) {
+    throw ConformanceError("processor arrangement '" + name +
+                           "' must have a standard index domain");
+  }
+  if (oversize_ == OversizePolicy::kStrict &&
+      ap_offset + domain.size() > processor_count_) {
+    throw ConformanceError(
+        cat("processor arrangement '", name, "' of size ", domain.size(),
+            " at AP offset ", ap_offset, " exceeds the machine's ",
+            processor_count_, " processors"));
+  }
+  arrangements_.push_back(std::unique_ptr<ProcessorArrangement>(
+      new ProcessorArrangement(this, name, domain, ap_offset)));
+  return *arrangements_.back();
+}
+
+const ProcessorArrangement& ProcessorSpace::declare_scalar(
+    const std::string& name) {
+  return declare_at(name, IndexDomain(), 0);
+}
+
+const ProcessorArrangement& ProcessorSpace::find(const std::string& name) const {
+  for (const auto& a : arrangements_) {
+    if (iequals(a->name(), name)) return *a;
+  }
+  throw ConformanceError("unknown processor arrangement '" + name + "'");
+}
+
+bool ProcessorSpace::has(const std::string& name) const noexcept {
+  for (const auto& a : arrangements_) {
+    if (iequals(a->name(), name)) return true;
+  }
+  return false;
+}
+
+ApId ProcessorSpace::resolve(ApId raw) const {
+  if (raw >= 0 && raw < processor_count_) return raw;
+  if (oversize_ == OversizePolicy::kFold) {
+    const ApId folded = raw % processor_count_;
+    return folded < 0 ? folded + processor_count_ : folded;
+  }
+  throw ConformanceError(cat("abstract processor ", raw,
+                             " outside the machine's ", processor_count_,
+                             " processors"));
+}
+
+ProcessorRef::ProcessorRef(const ProcessorArrangement& arrangement)
+    : arrangement_(&arrangement) {
+  subs_.reserve(static_cast<size_t>(arrangement.rank()));
+  for (int d = 0; d < arrangement.rank(); ++d) {
+    subs_.push_back(TargetSub::all(arrangement.domain().dim(d)));
+    dims_.push_back(arrangement.domain().dim(d));
+  }
+}
+
+ProcessorRef::ProcessorRef(const ProcessorArrangement& arrangement,
+                           std::vector<TargetSub> subs)
+    : arrangement_(&arrangement), subs_(std::move(subs)) {
+  if (static_cast<int>(subs_.size()) != arrangement.rank()) {
+    throw ConformanceError(
+        cat("section of ", arrangement.name(), " has ", subs_.size(),
+            " subscripts but the arrangement has rank ", arrangement.rank()));
+  }
+  for (int d = 0; d < arrangement.rank(); ++d) {
+    const TargetSub& s = subs_[static_cast<size_t>(d)];
+    const Triplet& full = arrangement.domain().dim(d);
+    if (s.is_scalar) {
+      if (!full.contains(s.scalar)) {
+        throw ConformanceError(cat("subscript ", s.scalar, " outside ",
+                                   arrangement.name(), " dimension ", d + 1,
+                                   " ", full.to_string()));
+      }
+    } else {
+      if (s.triplet.empty()) {
+        throw ConformanceError(cat("empty processor section ",
+                                   s.triplet.to_string(), " of ",
+                                   arrangement.name()));
+      }
+      if (!full.contains(s.triplet.lower()) ||
+          !full.contains(s.triplet.last())) {
+        throw ConformanceError(cat("processor section ", s.triplet.to_string(),
+                                   " leaves ", arrangement.name(),
+                                   " dimension ", d + 1, " ",
+                                   full.to_string()));
+      }
+      dims_.push_back(s.triplet);
+    }
+  }
+}
+
+const ProcessorArrangement& ProcessorRef::arrangement() const {
+  if (!arrangement_) throw InternalError("empty ProcessorRef dereferenced");
+  return *arrangement_;
+}
+
+Extent ProcessorRef::size() const noexcept {
+  Extent total = 1;
+  for (const Triplet& t : dims_) total *= t.size();
+  return total;
+}
+
+IndexDomain ProcessorRef::domain() const {
+  std::vector<Triplet> dims;
+  dims.reserve(dims_.size());
+  for (const Triplet& t : dims_) dims.emplace_back(1, t.size());
+  return IndexDomain(std::move(dims));
+}
+
+OwnerSet ProcessorRef::owners_at(const IndexTuple& coords) const {
+  const ProcessorArrangement& arr = arrangement();
+  if (static_cast<int>(coords.size()) != rank()) {
+    throw MappingError(cat("target position rank ", coords.size(),
+                           " does not match section rank ", rank()));
+  }
+  IndexTuple full;
+  full.resize(static_cast<std::size_t>(arr.rank()));
+  std::size_t c = 0;
+  for (int d = 0; d < arr.rank(); ++d) {
+    const TargetSub& s = subs_[static_cast<size_t>(d)];
+    if (s.is_scalar) {
+      full[static_cast<size_t>(d)] = s.scalar;
+    } else {
+      const Index1 pos = coords[c++];
+      if (pos < 1 || pos > s.triplet.size()) {
+        throw MappingError(cat("target position ", pos, " outside 1:",
+                               s.triplet.size(), " in ", to_string()));
+      }
+      full[static_cast<size_t>(d)] = s.triplet.at(pos - 1);
+    }
+  }
+  return arr.owners_of(full);
+}
+
+ApId ProcessorRef::ap_at(const IndexTuple& coords) const {
+  OwnerSet owners = owners_at(coords);
+  return owners.front();
+}
+
+std::vector<ApId> ProcessorRef::all_aps() const {
+  std::vector<ApId> out;
+  out.reserve(static_cast<std::size_t>(size()));
+  domain().for_each([&](const IndexTuple& coords) {
+    for (ApId p : owners_at(coords)) out.push_back(p);
+  });
+  return out;
+}
+
+std::string ProcessorRef::to_string() const {
+  if (!arrangement_) return "<no target>";
+  bool whole = true;
+  for (std::size_t d = 0; d < subs_.size(); ++d) {
+    const TargetSub& s = subs_[d];
+    if (s.is_scalar || s.triplet != arrangement_->domain().dim(static_cast<int>(d))) {
+      whole = false;
+      break;
+    }
+  }
+  if (whole) return arrangement_->name();
+  std::vector<std::string> parts;
+  for (const TargetSub& s : subs_) {
+    parts.push_back(s.is_scalar ? std::to_string(s.scalar)
+                                : s.triplet.to_string());
+  }
+  return subscripted(arrangement_->name(), parts);
+}
+
+bool operator==(const ProcessorRef& a, const ProcessorRef& b) {
+  if (a.arrangement_ != b.arrangement_) return false;
+  if (a.subs_.size() != b.subs_.size()) return false;
+  for (std::size_t i = 0; i < a.subs_.size(); ++i) {
+    const TargetSub& x = a.subs_[i];
+    const TargetSub& y = b.subs_[i];
+    if (x.is_scalar != y.is_scalar) return false;
+    if (x.is_scalar ? (x.scalar != y.scalar) : (x.triplet != y.triplet))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace hpfnt

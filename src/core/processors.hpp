@@ -1,0 +1,205 @@
+// The PROCESSORS directive model (paper §3).
+//
+// Every implementation determines an implicit abstract processor arrangement
+// AP: a linear numbering 0..P-1 of the physical processors. Declared
+// processor arrangements (arrays or conceptually scalar) are mapped onto AP
+// "in the same way as storage association is defined for the Fortran 90
+// EQUIVALENCE statement, with abstract processors playing the role of the
+// storage units": by default every arrangement is associated at AP offset 0
+// (so PR(4,8) and Q(16) share abstract processors 0..31 and 0..15), and an
+// explicit offset can shift the association. Sharing an abstract processor
+// implies sharing the physical processor.
+//
+// Data mapped to a *scalar* arrangement may live on a control processor, an
+// arbitrarily chosen processor, or be replicated everywhere — the paper
+// leaves this to the implementation, so it is a policy here.
+//
+// A ProcessorRef names a distribution target: an arrangement or a section
+// thereof (paper §4: "DISTRIBUTE B(CYCLIC) TO Q(1:NOP:2)"). Scalar
+// subscripts reduce the target's rank.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/index_domain.hpp"
+#include "core/types.hpp"
+
+namespace hpfnt {
+
+/// What happens to data distributed to a conceptually scalar processor
+/// arrangement (paper §3, last paragraph).
+enum class ScalarPlacement {
+  kControlProcessor,  // always abstract processor 0 (+ association offset)
+  kArbitrary,         // an arbitrary but fixed processor (hashed from name)
+  kReplicated,        // replicated over all processors
+};
+
+/// How arrangements larger than AP are handled. The paper's EQUIVALENCE
+/// analogy makes oversize arrangements non-conforming (kStrict); kFold is a
+/// documented extension that wraps them modulo the machine size, which some
+/// virtual-processor systems of the era provided.
+enum class OversizePolicy { kStrict, kFold };
+
+class ProcessorSpace;
+
+class ProcessorArrangement {
+ public:
+  const std::string& name() const noexcept { return name_; }
+  const IndexDomain& domain() const noexcept { return domain_; }
+  int rank() const noexcept { return domain_.rank(); }
+  Extent size() const noexcept { return domain_.size(); }
+  bool is_scalar() const noexcept { return domain_.rank() == 0; }
+  Extent ap_offset() const noexcept { return ap_offset_; }
+
+  /// Abstract processors owning position `index` of the arrangement.
+  /// Non-scalar arrangements yield exactly one id; scalar arrangements
+  /// follow the space's ScalarPlacement policy.
+  OwnerSet owners_of(const IndexTuple& index) const;
+
+  /// Single AP id for a non-scalar arrangement index (fast path).
+  ApId ap_of(const IndexTuple& index) const;
+
+  /// Arrangement index associated with abstract processor `ap`, if any.
+  /// (Inverse of ap_of for the arrangement's AP range; used by inquiry and
+  /// local enumeration.) Returns false when `ap` is outside the range.
+  bool index_of_ap(ApId ap, IndexTuple& out) const;
+
+ private:
+  friend class ProcessorSpace;
+  ProcessorArrangement(const ProcessorSpace* space, std::string name,
+                       IndexDomain domain, Extent ap_offset);
+
+  const ProcessorSpace* space_;
+  std::string name_;
+  IndexDomain domain_;
+  Extent ap_offset_;
+};
+
+/// Registry of processor arrangements over one machine's AP.
+class ProcessorSpace {
+ public:
+  explicit ProcessorSpace(Extent processor_count,
+                          ScalarPlacement scalar_placement =
+                              ScalarPlacement::kControlProcessor,
+                          OversizePolicy oversize = OversizePolicy::kStrict);
+
+  Extent processor_count() const noexcept { return processor_count_; }
+  ScalarPlacement scalar_placement() const noexcept {
+    return scalar_placement_;
+  }
+  OversizePolicy oversize_policy() const noexcept { return oversize_; }
+
+  /// Declares a processor array arrangement at AP offset 0
+  /// (EQUIVALENCE-style default association).
+  const ProcessorArrangement& declare(const std::string& name,
+                                      const IndexDomain& domain);
+
+  /// Declares an arrangement associated at a given AP offset.
+  const ProcessorArrangement& declare_at(const std::string& name,
+                                         const IndexDomain& domain,
+                                         Extent ap_offset);
+
+  /// Declares a conceptually scalar arrangement.
+  const ProcessorArrangement& declare_scalar(const std::string& name);
+
+  /// Looks an arrangement up by (case-insensitive) name; throws
+  /// ConformanceError when unknown.
+  const ProcessorArrangement& find(const std::string& name) const;
+
+  bool has(const std::string& name) const noexcept;
+
+  /// Maps an AP id through the oversize policy (identity under kStrict;
+  /// modulo fold under kFold). Throws ConformanceError when kStrict and out
+  /// of range.
+  ApId resolve(ApId raw) const;
+
+ private:
+  Extent processor_count_;
+  ScalarPlacement scalar_placement_;
+  OversizePolicy oversize_;
+  std::vector<std::unique_ptr<ProcessorArrangement>> arrangements_;
+};
+
+/// One subscript of a distribution target: a triplet (keeps the dimension)
+/// or a scalar (reduces the rank).
+struct TargetSub {
+  bool is_scalar = false;
+  Index1 scalar = 0;
+  Triplet triplet;
+
+  static TargetSub all(const Triplet& full) {
+    TargetSub s;
+    s.triplet = full;
+    return s;
+  }
+  static TargetSub at(Index1 value) {
+    TargetSub s;
+    s.is_scalar = true;
+    s.scalar = value;
+    return s;
+  }
+  static TargetSub range(const Triplet& t) {
+    TargetSub s;
+    s.triplet = t;
+    return s;
+  }
+};
+
+/// A distribution target: a processor arrangement or a section of one.
+/// Coordinates exposed to distribution functions are the *positions within
+/// the section*, 1-based, i.e. I^R = [1:NP1, 1:NP2, ...].
+class ProcessorRef {
+ public:
+  ProcessorRef() = default;
+
+  /// Whole arrangement.
+  explicit ProcessorRef(const ProcessorArrangement& arrangement);
+
+  /// Section of an arrangement; `subs` length must equal the arrangement's
+  /// rank. Validates that all selected coordinates exist.
+  ProcessorRef(const ProcessorArrangement& arrangement,
+               std::vector<TargetSub> subs);
+
+  bool valid() const noexcept { return arrangement_ != nullptr; }
+  const ProcessorArrangement& arrangement() const;
+
+  /// Rank of the target (triplet subscripts only).
+  int rank() const noexcept { return static_cast<int>(dims_.size()); }
+
+  /// Extent of target dimension d (0-based d).
+  Extent extent(int d) const { return dims_.at(static_cast<size_t>(d)).size(); }
+
+  /// Total number of target positions.
+  Extent size() const noexcept;
+
+  /// Index domain of the target: standard [1:extent] per dimension.
+  IndexDomain domain() const;
+
+  /// Owners (AP ids) of the target position `coords` (1-based positions per
+  /// dimension, length == rank()). Scalar arrangements take an empty tuple.
+  OwnerSet owners_at(const IndexTuple& coords) const;
+
+  /// Single AP id for a non-scalar target position (fast path; the target
+  /// of a format distribution is never replicated).
+  ApId ap_at(const IndexTuple& coords) const;
+
+  /// All AP ids covered by the target, in target order (duplicates possible
+  /// only under kFold).
+  std::vector<ApId> all_aps() const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const ProcessorRef& a, const ProcessorRef& b);
+  friend bool operator!=(const ProcessorRef& a, const ProcessorRef& b) {
+    return !(a == b);
+  }
+
+ private:
+  const ProcessorArrangement* arrangement_ = nullptr;
+  std::vector<TargetSub> subs_;   // length == arrangement rank
+  std::vector<Triplet> dims_;     // triplet subs only, in order
+};
+
+}  // namespace hpfnt

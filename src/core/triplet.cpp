@@ -1,0 +1,64 @@
+#include "core/triplet.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+Triplet::Triplet(Index1 lower, Index1 upper, Index1 stride)
+    : lower_(lower), upper_(upper), stride_(stride) {
+  if (stride == 0) {
+    throw MappingError("subscript triplet stride must be nonzero");
+  }
+}
+
+Extent Triplet::size() const noexcept {
+  const Index1 span = upper_ - lower_ + stride_;
+  const Index1 count = span / stride_;
+  return count > 0 ? count : 0;
+}
+
+bool Triplet::contains(Index1 i) const noexcept {
+  if (stride_ > 0) {
+    if (i < lower_ || i > upper_) return false;
+  } else {
+    if (i > lower_ || i < upper_) return false;
+  }
+  return (i - lower_) % stride_ == 0;
+}
+
+Extent Triplet::position_of(Index1 i) const {
+  if (!contains(i)) {
+    throw MappingError(cat("index ", i, " is not in triplet ", to_string()));
+  }
+  return (i - lower_) / stride_;
+}
+
+Index1 Triplet::last() const {
+  if (empty()) throw MappingError("last() of empty triplet " + to_string());
+  return lower_ + (size() - 1) * stride_;
+}
+
+Triplet Triplet::subsection(const Triplet& inner) const {
+  const Extent n = size();
+  if (!inner.empty()) {
+    const Extent first = inner.lower() - 1;
+    const Extent last = inner.last() - 1;
+    if (first < 0 || first >= n || last < 0 || last >= n) {
+      throw MappingError(cat("subsection ", inner.to_string(),
+                             " exceeds the ", n, " elements of ",
+                             to_string()));
+    }
+  }
+  return Triplet(lower_ + (inner.lower() - 1) * stride_,
+                 lower_ + (inner.upper() - 1) * stride_,
+                 stride_ * inner.stride());
+}
+
+std::string Triplet::to_string() const {
+  std::string out = cat(lower_, ":", upper_);
+  if (stride_ != 1) out += cat(":", stride_);
+  return out;
+}
+
+}  // namespace hpfnt

@@ -1,0 +1,35 @@
+// Fundamental scalar and tuple types of the mapping model (paper §2.1).
+#pragma once
+
+#include <cstdint>
+
+#include "support/small_vector.hpp"
+
+namespace hpfnt {
+
+/// One subscript value. Fortran subscripts may be negative and large, so a
+/// signed 64-bit type is used throughout the model layer.
+using Index1 = std::int64_t;
+
+/// Number of elements along one dimension, or total element counts.
+using Extent = std::int64_t;
+
+/// Maximum array rank, as in Fortran 90 (R512: up to seven dimensions).
+inline constexpr int kMaxRank = 7;
+
+/// An index: an n-dimensional subscript tuple (paper §2.1). Rank <= 7 keeps
+/// tuples inline; no allocation occurs in ownership lookups.
+using IndexTuple = SmallVector<Index1, kMaxRank>;
+
+/// Linear id of an abstract processor in AP (paper §3), 0-based.
+using ApId = std::int64_t;
+
+/// Identity of a declared array within a program run.
+using ArrayId = int;
+inline constexpr ArrayId kNoArray = -1;
+
+/// A small set of owning processors; replication rarely exceeds a handful
+/// of owners except for full-dimension replication, which spills gracefully.
+using OwnerSet = SmallVector<ApId, 8>;
+
+}  // namespace hpfnt

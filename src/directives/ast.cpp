@@ -1,0 +1,3 @@
+#include "directives/ast.hpp"
+
+// The AST is a plain data module; this translation unit anchors the header.

@@ -1,0 +1,207 @@
+// Parsed representation of the directive language.
+//
+// Expressions are name-unresolved trees (DirExpr); the binder evaluates
+// dummyless ones against the scalar symbol table and turns dummy-use ones
+// into core AlignExprs. Statements and directives mirror the constructs of
+// the paper: declarations, ALLOCATE/DEALLOCATE, CALL, scalar assignment,
+// and the PROCESSORS / DISTRIBUTE / REDISTRIBUTE / ALIGN / REALIGN /
+// DYNAMIC directives. TEMPLATE and INHERIT parse, so the binder can reject
+// them with the paper's §8 arguments rather than a syntax error.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace hpfnt::dir {
+
+// --- expressions -------------------------------------------------------------
+
+struct DirExpr;
+using DirExprPtr = std::shared_ptr<const DirExpr>;
+
+struct DirExpr {
+  enum class Kind { kInt, kName, kAdd, kSub, kMul, kNeg, kCall };
+  Kind kind = Kind::kInt;
+  Index1 value = 0;          // kInt
+  std::string name;          // kName / kCall (MAX, MIN, LBOUND, UBOUND, SIZE)
+  std::vector<DirExprPtr> args;  // kCall
+  DirExprPtr lhs;
+  DirExprPtr rhs;
+  int line = 0;
+  int column = 0;
+};
+
+// --- shared pieces -------------------------------------------------------------
+
+/// One dimension in a declaration or ALLOCATE: lower:upper (lower optional,
+/// default 1) or deferred ":".
+struct AstDim {
+  bool deferred = false;
+  DirExprPtr lower;  // null = default 1
+  DirExprPtr upper;  // null only when deferred
+};
+
+/// A subscript in a section or target: expr, triplet, ":", or "*".
+struct AstSub {
+  enum class Kind { kExpr, kTriplet, kColon, kStar };
+  Kind kind = Kind::kColon;
+  DirExprPtr expr;            // kExpr
+  DirExprPtr lower, upper, stride;  // kTriplet (each may be null)
+};
+
+/// A distribution format: BLOCK | VIENNA_BLOCK | GENERAL_BLOCK(list|name) |
+/// CYCLIC[(expr)] | ":".
+struct AstFormat {
+  enum class Kind {
+    kBlock,
+    kViennaBlock,
+    kGeneralBlock,
+    kCyclic,
+    kCollapsed,
+  };
+  Kind kind = Kind::kBlock;
+  DirExprPtr cyclic_k;               // CYCLIC(k), null for CYCLIC
+  std::vector<DirExprPtr> gb_bounds;  // GENERAL_BLOCK(/.../)
+};
+
+/// A distribution target: NAME or NAME(subscripts).
+struct AstTarget {
+  std::string name;
+  std::vector<AstSub> subs;
+  bool has_subs = false;
+};
+
+// --- statements ------------------------------------------------------------------
+
+struct AstDeclName {
+  std::string name;
+  std::vector<AstDim> dims;  // empty = scalar
+};
+
+struct AstDeclaration {
+  std::string type;          // REAL, INTEGER, DOUBLE, LOGICAL
+  bool allocatable = false;
+  std::vector<AstDim> type_dims;  // the (:,:) of REAL,ALLOCATABLE(:,:)
+  std::vector<AstDeclName> names;
+};
+
+struct AstAssign {
+  std::string name;
+  DirExprPtr value;
+};
+
+struct AstAllocate {
+  std::vector<AstDeclName> items;  // dims are the allocation shape
+};
+
+struct AstDeallocate {
+  std::vector<std::string> names;
+};
+
+struct AstCallArg {
+  std::string name;
+  std::vector<AstSub> subs;  // section subscripts; empty = whole array
+  bool has_subs = false;
+};
+
+struct AstCall {
+  std::string procedure;
+  std::vector<AstCallArg> args;
+};
+
+// --- directives --------------------------------------------------------------------
+
+struct AstProcessors {
+  std::vector<AstDeclName> arrangements;  // empty dims = scalar arrangement
+};
+
+struct AstDistribute {
+  bool executable = false;  // REDISTRIBUTE
+  // Form 1: DISTRIBUTE A(fmts) [TO t]   -> names={A}, formats set
+  // Form 2: DISTRIBUTE (fmts) [TO t] :: A,B
+  // Dummy forms (§7): DISTRIBUTE A *            -> inherit
+  //                   DISTRIBUTE A * (fmts) [TO t] -> inherit-match
+  std::vector<std::string> names;
+  std::vector<AstFormat> formats;
+  std::optional<AstTarget> target;
+  bool inherit = false;        // "*" present
+  bool has_formats = false;
+};
+
+struct AstAlign {
+  bool executable = false;  // REALIGN
+  std::string alignee;
+  std::vector<AstSub> alignee_subs;
+  std::string base;
+  std::vector<AstSub> base_subs;
+};
+
+struct AstDynamic {
+  std::vector<std::string> names;
+};
+
+struct AstTemplateDecl {
+  std::vector<AstDeclName> templates;
+};
+
+struct AstInherit {
+  std::vector<std::string> names;
+};
+
+// --- program structure ---------------------------------------------------------------
+
+struct AstNode {
+  enum class Kind {
+    kDeclaration,
+    kAssign,
+    kAllocate,
+    kDeallocate,
+    kCall,
+    kProcessors,
+    kDistribute,
+    kAlign,
+    kDynamic,
+    kTemplate,
+    kInherit,
+    kRead,          // READ parsed and reported as unsupported at bind time
+    kSubroutineStart,
+    kEnd,
+  };
+  Kind kind;
+  int line = 0;
+
+  std::optional<AstDeclaration> declaration;
+  std::optional<AstAssign> assign;
+  std::optional<AstAllocate> allocate;
+  std::optional<AstDeallocate> deallocate;
+  std::optional<AstCall> call;
+  std::optional<AstProcessors> processors;
+  std::optional<AstDistribute> distribute;
+  std::optional<AstAlign> align;
+  std::optional<AstDynamic> dynamic;
+  std::optional<AstTemplateDecl> template_decl;
+  std::optional<AstInherit> inherit;
+  std::string subroutine_name;               // kSubroutineStart
+  std::vector<std::string> subroutine_args;  // kSubroutineStart
+};
+
+/// A subroutine: its dummy names and body nodes (specification +
+/// executable, in source order).
+struct AstSubroutine {
+  std::string name;
+  std::vector<std::string> dummies;
+  std::vector<AstNode> body;
+  int line = 0;
+};
+
+/// A whole script: main-program nodes plus subroutine definitions.
+struct AstProgram {
+  std::vector<AstNode> main;
+  std::vector<AstSubroutine> subroutines;
+};
+
+}  // namespace hpfnt::dir

@@ -1,0 +1,71 @@
+// The binder: semantic analysis of parsed directives against a DataEnv.
+//
+// It evaluates specification expressions over the scalar symbol table
+// (including the LBOUND/UBOUND/SIZE and MAX/MIN intrinsics), converts
+// parsed shapes/formats/targets/alignments into the core model's types,
+// and applies each node's semantics. TEMPLATE and INHERIT directives parse
+// but bind to conformance errors carrying the paper's §8 arguments — they
+// have no place in the proposed model.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/data_env.hpp"
+#include "directives/ast.hpp"
+
+namespace hpfnt::dir {
+
+class Binder {
+ public:
+  Binder(ProcessorSpace& space, DataEnv& env);
+
+  DataEnv& env() noexcept { return *env_; }
+
+  // --- scalar symbol table -------------------------------------------------
+  void set_scalar(const std::string& name, Index1 value);
+  bool has_scalar(const std::string& name) const;
+  Index1 scalar(const std::string& name) const;
+  const std::map<std::string, Index1>& scalars() const { return scalars_; }
+
+  // --- expression evaluation --------------------------------------------------
+  /// Evaluates a dummyless expression; names resolve through the scalar
+  /// table, intrinsics through the environment's arrays.
+  Index1 eval(const DirExprPtr& expr) const;
+
+  // --- conversions ---------------------------------------------------------------
+  IndexDomain bind_dims(const std::vector<AstDim>& dims) const;
+  DistFormat bind_format(const AstFormat& format) const;
+  std::vector<DistFormat> bind_formats(
+      const std::vector<AstFormat>& formats) const;
+
+  /// Resolves a parsed target to a ProcessorRef; an absent target yields an
+  /// invalid ref (DataEnv substitutes its default).
+  ProcessorRef bind_target(const std::optional<AstTarget>& target) const;
+
+  /// Builds the AlignSpec of an ALIGN/REALIGN directive. Dummy names are
+  /// the alignee's identifier subscripts; base triplets with omitted
+  /// bounds are completed from `base_domain`.
+  AlignSpec bind_align_spec(const AstAlign& align,
+                            const IndexDomain& base_domain) const;
+
+  /// Binds the section subscripts of an actual argument against the
+  /// actual's domain (scalar subscripts become single-element triplets).
+  std::vector<Triplet> bind_section(const std::vector<AstSub>& subs,
+                                    const IndexDomain& domain) const;
+
+  // --- node application (main-program semantics) -----------------------------
+  /// Applies one node. Executable remapping nodes append their RemapEvents
+  /// to `events`. Throws DirectiveError/ConformanceError on violations.
+  void apply(const AstNode& node, std::vector<RemapEvent>* events = nullptr);
+
+ private:
+  ElemType bind_type(const std::string& type) const;
+
+  ProcessorSpace* space_;
+  DataEnv* env_;
+  std::map<std::string, Index1> scalars_;  // case-folded names
+};
+
+}  // namespace hpfnt::dir

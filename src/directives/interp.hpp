@@ -1,0 +1,78 @@
+// The directive-script interpreter: the library's substitute for an HPF
+// compiler front end.
+//
+// It executes scripts of declarations, !HPF$ directives and the executable
+// statements of the paper's examples (ALLOCATE/DEALLOCATE, scalar
+// assignment, CALL) against a DataEnv, and optionally against a
+// ProgramState so every remapping and argument passage moves real data and
+// is priced by the machine simulator.
+//
+// Subroutines are defined inline (SUBROUTINE ... END). At a CALL the
+// interpreter builds the ProcedureSig from the dummies' declarations and
+// mapping directives (the four §7 modes), calls through DataEnv, executes
+// the body's remaining nodes in the callee scope, and returns.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "directives/binder.hpp"
+#include "directives/parser.hpp"
+#include "exec/redistribute_exec.hpp"
+
+namespace hpfnt::dir {
+
+class Interpreter {
+ public:
+  explicit Interpreter(ProcessorSpace& space);
+
+  /// Attaches a program state: from then on declarations/ALLOCATE create
+  /// storage, remapping directives move data, and CALLs copy arguments.
+  void set_state(ProgramState* state) { state_ = state; }
+
+  /// Parses and executes a whole script in the main environment.
+  void run(const std::string& source);
+
+  DataEnv& env() noexcept { return *env_; }
+  const DataEnv& env() const noexcept { return *env_; }
+  Binder& binder() noexcept { return *binder_; }
+
+  Index1 scalar(const std::string& name) const { return binder_->scalar(name); }
+
+  /// Remap events produced by executable directives, in execution order.
+  const std::vector<RemapEvent>& events() const noexcept { return events_; }
+
+  /// Communication steps executed on the attached state (remaps, call
+  /// copies), in order.
+  const std::vector<StepStats>& steps() const noexcept { return steps_; }
+
+  /// Human-readable trace of executed operations.
+  const std::vector<std::string>& trace() const noexcept { return trace_; }
+
+ private:
+  struct CalleeScope {
+    std::unique_ptr<Binder> binder;
+    CallFrame frame;
+  };
+
+  void exec_node(const AstNode& node, Binder& binder);
+  void exec_call(const AstCall& call, Binder& binder);
+  const AstSubroutine& find_subroutine(const std::string& name) const;
+  ProcedureSig build_signature(const AstSubroutine& sub, Binder& binder,
+                               std::vector<const AstNode*>* body_rest) const;
+  void note(std::string line);
+  void create_storage_for(DataEnv& env, const std::string& name);
+
+  ProcessorSpace* space_;
+  std::unique_ptr<DataEnv> env_;
+  std::unique_ptr<Binder> binder_;
+  ProgramState* state_ = nullptr;
+  AstProgram program_;
+  std::vector<RemapEvent> events_;
+  std::vector<StepStats> steps_;
+  std::vector<std::string> trace_;
+};
+
+}  // namespace hpfnt::dir

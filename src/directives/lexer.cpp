@@ -1,0 +1,197 @@
+#include "directives/lexer.hpp"
+
+#include <cctype>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt::dir {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '$';
+}
+
+struct RawLine {
+  std::string text;
+  int number;
+  bool is_directive;
+};
+
+/// Splits the source into physical lines, marks directives, strips
+/// comments, and folds "&" continuations.
+std::vector<RawLine> split_lines(const std::string& source) {
+  std::vector<RawLine> raw;
+  std::string current;
+  int line_no = 0;
+  int start_line = 1;
+  bool continuing = false;
+  bool continuing_directive = false;
+
+  auto flush = [&](const std::string& text, bool directive, int number) {
+    // Strip a trailing '&' to continue onto the next line.
+    std::string body = text;
+    std::size_t last = body.find_last_not_of(" \t");
+    if (last != std::string::npos && body[last] == '&') {
+      current += body.substr(0, last);
+      if (!continuing) {
+        start_line = number;
+        continuing_directive = directive;
+      }
+      continuing = true;
+      return;
+    }
+    if (continuing) {
+      current += body;
+      raw.push_back({current, start_line, continuing_directive});
+      current.clear();
+      continuing = false;
+      return;
+    }
+    if (body.find_first_not_of(" \t") == std::string::npos) return;  // blank
+    raw.push_back({body, number, directive});
+  };
+
+  std::size_t pos = 0;
+  while (pos <= source.size()) {
+    std::size_t nl = source.find('\n', pos);
+    std::string line = source.substr(
+        pos, nl == std::string::npos ? std::string::npos : nl - pos);
+    ++line_no;
+    // Directive sentinel?
+    std::size_t first = line.find_first_not_of(" \t");
+    bool directive = false;
+    std::string body = line;
+    if (first != std::string::npos) {
+      std::string head = line.substr(first);
+      if (head.size() >= 5 && iequals(head.substr(0, 5), "!HPF$")) {
+        directive = true;
+        body = head.substr(5);
+      } else {
+        // Ordinary comment: cut at the first '!'.
+        std::size_t bang = line.find('!');
+        if (bang != std::string::npos) body = line.substr(0, bang);
+      }
+    }
+    flush(body, directive, line_no);
+    if (nl == std::string::npos) break;
+    pos = nl + 1;
+  }
+  if (continuing) {
+    throw DirectiveError("line continuation '&' at end of input", line_no, 1);
+  }
+  return raw;
+}
+
+}  // namespace
+
+std::vector<Line> lex(const std::string& source) {
+  std::vector<Line> lines;
+  for (const RawLine& raw : split_lines(source)) {
+    Line out;
+    out.is_directive = raw.is_directive;
+    out.number = raw.number;
+    const std::string& s = raw.text;
+    std::size_t i = 0;
+    while (i < s.size()) {
+      const char c = s[i];
+      const int col = static_cast<int>(i) + 1;
+      if (c == ' ' || c == '\t' || c == '\r') {
+        ++i;
+        continue;
+      }
+      Token tok;
+      tok.line = raw.number;
+      tok.column = col;
+      if (is_ident_start(c)) {
+        std::size_t j = i;
+        while (j < s.size() && is_ident_char(s[j])) ++j;
+        tok.kind = Tok::kIdent;
+        tok.text = s.substr(i, j - i);
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        std::size_t j = i;
+        Index1 value = 0;
+        while (j < s.size() && std::isdigit(static_cast<unsigned char>(s[j]))) {
+          value = value * 10 + (s[j] - '0');
+          ++j;
+        }
+        tok.kind = Tok::kInteger;
+        tok.value = value;
+        i = j;
+      } else {
+        switch (c) {
+          case '(':
+            if (i + 1 < s.size() && s[i + 1] == '/') {
+              tok.kind = Tok::kSlashParen;
+              i += 2;
+            } else {
+              tok.kind = Tok::kLParen;
+              ++i;
+            }
+            break;
+          case ')':
+            tok.kind = Tok::kRParen;
+            ++i;
+            break;
+          case '/':
+            if (i + 1 < s.size() && s[i + 1] == ')') {
+              tok.kind = Tok::kParenSlash;
+              i += 2;
+            } else {
+              tok.kind = Tok::kSlash;
+              ++i;
+            }
+            break;
+          case ',':
+            tok.kind = Tok::kComma;
+            ++i;
+            break;
+          case ':':
+            if (i + 1 < s.size() && s[i + 1] == ':') {
+              tok.kind = Tok::kDoubleColon;
+              i += 2;
+            } else {
+              tok.kind = Tok::kColon;
+              ++i;
+            }
+            break;
+          case '*':
+            tok.kind = Tok::kStar;
+            ++i;
+            break;
+          case '+':
+            tok.kind = Tok::kPlus;
+            ++i;
+            break;
+          case '-':
+            tok.kind = Tok::kMinus;
+            ++i;
+            break;
+          case '=':
+            tok.kind = Tok::kAssign;
+            ++i;
+            break;
+          default:
+            throw DirectiveError(cat("unexpected character '", c, "'"),
+                                 raw.number, col);
+        }
+      }
+      out.tokens.push_back(tok);
+    }
+    Token end;
+    end.kind = Tok::kEnd;
+    end.line = raw.number;
+    end.column = static_cast<int>(s.size()) + 1;
+    out.tokens.push_back(end);
+    lines.push_back(std::move(out));
+  }
+  return lines;
+}
+
+}  // namespace hpfnt::dir

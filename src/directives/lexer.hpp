@@ -1,0 +1,19 @@
+// The lexer: splits a script into logical lines and tokenizes each.
+//
+// Lines whose first non-blank characters are "!HPF$" (any case) are
+// directive lines; any other "!" starts a comment that runs to the end of
+// the line; blank lines vanish. A trailing "&" continues a line, as in
+// Fortran free form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "directives/token.hpp"
+
+namespace hpfnt::dir {
+
+/// Tokenizes `source`; throws DirectiveError on malformed input.
+std::vector<Line> lex(const std::string& source);
+
+}  // namespace hpfnt::dir

@@ -1,0 +1,23 @@
+// Recursive-descent parser for the directive language: turns lexed lines
+// into an AstProgram (main nodes + subroutine definitions). All syntax of
+// the paper's examples is accepted, including the attributed forms
+// "DISTRIBUTE (BLOCK,:) :: E,F", "REAL,ALLOCATABLE(:,:) :: A,B", dummy
+// forms "DISTRIBUTE A *(CYCLIC(3))", and triplets with omitted bounds
+// ("A(M::M, 1::M)").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "directives/ast.hpp"
+#include "directives/lexer.hpp"
+
+namespace hpfnt::dir {
+
+/// Parses a whole script.
+AstProgram parse_program(const std::string& source);
+
+/// Parses a single line (directive or statement) — used by tests.
+AstNode parse_line(const Line& line);
+
+}  // namespace hpfnt::dir

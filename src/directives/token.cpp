@@ -1,0 +1,41 @@
+#include "directives/token.hpp"
+
+namespace hpfnt::dir {
+
+const char* tok_name(Tok kind) {
+  switch (kind) {
+    case Tok::kIdent:
+      return "identifier";
+    case Tok::kInteger:
+      return "integer";
+    case Tok::kLParen:
+      return "'('";
+    case Tok::kRParen:
+      return "')'";
+    case Tok::kComma:
+      return "','";
+    case Tok::kColon:
+      return "':'";
+    case Tok::kDoubleColon:
+      return "'::'";
+    case Tok::kStar:
+      return "'*'";
+    case Tok::kPlus:
+      return "'+'";
+    case Tok::kMinus:
+      return "'-'";
+    case Tok::kSlash:
+      return "'/'";
+    case Tok::kAssign:
+      return "'='";
+    case Tok::kSlashParen:
+      return "'(/'";
+    case Tok::kParenSlash:
+      return "'/)'";
+    case Tok::kEnd:
+      return "end of line";
+  }
+  return "?";
+}
+
+}  // namespace hpfnt::dir

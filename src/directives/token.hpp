@@ -1,0 +1,49 @@
+// Tokens of the directive language: Fortran-style identifiers and integer
+// literals plus the punctuation the !HPF$ directives and the mini statement
+// language need. Keywords are not distinguished lexically — Fortran has no
+// reserved words — so the parser matches identifier text case-insensitively.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace hpfnt::dir {
+
+enum class Tok {
+  kIdent,
+  kInteger,
+  kLParen,
+  kRParen,
+  kComma,
+  kColon,
+  kDoubleColon,  // ::
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kAssign,       // =
+  kSlashParen,   // (/  array constructor open
+  kParenSlash,   // /)  array constructor close
+  kEnd,          // end of line
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;      // identifier text (original case)
+  Index1 value = 0;      // integer literal value
+  int line = 0;
+  int column = 0;
+};
+
+const char* tok_name(Tok kind);
+
+/// One logical line of a script: either a !HPF$ directive or a statement.
+struct Line {
+  bool is_directive = false;
+  int number = 0;             // 1-based source line
+  std::vector<Token> tokens;  // terminated by a kEnd token
+};
+
+}  // namespace hpfnt::dir

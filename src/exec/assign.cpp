@@ -1,0 +1,138 @@
+#include "exec/assign.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+namespace {
+
+AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
+                         const DistArray& lhs,
+                         const std::vector<Triplet>& lhs_section,
+                         const SecExpr& rhs, const std::string& label);
+
+}  // namespace
+
+AssignResult assign(ProgramState& state, const DataEnv& env,
+                    const DistArray& lhs, std::vector<Triplet> lhs_section,
+                    const SecExpr& rhs, const std::string& label) {
+  return assign_impl(state, env.distribution_of(lhs), lhs, lhs_section, rhs,
+                     label);
+}
+
+AssignResult assign_on_layout(ProgramState& state, const DistArray& lhs,
+                              std::vector<Triplet> lhs_section,
+                              const SecExpr& rhs, const std::string& label) {
+  return assign_impl(state, state.layout(lhs.id()), lhs, lhs_section, rhs,
+                     label);
+}
+
+namespace {
+
+AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
+                         const DistArray& lhs,
+                         const std::vector<Triplet>& lhs_section,
+                         const SecExpr& rhs, const std::string& label) {
+  lhs.domain().validate_section(lhs_section);
+  const IndexDomain iteration = lhs.domain().section_domain(lhs_section);
+  // Fortran conformance: shapes match after squeezing unit dimensions
+  // (scalar subscripts), so D(:,j) = D(:,j) + A(:) is legal.
+  std::vector<Extent> lhs_shape;
+  for (int d = 0; d < iteration.rank(); ++d) {
+    if (iteration.extent(d) != 1) lhs_shape.push_back(iteration.extent(d));
+  }
+  const std::vector<Extent> rhs_shape = rhs.shape();
+  if (!rhs_shape.empty() && rhs_shape != lhs_shape) {
+    throw ConformanceError(
+        "assignment shapes do not conform (after squeezing unit "
+        "dimensions)");
+  }
+
+  const Extent bytes = elem_bytes(lhs.type());
+  const Extent flops = rhs.flops_per_element();
+
+  CommEngine& comm = state.comm();
+  const Extent local_before = comm.local_reads();
+  comm.begin_step(label.empty() ? (lhs.name() + " = <expr>") : label);
+
+  // Squeeze helper: the RHS sees positions with unit dimensions dropped.
+  auto squeeze = [&](const IndexTuple& pos) {
+    IndexTuple out;
+    for (int d = 0; d < iteration.rank(); ++d) {
+      if (iteration.extent(d) != 1) {
+        out.push_back(pos[static_cast<std::size_t>(d)]);
+      }
+    }
+    return out;
+  };
+
+  // Pass 1: every LHS owner evaluates the RHS for its elements (remote
+  // operand reads are charged to it); results are staged so overlapping
+  // sections see pre-assignment values.
+  std::vector<double> staged;
+  staged.reserve(static_cast<std::size_t>(iteration.size()));
+  std::vector<ApId> computed_by;
+  computed_by.reserve(static_cast<std::size_t>(iteration.size()));
+  iteration.for_each([&](const IndexTuple& pos) {
+    IndexTuple lhs_idx = lhs.domain().section_parent_index(lhs_section, pos);
+    const ApId p = lhs_dist.first_owner(lhs_idx);
+    staged.push_back(rhs.eval_at(state, p, squeeze(pos)));
+    computed_by.push_back(p);
+    if (flops > 0) comm.compute(p, flops);
+  });
+
+  // Pass 2: write results to all owners; replicas receive by message.
+  std::size_t k = 0;
+  iteration.for_each([&](const IndexTuple& pos) {
+    IndexTuple lhs_idx = lhs.domain().section_parent_index(lhs_section, pos);
+    state.write_owned(lhs.id(), lhs_idx, staged[k], computed_by[k], bytes);
+    ++k;
+  });
+
+  AssignResult result;
+  result.step = comm.end_step();
+  result.elements = iteration.size();
+  const Extent local_reads = comm.local_reads() - local_before;
+  const Extent total_reads = local_reads + result.step.element_transfers;
+  result.remote_read_fraction =
+      total_reads == 0 ? 0.0
+                       : static_cast<double>(result.step.element_transfers) /
+                             static_cast<double>(total_reads);
+  return result;
+}
+
+}  // namespace
+
+AssignResult assign(ProgramState& state, const DataEnv& env,
+                    const DistArray& lhs, const SecExpr& rhs,
+                    const std::string& label) {
+  return assign(state, env, lhs, lhs.domain().dims(), rhs, label);
+}
+
+void assign_serial(ProgramState& state, const DistArray& lhs,
+                   const std::vector<Triplet>& lhs_section,
+                   const SecExpr& rhs) {
+  const IndexDomain iteration = lhs.domain().section_domain(lhs_section);
+  auto squeeze = [&](const IndexTuple& pos) {
+    IndexTuple out;
+    for (int d = 0; d < iteration.rank(); ++d) {
+      if (iteration.extent(d) != 1) {
+        out.push_back(pos[static_cast<std::size_t>(d)]);
+      }
+    }
+    return out;
+  };
+  std::vector<double> staged;
+  staged.reserve(static_cast<std::size_t>(iteration.size()));
+  iteration.for_each([&](const IndexTuple& pos) {
+    staged.push_back(rhs.eval_serial(state, squeeze(pos)));
+  });
+  std::size_t k = 0;
+  iteration.for_each([&](const IndexTuple& pos) {
+    IndexTuple lhs_idx = lhs.domain().section_parent_index(lhs_section, pos);
+    state.set_value(lhs.id(), lhs_idx, staged[k++]);
+  });
+}
+
+}  // namespace hpfnt

@@ -1,0 +1,54 @@
+// The owner-computes assignment executor.
+//
+// Executes LHS(section) = expr with Fortran 90 array-assignment semantics
+// (the RHS is evaluated completely before the LHS changes) under the
+// owner-computes rule: the first owner of each LHS element evaluates the
+// expression for it, pulling remote operands by message; further owners
+// (replicas) receive the result by message. All transfers of one assignment
+// form one comm step, so pairs are message-vectorized.
+//
+// This is the workload the paper's mapping model exists to serve: the
+// communication an assignment induces is exactly determined by the
+// distributions and alignments of the arrays involved.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exec/section_expr.hpp"
+
+namespace hpfnt {
+
+struct AssignResult {
+  StepStats step;
+  Extent elements = 0;
+  /// Fraction of RHS element reads that crossed processors.
+  double remote_read_fraction = 0.0;
+};
+
+/// LHS(section) = rhs.
+AssignResult assign(ProgramState& state, const DataEnv& env,
+                    const DistArray& lhs, std::vector<Triplet> lhs_section,
+                    const SecExpr& rhs, const std::string& label = "");
+
+/// LHS = rhs over the whole array.
+AssignResult assign(ProgramState& state, const DataEnv& env,
+                    const DistArray& lhs, const SecExpr& rhs,
+                    const std::string& label = "");
+
+/// Like assign(), but the LHS mapping comes from the ProgramState's storage
+/// layout instead of a DataEnv forest — for workloads whose mappings were
+/// installed directly with create_with() (e.g. mappings computed by the HPF
+/// template baseline).
+AssignResult assign_on_layout(ProgramState& state, const DistArray& lhs,
+                              std::vector<Triplet> lhs_section,
+                              const SecExpr& rhs,
+                              const std::string& label = "");
+
+/// Serial reference: evaluates the same assignment without any ownership
+/// or communication, for verifying the distributed executor's numerics.
+void assign_serial(ProgramState& state, const DistArray& lhs,
+                   const std::vector<Triplet>& lhs_section,
+                   const SecExpr& rhs);
+
+}  // namespace hpfnt

@@ -1,0 +1,96 @@
+#include "exec/overlap.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace hpfnt {
+
+Extent ShiftPlan::ghost_of(Index1 p) const {
+  Extent total = 0;
+  for (const ShiftMessage& msg : messages) {
+    if (msg.dst == p) total += msg.count;
+  }
+  return total;
+}
+
+ShiftPlan plan_shift(const DimMapping& m, Extent shift) {
+  ShiftPlan plan;
+  plan.shift = shift;
+  if (shift == 0 || m.n() == 0) return plan;
+
+  std::map<std::pair<Index1, Index1>, Extent> counts;
+
+  if (m.is_contiguous()) {
+    // Closed form per destination block: the owner of i reads i+shift; the
+    // reads leaving p's block [lo, hi] form the contiguous range
+    // [hi+1, hi+shift] (for shift > 0) clipped to [1, n], which is then
+    // carved up along the source blocks.
+    for (Index1 p = 1; p <= m.np(); ++p) {
+      if (m.local_count(p) == 0) continue;
+      const auto [lo, hi] = m.block_range(p);
+      Index1 first, last;  // the remote source range p must ghost
+      if (shift > 0) {
+        first = std::max<Index1>(hi + 1, lo + shift);
+        last = std::min<Index1>(hi + shift, m.n());
+      } else {
+        first = std::max<Index1>(lo + shift, 1);
+        last = std::min<Index1>(lo - 1, hi + shift);
+      }
+      Index1 i = first;
+      while (i <= last) {
+        const Index1 src = m.owner(i);
+        const auto [slo, shi] = m.block_range(src);
+        const Index1 run_end = std::min<Index1>(last, shi);
+        counts[{src, p}] += run_end - i + 1;
+        i = run_end + 1;
+      }
+    }
+  } else {
+    // Exact enumeration for cyclic/irregular mappings.
+    for (Index1 i = 1; i <= m.n(); ++i) {
+      const Index1 j = i + shift;
+      if (j < 1 || j > m.n()) continue;
+      const Index1 dst = m.owner(i);
+      const Index1 src = m.owner(j);
+      if (src != dst) counts[{src, dst}] += 1;
+    }
+  }
+
+  for (const auto& [pair, count] : counts) {
+    plan.messages.push_back({pair.first, pair.second, count});
+    plan.remote_elements += count;
+  }
+  return plan;
+}
+
+std::vector<OverlapArea> overlap_areas(const DimMapping& m,
+                                       const std::vector<Extent>& shifts) {
+  if (!m.is_contiguous()) {
+    throw InternalError(
+        "overlap areas are defined for contiguous (block-family) mappings");
+  }
+  std::vector<OverlapArea> areas(static_cast<std::size_t>(m.np()));
+  for (Extent shift : shifts) {
+    ShiftPlan plan = plan_shift(m, shift);
+    // A ghost range may be carved across several source blocks; the area a
+    // destination needs for this shift is the *sum* of its incoming counts,
+    // and across shifts of the same sign the ranges nest, so take the max.
+    std::vector<Extent> ghost(static_cast<std::size_t>(m.np()), 0);
+    for (const ShiftMessage& msg : plan.messages) {
+      ghost[static_cast<std::size_t>(msg.dst - 1)] += msg.count;
+    }
+    for (Index1 p = 1; p <= m.np(); ++p) {
+      OverlapArea& area = areas[static_cast<std::size_t>(p - 1)];
+      if (shift > 0) {
+        area.right = std::max(area.right, ghost[static_cast<std::size_t>(p - 1)]);
+      } else {
+        area.left = std::max(area.left, ghost[static_cast<std::size_t>(p - 1)]);
+      }
+    }
+  }
+  return areas;
+}
+
+}  // namespace hpfnt

@@ -1,0 +1,63 @@
+// Overlap (ghost-region) analysis — the compile-time communication planning
+// of the Vienna/SUPERB compilation system the paper builds on ([13], §9).
+//
+// For a one-dimensional bound mapping and a stencil shift k (the reference
+// A(i+k) made by the owner of index i), this module computes analytically,
+// without touching data:
+//   * each processor's overlap area — how many remote elements it must
+//     ghost on each side, and
+//   * the shift schedule — which (src, dst) messages carry how many
+//     elements.
+// For the block family (BLOCK, VIENNA_BLOCK, GENERAL_BLOCK) the plan is
+// closed-form over the block ranges; CYCLIC and irregular formats fall back
+// to an exact enumeration. The tests verify that a plan predicts the
+// executor's measured transfers *exactly* — plan(m, k) == measure(m, k) —
+// so the analysis can be trusted as a cost model.
+#pragma once
+
+#include <vector>
+
+#include "core/dist_format.hpp"
+
+namespace hpfnt {
+
+/// One planned message of a shift: `count` elements travelling src -> dst.
+struct ShiftMessage {
+  Index1 src = 0;  // 1-based positions within the mapping's target
+  Index1 dst = 0;
+  Extent count = 0;
+
+  friend bool operator==(const ShiftMessage& a, const ShiftMessage& b) {
+    return a.src == b.src && a.dst == b.dst && a.count == b.count;
+  }
+};
+
+struct ShiftPlan {
+  Extent shift = 0;
+  Extent remote_elements = 0;            // total ghost elements
+  std::vector<ShiftMessage> messages;    // sorted by (src, dst)
+
+  /// Ghost elements processor p must receive (its overlap area width for
+  /// this shift).
+  Extent ghost_of(Index1 p) const;
+};
+
+/// Plans the communication of evaluating A(i+shift) on the owner of i, for
+/// all i with i+shift inside [1 : m.n()]. Positive shifts read rightward,
+/// negative leftward, zero plans nothing.
+ShiftPlan plan_shift(const DimMapping& m, Extent shift);
+
+/// The symmetric overlap area of a processor for a set of stencil shifts:
+/// the union of ghost requirements (e.g. {-1, +1} for a 3-point stencil).
+struct OverlapArea {
+  Extent left = 0;   // ghost elements below the local range
+  Extent right = 0;  // ghost elements above it
+};
+
+/// Overlap areas per processor (index p-1) for the given shifts. Only
+/// meaningful for contiguous (block-family) mappings; throws InternalError
+/// otherwise.
+std::vector<OverlapArea> overlap_areas(const DimMapping& m,
+                                       const std::vector<Extent>& shifts);
+
+}  // namespace hpfnt

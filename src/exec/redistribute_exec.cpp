@@ -1,0 +1,58 @@
+#include "exec/redistribute_exec.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+StepStats apply_remap(ProgramState& state, const DataEnv& env,
+                      const RemapEvent& event) {
+  const DistArray& array = env.array(event.dummy);
+  return state.apply_remap(event, array);
+}
+
+std::vector<StepStats> apply_remaps(ProgramState& state, const DataEnv& env,
+                                    const std::vector<RemapEvent>& events) {
+  std::vector<StepStats> steps;
+  steps.reserve(events.size());
+  for (const RemapEvent& e : events) {
+    steps.push_back(apply_remap(state, env, e));
+  }
+  return steps;
+}
+
+std::vector<StepStats> enter_call(ProgramState& state, DataEnv& caller,
+                                  CallFrame& frame) {
+  std::vector<StepStats> steps;
+  steps.reserve(frame.args.size());
+  for (const BoundArg& arg : frame.args) {
+    const DistArray& dummy = frame.callee->array(arg.dummy);
+    const DistArray& actual = caller.array(arg.actual);
+    state.create_with(dummy, arg.entry);
+    const std::vector<Triplet> src_section =
+        arg.section.empty() ? actual.domain().dims() : arg.section;
+    steps.push_back(state.copy_section(
+        dummy, dummy.domain().dims(), actual, src_section,
+        cat("call ", frame.procedure, ": copy-in ", dummy.name())));
+  }
+  return steps;
+}
+
+std::vector<StepStats> exit_call(ProgramState& state, DataEnv& caller,
+                                 CallFrame& frame) {
+  std::vector<StepStats> steps;
+  steps.reserve(frame.args.size());
+  for (const BoundArg& arg : frame.args) {
+    const DistArray& dummy = frame.callee->array(arg.dummy);
+    const DistArray& actual = caller.array(arg.actual);
+    const std::vector<Triplet> dst_section =
+        arg.section.empty() ? actual.domain().dims() : arg.section;
+    steps.push_back(state.copy_section(
+        actual, dst_section, dummy, dummy.domain().dims(),
+        cat("return from ", frame.procedure, ": copy-out ", dummy.name())));
+    state.destroy(dummy);
+  }
+  return steps;
+}
+
+}  // namespace hpfnt

@@ -1,0 +1,39 @@
+// Data-movement executors for dynamic remapping (§4.2/§5.2/§6) and
+// procedure boundaries (§7).
+//
+// DataEnv mutations return RemapEvents describing mapping changes; these
+// functions perform the corresponding element movement on a ProgramState,
+// pricing it through the comm engine. Argument passing is copy-in/copy-out
+// between the actual('s section) and the dummy: when the dummy inherited
+// the actual's mapping, every copy is processor-local and costs nothing —
+// the §8.1.2 point — while explicit/implicit remapping pays messages both
+// ways.
+#pragma once
+
+#include <vector>
+
+#include "core/data_env.hpp"
+#include "exec/storage.hpp"
+
+namespace hpfnt {
+
+/// Applies one remap event (REDISTRIBUTE/REALIGN result) to the data.
+StepStats apply_remap(ProgramState& state, const DataEnv& env,
+                      const RemapEvent& event);
+
+/// Applies a batch of events (e.g. a base plus its followers, §4.2).
+std::vector<StepStats> apply_remaps(ProgramState& state, const DataEnv& env,
+                                    const std::vector<RemapEvent>& events);
+
+/// Materializes a call: creates dummy storage laid out per the frame's
+/// entry mappings and copies argument data in. Returns one step per
+/// argument (zero-message steps when the mapping was inherited).
+std::vector<StepStats> enter_call(ProgramState& state, DataEnv& caller,
+                                  CallFrame& frame);
+
+/// Copies dummy data back to the actuals (restoring the §7 guarantee that
+/// the original distribution holds on exit) and releases dummy storage.
+std::vector<StepStats> exit_call(ProgramState& state, DataEnv& caller,
+                                 CallFrame& frame);
+
+}  // namespace hpfnt

@@ -1,0 +1,149 @@
+#include "exec/section_expr.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+SecExpr SecExpr::section(const DistArray& array,
+                         std::vector<Triplet> section) {
+  array.domain().validate_section(section);
+  auto n = std::make_shared<Node>();
+  n->op = Op::kLeaf;
+  n->array = array.id();
+  n->bytes = elem_bytes(array.type());
+  n->domain = array.domain();
+  n->section = std::move(section);
+  return SecExpr(std::move(n));
+}
+
+SecExpr SecExpr::whole(const DistArray& array) {
+  return section(array, array.domain().dims());
+}
+
+SecExpr SecExpr::constant(double value) {
+  auto n = std::make_shared<Node>();
+  n->op = Op::kConst;
+  n->value = value;
+  return SecExpr(std::move(n));
+}
+
+SecExpr SecExpr::binary(Op op, SecExpr a, SecExpr b) {
+  auto n = std::make_shared<Node>();
+  n->op = op;
+  n->lhs = a.node_;
+  n->rhs = b.node_;
+  return SecExpr(std::move(n));
+}
+
+void SecExpr::collect_shape(const Node& n, std::vector<Extent>& shape,
+                            bool& seen) {
+  if (n.op == Op::kLeaf) {
+    // Fortran conformance ignores dimensions of extent 1 contributed by
+    // scalar subscripts: D(:,j) conforms with A(:). Shapes are therefore
+    // compared squeezed.
+    std::vector<Extent> mine;
+    mine.reserve(n.section.size());
+    for (const Triplet& t : n.section) {
+      if (t.size() != 1) mine.push_back(t.size());
+    }
+    if (!seen) {
+      shape = mine;
+      seen = true;
+    } else if (shape != mine) {
+      throw ConformanceError(
+          "array sections in one expression do not conform in shape");
+    }
+    return;
+  }
+  if (n.lhs) collect_shape(*n.lhs, shape, seen);
+  if (n.rhs) collect_shape(*n.rhs, shape, seen);
+}
+
+std::vector<Extent> SecExpr::shape() const {
+  std::vector<Extent> shape;
+  bool seen = false;
+  collect_shape(*node_, shape, seen);
+  return shape;
+}
+
+Extent SecExpr::count_flops(const Node& n) {
+  switch (n.op) {
+    case Op::kLeaf:
+    case Op::kConst:
+      return 0;
+    default:
+      return 1 + count_flops(*n.lhs) + count_flops(*n.rhs);
+  }
+}
+
+Extent SecExpr::flops_per_element() const { return count_flops(*node_); }
+
+double SecExpr::eval_node(const Node& n, ProgramState& state, ApId p,
+                          const IndexTuple& pos, bool charge) {
+  switch (n.op) {
+    case Op::kConst:
+      return n.value;
+    case Op::kLeaf: {
+      // `pos` is the squeezed position (unit dimensions dropped); expand it
+      // to this leaf's rank by pinning unit dimensions at position 1.
+      IndexTuple full_pos;
+      full_pos.resize(n.section.size());
+      std::size_t consumed = 0;
+      for (std::size_t d = 0; d < n.section.size(); ++d) {
+        full_pos[d] = n.section[d].size() == 1 ? 1 : pos[consumed++];
+      }
+      IndexTuple parent = n.domain.section_parent_index(n.section, full_pos);
+      if (charge) return state.read_for(p, n.array, parent, n.bytes);
+      return state.value(n.array, parent);
+    }
+    case Op::kAdd:
+      return eval_node(*n.lhs, state, p, pos, charge) +
+             eval_node(*n.rhs, state, p, pos, charge);
+    case Op::kSub:
+      return eval_node(*n.lhs, state, p, pos, charge) -
+             eval_node(*n.rhs, state, p, pos, charge);
+    case Op::kMul:
+      return eval_node(*n.lhs, state, p, pos, charge) *
+             eval_node(*n.rhs, state, p, pos, charge);
+    case Op::kDiv:
+      return eval_node(*n.lhs, state, p, pos, charge) /
+             eval_node(*n.rhs, state, p, pos, charge);
+  }
+  throw InternalError("unreachable section-expression op");
+}
+
+double SecExpr::eval_at(ProgramState& state, ApId p,
+                        const IndexTuple& pos) const {
+  return eval_node(*node_, state, p, pos, /*charge=*/true);
+}
+
+double SecExpr::eval_serial(const ProgramState& state,
+                            const IndexTuple& pos) const {
+  return eval_node(*node_, const_cast<ProgramState&>(state), 0, pos,
+                   /*charge=*/false);
+}
+
+SecExpr operator+(SecExpr a, SecExpr b) {
+  return SecExpr::binary(SecExpr::Op::kAdd, std::move(a), std::move(b));
+}
+SecExpr operator-(SecExpr a, SecExpr b) {
+  return SecExpr::binary(SecExpr::Op::kSub, std::move(a), std::move(b));
+}
+SecExpr operator*(SecExpr a, SecExpr b) {
+  return SecExpr::binary(SecExpr::Op::kMul, std::move(a), std::move(b));
+}
+SecExpr operator/(SecExpr a, SecExpr b) {
+  return SecExpr::binary(SecExpr::Op::kDiv, std::move(a), std::move(b));
+}
+SecExpr operator*(SecExpr a, double b) {
+  return std::move(a) * SecExpr::constant(b);
+}
+SecExpr operator*(double a, SecExpr b) {
+  return SecExpr::constant(a) * std::move(b);
+}
+SecExpr operator+(SecExpr a, double b) {
+  return std::move(a) + SecExpr::constant(b);
+}
+
+}  // namespace hpfnt

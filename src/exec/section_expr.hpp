@@ -1,0 +1,85 @@
+// Section expressions: the right-hand sides of global-index array
+// assignments, e.g. the Thole stencil of §8.1.1:
+//
+//     P = U(0:N-1,:) + U(1:N,:) + V(:,0:N-1) + V(:,1:N)
+//
+// A SecExpr is an elementwise expression tree over array sections and
+// scalar constants. All section leaves must share one shape — the shape of
+// the assignment — and the executor evaluates the tree per element on the
+// LHS owner, charging remote reads through ProgramState::read_for.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/array.hpp"
+#include "exec/storage.hpp"
+
+namespace hpfnt {
+
+class SecExpr {
+ public:
+  /// A section of an array: SecExpr::section(U, {Triplet(0,N-1), whole}).
+  static SecExpr section(const DistArray& array,
+                         std::vector<Triplet> section);
+
+  /// The whole array as a section.
+  static SecExpr whole(const DistArray& array);
+
+  /// A scalar constant (shapeless; conforms with everything).
+  static SecExpr constant(double value);
+
+  /// Shape of the expression with unit dimensions squeezed out (Fortran
+  /// conformance: D(:,j) conforms with A(:)). Constants have an empty
+  /// shape; mixed expressions take the leaves' common squeezed shape.
+  /// Throws ConformanceError if two leaves disagree.
+  std::vector<Extent> shape() const;
+
+  /// Number of arithmetic operations evaluated per element.
+  Extent flops_per_element() const;
+
+  /// Evaluates at `pos` — the 1-based *squeezed* position tuple (one entry
+  /// per non-unit dimension of the shape) — on behalf of processor `p`,
+  /// charging remote reads. Must run inside an open comm step.
+  double eval_at(ProgramState& state, ApId p, const IndexTuple& pos) const;
+
+  /// Evaluates without any communication accounting (serial reference).
+  double eval_serial(const ProgramState& state, const IndexTuple& pos) const;
+
+  friend SecExpr operator+(SecExpr a, SecExpr b);
+  friend SecExpr operator-(SecExpr a, SecExpr b);
+  friend SecExpr operator*(SecExpr a, SecExpr b);
+  friend SecExpr operator/(SecExpr a, SecExpr b);
+  friend SecExpr operator*(SecExpr a, double b);
+  friend SecExpr operator*(double a, SecExpr b);
+  friend SecExpr operator+(SecExpr a, double b);
+
+ private:
+  enum class Op { kLeaf, kConst, kAdd, kSub, kMul, kDiv };
+
+  struct Node {
+    Op op = Op::kConst;
+    double value = 0.0;                   // kConst
+    ArrayId array = kNoArray;             // kLeaf
+    Extent bytes = 8;                     // kLeaf element size
+    IndexDomain domain;                   // kLeaf parent domain
+    std::vector<Triplet> section;         // kLeaf
+    std::shared_ptr<const Node> lhs;
+    std::shared_ptr<const Node> rhs;
+  };
+
+  explicit SecExpr(std::shared_ptr<const Node> node)
+      : node_(std::move(node)) {}
+
+  static SecExpr binary(Op op, SecExpr a, SecExpr b);
+  static void collect_shape(const Node& n, std::vector<Extent>& shape,
+                            bool& seen);
+  static Extent count_flops(const Node& n);
+  static double eval_node(const Node& n, ProgramState& state, ApId p,
+                          const IndexTuple& pos, bool charge);
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace hpfnt

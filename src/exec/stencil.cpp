@@ -1,0 +1,71 @@
+#include "exec/stencil.hpp"
+
+namespace hpfnt {
+
+void SweepStats::accumulate(const AssignResult& r) {
+  elements += r.elements;
+  messages += r.step.messages;
+  bytes += r.step.bytes;
+  remote_element_reads += r.step.element_transfers;
+  time_us += r.step.time_us;
+  // Both sweeps in this module read four operands per element.
+  remote_read_fraction =
+      elements == 0
+          ? 0.0
+          : static_cast<double>(remote_element_reads) /
+                (static_cast<double>(elements) * 4.0);
+}
+
+SweepStats jacobi_step(ProgramState& state, const DataEnv& env,
+                       const DistArray& a, const DistArray& b, Extent n) {
+  const Triplet inner(2, n - 1);
+  SecExpr rhs = (SecExpr::section(a, {Triplet(1, n - 2), inner}) +
+                 SecExpr::section(a, {Triplet(3, n), inner}) +
+                 SecExpr::section(a, {inner, Triplet(1, n - 2)}) +
+                 SecExpr::section(a, {inner, Triplet(3, n)})) *
+                0.25;
+  AssignResult r = assign(state, env, b, {inner, inner}, rhs,
+                          "jacobi " + a.name() + "->" + b.name());
+  SweepStats stats;
+  stats.accumulate(r);
+  return stats;
+}
+
+SweepStats jacobi(ProgramState& state, const DataEnv& env, DistArray& a,
+                  DistArray& b, Extent n, int iters) {
+  SweepStats total;
+  const DistArray* src = &a;
+  const DistArray* dst = &b;
+  for (int it = 0; it < iters; ++it) {
+    SweepStats s = jacobi_step(state, env, *src, *dst, n);
+    total.elements += s.elements;
+    total.messages += s.messages;
+    total.bytes += s.bytes;
+    total.remote_element_reads += s.remote_element_reads;
+    total.time_us += s.time_us;
+    std::swap(src, dst);
+  }
+  total.remote_read_fraction =
+      total.elements == 0
+          ? 0.0
+          : static_cast<double>(total.remote_element_reads) /
+                (static_cast<double>(total.elements) * 4.0);
+  return total;
+}
+
+SweepStats staggered_update(ProgramState& state, const DataEnv& env,
+                            const DistArray& u, const DistArray& v,
+                            const DistArray& p, Extent n) {
+  const Triplet full(1, n);
+  SecExpr rhs = SecExpr::section(u, {Triplet(0, n - 1), full}) +
+                SecExpr::section(u, {Triplet(1, n), full}) +
+                SecExpr::section(v, {full, Triplet(0, n - 1)}) +
+                SecExpr::section(v, {full, Triplet(1, n)});
+  AssignResult r =
+      assign(state, env, p, {full, full}, rhs, "staggered P=U+U+V+V");
+  SweepStats stats;
+  stats.accumulate(r);
+  return stats;
+}
+
+}  // namespace hpfnt

@@ -1,0 +1,41 @@
+// Stencil drivers built on the assignment executor: the 2-D 5-point Jacobi
+// sweep (the motivating workload class of the paper's introduction) and the
+// §8.1.1 staggered-grid update. Both verify against serial references in
+// the tests and feed the E2/E7 benchmarks.
+#pragma once
+
+#include <vector>
+
+#include "exec/assign.hpp"
+
+namespace hpfnt {
+
+struct SweepStats {
+  Extent elements = 0;
+  Extent messages = 0;
+  Extent bytes = 0;
+  Extent remote_element_reads = 0;
+  double time_us = 0.0;
+  double remote_read_fraction = 0.0;
+
+  void accumulate(const AssignResult& r);
+};
+
+/// One Jacobi iteration on the interior of `a` into `b`:
+///   B(2:N-1, 2:N-1) = 0.25 * (A north + south + west + east).
+/// Arrays must share the square domain [1:n, 1:n].
+SweepStats jacobi_step(ProgramState& state, const DataEnv& env,
+                       const DistArray& a, const DistArray& b, Extent n);
+
+/// `iters` Jacobi iterations alternating a->b, b->a.
+SweepStats jacobi(ProgramState& state, const DataEnv& env, DistArray& a,
+                  DistArray& b, Extent n, int iters);
+
+/// The Thole staggered-grid update (§8.1.1):
+///   P = U(0:N-1, :) + U(1:N, :) + V(:, 0:N-1) + V(:, 1:N)
+/// with U(0:N, 1:N), V(1:N, 0:N), P(1:N, 1:N).
+SweepStats staggered_update(ProgramState& state, const DataEnv& env,
+                            const DistArray& u, const DistArray& v,
+                            const DistArray& p, Extent n);
+
+}  // namespace hpfnt

@@ -1,0 +1,219 @@
+#include "exec/storage.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+ProgramState::ProgramState(Machine& machine)
+    : machine_(&machine), comm_(machine), memory_(machine.processors()) {}
+
+ProgramState::Store& ProgramState::store(ArrayId id) {
+  auto it = stores_.find(id);
+  if (it == stores_.end()) {
+    throw InternalError("array has no storage in this program state");
+  }
+  return it->second;
+}
+
+const ProgramState::Store& ProgramState::store(ArrayId id) const {
+  auto it = stores_.find(id);
+  if (it == stores_.end()) {
+    throw InternalError("array has no storage in this program state");
+  }
+  return it->second;
+}
+
+void ProgramState::account_allocate(const Store& s) {
+  // One domain sweep counts every replica exactly once per owner.
+  s.domain.for_each([&](const IndexTuple& idx) {
+    for (ApId p : s.dist.owners(idx)) {
+      memory_.allocate(p, s.elem_bytes);
+    }
+  });
+}
+
+void ProgramState::account_release(const Store& s) {
+  s.domain.for_each([&](const IndexTuple& idx) {
+    for (ApId p : s.dist.owners(idx)) {
+      memory_.release(p, s.elem_bytes);
+    }
+  });
+}
+
+void ProgramState::create(const DataEnv& env, const DistArray& array) {
+  create_with(array, env.distribution_of(array));
+}
+
+void ProgramState::create_with(const DistArray& array, Distribution layout) {
+  if (stores_.count(array.id())) {
+    throw InternalError("array '" + array.name() + "' already has storage");
+  }
+  Store s;
+  s.domain = array.domain();
+  s.dist = std::move(layout);
+  s.values.assign(static_cast<std::size_t>(s.domain.size()), 0.0);
+  s.elem_bytes = elem_bytes(array.type());
+  account_allocate(s);
+  stores_.emplace(array.id(), std::move(s));
+}
+
+void ProgramState::destroy(const DistArray& array) {
+  auto it = stores_.find(array.id());
+  if (it == stores_.end()) {
+    throw InternalError("destroy of an array without storage");
+  }
+  account_release(it->second);
+  stores_.erase(it);
+}
+
+bool ProgramState::exists(ArrayId id) const noexcept {
+  return stores_.count(id) != 0;
+}
+
+const Distribution& ProgramState::layout(ArrayId id) const {
+  return store(id).dist;
+}
+
+double ProgramState::value(ArrayId id, const IndexTuple& index) const {
+  const Store& s = store(id);
+  return s.values[static_cast<std::size_t>(s.domain.linearize(index))];
+}
+
+void ProgramState::set_value(ArrayId id, const IndexTuple& index,
+                             double value) {
+  Store& s = store(id);
+  s.values[static_cast<std::size_t>(s.domain.linearize(index))] = value;
+}
+
+void ProgramState::fill(ArrayId id,
+                        const std::function<double(const IndexTuple&)>& fn) {
+  Store& s = store(id);
+  s.domain.for_each([&](const IndexTuple& idx) {
+    s.values[static_cast<std::size_t>(s.domain.linearize(idx))] = fn(idx);
+  });
+}
+
+double ProgramState::checksum(ArrayId id) const {
+  const Store& s = store(id);
+  double total = 0.0;
+  for (double v : s.values) total += v;
+  return total;
+}
+
+double ProgramState::read_for(ApId p, ArrayId id, const IndexTuple& index,
+                              Extent bytes) {
+  const Store& s = store(id);
+  const double v =
+      s.values[static_cast<std::size_t>(s.domain.linearize(index))];
+  if (!s.dist.is_owner(p, index)) {
+    comm_.transfer(s.dist.first_owner(index), p, bytes);
+  } else {
+    comm_.count_local_read();
+  }
+  return v;
+}
+
+void ProgramState::write_owned(ArrayId id, const IndexTuple& index,
+                               double value, ApId computed_by, Extent bytes) {
+  Store& s = store(id);
+  s.values[static_cast<std::size_t>(s.domain.linearize(index))] = value;
+  for (ApId q : s.dist.owners(index)) {
+    if (q != computed_by) comm_.transfer(computed_by, q, bytes);
+  }
+}
+
+StepStats ProgramState::apply_remap(const RemapEvent& event,
+                                    const DistArray& array) {
+  Store& s = store(array.id());
+  if (!event.from.valid() || !event.to.valid()) {
+    throw InternalError("remap event with missing distributions");
+  }
+  if (event.from.domain() != s.domain || event.to.domain() != s.domain) {
+    throw ConformanceError(
+        "remap event domains do not match the array's storage");
+  }
+  comm_.begin_step(event.reason.empty() ? ("remap " + array.name())
+                                        : event.reason);
+  s.domain.for_each([&](const IndexTuple& idx) {
+    OwnerSet old_owners = event.from.owners(idx);
+    OwnerSet new_owners = event.to.owners(idx);
+    const ApId src = old_owners.front();
+    for (ApId q : new_owners) {
+      bool had = false;
+      for (ApId o : old_owners) {
+        if (o == q) {
+          had = true;
+          break;
+        }
+      }
+      if (!had) comm_.transfer(src, q, s.elem_bytes);
+    }
+    // Memory accounting: replicas appear/disappear with the owner sets.
+    for (ApId q : new_owners) {
+      bool had = false;
+      for (ApId o : old_owners) {
+        if (o == q) had = true;
+      }
+      if (!had) memory_.allocate(q, s.elem_bytes);
+    }
+    for (ApId o : old_owners) {
+      bool kept = false;
+      for (ApId q : new_owners) {
+        if (o == q) kept = true;
+      }
+      if (!kept) memory_.release(o, s.elem_bytes);
+    }
+  });
+  s.dist = event.to;
+  return comm_.end_step();
+}
+
+StepStats ProgramState::copy_section(const DistArray& dst,
+                                     const std::vector<Triplet>& dst_section,
+                                     const DistArray& src,
+                                     const std::vector<Triplet>& src_section,
+                                     const std::string& label) {
+  Store& d = store(dst.id());
+  Store& s = store(src.id());
+  const IndexDomain dshape = d.domain.section_domain(dst_section);
+  const IndexDomain sshape = s.domain.section_domain(src_section);
+  if (dshape.size() != sshape.size() || dshape.rank() != sshape.rank()) {
+    throw ConformanceError("copy_section shapes do not conform");
+  }
+  for (int k = 0; k < dshape.rank(); ++k) {
+    if (dshape.extent(k) != sshape.extent(k)) {
+      throw ConformanceError("copy_section shapes do not conform");
+    }
+  }
+  comm_.begin_step(label);
+  // RHS snapshot first (Fortran semantics for overlapping sections).
+  std::vector<double> staged;
+  staged.reserve(static_cast<std::size_t>(sshape.size()));
+  sshape.for_each([&](const IndexTuple& pos) {
+    IndexTuple sidx = s.domain.section_parent_index(src_section, pos);
+    staged.push_back(
+        s.values[static_cast<std::size_t>(s.domain.linearize(sidx))]);
+  });
+  std::size_t k = 0;
+  dshape.for_each([&](const IndexTuple& pos) {
+    IndexTuple didx = d.domain.section_parent_index(dst_section, pos);
+    IndexTuple sidx = s.domain.section_parent_index(src_section, pos);
+    OwnerSet src_owners = s.dist.owners(sidx);
+    for (ApId q : d.dist.owners(didx)) {
+      bool already = false;
+      for (ApId o : src_owners) {
+        if (o == q) {
+          already = true;
+          break;
+        }
+      }
+      if (!already) comm_.transfer(src_owners.front(), q, d.elem_bytes);
+    }
+    d.values[static_cast<std::size_t>(d.domain.linearize(didx))] =
+        staged[k++];
+  });
+  return comm_.end_step();
+}
+
+}  // namespace hpfnt

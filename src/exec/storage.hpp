@@ -1,0 +1,111 @@
+// ProgramState: the simulated machine's data plane.
+//
+// Every created array's elements live in the local memories of their owners
+// (paper §2.2: owners "store the element in their local memory"). Values
+// are real doubles so tests can verify end-to-end numerics against serial
+// references; replicas hold identical copies by construction, so the state
+// keeps one canonical value per element plus the layout (the Distribution
+// the data currently follows) and charges memory for every replica.
+//
+// All *communication-counted* operations — remote reads on behalf of a
+// computing processor, replica broadcasts, remaps, argument copies — go
+// through the CommEngine inside an open step, so every mapping decision has
+// a measurable message/byte/time consequence.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/array.hpp"
+#include "core/data_env.hpp"
+#include "core/distribution.hpp"
+#include "machine/comm.hpp"
+#include "machine/memory.hpp"
+#include "machine/topology.hpp"
+
+namespace hpfnt {
+
+class ProgramState {
+ public:
+  explicit ProgramState(Machine& machine);
+
+  Machine& machine() noexcept { return *machine_; }
+  CommEngine& comm() noexcept { return comm_; }
+  MemoryTracker& memory() noexcept { return memory_; }
+
+  /// Allocates storage for a created array, laid out by its current
+  /// distribution in `env`. Elements start at 0.0.
+  void create(const DataEnv& env, const DistArray& array);
+
+  /// Allocates storage with an explicit layout (used for dummy arguments
+  /// whose mapping comes from a CallFrame, not a forest).
+  void create_with(const DistArray& array, Distribution layout);
+
+  void destroy(const DistArray& array);
+
+  bool exists(ArrayId id) const noexcept;
+
+  /// The layout the data currently follows (updated by apply_remap).
+  const Distribution& layout(ArrayId id) const;
+
+  /// Canonical value of one element (no communication).
+  double value(ArrayId id, const IndexTuple& index) const;
+
+  /// Writes one element on all owners (initialization; no communication).
+  void set_value(ArrayId id, const IndexTuple& index, double value);
+
+  /// Initializes every element from a function of its index.
+  void fill(ArrayId id, const std::function<double(const IndexTuple&)>& fn);
+
+  /// Sum of all elements — cheap whole-array checksum for verification.
+  double checksum(ArrayId id) const;
+
+  // --- communication-counted primitives (must be inside an open step) ----
+
+  /// Reads an element on behalf of processor `p`: free when p owns it,
+  /// otherwise a transfer from the element's first owner is recorded.
+  double read_for(ApId p, ArrayId id, const IndexTuple& index, Extent bytes);
+
+  /// Owner-computes write: processor `computed_by` produced `value`; every
+  /// owner stores it, and owners other than `computed_by` receive it by
+  /// message.
+  void write_owned(ArrayId id, const IndexTuple& index, double value,
+                   ApId computed_by, Extent bytes);
+
+  // --- data movement steps -------------------------------------------------
+
+  /// Executes a remap event: moves every element from its old owners to its
+  /// new owners (one transfer per new owner that lacked the element),
+  /// updates the layout and the memory accounting. One comm step.
+  StepStats apply_remap(const RemapEvent& event, const DistArray& array);
+
+  /// Copies a section of `src` onto a section of `dst` (equal shapes),
+  /// charging transfers only for elements whose destination owners do not
+  /// already hold the value. One comm step. Used for argument passing.
+  StepStats copy_section(const DistArray& dst,
+                         const std::vector<Triplet>& dst_section,
+                         const DistArray& src,
+                         const std::vector<Triplet>& src_section,
+                         const std::string& label);
+
+ private:
+  struct Store {
+    IndexDomain domain;
+    Distribution dist;
+    std::vector<double> values;  // canonical, by domain linearization
+    Extent elem_bytes = 8;
+  };
+
+  Store& store(ArrayId id);
+  const Store& store(ArrayId id) const;
+  void account_allocate(const Store& s);
+  void account_release(const Store& s);
+
+  Machine* machine_;
+  CommEngine comm_;
+  MemoryTracker memory_;
+  std::unordered_map<ArrayId, Store> stores_;
+};
+
+}  // namespace hpfnt

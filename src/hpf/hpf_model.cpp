@@ -1,0 +1,197 @@
+#include "hpf/hpf_model.hpp"
+
+#include <set>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt::hpf {
+
+HpfModel::HpfModel(ProcessorSpace& space) : space_(&space) {}
+
+HpfTemplate& HpfModel::declare_template(const std::string& name,
+                                        const IndexDomain& domain) {
+  templates_.push_back(
+      std::make_unique<HpfTemplate>(next_tag_++, name, domain));
+  template_dists_.emplace_back();
+  return *templates_.back();
+}
+
+HpfTemplate& HpfModel::declare_allocatable_template(const std::string& name,
+                                                    int rank) {
+  throw ConformanceError(cat(
+      "TEMPLATE ", name, " of rank ", rank,
+      " cannot be ALLOCATABLE: \"the shape of templates is determined at "
+      "entry to a program unit and cannot be changed afterwards\", so HPF "
+      "cannot relate an allocatable instance's shape to a template (§8.2, "
+      "problem 1)"));
+}
+
+void HpfModel::distribute_template(HpfTemplate& tmpl,
+                                   std::vector<DistFormat> formats,
+                                   ProcessorRef target) {
+  template_dists_[static_cast<std::size_t>(tmpl.tag())] =
+      Distribution::formats(tmpl.domain(), std::move(formats),
+                            std::move(target));
+}
+
+HpfArray& HpfModel::declare_array(const std::string& name,
+                                  const IndexDomain& domain) {
+  auto array = std::make_unique<HpfArray>();
+  array->id = static_cast<int>(arrays_.size());
+  array->name = name;
+  array->domain = domain;
+  arrays_.push_back(std::move(array));
+  links_.emplace_back();
+  array_dists_.emplace_back();
+  return *arrays_.back();
+}
+
+void HpfModel::distribute_array(HpfArray& array,
+                                std::vector<DistFormat> formats,
+                                ProcessorRef target) {
+  if (links_[static_cast<std::size_t>(array.id)].target != Link::Target::kNone) {
+    throw ConformanceError("array '" + array.name +
+                           "' is aligned; it cannot also be distributed");
+  }
+  array_dists_[static_cast<std::size_t>(array.id)] = Distribution::formats(
+      array.domain, std::move(formats), std::move(target));
+}
+
+void HpfModel::align_to_template(HpfArray& array, HpfTemplate& tmpl,
+                                 const AlignSpec& spec) {
+  Link& link = links_[static_cast<std::size_t>(array.id)];
+  if (link.target != Link::Target::kNone ||
+      array_dists_[static_cast<std::size_t>(array.id)].valid()) {
+    throw ConformanceError("array '" + array.name +
+                           "' already has a mapping directive");
+  }
+  // Validate the spec against the shapes now (errors surface at the
+  // directive, as a compiler would).
+  (void)spec.reduce(array.domain, tmpl.domain());
+  link.target = Link::Target::kTemplate;
+  link.target_id = tmpl.tag();
+  link.spec = spec;
+}
+
+void HpfModel::align_to_array(HpfArray& array, HpfArray& base,
+                              const AlignSpec& spec) {
+  if (array.id == base.id) {
+    throw ConformanceError("an array cannot be aligned to itself");
+  }
+  Link& link = links_[static_cast<std::size_t>(array.id)];
+  if (link.target != Link::Target::kNone ||
+      array_dists_[static_cast<std::size_t>(array.id)].valid()) {
+    throw ConformanceError("array '" + array.name +
+                           "' already has a mapping directive");
+  }
+  (void)spec.reduce(array.domain, base.domain);
+  link.target = Link::Target::kArray;
+  link.target_id = base.id;
+  link.spec = spec;
+}
+
+const HpfArray& HpfModel::array_by_id(int id) const {
+  return *arrays_.at(static_cast<std::size_t>(id));
+}
+
+const HpfTemplate& HpfModel::template_by_tag(int tag) const {
+  return *templates_.at(static_cast<std::size_t>(tag));
+}
+
+Distribution HpfModel::distribution_of_template(const HpfTemplate& tmpl) const {
+  const Distribution& d =
+      template_dists_.at(static_cast<std::size_t>(tmpl.tag()));
+  if (!d.valid()) {
+    throw ConformanceError("template '" + tmpl.name() +
+                           "' has no distribution");
+  }
+  return d;
+}
+
+Distribution HpfModel::distribution_of(const HpfArray& array) const {
+  // Walk the chain, composing CONSTRUCT from the far end back.
+  std::vector<const HpfArray*> chain;
+  std::set<int> visited;
+  const HpfArray* current = &array;
+  while (true) {
+    if (!visited.insert(current->id).second) {
+      throw ConformanceError("alignment cycle through '" + current->name +
+                             "'");
+    }
+    const Link& link = links_[static_cast<std::size_t>(current->id)];
+    chain.push_back(current);
+    if (link.target == Link::Target::kArray) {
+      current = &array_by_id(link.target_id);
+      continue;
+    }
+    break;
+  }
+  // `chain.back()` ends either at a template alignment or a direct/missing
+  // distribution.
+  const HpfArray* last = chain.back();
+  const Link& last_link = links_[static_cast<std::size_t>(last->id)];
+  Distribution dist;
+  if (last_link.target == Link::Target::kTemplate) {
+    const HpfTemplate& tmpl = template_by_tag(last_link.target_id);
+    Distribution tmpl_dist = distribution_of_template(tmpl);
+    AlignmentFunction alpha =
+        last_link.spec->reduce(last->domain, tmpl.domain());
+    dist = Distribution::constructed(std::move(alpha), std::move(tmpl_dist));
+  } else {
+    const Distribution& direct =
+        array_dists_[static_cast<std::size_t>(last->id)];
+    if (!direct.valid()) {
+      throw ConformanceError("array '" + last->name +
+                             "' has no distribution (end of chain)");
+    }
+    dist = direct;
+  }
+  // Fold the remaining chain (closest-to-last first).
+  for (std::size_t k = chain.size() - 1; k-- > 0;) {
+    const HpfArray* node = chain[k];
+    const HpfArray* base = chain[k + 1];
+    const Link& link = links_[static_cast<std::size_t>(node->id)];
+    AlignmentFunction alpha = link.spec->reduce(node->domain, base->domain);
+    dist = Distribution::constructed(std::move(alpha), std::move(dist));
+  }
+  return dist;
+}
+
+int HpfModel::chain_length(const HpfArray& array) const {
+  int length = 0;
+  const HpfArray* current = &array;
+  while (links_[static_cast<std::size_t>(current->id)].target ==
+         Link::Target::kArray) {
+    current = &array_by_id(
+        links_[static_cast<std::size_t>(current->id)].target_id);
+    ++length;
+  }
+  if (links_[static_cast<std::size_t>(current->id)].target ==
+      Link::Target::kTemplate) {
+    ++length;
+  }
+  return length;
+}
+
+Distribution HpfModel::pass_to_procedure(const HpfArray& actual,
+                                         const std::string& procedure) const {
+  // Does the mapping involve a template anywhere along the chain?
+  const HpfArray* current = &actual;
+  while (true) {
+    const Link& link = links_[static_cast<std::size_t>(current->id)];
+    if (link.target == Link::Target::kTemplate) {
+      const HpfTemplate& tmpl = template_by_tag(link.target_id);
+      throw ConformanceError(cat(
+          "cannot describe the distribution of the dummy argument in ",
+          procedure, ": it is aligned to TEMPLATE ", tmpl.name(),
+          ", and templates cannot be passed across procedure boundaries "
+          "(§8.2, problem 2)"));
+    }
+    if (link.target != Link::Target::kArray) break;
+    current = &array_by_id(link.target_id);
+  }
+  return distribution_of(actual);
+}
+
+}  // namespace hpfnt::hpf

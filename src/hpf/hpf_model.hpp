@@ -1,0 +1,114 @@
+// The HPF-draft mapping model (paper §8): the baseline the paper's proposal
+// is measured against.
+//
+// Differences from the paper's model (src/core), all reproduced here:
+//   * arrays may be aligned to TEMPLATEs as well as to other arrays;
+//   * alignment chains of arbitrary height are allowed (A to B to T); the
+//     *ultimate* align target determines the mapping, resolved by
+//     composing CONSTRUCT through the chain;
+//   * templates can be distributed but are not first-class: they cannot be
+//     ALLOCATABLE and cannot be passed across procedure boundaries — the
+//     two §8.2 problems, surfaced as conformance errors by the operations
+//     that would need them.
+//
+// The E2 benchmark drives the §8.1.1 Thole example through this model:
+// the same source-level alignments yield catastrophically different
+// communication depending on the (omitted, "machine-dependent") template
+// distribution — the paper's central criticism made measurable.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/alignment.hpp"
+#include "core/distribution.hpp"
+#include "core/processors.hpp"
+#include "hpf/template_object.hpp"
+
+namespace hpfnt::hpf {
+
+struct HpfArray {
+  int id = -1;
+  std::string name;
+  IndexDomain domain;
+};
+
+class HpfModel {
+ public:
+  explicit HpfModel(ProcessorSpace& space);
+
+  // --- templates ----------------------------------------------------------
+
+  /// !HPF$ TEMPLATE T(shape). Each call creates a distinct tagged object,
+  /// even with a name and shape equal to an earlier one in another scope.
+  HpfTemplate& declare_template(const std::string& name,
+                                const IndexDomain& domain);
+
+  /// !HPF$ DISTRIBUTE T(formats) [ONTO target].
+  void distribute_template(HpfTemplate& tmpl, std::vector<DistFormat> formats,
+                           ProcessorRef target);
+
+  /// §8.2 problem 1 made explicit: "There is no way in which HPF can
+  /// establish a direct relationship between the shape of an instance of an
+  /// allocatable array, and the shape of an associated template." Always
+  /// throws ConformanceError.
+  HpfTemplate& declare_allocatable_template(const std::string& name,
+                                            int rank);
+
+  // --- arrays ---------------------------------------------------------------
+
+  HpfArray& declare_array(const std::string& name, const IndexDomain& domain);
+
+  /// !HPF$ DISTRIBUTE A(formats) [ONTO target] — direct distribution.
+  void distribute_array(HpfArray& array, std::vector<DistFormat> formats,
+                        ProcessorRef target);
+
+  /// !HPF$ ALIGN A(...) WITH T(...).
+  void align_to_template(HpfArray& array, HpfTemplate& tmpl,
+                         const AlignSpec& spec);
+
+  /// !HPF$ ALIGN A(...) WITH B(...) — chains are allowed in HPF.
+  void align_to_array(HpfArray& array, HpfArray& base, const AlignSpec& spec);
+
+  /// The array's mapping: CONSTRUCT composed along the alignment chain down
+  /// to the ultimate template/array distribution. Throws when the chain
+  /// ends in an object that was never distributed, or on a cycle.
+  Distribution distribution_of(const HpfArray& array) const;
+
+  Distribution distribution_of_template(const HpfTemplate& tmpl) const;
+
+  /// Length of the alignment chain from `array` to its ultimate target
+  /// (0 = directly distributed / undistributed).
+  int chain_length(const HpfArray& array) const;
+
+  /// §8.2 problem 2 made explicit: describing a dummy's mapping in a callee
+  /// requires naming the caller's template, but "templates cannot be passed
+  /// as arguments to subroutines." Throws ConformanceError whenever the
+  /// actual's mapping involves a template; succeeds (returning the mapping)
+  /// only for template-free mappings.
+  Distribution pass_to_procedure(const HpfArray& actual,
+                                 const std::string& procedure) const;
+
+ private:
+  struct Link {
+    enum class Target { kNone, kTemplate, kArray };
+    Target target = Target::kNone;
+    int target_id = -1;  // template tag or array id
+    std::optional<AlignSpec> spec;
+  };
+
+  const HpfArray& array_by_id(int id) const;
+  const HpfTemplate& template_by_tag(int tag) const;
+
+  ProcessorSpace* space_;
+  std::vector<std::unique_ptr<HpfTemplate>> templates_;
+  std::vector<Distribution> template_dists_;  // parallel to templates_
+  std::vector<std::unique_ptr<HpfArray>> arrays_;
+  std::vector<Link> links_;                   // parallel to arrays_
+  std::vector<Distribution> array_dists_;     // direct distributions
+  int next_tag_ = 0;
+};
+
+}  // namespace hpfnt::hpf

@@ -1,0 +1,4 @@
+#include "hpf/template_object.hpp"
+
+// HpfTemplate is fully defined inline; this translation unit anchors the
+// header in the build so include hygiene is checked.

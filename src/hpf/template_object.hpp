@@ -1,0 +1,48 @@
+// HPF-draft templates (paper §8): "an abstract index space that can be
+// distributed and with which arrays may be aligned."
+//
+// As the paper stresses, a template is NOT just an index domain: "distinct
+// definitions of templates in the same or different scopes are to be
+// considered as different", so "each template created in a program
+// execution must be interpreted as a *tagged* index domain." The tag here
+// makes two templates with identical shapes distinct objects, exactly as
+// the HPF draft requires.
+//
+// Templates are not first-class: they cannot be ALLOCATABLE and cannot be
+// passed across procedure boundaries. Those restrictions — the core of the
+// paper's §8.2 criticism — are enforced by HpfModel.
+#pragma once
+
+#include <string>
+
+#include "core/index_domain.hpp"
+
+namespace hpfnt::hpf {
+
+class HpfTemplate {
+ public:
+  HpfTemplate(int tag, std::string name, IndexDomain domain)
+      : tag_(tag), name_(std::move(name)), domain_(std::move(domain)) {}
+
+  /// The tag distinguishing this template creation from every other one,
+  /// independent of shape.
+  int tag() const noexcept { return tag_; }
+  const std::string& name() const noexcept { return name_; }
+  const IndexDomain& domain() const noexcept { return domain_; }
+  int rank() const noexcept { return domain_.rank(); }
+
+  /// Two templates are the same object only if they carry the same tag.
+  friend bool operator==(const HpfTemplate& a, const HpfTemplate& b) {
+    return a.tag_ == b.tag_;
+  }
+  friend bool operator!=(const HpfTemplate& a, const HpfTemplate& b) {
+    return !(a == b);
+  }
+
+ private:
+  int tag_;
+  std::string name_;
+  IndexDomain domain_;
+};
+
+}  // namespace hpfnt::hpf

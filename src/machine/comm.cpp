@@ -1,0 +1,91 @@
+#include "machine/comm.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+std::string StepStats::to_string() const {
+  return cat(label, ": msgs=", messages, " bytes=", bytes,
+             " transfers=", element_transfers, " flops=", flops,
+             " time=", time_us, "us");
+}
+
+CommEngine::CommEngine(const Machine& machine) : machine_(&machine) {}
+
+void CommEngine::begin_step(std::string label) {
+  if (in_step_) throw InternalError("begin_step inside an open step");
+  in_step_ = true;
+  label_ = std::move(label);
+  pair_bytes_.clear();
+  pair_elements_.clear();
+  step_flops_.clear();
+}
+
+void CommEngine::transfer(ApId src, ApId dst, Extent bytes) {
+  if (!in_step_) throw InternalError("transfer outside a step");
+  if (src == dst) {
+    ++local_reads_;
+    return;
+  }
+  pair_bytes_[{src, dst}] += bytes;
+  pair_elements_[{src, dst}] += 1;
+}
+
+void CommEngine::compute(ApId p, Extent flops) {
+  if (!in_step_) throw InternalError("compute outside a step");
+  step_flops_[p] += flops;
+}
+
+StepStats CommEngine::end_step() {
+  if (!in_step_) throw InternalError("end_step without begin_step");
+  in_step_ = false;
+
+  StepStats stats;
+  stats.label = label_;
+  stats.messages = static_cast<Extent>(pair_bytes_.size());
+
+  // Per-processor send/receive loads for the BSP-like time bound.
+  std::map<ApId, double> send_us;
+  std::map<ApId, double> recv_us;
+  const CostParams& cost = machine_->cost();
+  for (const auto& [pair, bytes] : pair_bytes_) {
+    stats.bytes += bytes;
+    const double t = cost.message_us(bytes);
+    send_us[pair.first] += t;
+    recv_us[pair.second] += t;
+  }
+  for (const auto& [pair, elements] : pair_elements_) {
+    stats.element_transfers += elements;
+  }
+  double comm_us = 0.0;
+  for (const auto& [p, t] : send_us) comm_us = std::max(comm_us, t);
+  for (const auto& [p, t] : recv_us) comm_us = std::max(comm_us, t);
+
+  double compute_us = 0.0;
+  for (const auto& [p, flops] : step_flops_) {
+    stats.flops += flops;
+    compute_us = std::max(compute_us,
+                          static_cast<double>(flops) * cost.flop_us);
+  }
+  stats.time_us = comm_us + compute_us;
+
+  total_messages_ += stats.messages;
+  total_bytes_ += stats.bytes;
+  total_transfers_ += stats.element_transfers;
+  total_time_us_ += stats.time_us;
+  return stats;
+}
+
+void CommEngine::reset() {
+  if (in_step_) throw InternalError("reset inside an open step");
+  total_messages_ = 0;
+  total_bytes_ = 0;
+  total_transfers_ = 0;
+  local_reads_ = 0;
+  total_time_us_ = 0.0;
+}
+
+}  // namespace hpfnt

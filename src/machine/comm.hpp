@@ -1,0 +1,81 @@
+// The message engine: records point-to-point transfers between simulated
+// processors, batched into *steps*.
+//
+// A step models one compiler-generated communication phase (the vectorized
+// messages of one array assignment, one remap, one call-site copy): all
+// element transfers between the same (src, dst) pair within a step ride in
+// ONE message, which is how distributed-memory compilers of the era
+// aggregated communication (SUPERB/Vienna Fortran message vectorization,
+// [13] in the paper). Step statistics therefore report
+//   messages = number of distinct communicating pairs,
+//   bytes    = total payload,
+//   time     = BSP-like estimate: max over processors of the α+βn cost of
+//              the messages it sends/receives, plus the step's compute.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "machine/topology.hpp"
+
+namespace hpfnt {
+
+struct StepStats {
+  std::string label;
+  Extent messages = 0;        // distinct (src,dst) pairs
+  Extent bytes = 0;           // total payload bytes
+  Extent element_transfers = 0;  // individual remote element reads/copies
+  Extent flops = 0;
+  double time_us = 0.0;
+
+  std::string to_string() const;
+};
+
+class CommEngine {
+ public:
+  explicit CommEngine(const Machine& machine);
+
+  /// Opens a new step; transfers recorded until end_step are batched.
+  void begin_step(std::string label);
+
+  /// One element-sized payload from src to dst (same-processor transfers
+  /// are local and free; they are counted as local reads only).
+  void transfer(ApId src, ApId dst, Extent bytes);
+
+  /// Computation attributed to a processor within the step.
+  void compute(ApId p, Extent flops);
+
+  /// Closes the step, computes its statistics, accumulates totals.
+  StepStats end_step();
+
+  // --- cumulative counters ---
+  Extent total_messages() const noexcept { return total_messages_; }
+  Extent total_bytes() const noexcept { return total_bytes_; }
+  Extent total_transfers() const noexcept { return total_transfers_; }
+  double total_time_us() const noexcept { return total_time_us_; }
+  Extent local_reads() const noexcept { return local_reads_; }
+  void count_local_read() noexcept { ++local_reads_; }
+
+  void reset();
+
+  const Machine& machine() const noexcept { return *machine_; }
+
+ private:
+  const Machine* machine_;
+  bool in_step_ = false;
+  std::string label_;
+  std::map<std::pair<ApId, ApId>, Extent> pair_bytes_;
+  std::map<std::pair<ApId, ApId>, Extent> pair_elements_;
+  std::map<ApId, Extent> step_flops_;
+
+  Extent total_messages_ = 0;
+  Extent total_bytes_ = 0;
+  Extent total_transfers_ = 0;
+  Extent local_reads_ = 0;
+  double total_time_us_ = 0.0;
+};
+
+}  // namespace hpfnt

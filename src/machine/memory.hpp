@@ -1,0 +1,54 @@
+// Per-processor local-memory accounting. Every element an owner stores —
+// including replicas — occupies local memory; the replication benchmarks
+// (experiment E6) read these gauges.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace hpfnt {
+
+class MemoryTracker {
+ public:
+  explicit MemoryTracker(Extent processors)
+      : bytes_(static_cast<std::size_t>(processors), 0) {}
+
+  void allocate(ApId p, Extent bytes) {
+    bytes_[static_cast<std::size_t>(p)] += bytes;
+    if (bytes_[static_cast<std::size_t>(p)] > peak_[p]) {
+      peak_[p] = bytes_[static_cast<std::size_t>(p)];
+    }
+  }
+
+  void release(ApId p, Extent bytes) {
+    bytes_[static_cast<std::size_t>(p)] -= bytes;
+  }
+
+  Extent bytes_on(ApId p) const { return bytes_[static_cast<std::size_t>(p)]; }
+
+  Extent peak_on(ApId p) const {
+    auto it = peak_.find(p);
+    return it == peak_.end() ? 0 : it->second;
+  }
+
+  Extent total_bytes() const {
+    Extent total = 0;
+    for (Extent b : bytes_) total += b;
+    return total;
+  }
+
+  Extent max_bytes() const {
+    Extent best = 0;
+    for (Extent b : bytes_) best = b > best ? b : best;
+    return best;
+  }
+
+ private:
+  std::vector<Extent> bytes_;
+  // Peaks are sparse; a map keeps the common small-machine case cheap.
+  mutable std::unordered_map<ApId, Extent> peak_;
+};
+
+}  // namespace hpfnt

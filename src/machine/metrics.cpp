@@ -1,0 +1,104 @@
+#include "machine/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "support/error.hpp"
+
+namespace hpfnt {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw InternalError("table row width differs from header");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::string rule = "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    rule += std::string(widths[c] + 2, '-') + "|";
+  }
+  out += rule + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string format_count(Extent value) {
+  char buffer[64];
+  const double v = static_cast<double>(value);
+  if (value < 10000) {
+    std::snprintf(buffer, sizeof buffer, "%lld",
+                  static_cast<long long>(value));
+  } else if (v < 1e6) {
+    std::snprintf(buffer, sizeof buffer, "%.1fk", v / 1e3);
+  } else if (v < 1e9) {
+    std::snprintf(buffer, sizeof buffer, "%.2fM", v / 1e6);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.2fG", v / 1e9);
+  }
+  return buffer;
+}
+
+std::string format_us(double us) {
+  char buffer[64];
+  if (us < 1e3) {
+    std::snprintf(buffer, sizeof buffer, "%.1f us", us);
+  } else if (us < 1e6) {
+    std::snprintf(buffer, sizeof buffer, "%.2f ms", us / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.3f s", us / 1e6);
+  }
+  return buffer;
+}
+
+std::string format_bytes(Extent bytes) {
+  char buffer[64];
+  const double v = static_cast<double>(bytes);
+  if (bytes < 1024) {
+    std::snprintf(buffer, sizeof buffer, "%lld B",
+                  static_cast<long long>(bytes));
+  } else if (v < 1024.0 * 1024.0) {
+    std::snprintf(buffer, sizeof buffer, "%.1f KiB", v / 1024.0);
+  } else if (v < 1024.0 * 1024.0 * 1024.0) {
+    std::snprintf(buffer, sizeof buffer, "%.2f MiB", v / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%.2f GiB",
+                  v / (1024.0 * 1024.0 * 1024.0));
+  }
+  return buffer;
+}
+
+std::string format_ratio(double ratio) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.2fx", ratio);
+  return buffer;
+}
+
+std::string format_pct(double fraction) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.1f%%", fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace hpfnt

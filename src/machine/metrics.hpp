@@ -1,0 +1,44 @@
+// Reporting helpers: aligned text tables for the benchmark harnesses and
+// human-readable unit formatting. Every experiment binary prints its rows
+// through TextTable so the regenerated "paper tables" look uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace hpfnt {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header rule.
+  std::string to_string() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "123", "1.2 k", "3.4 M" — compact counts for table cells.
+std::string format_count(Extent value);
+
+/// "850 us", "1.25 ms", "2.1 s".
+std::string format_us(double us);
+
+/// "512 B", "4.0 KiB", "2.5 MiB".
+std::string format_bytes(Extent bytes);
+
+/// Fixed-precision ratio such as "1.87x".
+std::string format_ratio(double ratio);
+
+/// Percentage such as "93.2%".
+std::string format_pct(double fraction);
+
+}  // namespace hpfnt

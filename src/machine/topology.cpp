@@ -1,0 +1,20 @@
+#include "machine/topology.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+Machine::Machine(Extent processors, CostParams cost)
+    : p_(processors), cost_(cost) {
+  if (processors <= 0) {
+    throw ConformanceError("a machine needs at least one processor");
+  }
+}
+
+std::string Machine::to_string() const {
+  return cat("machine(P=", p_, ", alpha=", cost_.alpha_us,
+             "us, beta=", cost_.beta_us_per_byte, "us/B)");
+}
+
+}  // namespace hpfnt

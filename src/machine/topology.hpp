@@ -1,0 +1,47 @@
+// The simulated distributed-memory machine.
+//
+// The paper targets early-1990s message-passing multiprocessors (iPSC-class
+// hypercubes, Paragon-class meshes): each processor owns private memory and
+// all sharing happens through messages. The simulator reproduces exactly
+// the properties the paper's claims depend on — who owns what, how many
+// messages and bytes a mapping decision induces — with a standard
+// α + βn linear cost model and per-processor memory accounting. Absolute
+// times are calibrated to 1993-era hardware but only *relative* behaviour
+// (who wins, where crossovers fall) is meaningful.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace hpfnt {
+
+/// Linear communication/computation cost parameters. Defaults approximate
+/// an Intel iPSC/860: ~75 µs message startup, ~2.8 MB/s sustained
+/// point-to-point bandwidth, ~10 MFLOPS per node on compiled code.
+struct CostParams {
+  double alpha_us = 75.0;            // per-message startup latency
+  double beta_us_per_byte = 0.36;    // per-byte transfer cost (µs)
+  double flop_us = 0.1;              // per elementary arithmetic operation
+
+  /// Time to move one message of `bytes` bytes.
+  double message_us(Extent bytes) const {
+    return alpha_us + beta_us_per_byte * static_cast<double>(bytes);
+  }
+};
+
+class Machine {
+ public:
+  explicit Machine(Extent processors, CostParams cost = {});
+
+  Extent processors() const noexcept { return p_; }
+  const CostParams& cost() const noexcept { return cost_; }
+
+  std::string to_string() const;
+
+ private:
+  Extent p_;
+  CostParams cost_;
+};
+
+}  // namespace hpfnt

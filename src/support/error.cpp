@@ -1,0 +1,19 @@
+#include "support/error.hpp"
+
+namespace hpfnt {
+
+namespace {
+std::string locate(const std::string& what, int line, int column) {
+  return "directive error at " + std::to_string(line) + ":" +
+         std::to_string(column) + ": " + what;
+}
+}  // namespace
+
+DirectiveError::DirectiveError(const std::string& what, int line, int column)
+    : HpfError(locate(what, line, column)), line_(line), column_(column) {}
+
+void require(bool cond, const char* message) {
+  if (!cond) throw InternalError(std::string("internal invariant: ") + message);
+}
+
+}  // namespace hpfnt

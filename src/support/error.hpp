@@ -1,0 +1,55 @@
+// Error hierarchy for the hpfnt library.
+//
+// The model layer distinguishes conformance violations (a program breaks a
+// rule of the language model, e.g. redistributing a non-DYNAMIC array) from
+// mapping errors (an index falls outside a domain) and directive errors
+// (syntax/semantic problems in the front end). All derive from HpfError so
+// callers can catch the whole family.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hpfnt {
+
+/// Root of the hpfnt exception family.
+class HpfError : public std::runtime_error {
+ public:
+  explicit HpfError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A rule of the language model was violated (paper §2.4 constraints,
+/// DYNAMIC requirements, rank mismatches, skew alignments, ...).
+class ConformanceError : public HpfError {
+ public:
+  explicit ConformanceError(const std::string& what) : HpfError(what) {}
+};
+
+/// An index or coordinate is outside the domain it was used with.
+class MappingError : public HpfError {
+ public:
+  explicit MappingError(const std::string& what) : HpfError(what) {}
+};
+
+/// Lexical, syntactic, or binding problem in a !HPF$ directive or script.
+class DirectiveError : public HpfError {
+ public:
+  DirectiveError(const std::string& what, int line, int column);
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+ private:
+  int line_;
+  int column_;
+};
+
+/// Internal invariant failure; indicates a bug in hpfnt itself.
+class InternalError : public HpfError {
+ public:
+  explicit InternalError(const std::string& what) : HpfError(what) {}
+};
+
+/// Throws InternalError with a uniform message when `cond` is false.
+void require(bool cond, const char* message);
+
+}  // namespace hpfnt

@@ -1,0 +1,22 @@
+#include "support/rng.hpp"
+
+namespace hpfnt {
+
+std::uint64_t Rng::next() {
+  state_ += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace hpfnt

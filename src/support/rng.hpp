@@ -1,0 +1,27 @@
+// Deterministic pseudo-random source for tests, benchmarks and workload
+// generators. A fixed algorithm (splitmix64) keeps results reproducible
+// across standard library implementations, unlike std::mt19937 distributions.
+#pragma once
+
+#include <cstdint>
+
+namespace hpfnt {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace hpfnt

@@ -1,0 +1,155 @@
+// SmallVector: a vector with inline storage for the first `N` elements.
+//
+// Index tuples, owner sets and per-dimension descriptors in this library
+// almost always have rank <= 7, so the hot paths (ownership lookups in
+// distribution functions, alignment evaluation) must not allocate.
+// This container keeps up to N trivially-copyable elements inline and only
+// spills to the heap beyond that.
+//
+// Only the operations the library needs are provided; the element type must
+// be trivially copyable (indices, ids, extents), which keeps the
+// implementation simple and the moves cheap.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+namespace hpfnt {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable elements");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(std::size_t count, const T& value) {
+    reserve(count);
+    for (std::size_t i = 0; i < count; ++i) push_back(value);
+  }
+
+  SmallVector(const SmallVector& other) { copy_from(other); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      release();
+      copy_from(other);
+    }
+    return *this;
+  }
+
+  SmallVector(SmallVector&& other) noexcept { steal_from(other); }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal_from(other);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { release(); }
+
+  T* data() noexcept { return ptr_; }
+  const T* data() const noexcept { return ptr_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  T& operator[](std::size_t i) noexcept { return ptr_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return ptr_[i]; }
+  T& front() noexcept { return ptr_[0]; }
+  const T& front() const noexcept { return ptr_[0]; }
+  T& back() noexcept { return ptr_[size_ - 1]; }
+  const T& back() const noexcept { return ptr_[size_ - 1]; }
+
+  iterator begin() noexcept { return ptr_; }
+  iterator end() noexcept { return ptr_ + size_; }
+  const_iterator begin() const noexcept { return ptr_; }
+  const_iterator end() const noexcept { return ptr_ + size_; }
+  const_iterator cbegin() const noexcept { return ptr_; }
+  const_iterator cend() const noexcept { return ptr_ + size_; }
+
+  void clear() noexcept { size_ = 0; }
+
+  void reserve(std::size_t want) {
+    if (want <= capacity_) return;
+    std::size_t grown = std::max(want, capacity_ * 2);
+    T* fresh = new T[grown];
+    std::memcpy(static_cast<void*>(fresh), ptr_, size_ * sizeof(T));
+    if (ptr_ != inline_storage()) delete[] ptr_;
+    ptr_ = fresh;
+    capacity_ = grown;
+  }
+
+  void resize(std::size_t count, const T& value = T{}) {
+    reserve(count);
+    for (std::size_t i = size_; i < count; ++i) ptr_[i] = value;
+    size_ = count;
+  }
+
+  void push_back(const T& v) {
+    reserve(size_ + 1);
+    ptr_[size_++] = v;
+  }
+
+  void pop_back() noexcept { --size_; }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+
+ private:
+  T* inline_storage() noexcept { return reinterpret_cast<T*>(inline_); }
+
+  void release() noexcept {
+    if (ptr_ != inline_storage()) delete[] ptr_;
+    ptr_ = inline_storage();
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  void copy_from(const SmallVector& other) {
+    reserve(other.size_);
+    std::memcpy(static_cast<void*>(ptr_), other.ptr_, other.size_ * sizeof(T));
+    size_ = other.size_;
+  }
+
+  void steal_from(SmallVector& other) noexcept {
+    if (other.ptr_ != other.inline_storage()) {
+      ptr_ = other.ptr_;
+      capacity_ = other.capacity_;
+      size_ = other.size_;
+      other.ptr_ = other.inline_storage();
+      other.capacity_ = N;
+      other.size_ = 0;
+    } else {
+      copy_from(other);
+      other.size_ = 0;
+    }
+  }
+
+  alignas(T) std::byte inline_[N * sizeof(T)];
+  T* ptr_ = inline_storage();
+  std::size_t capacity_ = N;
+  std::size_t size_ = 0;
+};
+
+}  // namespace hpfnt

@@ -1,0 +1,50 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+
+namespace hpfnt {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool iequals(const std::string& s, const std::string& t) {
+  if (s.size() != t.size()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(s[i])) !=
+        std::toupper(static_cast<unsigned char>(t[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string subscripted(const std::string& name,
+                        const std::vector<std::string>& subs) {
+  return name + "(" + join(subs, ", ") + ")";
+}
+
+std::string with_commas(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int run = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (run && run % 3 == 0) out += ',';
+    out += *it;
+    ++run;
+  }
+  return {out.rbegin(), out.rend()};
+}
+
+}  // namespace hpfnt

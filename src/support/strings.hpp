@@ -1,0 +1,36 @@
+// Small string helpers used across the library (GCC 12 lacks std::format).
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hpfnt {
+
+/// Joins `parts` with `sep` ("a, b, c").
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Uppercases ASCII in place and returns the result (directive keywords are
+/// case-insensitive, as in Fortran).
+std::string to_upper(std::string s);
+
+/// True if `s` equals `t` ignoring ASCII case.
+bool iequals(const std::string& s, const std::string& t);
+
+/// Formats like "name(1:10:2, 3)" given already-rendered subscripts.
+std::string subscripted(const std::string& name,
+                        const std::vector<std::string>& subs);
+
+/// Renders a byte count with a thousands separator for bench tables.
+std::string with_commas(std::uint64_t value);
+
+/// Minimal printf-free concatenation helper: cat("N=", 4, " ok").
+template <typename... Parts>
+std::string cat(const Parts&... parts) {
+  std::ostringstream out;
+  (out << ... << parts);
+  return out.str();
+}
+
+}  // namespace hpfnt

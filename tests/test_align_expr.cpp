@@ -1,0 +1,122 @@
+#include "core/align_expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace hpfnt {
+namespace {
+
+TEST(AlignExpr, ConstantEvaluates) {
+  EXPECT_EQ(AlignExpr::constant(42).eval_const(), 42);
+  EXPECT_EQ(AlignExpr::constant(-3).eval(100), -3);
+}
+
+TEST(AlignExpr, DummySubstitutes) {
+  AlignExpr j = AlignExpr::dummy(0);
+  EXPECT_EQ(j.eval(7), 7);
+  EXPECT_EQ(j.eval(-2), -2);
+}
+
+TEST(AlignExpr, LinearDirectiveExpressions) {
+  // 2*I - 1 (the Thole example's P alignment).
+  AlignExpr e = AlignExpr::dummy(0) * 2 - 1;
+  EXPECT_EQ(e.eval(1), 1);
+  EXPECT_EQ(e.eval(2), 3);
+  EXPECT_EQ(e.eval(10), 19);
+}
+
+TEST(AlignExpr, OperatorsBothSides) {
+  AlignExpr j = AlignExpr::dummy(0);
+  EXPECT_EQ((3 + j).eval(4), 7);
+  EXPECT_EQ((3 - j).eval(4), -1);
+  EXPECT_EQ((3 * j).eval(4), 12);
+  EXPECT_EQ((j + 3).eval(4), 7);
+  EXPECT_EQ((j - 3).eval(4), 1);
+  EXPECT_EQ((-j).eval(4), -4);
+}
+
+TEST(AlignExpr, MaxMinIntrinsics) {
+  // §5.1 allows MAX/MIN for truncation at alignment ends.
+  AlignExpr j = AlignExpr::dummy(0);
+  AlignExpr e = AlignExpr::max(j - 1, AlignExpr::constant(1));
+  EXPECT_EQ(e.eval(1), 1);  // truncated at the lower end
+  EXPECT_EQ(e.eval(2), 1);
+  EXPECT_EQ(e.eval(5), 4);
+  AlignExpr f = AlignExpr::min(j + 1, AlignExpr::constant(10));
+  EXPECT_EQ(f.eval(9), 10);
+  EXPECT_EQ(f.eval(10), 10);  // truncated at the upper end
+}
+
+TEST(AlignExpr, UsedDummyDetection) {
+  EXPECT_FALSE(AlignExpr::constant(5).used_dummy().has_value());
+  EXPECT_EQ(AlignExpr::dummy(3).used_dummy(), 3);
+  AlignExpr e = AlignExpr::dummy(1) * 2 + 7;
+  EXPECT_EQ(e.used_dummy(), 1);
+}
+
+TEST(AlignExpr, SkewDetectionThrows) {
+  // An expression with two different dummies is a skew alignment (§5.1).
+  AlignExpr skew = AlignExpr::dummy(0) + AlignExpr::dummy(1);
+  EXPECT_THROW(skew.used_dummy(), ConformanceError);
+  // The same dummy twice is fine (2*J - J).
+  AlignExpr same = AlignExpr::dummy(0) * 2 - AlignExpr::dummy(0);
+  EXPECT_EQ(same.used_dummy(), 0);
+}
+
+TEST(AlignExpr, LinearExtraction) {
+  AlignExpr e = AlignExpr::dummy(0) * 2 - 1;
+  auto lin = e.linear();
+  ASSERT_TRUE(lin.has_value());
+  EXPECT_EQ(lin->a, 2);
+  EXPECT_EQ(lin->b, -1);
+}
+
+TEST(AlignExpr, LinearOfNestedArithmetic) {
+  // (J - 1) * 3 + 2  =  3J - 1
+  AlignExpr e = (AlignExpr::dummy(0) - 1) * 3 + 2;
+  auto lin = e.linear();
+  ASSERT_TRUE(lin.has_value());
+  EXPECT_EQ(lin->a, 3);
+  EXPECT_EQ(lin->b, -1);
+}
+
+TEST(AlignExpr, QuadraticIsNotLinear) {
+  AlignExpr j = AlignExpr::dummy(0);
+  EXPECT_FALSE((j * j).linear().has_value());
+}
+
+TEST(AlignExpr, MaxMinAreNotLinear) {
+  AlignExpr j = AlignExpr::dummy(0);
+  EXPECT_FALSE(AlignExpr::max(j, AlignExpr::constant(2)).linear().has_value());
+  EXPECT_FALSE(AlignExpr::min(j, AlignExpr::constant(2)).linear().has_value());
+}
+
+TEST(AlignExpr, InjectivityNeedsNonzeroSlope) {
+  EXPECT_TRUE((AlignExpr::dummy(0) * 2 - 1).is_injective());
+  EXPECT_TRUE((AlignExpr::dummy(0) + 5).is_injective());
+  EXPECT_FALSE(AlignExpr::constant(3).is_injective());
+  EXPECT_FALSE((AlignExpr::dummy(0) * 0 + 3).is_injective());
+  AlignExpr j = AlignExpr::dummy(0);
+  EXPECT_FALSE(AlignExpr::max(j, AlignExpr::constant(1)).is_injective());
+}
+
+TEST(AlignExpr, NegationLinear) {
+  AlignExpr e = -(AlignExpr::dummy(0)) + 11;  // reversal alignment
+  auto lin = e.linear();
+  ASSERT_TRUE(lin.has_value());
+  EXPECT_EQ(lin->a, -1);
+  EXPECT_EQ(lin->b, 11);
+  EXPECT_EQ(e.eval(1), 10);
+  EXPECT_EQ(e.eval(10), 1);
+}
+
+TEST(AlignExpr, Rendering) {
+  AlignExpr e = AlignExpr::dummy(0) * 2 - 1;
+  EXPECT_EQ(e.to_string("I"), "(I*2-1)");
+  AlignExpr m = AlignExpr::max(AlignExpr::dummy(0), AlignExpr::constant(1));
+  EXPECT_EQ(m.to_string(), "MAX(J,1)");
+}
+
+}  // namespace
+}  // namespace hpfnt

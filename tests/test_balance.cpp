@@ -1,0 +1,118 @@
+#include "balance/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hpfnt {
+namespace {
+
+std::vector<double> triangular_weights(Extent n) {
+  // Row i of a triangular solve touches i elements — the classic
+  // load-imbalance case the paper's GENERAL_BLOCK motivates.
+  std::vector<double> w(static_cast<std::size_t>(n));
+  for (Extent i = 0; i < n; ++i) w[static_cast<std::size_t>(i)] = double(i + 1);
+  return w;
+}
+
+TEST(GreedyPartition, UniformWeightsSplitEvenly) {
+  std::vector<double> w(100, 1.0);
+  std::vector<Extent> bounds = greedy_partition(w, 4);
+  PartitionQuality q = evaluate_partition(w, bounds, 4);
+  EXPECT_LE(q.imbalance, 1.05);
+}
+
+TEST(GreedyPartition, TriangularWeightsBeatBlock) {
+  std::vector<double> w = triangular_weights(1000);
+  std::vector<Extent> bounds = greedy_partition(w, 8);
+  PartitionQuality general = evaluate_partition(w, bounds, 8);
+  DimMapping block = DimMapping::bind(DistFormat::block(), 1000, 8);
+  PartitionQuality blocked = evaluate_mapping(w, block);
+  EXPECT_LT(general.imbalance, blocked.imbalance);
+  // BLOCK on triangular weights gives the last processor ~2x mean.
+  EXPECT_GT(blocked.imbalance, 1.7);
+  EXPECT_LT(general.imbalance, 1.2);
+}
+
+TEST(OptimalPartition, MinimizesBottleneck) {
+  std::vector<double> w = triangular_weights(500);
+  std::vector<Extent> opt = optimal_partition(w, 8);
+  std::vector<Extent> greedy = greedy_partition(w, 8);
+  PartitionQuality qo = evaluate_partition(w, opt, 8);
+  PartitionQuality qg = evaluate_partition(w, greedy, 8);
+  EXPECT_LE(qo.max_load, qg.max_load + 1e-9);
+  EXPECT_LT(qo.imbalance, 1.05);
+}
+
+TEST(OptimalPartition, HandlesSpikeWeights) {
+  std::vector<double> w(64, 1.0);
+  w[10] = 100.0;  // one element dominates everything
+  std::vector<Extent> bounds = optimal_partition(w, 4);
+  PartitionQuality q = evaluate_partition(w, bounds, 4);
+  // The bottleneck cannot go below the spike itself.
+  EXPECT_GE(q.max_load, 100.0);
+  EXPECT_LE(q.max_load, 100.0 + 64.0);
+  // And the optimal solution isolates the spike reasonably.
+  EXPECT_LE(q.max_load, 120.0);
+}
+
+TEST(OptimalPartition, RandomWeightsNeverWorseThanGreedy) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Extent n = rng.uniform(16, 400);
+    const Extent np = rng.uniform(2, 16);
+    std::vector<double> w(static_cast<std::size_t>(n));
+    for (auto& x : w) x = rng.uniform01() * 10.0 + 0.01;
+    PartitionQuality qo = evaluate_partition(w, optimal_partition(w, np), np);
+    PartitionQuality qg = evaluate_partition(w, greedy_partition(w, np), np);
+    EXPECT_LE(qo.max_load, qg.max_load * (1.0 + 1e-9))
+        << "n=" << n << " np=" << np;
+  }
+}
+
+TEST(Partition, BoundsFormValidGeneralBlock) {
+  std::vector<double> w = triangular_weights(100);
+  DistFormat f = balanced_general_block(w, 8, /*optimal=*/true);
+  EXPECT_EQ(f.kind(), FormatKind::kGeneralBlock);
+  // Must bind without conformance errors and cover everything.
+  DimMapping m = DimMapping::bind(f, 100, 8);
+  Extent total = 0;
+  for (Index1 p = 1; p <= 8; ++p) total += m.local_count(p);
+  EXPECT_EQ(total, 100);
+}
+
+TEST(Partition, SingleProcessorDegenerates) {
+  std::vector<double> w = triangular_weights(10);
+  EXPECT_TRUE(greedy_partition(w, 1).empty());
+  EXPECT_TRUE(optimal_partition(w, 1).empty());
+  PartitionQuality q = evaluate_partition(w, {}, 1);
+  EXPECT_DOUBLE_EQ(q.imbalance, 1.0);
+}
+
+TEST(Partition, MoreProcessorsThanElements) {
+  std::vector<double> w(3, 1.0);
+  std::vector<Extent> bounds = optimal_partition(w, 8);
+  PartitionQuality q = evaluate_partition(w, bounds, 8);
+  EXPECT_DOUBLE_EQ(q.max_load, 1.0);
+}
+
+TEST(Partition, RejectsBadNp) {
+  std::vector<double> w(4, 1.0);
+  EXPECT_THROW(greedy_partition(w, 0), ConformanceError);
+  EXPECT_THROW(optimal_partition(w, 0), ConformanceError);
+}
+
+TEST(EvaluateMapping, CyclicBalancesTriangularWeights) {
+  // CYCLIC also balances triangular loops — the classic alternative —
+  // though it destroys locality; GENERAL_BLOCK gets both.
+  std::vector<double> w = triangular_weights(1024);
+  DimMapping cyclic = DimMapping::bind(DistFormat::cyclic(), 1024, 8);
+  PartitionQuality q = evaluate_mapping(w, cyclic);
+  EXPECT_LT(q.imbalance, 1.02);
+}
+
+}  // namespace
+}  // namespace hpfnt

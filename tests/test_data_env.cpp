@@ -1,0 +1,290 @@
+// DataEnv: declarations, directive application, and the §6 allocatable
+// lifecycle — including the paper's §6 example program, executed verbatim
+// through the programmatic API.
+#include "core/data_env.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/inquiry.hpp"
+#include "support/error.hpp"
+
+namespace hpfnt {
+namespace {
+
+IndexTuple idx(std::initializer_list<Index1> values) {
+  IndexTuple t;
+  for (Index1 v : values) t.push_back(v);
+  return t;
+}
+
+class DataEnvTest : public ::testing::Test {
+ protected:
+  DataEnvTest() : ps_(32), env_(ps_) {
+    ps_.declare("PR", IndexDomain::of_extents({32}));
+  }
+  ProcessorSpace ps_;
+  DataEnv env_;
+};
+
+TEST_F(DataEnvTest, DeclarationEntersForestWithImplicitDistribution) {
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64)});
+  EXPECT_TRUE(a.is_created());
+  EXPECT_TRUE(env_.is_primary(a));
+  Distribution d = env_.distribution_of(a);
+  EXPECT_EQ(d.kind(), Distribution::Kind::kFormats);
+  // Implicit policy: BLOCK on dimension 1 over the machine.
+  EXPECT_EQ(d.first_owner(idx({1})), 0);
+  EXPECT_EQ(d.first_owner(idx({64})), 31);
+}
+
+TEST_F(DataEnvTest, DuplicateNamesRejected) {
+  env_.real("A", IndexDomain{Dim(1, 8)});
+  EXPECT_THROW(env_.real("a", IndexDomain{Dim(1, 8)}), ConformanceError);
+}
+
+TEST_F(DataEnvTest, CaseInsensitiveLookup) {
+  env_.real("Foo", IndexDomain{Dim(1, 8)});
+  EXPECT_TRUE(env_.has("FOO"));
+  EXPECT_EQ(env_.find("foo").name(), "Foo");
+}
+
+TEST_F(DataEnvTest, DistributeDirective) {
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64)});
+  env_.distribute(a, {DistFormat::cyclic(4)}, ProcessorRef(ps_.find("PR")));
+  Distribution d = env_.distribution_of(a);
+  EXPECT_EQ(d.format_list()[0], DistFormat::cyclic(4));
+}
+
+TEST_F(DataEnvTest, SecondMappingDirectiveRejected) {
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64)});
+  env_.distribute(a, {DistFormat::block()});
+  EXPECT_THROW(env_.distribute(a, {DistFormat::cyclic()}), ConformanceError);
+  DistArray& b = env_.real("B", IndexDomain{Dim(1, 64)});
+  env_.align(b, a, AlignSpec::colons(1));
+  EXPECT_THROW(env_.distribute(b, {DistFormat::block()}), ConformanceError);
+}
+
+TEST_F(DataEnvTest, AlignDirectiveDerivesDistribution) {
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64)});
+  DistArray& b = env_.real("B", IndexDomain{Dim(1, 64)});
+  env_.distribute(a, {DistFormat::block()}, ProcessorRef(ps_.find("PR")));
+  env_.align(b, a, AlignSpec::colons(1));
+  EXPECT_FALSE(env_.is_primary(b));
+  EXPECT_EQ(env_.aligned_to(b), &a);
+  Distribution da = env_.distribution_of(a);
+  Distribution db = env_.distribution_of(b);
+  for (Index1 i = 1; i <= 64; i += 7) {
+    EXPECT_EQ(db.first_owner(idx({i})), da.first_owner(idx({i})));
+  }
+}
+
+TEST_F(DataEnvTest, RedistributeRequiresDynamic) {
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64)});
+  EXPECT_THROW(env_.redistribute(a, {DistFormat::cyclic()}),
+               ConformanceError);
+  env_.dynamic(a);
+  EXPECT_NO_THROW(env_.redistribute(a, {DistFormat::cyclic()},
+                                    ProcessorRef(ps_.find("PR"))));
+}
+
+TEST_F(DataEnvTest, RealignRequiresDynamic) {
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64)});
+  DistArray& b = env_.real("B", IndexDomain{Dim(1, 64)});
+  EXPECT_THROW(env_.realign(a, b, AlignSpec::colons(1)), ConformanceError);
+  env_.dynamic(a);
+  EXPECT_NO_THROW(env_.realign(a, b, AlignSpec::colons(1)));
+  EXPECT_EQ(env_.aligned_to(a), &b);
+}
+
+TEST_F(DataEnvTest, RedistributeEventCarriesOldAndNew) {
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64)});
+  env_.dynamic(a);
+  std::vector<RemapEvent> events = env_.redistribute(
+      a, {DistFormat::cyclic()}, ProcessorRef(ps_.find("PR")));
+  ASSERT_EQ(events.size(), 1u);
+  const RemapEvent& e = events[0];
+  EXPECT_TRUE(e.from.valid());
+  EXPECT_TRUE(e.to.valid());
+  EXPECT_EQ(e.to.format_list()[0], DistFormat::cyclic());
+  EXPECT_FALSE(e.from.same_mapping(e.to));
+}
+
+TEST_F(DataEnvTest, RedistributePrimaryEmitsEventsForAlignees) {
+  // §4.2: aligned arrays follow their base, so their data moves too.
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64)});
+  DistArray& b = env_.real("B", IndexDomain{Dim(1, 64)});
+  env_.distribute(a, {DistFormat::block()}, ProcessorRef(ps_.find("PR")));
+  env_.align(b, a, AlignSpec::colons(1));
+  env_.dynamic(a);
+  std::vector<RemapEvent> events = env_.redistribute(
+      a, {DistFormat::cyclic()}, ProcessorRef(ps_.find("PR")));
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].dummy, a.id());
+  EXPECT_EQ(events[1].dummy, b.id());
+  // B's new mapping follows the cyclic base.
+  EXPECT_EQ(events[1].to.first_owner(idx({2})),
+            events[0].to.first_owner(idx({2})));
+  EXPECT_FALSE(events[1].from.same_mapping(events[1].to));
+}
+
+// --- Allocatables (§6) -------------------------------------------------------
+
+TEST_F(DataEnvTest, AllocatableLifecycle) {
+  DistArray& c = env_.declare_allocatable("C", ElemType::kReal, 1);
+  EXPECT_FALSE(c.is_created());
+  EXPECT_THROW(env_.distribution_of(c), ConformanceError);
+  env_.allocate(c, IndexDomain{Dim(1, 100)});
+  EXPECT_TRUE(c.is_created());
+  EXPECT_TRUE(env_.distribution_of(c).valid());
+  env_.deallocate(c);
+  EXPECT_FALSE(c.is_created());
+}
+
+TEST_F(DataEnvTest, DeferredDistributeAppliesPerInstance) {
+  // §6: "the associated attributes are propagated to each associated
+  // ALLOCATE statement."
+  DistArray& c = env_.declare_allocatable("C", ElemType::kReal, 1);
+  env_.distribute(c, {DistFormat::cyclic(2)}, ProcessorRef(ps_.find("PR")));
+  env_.allocate(c, IndexDomain{Dim(1, 64)});
+  EXPECT_EQ(env_.distribution_of(c).format_list()[0], DistFormat::cyclic(2));
+  env_.deallocate(c);
+  env_.allocate(c, IndexDomain{Dim(1, 128)});  // different extent, same spec
+  Distribution d = env_.distribution_of(c);
+  EXPECT_EQ(d.format_list()[0], DistFormat::cyclic(2));
+  EXPECT_EQ(d.domain().size(), 128);
+}
+
+TEST_F(DataEnvTest, DeferredAlignRequiresCreatedBase) {
+  DistArray& a = env_.declare_allocatable("A", ElemType::kReal, 1);
+  DistArray& b = env_.declare_allocatable("B", ElemType::kReal, 1);
+  env_.align(b, a, AlignSpec::colons(1));
+  // B allocated before A: the base is not created -> error (§6).
+  EXPECT_THROW(env_.allocate(b, IndexDomain{Dim(1, 8)}), ConformanceError);
+}
+
+TEST_F(DataEnvTest, NonAllocatableCannotAlignToAllocatable) {
+  // §6: "a local array which is not declared ALLOCATABLE cannot be aligned
+  // in the specification-part of a program unit to an allocatable array."
+  DistArray& b = env_.declare_allocatable("B", ElemType::kReal, 1);
+  DistArray& x = env_.real("X", IndexDomain{Dim(1, 8)});
+  EXPECT_THROW(env_.align(x, b, AlignSpec::colons(1)), ConformanceError);
+}
+
+TEST_F(DataEnvTest, AllocateShapeRankChecked) {
+  DistArray& c = env_.declare_allocatable("C", ElemType::kReal, 2);
+  EXPECT_THROW(env_.allocate(c, IndexDomain{Dim(1, 8)}), ConformanceError);
+}
+
+TEST_F(DataEnvTest, DoubleAllocateAndDeallocateRejected) {
+  DistArray& c = env_.declare_allocatable("C", ElemType::kReal, 1);
+  env_.allocate(c, IndexDomain{Dim(1, 8)});
+  EXPECT_THROW(env_.allocate(c, IndexDomain{Dim(1, 8)}), ConformanceError);
+  env_.deallocate(c);
+  EXPECT_THROW(env_.deallocate(c), ConformanceError);
+}
+
+TEST_F(DataEnvTest, DeallocateNonAllocatableRejected) {
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 8)});
+  EXPECT_THROW(env_.deallocate(a), ConformanceError);
+}
+
+TEST_F(DataEnvTest, PaperSection6Example) {
+  // REAL,ALLOCATABLE(:,:) :: A,B ; REAL,ALLOCATABLE(:) :: C,D
+  // PROCESSORS PR(32)                     [declared in the fixture]
+  // DISTRIBUTE A(CYCLIC,BLOCK) ; DISTRIBUTE(BLOCK) :: C,D ; DYNAMIC B,C
+  DistArray& a = env_.declare_allocatable("A", ElemType::kReal, 2);
+  DistArray& b = env_.declare_allocatable("B", ElemType::kReal, 2);
+  DistArray& c = env_.declare_allocatable("C", ElemType::kReal, 1);
+  DistArray& d = env_.declare_allocatable("D", ElemType::kReal, 1);
+  ProcessorRef pr(ps_.find("PR"));
+  ProcessorRef pr_grid = env_.default_target(2);
+  env_.distribute(a, {DistFormat::cyclic(), DistFormat::block()}, pr_grid);
+  env_.distribute(c, {DistFormat::block()});
+  env_.distribute(d, {DistFormat::block()});
+  env_.dynamic(b);
+  env_.dynamic(c);
+
+  // READ 6,M,N ; ALLOCATE(A(N*M,N*M)) ; ALLOCATE(B(N,N))
+  const Extent m = 3, n = 4;
+  env_.allocate(a, IndexDomain{Dim(1, n * m), Dim(1, n * m)});
+  env_.allocate(b, IndexDomain{Dim(1, n), Dim(1, n)});
+
+  // REALIGN B(:,:) WITH A(M::M, 1::M)
+  // A's first dim selected M:N*M:M (every M-th starting at M), second
+  // 1:N*M-?:M — expressed as triplets of A's domain.
+  AlignSpec realign_spec(
+      {AligneeSub::colon(), AligneeSub::colon()},
+      {BaseSub::of_triplet(Triplet(m, n * m, m)),
+       BaseSub::of_triplet(Triplet(1, n * m, m))});
+  env_.realign(b, a, realign_spec);
+  EXPECT_EQ(env_.aligned_to(b), &a);
+  // B(i,j) is collocated with A(M*i, M*(j-1)+1).
+  Distribution da = env_.distribution_of(a);
+  Distribution db = env_.distribution_of(b);
+  EXPECT_EQ(db.first_owner(idx({1, 1})), da.first_owner(idx({m, 1})));
+  EXPECT_EQ(db.first_owner(idx({2, 2})), da.first_owner(idx({2 * m, m + 1})));
+
+  // ALLOCATE(C(10000), D(10000)) ; REDISTRIBUTE C(CYCLIC) TO PR
+  env_.allocate(c, IndexDomain{Dim(1, 10000)});
+  env_.allocate(d, IndexDomain{Dim(1, 10000)});
+  EXPECT_EQ(env_.distribution_of(c).format_list()[0], DistFormat::block());
+  env_.redistribute(c, {DistFormat::cyclic()}, pr);
+  EXPECT_EQ(env_.distribution_of(c).format_list()[0], DistFormat::cyclic());
+  // D keeps its BLOCK distribution (only C was DYNAMIC + redistributed).
+  EXPECT_EQ(env_.distribution_of(d).format_list()[0], DistFormat::block());
+  // D is not DYNAMIC: redistributing it is non-conforming.
+  EXPECT_THROW(env_.redistribute(d, {DistFormat::cyclic()}, pr),
+               ConformanceError);
+
+  // DEALLOCATE(B): removed from the forest; A unaffected.
+  env_.deallocate(b);
+  EXPECT_TRUE(env_.distribution_of(a).valid());
+  env_.forest().check_invariants();
+}
+
+// --- Scalars and inquiry -----------------------------------------------------
+
+TEST_F(DataEnvTest, ScalarIsRankZeroWithOneOwnerSet) {
+  DistArray& s = env_.scalar("S");
+  EXPECT_EQ(s.rank(), 0);
+  Distribution d = env_.distribution_of(s);
+  OwnerSet owners = d.owners(IndexTuple{});
+  EXPECT_GE(owners.size(), 1u);
+}
+
+TEST_F(DataEnvTest, InquiryDescribesMappings) {
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64), Dim(1, 8)});
+  env_.distribute(a, {DistFormat::cyclic(3), DistFormat::collapsed()},
+                  ProcessorRef(ps_.find("PR")));
+  DistributionInfo info = inquire_distribution(env_.distribution_of(a));
+  EXPECT_EQ(info.rank, 2);
+  EXPECT_EQ(info.dim_kinds[0], DimKind::kCyclic);
+  EXPECT_EQ(info.cyclic_k[0], 3);
+  EXPECT_EQ(info.dim_kinds[1], DimKind::kCollapsed);
+  EXPECT_EQ(info.target, "PR");
+
+  DistArray& b = env_.real("B", IndexDomain{Dim(1, 64), Dim(1, 8)});
+  env_.align(b, a, AlignSpec::colons(2));
+  AlignmentInfo ai = inquire_alignment(env_, b);
+  EXPECT_TRUE(ai.is_aligned);
+  EXPECT_EQ(ai.base_name, "A");
+  AlignmentInfo ap = inquire_alignment(env_, a);
+  EXPECT_FALSE(ap.is_aligned);
+
+  // Derived distributions report kDerived dimensions — the §8.1.2 point:
+  // inquiry still observes everything even when no format can name it.
+  DistributionInfo di = inquire_distribution(env_.distribution_of(b));
+  EXPECT_EQ(di.dim_kinds[0], DimKind::kDerived);
+  EXPECT_EQ(number_of_processors(ps_), 32);
+}
+
+TEST_F(DataEnvTest, DefaultTargetFactorizesMachine) {
+  ProcessorRef t2 = env_.default_target(2);
+  EXPECT_EQ(t2.rank(), 2);
+  EXPECT_EQ(t2.size(), 32);
+  ProcessorRef t1 = env_.default_target(1);
+  EXPECT_EQ(t1.size(), 32);
+}
+
+}  // namespace
+}  // namespace hpfnt

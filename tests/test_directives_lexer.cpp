@@ -1,0 +1,102 @@
+#include "directives/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace hpfnt::dir {
+namespace {
+
+TEST(Lexer, DirectiveSentinelDetected) {
+  auto lines = lex("!HPF$ DISTRIBUTE A(BLOCK)\nREAL A(100)\n");
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(lines[0].is_directive);
+  EXPECT_FALSE(lines[1].is_directive);
+  EXPECT_EQ(lines[0].tokens[0].text, "DISTRIBUTE");
+}
+
+TEST(Lexer, SentinelIsCaseInsensitive) {
+  auto lines = lex("!hpf$ dynamic b\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(lines[0].is_directive);
+}
+
+TEST(Lexer, CommentsAndBlankLinesVanish) {
+  auto lines = lex("\n  ! a comment line\nREAL A(10) ! trailing comment\n\n");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].tokens[0].text, "REAL");
+  // Trailing comment removed: REAL A ( 10 ) END = 6 tokens.
+  EXPECT_EQ(lines[0].tokens.size(), 6u);
+}
+
+TEST(Lexer, TokensOfTypicalDirective) {
+  auto lines = lex("!HPF$ DISTRIBUTE B(CYCLIC) TO Q(1:NOP:2)\n");
+  const std::vector<Token>& t = lines[0].tokens;
+  std::vector<Tok> kinds;
+  for (const Token& tok : t) kinds.push_back(tok.kind);
+  std::vector<Tok> expect = {
+      Tok::kIdent, Tok::kIdent, Tok::kLParen, Tok::kIdent,  Tok::kRParen,
+      Tok::kIdent, Tok::kIdent, Tok::kLParen, Tok::kInteger, Tok::kColon,
+      Tok::kIdent, Tok::kColon, Tok::kInteger, Tok::kRParen, Tok::kEnd};
+  EXPECT_EQ(kinds, expect);
+}
+
+TEST(Lexer, DoubleColonAndConstructorTokens) {
+  auto lines = lex("!HPF$ DISTRIBUTE (BLOCK, :) :: E, F\n"
+                   "!HPF$ DISTRIBUTE C(GENERAL_BLOCK(/3,9,14/))\n");
+  bool saw_double_colon = false;
+  for (const Token& t : lines[0].tokens) {
+    if (t.kind == Tok::kDoubleColon) saw_double_colon = true;
+  }
+  EXPECT_TRUE(saw_double_colon);
+  bool saw_open = false, saw_close = false;
+  for (const Token& t : lines[1].tokens) {
+    if (t.kind == Tok::kSlashParen) saw_open = true;
+    if (t.kind == Tok::kParenSlash) saw_close = true;
+  }
+  EXPECT_TRUE(saw_open);
+  EXPECT_TRUE(saw_close);
+}
+
+TEST(Lexer, ContinuationFoldsLines) {
+  auto lines = lex("REAL A(10), &\n     B(20)\n");
+  ASSERT_EQ(lines.size(), 1u);
+  // REAL A ( 10 ) , B ( 20 ) END
+  EXPECT_EQ(lines[0].tokens.size(), 11u);
+}
+
+TEST(Lexer, DanglingContinuationThrows) {
+  EXPECT_THROW(lex("REAL A(10), &"), DirectiveError);
+}
+
+TEST(Lexer, IntegerValuesAndPositions) {
+  auto lines = lex("N = 4096\n");
+  const Token& lit = lines[0].tokens[2];
+  EXPECT_EQ(lit.kind, Tok::kInteger);
+  EXPECT_EQ(lit.value, 4096);
+  EXPECT_EQ(lines[0].tokens[0].line, 1);
+}
+
+TEST(Lexer, UnexpectedCharacterThrowsWithPosition) {
+  try {
+    lex("REAL A@\n");
+    FAIL() << "expected DirectiveError";
+  } catch (const DirectiveError& e) {
+    EXPECT_EQ(e.line(), 1);
+    EXPECT_EQ(e.column(), 7);
+  }
+}
+
+TEST(Lexer, MinusAndStarOperators) {
+  auto lines = lex("!HPF$ ALIGN P(I,J) WITH T(2*I-1, 2*J-1)\n");
+  int stars = 0, minuses = 0;
+  for (const Token& t : lines[0].tokens) {
+    if (t.kind == Tok::kStar) ++stars;
+    if (t.kind == Tok::kMinus) ++minuses;
+  }
+  EXPECT_EQ(stars, 2);
+  EXPECT_EQ(minuses, 2);
+}
+
+}  // namespace
+}  // namespace hpfnt::dir

@@ -1,0 +1,215 @@
+#include "directives/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace hpfnt::dir {
+namespace {
+
+AstNode first(const std::string& source) {
+  auto lines = lex(source);
+  return parse_line(lines.at(0));
+}
+
+TEST(Parser, Declaration) {
+  AstNode n = first("REAL U(0:N,1:N), P(1:N,1:N)\n");
+  ASSERT_EQ(n.kind, AstNode::Kind::kDeclaration);
+  const AstDeclaration& d = *n.declaration;
+  EXPECT_EQ(d.type, "REAL");
+  ASSERT_EQ(d.names.size(), 2u);
+  EXPECT_EQ(d.names[0].name, "U");
+  ASSERT_EQ(d.names[0].dims.size(), 2u);
+  EXPECT_FALSE(d.allocatable);
+}
+
+TEST(Parser, AllocatableAttributeWithDims) {
+  // The paper's §6 style: REAL,ALLOCATABLE(:,:) :: A,B
+  AstNode n = first("REAL,ALLOCATABLE(:,:) :: A,B\n");
+  const AstDeclaration& d = *n.declaration;
+  EXPECT_TRUE(d.allocatable);
+  ASSERT_EQ(d.type_dims.size(), 2u);
+  EXPECT_TRUE(d.type_dims[0].deferred);
+  ASSERT_EQ(d.names.size(), 2u);
+  EXPECT_TRUE(d.names[0].dims.empty());
+}
+
+TEST(Parser, ModernAllocatableForm) {
+  AstNode n = first("REAL, ALLOCATABLE :: C(:), D(:)\n");
+  const AstDeclaration& d = *n.declaration;
+  EXPECT_TRUE(d.allocatable);
+  ASSERT_EQ(d.names.size(), 2u);
+  ASSERT_EQ(d.names[0].dims.size(), 1u);
+  EXPECT_TRUE(d.names[0].dims[0].deferred);
+}
+
+TEST(Parser, ProcessorsDirective) {
+  AstNode n = first("!HPF$ PROCESSORS PR(32), GRID(4,8), S\n");
+  ASSERT_EQ(n.kind, AstNode::Kind::kProcessors);
+  ASSERT_EQ(n.processors->arrangements.size(), 3u);
+  EXPECT_EQ(n.processors->arrangements[0].name, "PR");
+  EXPECT_TRUE(n.processors->arrangements[2].dims.empty());  // scalar
+}
+
+TEST(Parser, DistributeSimple) {
+  AstNode n = first("!HPF$ DISTRIBUTE A(BLOCK)\n");
+  ASSERT_EQ(n.kind, AstNode::Kind::kDistribute);
+  const AstDistribute& d = *n.distribute;
+  EXPECT_FALSE(d.executable);
+  EXPECT_EQ(d.names, std::vector<std::string>{"A"});
+  ASSERT_EQ(d.formats.size(), 1u);
+  EXPECT_EQ(d.formats[0].kind, AstFormat::Kind::kBlock);
+  EXPECT_FALSE(d.target.has_value());
+}
+
+TEST(Parser, DistributeWithTargetSection) {
+  AstNode n = first("!HPF$ DISTRIBUTE B(CYCLIC) TO Q(1:NOP:2)\n");
+  const AstDistribute& d = *n.distribute;
+  ASSERT_TRUE(d.target.has_value());
+  EXPECT_EQ(d.target->name, "Q");
+  ASSERT_TRUE(d.target->has_subs);
+  EXPECT_EQ(d.target->subs[0].kind, AstSub::Kind::kTriplet);
+}
+
+TEST(Parser, DistributeAttributedForm) {
+  // §4 example: DISTRIBUTE (BLOCK, :) :: E,F
+  AstNode n = first("!HPF$ DISTRIBUTE (BLOCK, :) :: E,F\n");
+  const AstDistribute& d = *n.distribute;
+  ASSERT_EQ(d.formats.size(), 2u);
+  EXPECT_EQ(d.formats[1].kind, AstFormat::Kind::kCollapsed);
+  EXPECT_EQ(d.names, (std::vector<std::string>{"E", "F"}));
+}
+
+TEST(Parser, DistributeGeneralBlock) {
+  AstNode n = first("!HPF$ DISTRIBUTE C(GENERAL_BLOCK(/3,9,14/))\n");
+  const AstDistribute& d = *n.distribute;
+  ASSERT_EQ(d.formats.size(), 1u);
+  EXPECT_EQ(d.formats[0].kind, AstFormat::Kind::kGeneralBlock);
+  EXPECT_EQ(d.formats[0].gb_bounds.size(), 3u);
+}
+
+TEST(Parser, DistributeCyclicK) {
+  AstNode n = first("!HPF$ DISTRIBUTE A(CYCLIC(3), BLOCK) ONTO G\n");
+  const AstDistribute& d = *n.distribute;
+  EXPECT_EQ(d.formats[0].kind, AstFormat::Kind::kCyclic);
+  EXPECT_NE(d.formats[0].cyclic_k, nullptr);
+  EXPECT_EQ(d.target->name, "G");
+}
+
+TEST(Parser, DummyInheritForms) {
+  // §7 modes: DISTRIBUTE A *          (inherit)
+  //           DISTRIBUTE A *(CYCLIC(3))  (inheritance matching)
+  AstNode plain = first("!HPF$ DISTRIBUTE A *\n");
+  EXPECT_TRUE(plain.distribute->inherit);
+  EXPECT_FALSE(plain.distribute->has_formats);
+  AstNode match = first("!HPF$ DISTRIBUTE X *(CYCLIC(3))\n");
+  EXPECT_TRUE(match.distribute->inherit);
+  EXPECT_TRUE(match.distribute->has_formats);
+}
+
+TEST(Parser, RedistributeIsExecutable) {
+  AstNode n = first("!HPF$ REDISTRIBUTE C(CYCLIC) TO PR\n");
+  EXPECT_TRUE(n.distribute->executable);
+}
+
+TEST(Parser, AlignWithExpressions) {
+  AstNode n = first("!HPF$ ALIGN P(I,J) WITH T(2*I-1,2*J-1)\n");
+  ASSERT_EQ(n.kind, AstNode::Kind::kAlign);
+  const AstAlign& a = *n.align;
+  EXPECT_EQ(a.alignee, "P");
+  EXPECT_EQ(a.base, "T");
+  ASSERT_EQ(a.alignee_subs.size(), 2u);
+  EXPECT_EQ(a.alignee_subs[0].kind, AstSub::Kind::kExpr);
+  ASSERT_EQ(a.base_subs.size(), 2u);
+  EXPECT_EQ(a.base_subs[0].kind, AstSub::Kind::kExpr);
+}
+
+TEST(Parser, AlignColonStarForms) {
+  AstNode n = first("!HPF$ ALIGN A(:) WITH D(:,*)\n");
+  const AstAlign& a = *n.align;
+  EXPECT_EQ(a.alignee_subs[0].kind, AstSub::Kind::kColon);
+  EXPECT_EQ(a.base_subs[0].kind, AstSub::Kind::kColon);
+  EXPECT_EQ(a.base_subs[1].kind, AstSub::Kind::kStar);
+}
+
+TEST(Parser, RealignWithOmittedTripletBounds) {
+  // §6 example: REALIGN B(:,:) WITH A(M::M, 1::M)
+  AstNode n = first("!HPF$ REALIGN B(:,:) WITH A(M::M,1::M)\n");
+  const AstAlign& a = *n.align;
+  EXPECT_TRUE(a.executable);
+  ASSERT_EQ(a.base_subs.size(), 2u);
+  const AstSub& s0 = a.base_subs[0];
+  EXPECT_EQ(s0.kind, AstSub::Kind::kTriplet);
+  EXPECT_NE(s0.lower, nullptr);
+  EXPECT_EQ(s0.upper, nullptr);   // omitted
+  EXPECT_NE(s0.stride, nullptr);
+}
+
+TEST(Parser, DynamicDirective) {
+  AstNode n = first("!HPF$ DYNAMIC B,C\n");
+  ASSERT_EQ(n.kind, AstNode::Kind::kDynamic);
+  EXPECT_EQ(n.dynamic->names, (std::vector<std::string>{"B", "C"}));
+}
+
+TEST(Parser, TemplateAndInheritParse) {
+  // They parse — rejection happens at binding with the §8 arguments.
+  AstNode t = first("!HPF$ TEMPLATE T(0:2*N,0:2*N)\n");
+  EXPECT_EQ(t.kind, AstNode::Kind::kTemplate);
+  AstNode i = first("!HPF$ INHERIT :: X\n");
+  EXPECT_EQ(i.kind, AstNode::Kind::kInherit);
+}
+
+TEST(Parser, AllocateAndDeallocate) {
+  AstNode a = first("ALLOCATE(A(N*M,N*M))\n");
+  ASSERT_EQ(a.kind, AstNode::Kind::kAllocate);
+  EXPECT_EQ(a.allocate->items[0].name, "A");
+  EXPECT_EQ(a.allocate->items[0].dims.size(), 2u);
+  AstNode d = first("DEALLOCATE(A, B)\n");
+  ASSERT_EQ(d.kind, AstNode::Kind::kDeallocate);
+  EXPECT_EQ(d.deallocate->names.size(), 2u);
+}
+
+TEST(Parser, CallWithSectionArgument) {
+  AstNode n = first("CALL SUB(A(2:996:2))\n");
+  ASSERT_EQ(n.kind, AstNode::Kind::kCall);
+  const AstCall& c = *n.call;
+  EXPECT_EQ(c.procedure, "SUB");
+  ASSERT_EQ(c.args.size(), 1u);
+  EXPECT_TRUE(c.args[0].has_subs);
+  EXPECT_EQ(c.args[0].subs[0].kind, AstSub::Kind::kTriplet);
+}
+
+TEST(Parser, ScalarAssignment) {
+  AstNode n = first("N = 8*4\n");
+  ASSERT_EQ(n.kind, AstNode::Kind::kAssign);
+  EXPECT_EQ(n.assign->name, "N");
+}
+
+TEST(Parser, SubroutineStructure) {
+  AstProgram p = parse_program(
+      "REAL A(1000)\n"
+      "CALL SUB(A)\n"
+      "SUBROUTINE SUB(X)\n"
+      "REAL X(:)\n"
+      "!HPF$ DISTRIBUTE X *\n"
+      "END\n");
+  EXPECT_EQ(p.main.size(), 2u);
+  ASSERT_EQ(p.subroutines.size(), 1u);
+  EXPECT_EQ(p.subroutines[0].name, "SUB");
+  EXPECT_EQ(p.subroutines[0].dummies, std::vector<std::string>{"X"});
+  EXPECT_EQ(p.subroutines[0].body.size(), 2u);
+}
+
+TEST(Parser, UnterminatedSubroutineThrows) {
+  EXPECT_THROW(parse_program("SUBROUTINE S(X)\nREAL X(:)\n"), DirectiveError);
+}
+
+TEST(Parser, SyntaxErrorsCarryPositions) {
+  EXPECT_THROW(first("!HPF$ DISTRIBUTE A(FOO)\n"), DirectiveError);
+  EXPECT_THROW(first("!HPF$ ALIGN A(:) B(:)\n"), DirectiveError);
+  EXPECT_THROW(first("ALLOCATE A(10)\n"), DirectiveError);
+  EXPECT_THROW(first("WHATEVER THIS IS\n"), DirectiveError);
+}
+
+}  // namespace
+}  // namespace hpfnt::dir

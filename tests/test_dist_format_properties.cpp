@@ -1,0 +1,220 @@
+// Property suites over the distribution functions of §4.1: every law here
+// is stated by (or implied by) the paper's definitions and must hold for
+// every (N, NP, k) combination, not just friendly ones.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "core/dist_format.hpp"
+#include "support/rng.hpp"
+
+namespace hpfnt {
+namespace {
+
+struct Params {
+  Extent n;
+  Extent np;
+  Extent k;  // cyclic segment length
+};
+
+std::vector<DistFormat> formats_under_test(const Params& p) {
+  std::vector<DistFormat> fs;
+  fs.push_back(DistFormat::block());
+  fs.push_back(DistFormat::vienna_block());
+  fs.push_back(DistFormat::cyclic(1));
+  fs.push_back(DistFormat::cyclic(p.k));
+  // A deterministic irregular general-block partition.
+  {
+    Rng rng(static_cast<std::uint64_t>(p.n * 1315423911 + p.np));
+    std::vector<Extent> bounds;
+    Extent prev = 0;
+    for (Extent b = 1; b < p.np; ++b) {
+      // Nondecreasing bounds in [prev, n]; occasionally empty blocks.
+      prev = rng.uniform(prev, p.n);
+      bounds.push_back(prev);
+    }
+    fs.push_back(DistFormat::general_block(bounds));
+  }
+  // A deterministic indirect map.
+  {
+    Rng rng(static_cast<std::uint64_t>(p.n * 2654435761 + p.np));
+    std::vector<Extent> map(static_cast<std::size_t>(p.n));
+    for (auto& owner : map) owner = rng.uniform(1, p.np);
+    fs.push_back(DistFormat::indirect(std::move(map)));
+  }
+  return fs;
+}
+
+class FormatLaws : public ::testing::TestWithParam<Params> {};
+
+TEST_P(FormatLaws, TotalityAndPartition) {
+  // §2.2: a distribution is a *total* function into non-empty owner sets.
+  // All non-replicating formats moreover partition [1:N].
+  const Params p = GetParam();
+  for (const DistFormat& f : formats_under_test(p)) {
+    DimMapping m = DimMapping::bind(f, p.n, p.np);
+    for (Index1 i = 1; i <= p.n; ++i) {
+      DimOwnerSet owners = m.owners(i);
+      ASSERT_EQ(owners.size(), 1u) << f.to_string() << " i=" << i;
+      ASSERT_GE(owners[0], 1);
+      ASSERT_LE(owners[0], p.np);
+      ASSERT_EQ(owners[0], m.owner(i));
+    }
+  }
+}
+
+TEST_P(FormatLaws, LocalCountsSumToN) {
+  const Params p = GetParam();
+  for (const DistFormat& f : formats_under_test(p)) {
+    DimMapping m = DimMapping::bind(f, p.n, p.np);
+    Extent total = 0;
+    for (Index1 q = 1; q <= p.np; ++q) total += m.local_count(q);
+    EXPECT_EQ(total, p.n) << f.to_string();
+  }
+}
+
+TEST_P(FormatLaws, GlobalLocalRoundTrip) {
+  // global_index(owner(i), local_index(i)) == i, and the converse.
+  const Params p = GetParam();
+  for (const DistFormat& f : formats_under_test(p)) {
+    DimMapping m = DimMapping::bind(f, p.n, p.np);
+    for (Index1 i = 1; i <= p.n; ++i) {
+      const Index1 q = m.owner(i);
+      const Index1 l = m.local_index(i);
+      ASSERT_GE(l, 1) << f.to_string();
+      ASSERT_LE(l, m.local_count(q)) << f.to_string();
+      ASSERT_EQ(m.global_index(q, l), i) << f.to_string() << " i=" << i;
+    }
+    for (Index1 q = 1; q <= p.np; ++q) {
+      for (Index1 l = 1; l <= m.local_count(q); ++l) {
+        const Index1 i = m.global_index(q, l);
+        ASSERT_EQ(m.owner(i), q) << f.to_string();
+        ASSERT_EQ(m.local_index(i), l) << f.to_string();
+      }
+    }
+  }
+}
+
+TEST_P(FormatLaws, ForEachOwnedEnumeratesExactlyTheOwned) {
+  const Params p = GetParam();
+  for (const DistFormat& f : formats_under_test(p)) {
+    DimMapping m = DimMapping::bind(f, p.n, p.np);
+    std::set<Index1> seen;
+    for (Index1 q = 1; q <= p.np; ++q) {
+      Index1 prev = 0;
+      Extent count = 0;
+      m.for_each_owned(q, [&](Index1 i) {
+        EXPECT_GT(i, prev) << "ascending order";  // strictly ascending
+        prev = i;
+        ++count;
+        EXPECT_EQ(m.owner(i), q) << f.to_string();
+        EXPECT_TRUE(seen.insert(i).second) << "no duplicates across owners";
+      });
+      EXPECT_EQ(count, m.local_count(q)) << f.to_string();
+    }
+    EXPECT_EQ(static_cast<Extent>(seen.size()), p.n) << f.to_string();
+  }
+}
+
+TEST_P(FormatLaws, CyclicDefaultEqualsCyclicOne) {
+  // §4.1.3: "CYCLIC ... is equivalent to CYCLIC(1)".
+  const Params p = GetParam();
+  DimMapping c = DimMapping::bind(DistFormat::cyclic(), p.n, p.np);
+  DimMapping c1 = DimMapping::bind(DistFormat::cyclic(1), p.n, p.np);
+  for (Index1 i = 1; i <= p.n; ++i) {
+    ASSERT_EQ(c.owner(i), c1.owner(i));
+    ASSERT_EQ(c.local_index(i), c1.local_index(i));
+  }
+}
+
+TEST_P(FormatLaws, BlockFamilyIsContiguousAndOrdered) {
+  // Block distributions divide the domain into *contiguous* blocks in
+  // processor order (§4.1.1/§4.1.2).
+  const Params p = GetParam();
+  for (const DistFormat& f :
+       {DistFormat::block(), DistFormat::vienna_block()}) {
+    DimMapping m = DimMapping::bind(f, p.n, p.np);
+    Index1 expected_next = 1;
+    for (Index1 q = 1; q <= p.np; ++q) {
+      const auto [first, last] = m.block_range(q);
+      if (m.local_count(q) == 0) continue;
+      EXPECT_EQ(first, expected_next) << f.to_string();
+      expected_next = last + 1;
+    }
+    EXPECT_EQ(expected_next, p.n + 1) << f.to_string();
+  }
+}
+
+TEST_P(FormatLaws, HpfBlockSizeIsCeil) {
+  // §4.1.1: q := ceil(N/NP); every non-last nonempty block has size q.
+  const Params p = GetParam();
+  DimMapping m = DimMapping::bind(DistFormat::block(), p.n, p.np);
+  const Extent q = (p.n + p.np - 1) / p.np;
+  for (Index1 j = 1; j <= p.np; ++j) {
+    const Extent count = m.local_count(j);
+    EXPECT_LE(count, q);
+    if (j < p.np && m.local_count(j + 1) > 0) {
+      EXPECT_EQ(count, q);  // only the last nonempty block may be short
+    }
+  }
+}
+
+TEST_P(FormatLaws, ViennaBlockBalanced) {
+  // Vienna block: sizes differ by at most one, larger blocks first.
+  const Params p = GetParam();
+  DimMapping m = DimMapping::bind(DistFormat::vienna_block(), p.n, p.np);
+  const Extent f = p.n / p.np;
+  for (Index1 j = 1; j <= p.np; ++j) {
+    const Extent count = m.local_count(j);
+    EXPECT_GE(count, f);
+    EXPECT_LE(count, f + 1);
+    if (j > 1) {
+      EXPECT_LE(count, m.local_count(j - 1));
+    }
+  }
+}
+
+TEST_P(FormatLaws, CyclicOwnerFormula) {
+  // owner(i) = ((i-1) div k) mod NP + 1 — the standard block-cyclic map
+  // (the paper's printed formula is OCR-garbled; see DESIGN.md).
+  const Params p = GetParam();
+  DimMapping m = DimMapping::bind(DistFormat::cyclic(p.k), p.n, p.np);
+  for (Index1 i = 1; i <= p.n; ++i) {
+    ASSERT_EQ(m.owner(i), ((i - 1) / p.k) % p.np + 1);
+  }
+}
+
+TEST_P(FormatLaws, CyclicSegmentsAreContiguousRuns) {
+  // Consecutive indices within one segment share an owner; segment
+  // boundaries advance it cyclically.
+  const Params p = GetParam();
+  DimMapping m = DimMapping::bind(DistFormat::cyclic(p.k), p.n, p.np);
+  for (Index1 i = 1; i < p.n; ++i) {
+    if ((i % p.k) != 0) {
+      ASSERT_EQ(m.owner(i), m.owner(i + 1));
+    } else {
+      ASSERT_EQ(m.owner(i + 1), m.owner(i) % p.np + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FormatLaws,
+    ::testing::Values(
+        Params{1, 1, 1}, Params{1, 4, 2}, Params{7, 3, 2}, Params{10, 4, 3},
+        Params{16, 4, 1}, Params{16, 4, 5}, Params{100, 8, 7},
+        Params{100, 16, 16}, Params{101, 16, 3}, Params{128, 16, 4},
+        Params{3, 8, 2}, Params{255, 4, 32}, Params{256, 4, 32},
+        Params{257, 4, 32}, Params{1000, 13, 11}, Params{37, 37, 1},
+        Params{64, 1, 8}),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      return "N" + std::to_string(info.param.n) + "_NP" +
+             std::to_string(info.param.np) + "_k" +
+             std::to_string(info.param.k);
+    });
+
+}  // namespace
+}  // namespace hpfnt

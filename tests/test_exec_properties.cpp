@@ -1,0 +1,236 @@
+// Property suites on the execution substrate:
+//  * remap chains preserve values and memory accounting, for random
+//    sequences of REDISTRIBUTE/REALIGN over random mapping specs;
+//  * an assignment's numerics never depend on the mapping (distributed
+//    executor == serial reference under every distribution pair);
+//  * copy_section charges exactly the owner-set differences.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/assign.hpp"
+#include "exec/redistribute_exec.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hpfnt {
+namespace {
+
+IndexTuple idx(std::initializer_list<Index1> values) {
+  IndexTuple t;
+  for (Index1 v : values) t.push_back(v);
+  return t;
+}
+
+DistFormat random_format(Rng& rng, Extent n, Extent np) {
+  switch (rng.uniform(0, 3)) {
+    case 0:
+      return DistFormat::block();
+    case 1:
+      return DistFormat::vienna_block();
+    case 2:
+      return DistFormat::cyclic(rng.uniform(1, 7));
+    default: {
+      std::vector<Extent> bounds;
+      Extent prev = 0;
+      for (Extent p = 1; p < np; ++p) {
+        prev = rng.uniform(prev, n);
+        bounds.push_back(prev);
+      }
+      return DistFormat::general_block(std::move(bounds));
+    }
+  }
+}
+
+TEST(ExecProperties, RandomRemapChainsPreserveValuesAndMemory) {
+  const Extent n = 96;
+  const Extent procs = 8;
+  Machine machine(procs);
+  ProcessorSpace ps(procs);
+  const ProcessorArrangement& q = ps.declare("Q", IndexDomain::of_extents({procs}));
+  DataEnv env(ps);
+  DistArray& a = env.real("A", IndexDomain{Dim(1, n)});
+  env.distribute(a, {DistFormat::block()}, ProcessorRef(q));
+  env.dynamic(a);
+  ProgramState state(machine);
+  state.create(env, a);
+  state.fill(a.id(), [](const IndexTuple& i) {
+    return std::sqrt(static_cast<double>(i[0]));
+  });
+  const Extent baseline_memory = state.memory().total_bytes();
+
+  Rng rng(606);
+  for (int step = 0; step < 60; ++step) {
+    std::vector<RemapEvent> events =
+        env.redistribute(a, {random_format(rng, n, procs)}, ProcessorRef(q));
+    apply_remaps(state, env, events);
+    // Values intact after every remap.
+    for (Index1 i = 1; i <= n; i += 13) {
+      ASSERT_DOUBLE_EQ(state.value(a.id(), idx({i})),
+                       std::sqrt(static_cast<double>(i)))
+          << "step " << step;
+    }
+    // Non-replicating remaps keep total memory constant.
+    ASSERT_EQ(state.memory().total_bytes(), baseline_memory) << step;
+    // The storage layout always matches the environment's mapping.
+    ASSERT_TRUE(state.layout(a.id()).same_mapping(env.distribution_of(a)));
+  }
+}
+
+TEST(ExecProperties, RemapByteConservation) {
+  // bytes == element_transfers * elem_bytes for non-replicating remaps.
+  const Extent n = 128;
+  Machine machine(8);
+  ProcessorSpace ps(8);
+  const ProcessorArrangement& q = ps.declare("Q", IndexDomain::of_extents({8}));
+  DataEnv env(ps);
+  DistArray& a = env.real("A", IndexDomain{Dim(1, n)});
+  env.distribute(a, {DistFormat::block()}, ProcessorRef(q));
+  env.dynamic(a);
+  ProgramState state(machine);
+  state.create(env, a);
+  Rng rng(77);
+  for (int step = 0; step < 20; ++step) {
+    std::vector<RemapEvent> events =
+        env.redistribute(a, {random_format(rng, n, 8)}, ProcessorRef(q));
+    std::vector<StepStats> stats = apply_remaps(state, env, events);
+    ASSERT_EQ(stats[0].bytes, stats[0].element_transfers * 4);
+  }
+}
+
+class AssignNumericsLaw
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(AssignNumericsLaw, DistributedEqualsSerialUnderAnyMappings) {
+  const Extent n = 48;
+  Machine machine(8);
+  ProcessorSpace ps(8);
+  const ProcessorArrangement& q = ps.declare("Q", IndexDomain::of_extents({8}));
+  auto format_of = [&](int which) {
+    switch (which) {
+      case 0:
+        return DistFormat::block();
+      case 1:
+        return DistFormat::vienna_block();
+      case 2:
+        return DistFormat::cyclic(1);
+      case 3:
+        return DistFormat::cyclic(5);
+      default:
+        return DistFormat::general_block({7, 7, 20, 21, 33, 40, 41});
+    }
+  };
+  DataEnv env(ps);
+  DistArray& x = env.real("X", IndexDomain{Dim(1, n)});
+  DistArray& y = env.real("Y", IndexDomain{Dim(1, n)});
+  env.distribute(x, {format_of(std::get<0>(GetParam()))}, ProcessorRef(q));
+  env.distribute(y, {format_of(std::get<1>(GetParam()))}, ProcessorRef(q));
+
+  auto init = [](const IndexTuple& i) {
+    return std::sin(static_cast<double>(i[0]) * 0.7) * 10.0;
+  };
+  ProgramState state(machine);
+  state.create(env, x);
+  state.create(env, y);
+  state.fill(x.id(), init);
+
+  // y(3:46) = 2*x(1:44) - x(5:48) + 1.5
+  SecExpr rhs = SecExpr::section(x, {Triplet(1, n - 4)}) * 2.0 -
+                SecExpr::section(x, {Triplet(5, n)}) +
+                SecExpr::constant(1.5);
+  assign(state, env, y, {Triplet(3, n - 2)}, rhs);
+
+  ProgramState ref(machine);
+  ref.create(env, x);
+  ref.create(env, y);
+  ref.fill(x.id(), init);
+  assign_serial(ref, y, {Triplet(3, n - 2)}, rhs);
+
+  for (Index1 i = 1; i <= n; ++i) {
+    ASSERT_DOUBLE_EQ(state.value(y.id(), idx({i})),
+                     ref.value(y.id(), idx({i})))
+        << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MappingPairs, AssignNumericsLaw,
+    ::testing::Combine(::testing::Range(0, 5), ::testing::Range(0, 5)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "lhs" + std::to_string(std::get<1>(info.param)) + "_rhs" +
+             std::to_string(std::get<0>(info.param));
+    });
+
+TEST(ExecProperties, CopySectionChargesOnlyOwnerDifferences) {
+  Machine machine(8);
+  ProcessorSpace ps(8);
+  const ProcessorArrangement& q = ps.declare("Q", IndexDomain::of_extents({8}));
+  DataEnv env(ps);
+  DistArray& a = env.real("A", IndexDomain{Dim(1, 64)});
+  DistArray& b = env.real("B", IndexDomain{Dim(1, 64)});
+  env.distribute(a, {DistFormat::block()}, ProcessorRef(q));
+  env.distribute(b, {DistFormat::block()}, ProcessorRef(q));
+  ProgramState state(machine);
+  state.create(env, a);
+  state.create(env, b);
+  // Identical mappings: aligned copy costs nothing.
+  StepStats same = state.copy_section(b, b.domain().dims(), a,
+                                      a.domain().dims(), "same");
+  EXPECT_EQ(same.messages, 0);
+  EXPECT_EQ(same.bytes, 0);
+  // Shifted copy: B(1:32) = A(33:64) crosses the block boundary entirely.
+  StepStats shifted = state.copy_section(b, {Triplet(1, 32)}, a,
+                                         {Triplet(33, 64)}, "shifted");
+  EXPECT_EQ(shifted.element_transfers, 32);
+}
+
+TEST(ExecProperties, CopySectionShapeMismatchRejected) {
+  Machine machine(4);
+  ProcessorSpace ps(4);
+  ps.declare("Q", IndexDomain::of_extents({4}));
+  DataEnv env(ps);
+  DistArray& a = env.real("A", IndexDomain{Dim(1, 16)});
+  DistArray& b = env.real("B", IndexDomain{Dim(1, 16)});
+  ProgramState state(machine);
+  state.create(env, a);
+  state.create(env, b);
+  EXPECT_THROW((state.copy_section(b, {Triplet(1, 8)}, a, {Triplet(1, 9)},
+                                   "bad")),
+               ConformanceError);
+}
+
+TEST(ExecProperties, SqueezedConformanceMatchesColumnSemantics) {
+  // D(:,j) = D(:,j) + A(:) must equal the hand-written column loop.
+  const Extent n = 12, m = 5;
+  Machine machine(4);
+  ProcessorSpace ps(4);
+  const ProcessorArrangement& q = ps.declare("Q", IndexDomain::of_extents({4}));
+  DataEnv env(ps);
+  DistArray& d = env.real("D", IndexDomain{Dim(1, n), Dim(1, m)});
+  DistArray& a = env.real("A", IndexDomain{Dim(1, n)});
+  env.distribute(d, {DistFormat::block(), DistFormat::collapsed()},
+                 ProcessorRef(q));
+  env.distribute(a, {DistFormat::block()}, ProcessorRef(q));
+  ProgramState state(machine);
+  state.create(env, d);
+  state.create(env, a);
+  state.fill(d.id(), [](const IndexTuple& i) {
+    return static_cast<double>(i[0] * 100 + i[1]);
+  });
+  state.fill(a.id(),
+             [](const IndexTuple& i) { return static_cast<double>(i[0]); });
+  for (Index1 j = 1; j <= m; ++j) {
+    assign(state, env, d, {Triplet(1, n), Triplet::single(j)},
+           SecExpr::section(d, {Triplet(1, n), Triplet::single(j)}) +
+               SecExpr::section(a, {Triplet(1, n)}));
+  }
+  for (Index1 i = 1; i <= n; ++i) {
+    for (Index1 j = 1; j <= m; ++j) {
+      EXPECT_DOUBLE_EQ(state.value(d.id(), idx({i, j})),
+                       static_cast<double>(i * 100 + j + i));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpfnt

@@ -1,0 +1,273 @@
+// Alignment-forest invariants (§2.4) and the dynamic transition rules of
+// REDISTRIBUTE (§4.2) and REALIGN (§5.2), including a randomized sequence
+// test that re-checks every invariant after every operation.
+#include "core/forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hpfnt {
+namespace {
+
+IndexTuple idx(std::initializer_list<Index1> values) {
+  IndexTuple t;
+  for (Index1 v : values) t.push_back(v);
+  return t;
+}
+
+class ForestTest : public ::testing::Test {
+ protected:
+  ForestTest() : ps_(8) {
+    ps_.declare("Q", IndexDomain::of_extents({8}));
+  }
+
+  Distribution block_dist(Extent n, Extent np) {
+    return Distribution::formats(
+        IndexDomain{Dim(1, n)}, {DistFormat::block()},
+        ProcessorRef(ps_.find("Q"), {TargetSub::range(Triplet(1, np))}));
+  }
+
+  Distribution cyclic_dist(Extent n, Extent np) {
+    return Distribution::formats(
+        IndexDomain{Dim(1, n)}, {DistFormat::cyclic()},
+        ProcessorRef(ps_.find("Q"), {TargetSub::range(Triplet(1, np))}));
+  }
+
+  AlignmentFunction identity(Extent n) {
+    return AlignmentFunction::identity(IndexDomain{Dim(1, n)},
+                                       IndexDomain{Dim(1, n)});
+  }
+
+  ProcessorSpace ps_;
+};
+
+TEST_F(ForestTest, PrimaryAndSecondaryBasics) {
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_secondary(2, 1, identity(16));
+  EXPECT_TRUE(f.is_primary(1));
+  EXPECT_FALSE(f.is_primary(2));
+  EXPECT_EQ(f.parent_of(2), 1);
+  EXPECT_EQ(f.parent_of(1), kNoArray);
+  EXPECT_EQ(f.children_of(1).size(), 1u);
+  f.check_invariants();
+}
+
+TEST_F(ForestTest, SecondaryDistributionIsConstruct) {
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_secondary(2, 1, identity(16));
+  Distribution d2 = f.distribution_of(2);
+  EXPECT_EQ(d2.kind(), Distribution::Kind::kConstructed);
+  EXPECT_EQ(d2.first_owner(idx({5})),
+            f.distribution_of(1).first_owner(idx({5})));
+}
+
+TEST_F(ForestTest, HeightTwoRejected) {
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_secondary(2, 1, identity(16));
+  // Aligning to a secondary would make height 2 (§2.4 constraint 1).
+  EXPECT_THROW(f.add_secondary(3, 2, identity(16)), ConformanceError);
+}
+
+TEST_F(ForestTest, SpecAlignOfBaseWithChildrenRejected) {
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_primary(2, block_dist(16, 4));
+  f.add_secondary(3, 1, identity(16));
+  // 1 has a child; aligning 1 under 2 in the specification part would
+  // create height 2.
+  EXPECT_THROW(f.make_secondary(1, 2, identity(16)), ConformanceError);
+}
+
+TEST_F(ForestTest, SecondaryCannotBeDistributedDirectly) {
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_secondary(2, 1, identity(16));
+  EXPECT_THROW(f.set_distribution(2, cyclic_dist(16, 4)), ConformanceError);
+}
+
+TEST_F(ForestTest, RedistributePrimaryPropagatesToSecondaries) {
+  // §4.2: "every array A that is aligned to B is redistributed in such a
+  // way that the relationship ... is kept invariant."
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_secondary(2, 1, identity(16));
+  f.redistribute(1, cyclic_dist(16, 4));
+  Distribution d1 = f.distribution_of(1);
+  Distribution d2 = f.distribution_of(2);
+  for (Index1 i = 1; i <= 16; ++i) {
+    EXPECT_EQ(d2.first_owner(idx({i})), d1.first_owner(idx({i})));
+  }
+  EXPECT_FALSE(f.is_primary(2));  // still aligned
+  f.check_invariants();
+}
+
+TEST_F(ForestTest, RedistributeSecondaryDetachesIt) {
+  // §4.2: "B is disconnected from A and made into a new degenerate tree
+  // with primary array B."
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_secondary(2, 1, identity(16));
+  f.redistribute(2, cyclic_dist(16, 4));
+  EXPECT_TRUE(f.is_primary(2));
+  EXPECT_TRUE(f.children_of(1).empty());
+  // And the new distribution is the requested one, not derived.
+  EXPECT_EQ(f.distribution_of(2).kind(), Distribution::Kind::kFormats);
+  // Base redistributions no longer affect it.
+  f.redistribute(1, block_dist(16, 2));
+  EXPECT_EQ(f.distribution_of(2).first_owner(idx({2})), 1);  // cyclic still
+  f.check_invariants();
+}
+
+TEST_F(ForestTest, RealignMovesSecondaryBetweenBases) {
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_primary(2, cyclic_dist(16, 4));
+  f.add_secondary(3, 1, identity(16));
+  f.realign(3, 2, identity(16));
+  EXPECT_EQ(f.parent_of(3), 2);
+  EXPECT_TRUE(f.children_of(1).empty());
+  EXPECT_EQ(f.distribution_of(3).first_owner(idx({2})),
+            f.distribution_of(2).first_owner(idx({2})));
+  f.check_invariants();
+}
+
+TEST_F(ForestTest, RealignPrimaryOrphansItsSecondaries) {
+  // §5.2 step 1: secondaries of A become primaries of degenerate trees
+  // *with their current distribution*.
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_primary(2, cyclic_dist(16, 4));
+  f.add_secondary(3, 1, identity(16));
+  f.add_secondary(4, 1, identity(16));
+
+  Distribution d3_before = f.distribution_of(3);
+  f.realign(1, 2, identity(16));
+
+  EXPECT_TRUE(f.is_primary(3));
+  EXPECT_TRUE(f.is_primary(4));
+  EXPECT_EQ(f.parent_of(1), 2);
+  // 3 kept the mapping it had at the instant of the realign.
+  EXPECT_TRUE(f.distribution_of(3).same_mapping(d3_before));
+  // ... and it no longer follows 1.
+  Distribution d1_now = f.distribution_of(1);
+  EXPECT_EQ(d1_now.first_owner(idx({2})),
+            f.distribution_of(2).first_owner(idx({2})));
+  f.check_invariants();
+}
+
+TEST_F(ForestTest, RealignToFormerChildIsLegal) {
+  // REALIGN A WITH B where B was aligned to A: step 1 orphans B (making it
+  // a primary), then A aligns beneath it.
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_secondary(2, 1, identity(16));
+  f.realign(1, 2, identity(16));
+  EXPECT_TRUE(f.is_primary(2));
+  EXPECT_EQ(f.parent_of(1), 2);
+  f.check_invariants();
+}
+
+TEST_F(ForestTest, RealignToSelfRejected) {
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  EXPECT_THROW(f.realign(1, 1, identity(16)), ConformanceError);
+}
+
+TEST_F(ForestTest, RealignToSecondaryRejected) {
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_secondary(2, 1, identity(16));
+  f.add_primary(3, cyclic_dist(16, 4));
+  EXPECT_THROW(f.realign(3, 2, identity(16)), ConformanceError);
+}
+
+TEST_F(ForestTest, RemoveOrphansChildrenWithSnapshot) {
+  // §6 DEALLOCATE: "each array A directly aligned to B is made into a new
+  // tree with primary A."
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_secondary(2, 1, identity(16));
+  Distribution d2_before = f.distribution_of(2);
+  f.remove(1);
+  EXPECT_FALSE(f.contains(1));
+  EXPECT_TRUE(f.is_primary(2));
+  EXPECT_TRUE(f.distribution_of(2).same_mapping(d2_before));
+  f.check_invariants();
+}
+
+TEST_F(ForestTest, DuplicateAddRejected) {
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  EXPECT_THROW(f.add_primary(1, block_dist(16, 4)), InternalError);
+  EXPECT_THROW(f.add_secondary(1, 1, identity(16)), InternalError);
+}
+
+TEST_F(ForestTest, RandomizedOperationSequenceKeepsInvariants) {
+  // Fuzz the transition rules: any sequence of redistribute/realign/remove
+  // operations must preserve every §2.4 invariant.
+  AlignmentForest f;
+  Rng rng(20260610);
+  const Extent n = 12;
+  std::vector<ArrayId> live;
+  ArrayId next = 0;
+  for (int i = 0; i < 4; ++i) {
+    f.add_primary(next, block_dist(n, 4));
+    live.push_back(next++);
+  }
+  for (int step = 0; step < 400; ++step) {
+    const int op = static_cast<int>(rng.uniform(0, 4));
+    switch (op) {
+      case 0: {  // add a new secondary under a random primary
+        ArrayId base = live[static_cast<size_t>(
+            rng.uniform(0, static_cast<Index1>(live.size()) - 1))];
+        if (!f.is_primary(base)) break;
+        f.add_secondary(next, base, identity(n));
+        live.push_back(next++);
+        break;
+      }
+      case 1: {  // redistribute a random array
+        ArrayId id = live[static_cast<size_t>(
+            rng.uniform(0, static_cast<Index1>(live.size()) - 1))];
+        f.redistribute(id, rng.uniform01() < 0.5 ? block_dist(n, 4)
+                                                 : cyclic_dist(n, 4));
+        break;
+      }
+      case 2: {  // realign a random array to a random primary
+        ArrayId id = live[static_cast<size_t>(
+            rng.uniform(0, static_cast<Index1>(live.size()) - 1))];
+        ArrayId base = live[static_cast<size_t>(
+            rng.uniform(0, static_cast<Index1>(live.size()) - 1))];
+        if (id == base) break;
+        // A secondary base is legal only when step 1's orphaning will have
+        // promoted it, i.e. when it is currently aligned to `id` itself.
+        if (!f.is_primary(base) && f.parent_of(base) != id) break;
+        f.realign(id, base, identity(n));
+        break;
+      }
+      case 3: {  // remove a random array (keep at least 2 alive)
+        if (live.size() <= 2) break;
+        const std::size_t k = static_cast<size_t>(
+            rng.uniform(0, static_cast<Index1>(live.size()) - 1));
+        f.remove(live[k]);
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(k));
+        break;
+      }
+      default: {  // query a random distribution (must always be derivable)
+        ArrayId id = live[static_cast<size_t>(
+            rng.uniform(0, static_cast<Index1>(live.size()) - 1))];
+        Distribution d = f.distribution_of(id);
+        EXPECT_EQ(d.domain().size(), n);
+        break;
+      }
+    }
+    ASSERT_NO_THROW(f.check_invariants()) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace hpfnt

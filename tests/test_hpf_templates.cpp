@@ -1,0 +1,277 @@
+// The HPF-draft template baseline (§8): semantics, the Thole example's
+// collocation behaviour under different template distributions, and the two
+// §8.2 language problems reproduced as conformance errors.
+#include "hpf/hpf_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/construct.hpp"
+#include "support/error.hpp"
+
+namespace hpfnt {
+namespace {
+
+using hpf::HpfArray;
+using hpf::HpfModel;
+using hpf::HpfTemplate;
+
+IndexTuple idx(std::initializer_list<Index1> values) {
+  IndexTuple t;
+  for (Index1 v : values) t.push_back(v);
+  return t;
+}
+
+class HpfModelTest : public ::testing::Test {
+ protected:
+  HpfModelTest() : ps_(16) {
+    ps_.declare("Q", IndexDomain::of_extents({16}));
+    ps_.declare("G", IndexDomain::of_extents({4, 4}));
+  }
+  ProcessorSpace ps_;
+};
+
+TEST_F(HpfModelTest, TemplatesAreTaggedNotStructural) {
+  // §8: "distinct definitions of templates ... are to be considered as
+  // different, independent of their associated index domain."
+  HpfModel model(ps_);
+  HpfTemplate& t1 = model.declare_template("T", IndexDomain{Dim(1, 10)});
+  HpfTemplate& t2 = model.declare_template("T", IndexDomain{Dim(1, 10)});
+  EXPECT_NE(t1, t2);
+  EXPECT_EQ(t1, t1);
+}
+
+TEST_F(HpfModelTest, AlignToTemplateAndDistribute) {
+  HpfModel model(ps_);
+  HpfTemplate& t = model.declare_template("T", IndexDomain{Dim(1, 32)});
+  HpfArray& a = model.declare_array("A", IndexDomain{Dim(1, 16)});
+  AlignExpr i = AlignExpr::dummy(0);
+  model.align_to_template(
+      a, t, AlignSpec({AligneeSub::dummy(0, "I")},
+                      {BaseSub::of_expr(i * 2)}));
+  model.distribute_template(t, {DistFormat::block()},
+                            ProcessorRef(ps_.find("Q")));
+  Distribution da = model.distribution_of(a);
+  Distribution dt = model.distribution_of_template(t);
+  // A(i) lives where T(2i) lives.
+  for (Index1 k : {1, 5, 16}) {
+    EXPECT_EQ(da.first_owner(idx({k})), dt.first_owner(idx({2 * k})));
+  }
+}
+
+TEST_F(HpfModelTest, AlignmentChainsCompose) {
+  // HPF allows A -> B -> T; the paper's model forbids this (height <= 1).
+  HpfModel model(ps_);
+  HpfTemplate& t = model.declare_template("T", IndexDomain{Dim(1, 64)});
+  HpfArray& b = model.declare_array("B", IndexDomain{Dim(1, 32)});
+  HpfArray& a = model.declare_array("A", IndexDomain{Dim(1, 16)});
+  AlignExpr i = AlignExpr::dummy(0);
+  model.align_to_template(
+      b, t, AlignSpec({AligneeSub::dummy(0, "I")},
+                      {BaseSub::of_expr(i * 2)}));
+  model.align_to_array(a, b,
+                       AlignSpec({AligneeSub::dummy(0, "I")},
+                                 {BaseSub::of_expr(i + 1)}));
+  model.distribute_template(t, {DistFormat::cyclic(4)},
+                            ProcessorRef(ps_.find("Q")));
+  EXPECT_EQ(model.chain_length(a), 2);
+  EXPECT_EQ(model.chain_length(b), 1);
+  // A(i) -> B(i+1) -> T(2i+2).
+  Distribution da = model.distribution_of(a);
+  Distribution dt = model.distribution_of_template(t);
+  for (Index1 k : {1, 7, 16}) {
+    EXPECT_EQ(da.first_owner(idx({k})), dt.first_owner(idx({2 * k + 2})));
+  }
+}
+
+TEST_F(HpfModelTest, UndistributedTemplateIsAnError) {
+  HpfModel model(ps_);
+  HpfTemplate& t = model.declare_template("T", IndexDomain{Dim(1, 32)});
+  HpfArray& a = model.declare_array("A", IndexDomain{Dim(1, 32)});
+  model.align_to_template(a, t, AlignSpec::colons(1));
+  EXPECT_THROW(model.distribution_of(a), ConformanceError);
+}
+
+TEST_F(HpfModelTest, AlignmentCycleDetected) {
+  HpfModel model(ps_);
+  HpfArray& a = model.declare_array("A", IndexDomain{Dim(1, 8)});
+  HpfArray& b = model.declare_array("B", IndexDomain{Dim(1, 8)});
+  model.align_to_array(a, b, AlignSpec::colons(1));
+  model.align_to_array(b, a, AlignSpec::colons(1));
+  EXPECT_THROW(model.distribution_of(a), ConformanceError);
+}
+
+TEST_F(HpfModelTest, DoubleMappingRejected) {
+  HpfModel model(ps_);
+  HpfTemplate& t = model.declare_template("T", IndexDomain{Dim(1, 8)});
+  HpfArray& a = model.declare_array("A", IndexDomain{Dim(1, 8)});
+  model.align_to_template(a, t, AlignSpec::colons(1));
+  EXPECT_THROW(model.distribute_array(a, {DistFormat::block()},
+                                      ProcessorRef(ps_.find("Q"))),
+               ConformanceError);
+}
+
+// --- The Thole staggered grid (§8.1.1) --------------------------------------
+
+class TholeTest : public ::testing::Test {
+ protected:
+  static constexpr Extent kN = 8;
+  TholeTest() : ps_(16) {
+    ps_.declare("G", IndexDomain::of_extents({4, 4}));
+  }
+
+  /// Builds the §8.1.1 program against a template distributed with the
+  /// given formats and returns (model, arrays).
+  struct Setup {
+    HpfModel model;
+    HpfArray* u;
+    HpfArray* v;
+    HpfArray* p;
+    HpfTemplate* t;
+    explicit Setup(ProcessorSpace& ps) : model(ps) {}
+  };
+
+  std::unique_ptr<Setup> build(std::vector<DistFormat> formats) {
+    auto s = std::make_unique<Setup>(ps_);
+    // REAL U(0:N,1:N), V(1:N,0:N), P(1:N,1:N)
+    // !HPF$ TEMPLATE T(0:2*N, 0:2*N)
+    s->t = &s->model.declare_template(
+        "T", IndexDomain{Dim(0, 2 * kN), Dim(0, 2 * kN)});
+    s->u = &s->model.declare_array("U", IndexDomain{Dim(0, kN), Dim(1, kN)});
+    s->v = &s->model.declare_array("V", IndexDomain{Dim(1, kN), Dim(0, kN)});
+    s->p = &s->model.declare_array("P", IndexDomain{Dim(1, kN), Dim(1, kN)});
+    AlignExpr i = AlignExpr::dummy(0);
+    AlignExpr j = AlignExpr::dummy(1);
+    // ALIGN P(I,J) WITH T(2*I-1, 2*J-1)
+    s->model.align_to_template(
+        *s->p, *s->t,
+        AlignSpec({AligneeSub::dummy(0, "I"), AligneeSub::dummy(1, "J")},
+                  {BaseSub::of_expr(i * 2 - 1), BaseSub::of_expr(j * 2 - 1)}));
+    // ALIGN U(I,J) WITH T(2*I, 2*J-1)
+    s->model.align_to_template(
+        *s->u, *s->t,
+        AlignSpec({AligneeSub::dummy(0, "I"), AligneeSub::dummy(1, "J")},
+                  {BaseSub::of_expr(i * 2), BaseSub::of_expr(j * 2 - 1)}));
+    // ALIGN V(I,J) WITH T(2*I-1, 2*J)
+    s->model.align_to_template(
+        *s->v, *s->t,
+        AlignSpec({AligneeSub::dummy(0, "I"), AligneeSub::dummy(1, "J")},
+                  {BaseSub::of_expr(i * 2 - 1), BaseSub::of_expr(j * 2)}));
+    s->model.distribute_template(*s->t, std::move(formats),
+                                 ProcessorRef(ps_.find("G")));
+    return s;
+  }
+
+  /// Fraction of stencil operand pairs {P(i,j); U(i-1,j)|U(i,j)|V(i,j-1)|
+  /// V(i,j)} placed on different processors.
+  double remote_neighbor_fraction(Setup& s) {
+    Distribution dp = s.model.distribution_of(*s.p);
+    Distribution du = s.model.distribution_of(*s.u);
+    Distribution dv = s.model.distribution_of(*s.v);
+    Extent remote = 0, total = 0;
+    for (Index1 i = 1; i <= kN; ++i) {
+      for (Index1 j = 1; j <= kN; ++j) {
+        const ApId owner = dp.first_owner(idx({i, j}));
+        const ApId nbrs[4] = {du.first_owner(idx({i - 1, j})),
+                              du.first_owner(idx({i, j})),
+                              dv.first_owner(idx({i, j - 1})),
+                              dv.first_owner(idx({i, j}))};
+        for (ApId q : nbrs) {
+          ++total;
+          if (q != owner) ++remote;
+        }
+      }
+    }
+    return static_cast<double>(remote) / static_cast<double>(total);
+  }
+
+  ProcessorSpace ps_;
+};
+
+TEST_F(TholeTest, CyclicTemplateDistributionIsWorstCase) {
+  // §8.1.1: "DISTRIBUTE(CYCLIC,CYCLIC)::T results in the worst possible
+  // effect, viz. different processor allocations for any two neighbors."
+  auto s = build({DistFormat::cyclic(), DistFormat::cyclic()});
+  EXPECT_DOUBLE_EQ(remote_neighbor_fraction(*s), 1.0);
+}
+
+TEST_F(TholeTest, BlockTemplateDistributionCollocatesMostNeighbors) {
+  auto s = build({DistFormat::block(), DistFormat::block()});
+  const double remote = remote_neighbor_fraction(*s);
+  EXPECT_LT(remote, 0.35);  // only block-boundary neighbors are remote
+  EXPECT_GT(remote, 0.0);
+}
+
+TEST_F(TholeTest, PaperDirectBlockSolutionMatchesBlockTemplate) {
+  // The paper's template-free solution: DISTRIBUTE (BLOCK,BLOCK):: U,V,P
+  // with the Vienna block definition. Collocation is as good as the
+  // best template distribution.
+  HpfModel model(ps_);
+  HpfArray& u = model.declare_array("U", IndexDomain{Dim(0, kN), Dim(1, kN)});
+  HpfArray& v = model.declare_array("V", IndexDomain{Dim(1, kN), Dim(0, kN)});
+  HpfArray& p = model.declare_array("P", IndexDomain{Dim(1, kN), Dim(1, kN)});
+  ProcessorRef g(ps_.find("G"));
+  for (HpfArray* a : {&u, &v, &p}) {
+    model.distribute_array(
+        *a, {DistFormat::vienna_block(), DistFormat::vienna_block()}, g);
+  }
+  Distribution dp = model.distribution_of(p);
+  Distribution du = model.distribution_of(u);
+  Distribution dv = model.distribution_of(v);
+  Extent remote = 0, total = 0;
+  for (Index1 i = 1; i <= kN; ++i) {
+    for (Index1 j = 1; j <= kN; ++j) {
+      const ApId owner = dp.first_owner(idx({i, j}));
+      const ApId nbrs[4] = {du.first_owner(idx({i - 1, j})),
+                            du.first_owner(idx({i, j})),
+                            dv.first_owner(idx({i, j - 1})),
+                            dv.first_owner(idx({i, j}))};
+      for (ApId q : nbrs) {
+        ++total;
+        if (q != owner) ++remote;
+      }
+    }
+  }
+  EXPECT_LT(static_cast<double>(remote) / static_cast<double>(total), 0.35);
+}
+
+// --- §8.2 problems -------------------------------------------------------------
+
+TEST_F(HpfModelTest, Problem1_NoAllocatableTemplates) {
+  HpfModel model(ps_);
+  EXPECT_THROW(model.declare_allocatable_template("T", 2), ConformanceError);
+}
+
+TEST_F(HpfModelTest, Problem2_TemplatesCannotCrossProcedureBoundaries) {
+  HpfModel model(ps_);
+  HpfTemplate& t = model.declare_template("T", IndexDomain{Dim(1, 1000)});
+  HpfArray& x = model.declare_array("X", IndexDomain{Dim(1, 500)});
+  AlignExpr i = AlignExpr::dummy(0);
+  model.align_to_template(x, t,
+                          AlignSpec({AligneeSub::dummy(0, "I")},
+                                    {BaseSub::of_expr(i * 2)}));
+  model.distribute_template(t, {DistFormat::cyclic(3)},
+                            ProcessorRef(ps_.find("Q")));
+  EXPECT_THROW(model.pass_to_procedure(x, "SUB"), ConformanceError);
+
+  // A template-free mapping passes fine — the paper's model has no such
+  // restriction anywhere.
+  HpfArray& y = model.declare_array("Y", IndexDomain{Dim(1, 500)});
+  model.distribute_array(y, {DistFormat::cyclic(3)},
+                         ProcessorRef(ps_.find("Q")));
+  EXPECT_NO_THROW(model.pass_to_procedure(y, "SUB"));
+}
+
+TEST_F(HpfModelTest, Problem2_AppliesThroughChains) {
+  HpfModel model(ps_);
+  HpfTemplate& t = model.declare_template("T", IndexDomain{Dim(1, 100)});
+  HpfArray& b = model.declare_array("B", IndexDomain{Dim(1, 100)});
+  HpfArray& a = model.declare_array("A", IndexDomain{Dim(1, 100)});
+  model.align_to_template(b, t, AlignSpec::colons(1));
+  model.align_to_array(a, b, AlignSpec::colons(1));
+  model.distribute_template(t, {DistFormat::block()},
+                            ProcessorRef(ps_.find("Q")));
+  EXPECT_THROW(model.pass_to_procedure(a, "SUB"), ConformanceError);
+}
+
+}  // namespace
+}  // namespace hpfnt

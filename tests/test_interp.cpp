@@ -1,0 +1,286 @@
+// End-to-end interpreter tests: every directive example from the paper runs
+// as a script, and the exec-integrated mode moves real data.
+#include "directives/interp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/inquiry.hpp"
+#include "support/error.hpp"
+
+namespace hpfnt {
+namespace {
+
+using dir::Interpreter;
+
+IndexTuple idx(std::initializer_list<Index1> values) {
+  IndexTuple t;
+  for (Index1 v : values) t.push_back(v);
+  return t;
+}
+
+class InterpTest : public ::testing::Test {
+ protected:
+  InterpTest() : ps_(32) {}
+  ProcessorSpace ps_;
+};
+
+TEST_F(InterpTest, Section4Examples) {
+  // The four DISTRIBUTE examples of §4, plus the PROCESSORS they need.
+  Interpreter in(ps_);
+  in.run(
+      "NOP = 16\n"
+      "S = 8\n"
+      "!HPF$ PROCESSORS Q(16)\n"
+      "REAL A(64), B(64), C(20)\n"
+      "REAL E(16,8), F(16,8)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK)\n"
+      "!HPF$ DISTRIBUTE B(CYCLIC) TO Q(1:NOP:2)\n"
+      "!HPF$ DISTRIBUTE C(GENERAL_BLOCK(/3,9,14,14,16,18,19/)) TO Q(1:8)\n"
+      "!HPF$ DISTRIBUTE (BLOCK, :) :: E,F\n");
+  // A(BLOCK) over the default 1-D machine.
+  Distribution da = in.env().distribution_of("A");
+  EXPECT_EQ(da.format_list()[0], DistFormat::block());
+  // B cyclic over the odd section of Q.
+  Distribution db = in.env().distribution_of("B");
+  EXPECT_EQ(db.first_owner(idx({1})), 0);
+  EXPECT_EQ(db.first_owner(idx({2})), 2);
+  // C general-block: index 10 is in block 3 (bounds 3,9,14 -> [10:14]).
+  Distribution dc = in.env().distribution_of("C");
+  EXPECT_EQ(dc.first_owner(idx({10})), dc.first_owner(idx({14})));
+  EXPECT_NE(dc.first_owner(idx({9})), dc.first_owner(idx({10})));
+  // E,F: rows blocked, columns local.
+  Distribution de = in.env().distribution_of("E");
+  Distribution df = in.env().distribution_of("F");
+  EXPECT_EQ(de.first_owner(idx({3, 1})), de.first_owner(idx({3, 8})));
+  EXPECT_TRUE(de.same_mapping(df));
+}
+
+TEST_F(InterpTest, Section5AlignExamples) {
+  Interpreter in(ps_);
+  in.run(
+      "N = 8\n"
+      "M = 4\n"
+      "REAL A(N), D(N,M), B(N,M), E(N)\n"
+      "!HPF$ DISTRIBUTE D(BLOCK,BLOCK)\n"
+      "!HPF$ DISTRIBUTE E(CYCLIC)\n"
+      "!HPF$ ALIGN A(:) WITH D(:,*)\n"
+      "!HPF$ ALIGN B(:,*) WITH E(:)\n");
+  // A replicated across D's columns (§5.1 example 1).
+  Distribution da = in.env().distribution_of("A");
+  Distribution dd = in.env().distribution_of("D");
+  EXPECT_TRUE(da.replicates());
+  for (Index1 k = 1; k <= 4; ++k) {
+    EXPECT_TRUE(da.is_owner(dd.first_owner(idx({3, k})), idx({3})));
+  }
+  // B's second axis collapsed onto E (§5.1 example 2).
+  Distribution db = in.env().distribution_of("B");
+  Distribution de = in.env().distribution_of("E");
+  for (Index1 j2 = 1; j2 <= 4; ++j2) {
+    EXPECT_EQ(db.first_owner(idx({5, j2})), de.first_owner(idx({5})));
+  }
+}
+
+TEST_F(InterpTest, Section6AllocatableExample) {
+  // The §6 example, with READ replaced by scalar assignments.
+  Interpreter in(ps_);
+  in.run(
+      "REAL,ALLOCATABLE(:,:) :: A,B\n"
+      "REAL,ALLOCATABLE(:) :: C,D\n"
+      "!HPF$ PROCESSORS PR(32)\n"
+      "!HPF$ DISTRIBUTE A(CYCLIC,BLOCK)\n"
+      "!HPF$ DISTRIBUTE(BLOCK) :: C,D\n"
+      "!HPF$ DYNAMIC B,C\n"
+      "M = 3\n"
+      "N = 4\n"
+      "ALLOCATE(A(N*M,N*M))\n"
+      "ALLOCATE(B(N,N))\n"
+      "!HPF$ REALIGN B(:,:) WITH A(M::M,1::M)\n"
+      "ALLOCATE(C(10000), D(10000))\n"
+      "!HPF$ REDISTRIBUTE C(CYCLIC) TO PR\n");
+  DataEnv& env = in.env();
+  // B realigned under A: B(i,j) with A(3i, 3j-2).
+  const DistArray& b = env.find("B");
+  EXPECT_EQ(env.aligned_to(b)->name(), "A");
+  Distribution dbm = env.distribution_of("B");
+  Distribution dam = env.distribution_of("A");
+  EXPECT_EQ(dbm.first_owner(idx({2, 2})), dam.first_owner(idx({6, 4})));
+  // C was redistributed cyclically onto PR; D kept BLOCK.
+  EXPECT_EQ(env.distribution_of("C").format_list()[0], DistFormat::cyclic());
+  EXPECT_EQ(env.distribution_of("D").format_list()[0], DistFormat::block());
+  // The REDISTRIBUTE produced exactly one remap event.
+  ASSERT_GE(in.events().size(), 1u);
+  EXPECT_EQ(in.events().back().to.format_list()[0], DistFormat::cyclic());
+}
+
+TEST_F(InterpTest, Section812InheritedSection) {
+  // §8.1.2: SUB inherits the distribution of the section A(2:996:2).
+  Interpreter in(ps_);
+  in.run(
+      "!HPF$ PROCESSORS Q(16)\n"
+      "REAL A(1000)\n"
+      "!HPF$ DISTRIBUTE A(CYCLIC(3)) TO Q\n"
+      "SUBROUTINE SUB(X)\n"
+      "REAL X(:)\n"
+      "!HPF$ DISTRIBUTE X *\n"
+      "END\n"
+      "CALL SUB(A(2:996:2))\n");
+  // The call ran without any call-site remap.
+  ASSERT_GE(in.trace().size(), 1u);
+  EXPECT_TRUE(in.events().empty());
+}
+
+TEST_F(InterpTest, Section812ExplicitRemapForm) {
+  // The template-free explicit variant: DISTRIBUTE X(CYCLIC(3)) remaps the
+  // section at call and return.
+  Interpreter in(ps_);
+  in.run(
+      "!HPF$ PROCESSORS Q(16)\n"
+      "REAL A(1000)\n"
+      "!HPF$ DISTRIBUTE A(CYCLIC(3)) TO Q\n"
+      "SUBROUTINE SUB2(X)\n"
+      "REAL X(:)\n"
+      "!HPF$ DISTRIBUTE X(BLOCK) TO Q\n"
+      "END\n"
+      "CALL SUB2(A(2:996:2))\n");
+  // One call-site remap in, one restore out.
+  EXPECT_EQ(in.events().size(), 2u);
+}
+
+TEST_F(InterpTest, Section7InheritanceMatching) {
+  Interpreter in(ps_);
+  in.run(
+      "!HPF$ PROCESSORS Q(16)\n"
+      "REAL A(1000)\n"
+      "!HPF$ DISTRIBUTE A(CYCLIC(3)) TO Q\n"
+      "SUBROUTINE SUB(X)\n"
+      "REAL X(:)\n"
+      "!HPF$ DISTRIBUTE X *(CYCLIC(3)) TO Q\n"
+      "END\n"
+      "CALL SUB(A)\n");
+  EXPECT_TRUE(in.events().empty());  // matched: no remap
+}
+
+TEST_F(InterpTest, SubroutineBodyRunsInCalleeScope) {
+  Interpreter in(ps_);
+  in.run(
+      "!HPF$ PROCESSORS Q(16)\n"
+      "REAL A(64)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK) TO Q\n"
+      "SUBROUTINE WORK(X)\n"
+      "REAL X(:)\n"
+      "!HPF$ DISTRIBUTE X *\n"
+      "!HPF$ DYNAMIC X\n"
+      "REAL W(64)\n"
+      "!HPF$ ALIGN W(:) WITH X(:)\n"
+      "!HPF$ REDISTRIBUTE X(CYCLIC) TO Q\n"
+      "END\n"
+      "CALL WORK(A)\n");
+  // The dummy was redistributed inside; a restore event fired at return.
+  bool saw_redistribute = false, saw_restore = false;
+  for (const RemapEvent& e : in.events()) {
+    if (e.reason.find("REDISTRIBUTE") != std::string::npos) {
+      saw_redistribute = true;
+    }
+    if (e.reason.find("restore") != std::string::npos) saw_restore = true;
+  }
+  EXPECT_TRUE(saw_redistribute);
+  EXPECT_TRUE(saw_restore);
+  // The caller's mapping is untouched.
+  EXPECT_EQ(in.env().distribution_of("A").format_list()[0],
+            DistFormat::block());
+}
+
+TEST_F(InterpTest, TemplateDirectiveRejectedWithSection8Argument) {
+  Interpreter in(ps_);
+  try {
+    in.run("N = 4\n!HPF$ TEMPLATE T(0:2*N,0:2*N)\n");
+    FAIL() << "expected ConformanceError";
+  } catch (const ConformanceError& e) {
+    EXPECT_NE(std::string(e.what()).find("TEMPLATE"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("§8"), std::string::npos);
+  }
+}
+
+TEST_F(InterpTest, InheritDirectiveRejected) {
+  Interpreter in(ps_);
+  EXPECT_THROW(in.run("!HPF$ INHERIT :: X\n"), ConformanceError);
+}
+
+TEST_F(InterpTest, ReadStatementExplains) {
+  Interpreter in(ps_);
+  EXPECT_THROW(in.run("READ 6,M,N\n"), ConformanceError);
+}
+
+TEST_F(InterpTest, SpecificationExpressionsWithIntrinsics) {
+  Interpreter in(ps_);
+  in.run(
+      "N = 10\n"
+      "REAL A(N)\n"
+      "REAL B(LBOUND(A,1):UBOUND(A,1))\n"
+      "REAL C(MAX(N-12,4))\n");
+  EXPECT_EQ(in.env().find("B").domain().extent(0), 10);
+  EXPECT_EQ(in.env().find("C").domain().extent(0), 4);
+}
+
+TEST_F(InterpTest, ExecIntegrationMovesRealData) {
+  Machine machine(32);
+  ProgramState state(machine);
+  Interpreter in(ps_);
+  in.set_state(&state);
+  in.run(
+      "!HPF$ PROCESSORS Q(16)\n"
+      "REAL A(64)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK) TO Q\n"
+      "!HPF$ DYNAMIC A\n");
+  DistArray& a = in.env().find("A");
+  state.fill(a.id(), [](const IndexTuple& i) {
+    return static_cast<double>(i[0] * 3);
+  });
+  in.run("!HPF$ REDISTRIBUTE A(CYCLIC) TO Q\n");
+  ASSERT_EQ(in.steps().size(), 1u);
+  EXPECT_GT(in.steps()[0].messages, 0);
+  EXPECT_DOUBLE_EQ(state.value(a.id(), idx({11})), 33.0);  // data intact
+}
+
+TEST_F(InterpTest, ExecIntegrationAtCallBoundaries) {
+  Machine machine(32);
+  ProgramState state(machine);
+  Interpreter in(ps_);
+  in.set_state(&state);
+  in.run(
+      "!HPF$ PROCESSORS Q(16)\n"
+      "REAL A(1000)\n"
+      "!HPF$ DISTRIBUTE A(CYCLIC(3)) TO Q\n"
+      "SUBROUTINE INH(X)\n"
+      "REAL X(:)\n"
+      "!HPF$ DISTRIBUTE X *\n"
+      "END\n"
+      "SUBROUTINE EXPL(X)\n"
+      "REAL X(:)\n"
+      "!HPF$ DISTRIBUTE X(BLOCK) TO Q\n"
+      "END\n"
+      "CALL INH(A(2:996:2))\n"
+      "CALL EXPL(A(2:996:2))\n");
+  // Steps: copy-in INH (0 msgs), copy-out INH (0), copy-in EXPL (>0),
+  // copy-out EXPL (>0).
+  ASSERT_EQ(in.steps().size(), 4u);
+  EXPECT_EQ(in.steps()[0].messages, 0);
+  EXPECT_EQ(in.steps()[1].messages, 0);
+  EXPECT_GT(in.steps()[2].messages, 0);
+  EXPECT_GT(in.steps()[3].messages, 0);
+}
+
+TEST_F(InterpTest, DuplicateProcessorsRejected) {
+  Interpreter in(ps_);
+  in.run("!HPF$ PROCESSORS P1(8)\n");
+  EXPECT_THROW(in.run("!HPF$ PROCESSORS P1(8)\n"), ConformanceError);
+}
+
+TEST_F(InterpTest, UnknownSubroutineRejected) {
+  Interpreter in(ps_);
+  in.run("REAL A(8)\n");
+  EXPECT_THROW(in.run("CALL NOPE(A)\n"), ConformanceError);
+}
+
+}  // namespace
+}  // namespace hpfnt

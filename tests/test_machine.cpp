@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "machine/comm.hpp"
+#include "machine/memory.hpp"
+#include "machine/metrics.hpp"
+#include "machine/topology.hpp"
+#include "support/error.hpp"
+
+namespace hpfnt {
+namespace {
+
+TEST(Machine, CostModelIsLinear) {
+  CostParams c;
+  c.alpha_us = 100.0;
+  c.beta_us_per_byte = 0.5;
+  EXPECT_DOUBLE_EQ(c.message_us(0), 100.0);
+  EXPECT_DOUBLE_EQ(c.message_us(200), 200.0);
+}
+
+TEST(Machine, RejectsNonPositiveProcessorCount) {
+  EXPECT_THROW(Machine(0), ConformanceError);
+  EXPECT_NO_THROW(Machine(1));
+}
+
+TEST(CommEngine, BatchesPairsIntoMessages) {
+  Machine m(4);
+  CommEngine comm(m);
+  comm.begin_step("test");
+  comm.transfer(0, 1, 8);
+  comm.transfer(0, 1, 8);   // same pair: rides the same message
+  comm.transfer(0, 2, 8);   // second pair
+  comm.transfer(1, 0, 8);   // direction matters: third pair
+  StepStats s = comm.end_step();
+  EXPECT_EQ(s.messages, 3);
+  EXPECT_EQ(s.bytes, 32);
+  EXPECT_EQ(s.element_transfers, 4);
+}
+
+TEST(CommEngine, LocalTransfersAreFree) {
+  Machine m(4);
+  CommEngine comm(m);
+  comm.begin_step("local");
+  comm.transfer(2, 2, 8);
+  StepStats s = comm.end_step();
+  EXPECT_EQ(s.messages, 0);
+  EXPECT_EQ(s.bytes, 0);
+  EXPECT_EQ(comm.local_reads(), 1);
+}
+
+TEST(CommEngine, TimeIsBspMax) {
+  CostParams c;
+  c.alpha_us = 10.0;
+  c.beta_us_per_byte = 1.0;
+  c.flop_us = 0.0;
+  Machine m(4, c);
+  CommEngine comm(m);
+  // Processor 0 sends to 1 and 2 (two messages of 8B each = 2*(10+8)=36us),
+  // processor 3 sends one 8B message (18us). Bound = 36us.
+  comm.begin_step("bsp");
+  comm.transfer(0, 1, 8);
+  comm.transfer(0, 2, 8);
+  comm.transfer(3, 1, 8);
+  StepStats s = comm.end_step();
+  // Receiver 1 gets two messages (18+18=36) as well.
+  EXPECT_DOUBLE_EQ(s.time_us, 36.0);
+}
+
+TEST(CommEngine, ComputeAddsToStepTime) {
+  CostParams c;
+  c.alpha_us = 0.0;
+  c.beta_us_per_byte = 0.0;
+  c.flop_us = 2.0;
+  Machine m(2, c);
+  CommEngine comm(m);
+  comm.begin_step("compute");
+  comm.compute(0, 5);
+  comm.compute(1, 3);
+  StepStats s = comm.end_step();
+  EXPECT_DOUBLE_EQ(s.time_us, 10.0);  // max over processors
+  EXPECT_EQ(s.flops, 8);
+}
+
+TEST(CommEngine, TotalsAccumulateAndReset) {
+  Machine m(4);
+  CommEngine comm(m);
+  comm.begin_step("a");
+  comm.transfer(0, 1, 8);
+  comm.end_step();
+  comm.begin_step("b");
+  comm.transfer(1, 2, 16);
+  comm.end_step();
+  EXPECT_EQ(comm.total_messages(), 2);
+  EXPECT_EQ(comm.total_bytes(), 24);
+  comm.reset();
+  EXPECT_EQ(comm.total_messages(), 0);
+  EXPECT_EQ(comm.total_bytes(), 0);
+}
+
+TEST(CommEngine, StepDisciplineEnforced) {
+  Machine m(2);
+  CommEngine comm(m);
+  EXPECT_THROW(comm.transfer(0, 1, 8), InternalError);
+  EXPECT_THROW(comm.end_step(), InternalError);
+  comm.begin_step("open");
+  EXPECT_THROW(comm.begin_step("nested"), InternalError);
+  comm.end_step();
+}
+
+TEST(MemoryTracker, TracksPerProcessorBytes) {
+  MemoryTracker mem(4);
+  mem.allocate(0, 100);
+  mem.allocate(0, 50);
+  mem.allocate(2, 30);
+  EXPECT_EQ(mem.bytes_on(0), 150);
+  EXPECT_EQ(mem.bytes_on(1), 0);
+  EXPECT_EQ(mem.total_bytes(), 180);
+  EXPECT_EQ(mem.max_bytes(), 150);
+  mem.release(0, 100);
+  EXPECT_EQ(mem.bytes_on(0), 50);
+  EXPECT_EQ(mem.peak_on(0), 150);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "12345"});
+  std::string out = t.to_string();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_THROW(t.add_row({"only-one"}), InternalError);
+}
+
+TEST(Formatting, Units) {
+  EXPECT_EQ(format_count(999), "999");
+  EXPECT_EQ(format_count(1500000), "1.50M");
+  EXPECT_EQ(format_us(500.0), "500.0 us");
+  EXPECT_EQ(format_us(2500.0), "2.50 ms");
+  EXPECT_EQ(format_us(3200000.0), "3.200 s");
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(2048), "2.0 KiB");
+  EXPECT_EQ(format_ratio(1.875), "1.88x");
+  EXPECT_EQ(format_pct(0.932), "93.2%");
+}
+
+}  // namespace
+}  // namespace hpfnt

@@ -1,0 +1,153 @@
+// Overlap analysis: the analytic shift plans must predict the executor's
+// measured transfers EXACTLY, for every format and shift — plan == measure
+// is the property that makes the planner usable as a cost model.
+#include "exec/overlap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "exec/assign.hpp"
+#include "support/error.hpp"
+
+namespace hpfnt {
+namespace {
+
+TEST(OverlapPlan, BlockShiftOneIsOneElementPerBoundary) {
+  DimMapping m = DimMapping::bind(DistFormat::block(), 64, 8);
+  ShiftPlan plan = plan_shift(m, 1);
+  // 7 interior boundaries, one ghost element each, from right neighbor.
+  EXPECT_EQ(plan.remote_elements, 7);
+  ASSERT_EQ(plan.messages.size(), 7u);
+  for (const ShiftMessage& msg : plan.messages) {
+    EXPECT_EQ(msg.src, msg.dst + 1);
+    EXPECT_EQ(msg.count, 1);
+  }
+}
+
+TEST(OverlapPlan, NegativeShiftMirrors) {
+  DimMapping m = DimMapping::bind(DistFormat::block(), 64, 8);
+  ShiftPlan plan = plan_shift(m, -1);
+  EXPECT_EQ(plan.remote_elements, 7);
+  for (const ShiftMessage& msg : plan.messages) {
+    EXPECT_EQ(msg.src, msg.dst - 1);
+  }
+}
+
+TEST(OverlapPlan, ZeroShiftIsEmpty) {
+  DimMapping m = DimMapping::bind(DistFormat::block(), 64, 8);
+  ShiftPlan plan = plan_shift(m, 0);
+  EXPECT_EQ(plan.remote_elements, 0);
+  EXPECT_TRUE(plan.messages.empty());
+}
+
+TEST(OverlapPlan, ShiftLargerThanBlockCrossesTwoSources) {
+  // Blocks of 8; shift 10 reaches into two neighbors.
+  DimMapping m = DimMapping::bind(DistFormat::block(), 64, 8);
+  ShiftPlan plan = plan_shift(m, 10);
+  // Every element's read is remote: 64 - 10 in-range reads, all remote.
+  EXPECT_EQ(plan.remote_elements, 54);
+  // Destination 1 ghosts from sources 2 and 3.
+  Extent from2 = 0, from3 = 0;
+  for (const ShiftMessage& msg : plan.messages) {
+    if (msg.dst == 1 && msg.src == 2) from2 = msg.count;
+    if (msg.dst == 1 && msg.src == 3) from3 = msg.count;
+  }
+  EXPECT_EQ(from2, 6);
+  EXPECT_EQ(from3, 2);
+}
+
+TEST(OverlapPlan, CyclicShiftMakesEverythingRemote) {
+  DimMapping m = DimMapping::bind(DistFormat::cyclic(), 64, 8);
+  ShiftPlan plan = plan_shift(m, 1);
+  EXPECT_EQ(plan.remote_elements, 63);  // every in-range read crosses
+}
+
+TEST(OverlapAreas, ThreePointStencilOnBlocks) {
+  DimMapping m = DimMapping::bind(DistFormat::block(), 64, 8);
+  std::vector<OverlapArea> areas = overlap_areas(m, {-1, 1});
+  // Interior processors ghost one element on each side; the ends only one.
+  EXPECT_EQ(areas[0].left, 0);
+  EXPECT_EQ(areas[0].right, 1);
+  EXPECT_EQ(areas[3].left, 1);
+  EXPECT_EQ(areas[3].right, 1);
+  EXPECT_EQ(areas[7].left, 1);
+  EXPECT_EQ(areas[7].right, 0);
+}
+
+TEST(OverlapAreas, WideStencilWidensOverlap) {
+  DimMapping m = DimMapping::bind(DistFormat::block(), 64, 8);
+  std::vector<OverlapArea> areas = overlap_areas(m, {-3, -1, 1, 2});
+  EXPECT_EQ(areas[3].left, 3);
+  EXPECT_EQ(areas[3].right, 2);
+}
+
+TEST(OverlapAreas, NonContiguousRejected) {
+  DimMapping m = DimMapping::bind(DistFormat::cyclic(), 64, 8);
+  EXPECT_THROW(overlap_areas(m, {1}), InternalError);
+}
+
+// --- the plan == measure property ----------------------------------------------
+
+class PlanMeasureLaw
+    : public ::testing::TestWithParam<std::tuple<int, Extent>> {};
+
+TEST_P(PlanMeasureLaw, PlanPredictsMeasuredTransfersExactly) {
+  const int which = std::get<0>(GetParam());
+  const Extent shift = std::get<1>(GetParam());
+  const Extent n = 96;
+  const Extent procs = 8;
+
+  DistFormat fmt = [&] {
+    switch (which) {
+      case 0:
+        return DistFormat::block();
+      case 1:
+        return DistFormat::vienna_block();
+      case 2:
+        return DistFormat::cyclic(1);
+      case 3:
+        return DistFormat::cyclic(5);
+      default:
+        return DistFormat::general_block({10, 11, 30, 48, 48, 60, 77});
+    }
+  }();
+  DimMapping m = DimMapping::bind(fmt, n, procs);
+  ShiftPlan plan = plan_shift(m, shift);
+
+  // Measure: B(i) = A(i+shift) on identically mapped arrays.
+  Machine machine(procs);
+  ProcessorSpace ps(procs);
+  const ProcessorArrangement& q = ps.declare("Q", IndexDomain::of_extents({procs}));
+  DataEnv env(ps);
+  DistArray& a = env.real("A", IndexDomain{Dim(1, n)});
+  DistArray& b = env.real("B", IndexDomain{Dim(1, n)});
+  env.distribute(a, {fmt}, ProcessorRef(q));
+  env.distribute(b, {fmt}, ProcessorRef(q));
+  ProgramState state(machine);
+  state.create(env, a);
+  state.create(env, b);
+
+  const Index1 lhs_lo = shift > 0 ? 1 : 1 - shift;
+  const Index1 lhs_hi = shift > 0 ? n - shift : n;
+  AssignResult r =
+      assign(state, env, b, {Triplet(lhs_lo, lhs_hi)},
+             SecExpr::section(a, {Triplet(lhs_lo + shift, lhs_hi + shift)}));
+
+  EXPECT_EQ(r.step.element_transfers, plan.remote_elements);
+  EXPECT_EQ(r.step.messages, static_cast<Extent>(plan.messages.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PlanMeasureLaw,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values<Extent>(-17, -5, -1, 1, 2, 5, 12,
+                                                 40)),
+    [](const ::testing::TestParamInfo<std::tuple<int, Extent>>& info) {
+      const Extent s = std::get<1>(info.param);
+      return "fmt" + std::to_string(std::get<0>(info.param)) + "_shift" +
+             (s < 0 ? "m" + std::to_string(-s) : std::to_string(s));
+    });
+
+}  // namespace
+}  // namespace hpfnt

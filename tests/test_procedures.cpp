@@ -1,0 +1,260 @@
+// Procedure-boundary semantics (§7): the four dummy-mapping modes, local
+// alignment trees, restore-on-exit, and the §8.1.2 array-section scenario.
+#include <gtest/gtest.h>
+
+#include "core/data_env.hpp"
+#include "core/inquiry.hpp"
+#include "support/error.hpp"
+
+namespace hpfnt {
+namespace {
+
+IndexTuple idx(std::initializer_list<Index1> values) {
+  IndexTuple t;
+  for (Index1 v : values) t.push_back(v);
+  return t;
+}
+
+class ProcedureTest : public ::testing::Test {
+ protected:
+  ProcedureTest() : ps_(16), env_(ps_) {
+    ps_.declare("Q", IndexDomain::of_extents({16}));
+  }
+  ProcessorSpace ps_;
+  DataEnv env_;
+};
+
+TEST_F(ProcedureTest, InheritTakesActualMappingWithoutMovement) {
+  // SUBROUTINE SUB(X) with DISTRIBUTE X * — §7 mode 2.
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64)});
+  env_.distribute(a, {DistFormat::cyclic(3)}, ProcessorRef(ps_.find("Q")));
+
+  ProcedureSig sub{"SUB", {DummySpec{"X", ElemType::kReal,
+                                     DummyMapping::inherit(), false}}};
+  CallFrame frame = env_.call(sub, {ActualArg::whole(a.id())});
+  EXPECT_TRUE(frame.call_events.empty());  // inheritance moves nothing
+  const DistArray& x = frame.callee->find("X");
+  EXPECT_TRUE(x.is_dummy());
+  Distribution dx = frame.callee->distribution_of(x);
+  Distribution da = env_.distribution_of(a);
+  for (Index1 i = 1; i <= 64; i += 5) {
+    EXPECT_EQ(dx.first_owner(idx({i})), da.first_owner(idx({i})));
+  }
+  std::vector<RemapEvent> back = env_.return_from(frame);
+  EXPECT_TRUE(back.empty());
+}
+
+TEST_F(ProcedureTest, SectionActualInheritsSectionView) {
+  // The §8.1.2 example: A(1000) CYCLIC(3); CALL SUB(A(2:996:2)).
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 1000)});
+  env_.distribute(a, {DistFormat::cyclic(3)}, ProcessorRef(ps_.find("Q")));
+
+  ProcedureSig sub{"SUB", {DummySpec{"X", ElemType::kReal,
+                                     DummyMapping::inherit(), false}}};
+  CallFrame frame = env_.call(
+      sub, {ActualArg::of_section(a.id(), {Triplet(2, 996, 2)})});
+  EXPECT_TRUE(frame.call_events.empty());
+  const DistArray& x = frame.callee->find("X");
+  EXPECT_EQ(x.domain().size(), 498);
+  Distribution dx = frame.callee->distribution_of(x);
+  Distribution da = env_.distribution_of(a);
+  // X(k) is collocated with A(2k).
+  for (Index1 k : {1, 7, 250, 498}) {
+    EXPECT_EQ(dx.first_owner(idx({k})), da.first_owner(idx({2 * k})));
+  }
+  // The callee cannot name this mapping with a format, but inquiry sees it
+  // (§8.1.2: "inquiry functions must be used ...").
+  DistributionInfo info = inquire_distribution(dx);
+  EXPECT_EQ(info.dim_kinds[0], DimKind::kDerived);
+}
+
+TEST_F(ProcedureTest, ExplicitModeRemapsAndRestores) {
+  // §7 mode 1: DISTRIBUTE X(BLOCK) — remap at entry, restore at exit.
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64)});
+  env_.distribute(a, {DistFormat::cyclic()}, ProcessorRef(ps_.find("Q")));
+
+  ProcedureSig sub{
+      "SUB",
+      {DummySpec{"X", ElemType::kReal,
+                 DummyMapping::explicit_dist({DistFormat::block()},
+                                             ProcessorRef(ps_.find("Q"))),
+                 false}}};
+  CallFrame frame = env_.call(sub, {ActualArg::whole(a.id())});
+  ASSERT_EQ(frame.call_events.size(), 1u);
+  const RemapEvent& in = frame.call_events[0];
+  EXPECT_TRUE(in.from.same_mapping(env_.distribution_of(a)));
+  EXPECT_EQ(in.to.format_list()[0], DistFormat::block());
+
+  std::vector<RemapEvent> back = env_.return_from(frame);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_TRUE(back[0].to.same_mapping(env_.distribution_of(a)));
+  // The caller's mapping never changed.
+  EXPECT_EQ(env_.distribution_of(a).format_list()[0], DistFormat::cyclic());
+}
+
+TEST_F(ProcedureTest, ExplicitModeSkipsRemapWhenAlreadyMatching) {
+  // "the distribution of the actual argument is changed, *if necessary*".
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64)});
+  env_.distribute(a, {DistFormat::block()}, ProcessorRef(ps_.find("Q")));
+  ProcedureSig sub{
+      "SUB",
+      {DummySpec{"X", ElemType::kReal,
+                 DummyMapping::explicit_dist({DistFormat::block()},
+                                             ProcessorRef(ps_.find("Q"))),
+                 false}}};
+  CallFrame frame = env_.call(sub, {ActualArg::whole(a.id())});
+  EXPECT_TRUE(frame.call_events.empty());
+  EXPECT_TRUE(env_.return_from(frame).empty());
+}
+
+TEST_F(ProcedureTest, InheritMatchAcceptsMatchingActual) {
+  // §7 mode 3: DISTRIBUTE X *(CYCLIC(3)).
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 1000)});
+  env_.distribute(a, {DistFormat::cyclic(3)}, ProcessorRef(ps_.find("Q")));
+  ProcedureSig sub{
+      "SUB",
+      {DummySpec{"X", ElemType::kReal,
+                 DummyMapping::inherit_match({DistFormat::cyclic(3)},
+                                             ProcessorRef(ps_.find("Q"))),
+                 false}}};
+  CallFrame frame = env_.call(sub, {ActualArg::whole(a.id())},
+                              /*interface_visible=*/false);
+  EXPECT_TRUE(frame.call_events.empty());
+}
+
+TEST_F(ProcedureTest, InheritMatchMismatchWithoutInterfaceIsNonConforming) {
+  // §7 mode 3: "if this distribution does not match the above
+  // specification, then the program is not HPF-conforming."
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 1000)});
+  env_.distribute(a, {DistFormat::block()}, ProcessorRef(ps_.find("Q")));
+  ProcedureSig sub{
+      "SUB",
+      {DummySpec{"X", ElemType::kReal,
+                 DummyMapping::inherit_match({DistFormat::cyclic(3)},
+                                             ProcessorRef(ps_.find("Q"))),
+                 false}}};
+  EXPECT_THROW(env_.call(sub, {ActualArg::whole(a.id())},
+                         /*interface_visible=*/false),
+               ConformanceError);
+}
+
+TEST_F(ProcedureTest, InheritMatchMismatchWithInterfaceRemaps) {
+  // §7 mode 3: with an interface block the processor arranges the remap
+  // (and maps back on return).
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 1000)});
+  env_.distribute(a, {DistFormat::block()}, ProcessorRef(ps_.find("Q")));
+  ProcedureSig sub{
+      "SUB",
+      {DummySpec{"X", ElemType::kReal,
+                 DummyMapping::inherit_match({DistFormat::cyclic(3)},
+                                             ProcessorRef(ps_.find("Q"))),
+                 false}}};
+  CallFrame frame = env_.call(sub, {ActualArg::whole(a.id())},
+                              /*interface_visible=*/true);
+  ASSERT_EQ(frame.call_events.size(), 1u);
+  std::vector<RemapEvent> back = env_.return_from(frame);
+  ASSERT_EQ(back.size(), 1u);
+}
+
+TEST_F(ProcedureTest, DummyRedistributedInsideIsRestoredOnExit) {
+  // §7: "If a dummy argument is redistributed or realigned during execution
+  // of the procedure, then the original distribution must be restored."
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64)});
+  env_.distribute(a, {DistFormat::block()}, ProcessorRef(ps_.find("Q")));
+  ProcedureSig sub{"SUB", {DummySpec{"X", ElemType::kReal,
+                                     DummyMapping::inherit(), true}}};
+  CallFrame frame = env_.call(sub, {ActualArg::whole(a.id())});
+  DistArray& x = frame.callee->find("X");
+  frame.callee->redistribute(x, {DistFormat::cyclic()},
+                             ProcessorRef(ps_.find("Q")));
+  std::vector<RemapEvent> back = env_.return_from(frame);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_TRUE(back[0].from.valid());
+  EXPECT_TRUE(back[0].to.same_mapping(env_.distribution_of(a)));
+}
+
+TEST_F(ProcedureTest, LocalArraysMayAlignToDummies) {
+  // §7: "a local data object may be aligned to a dummy argument."
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64)});
+  env_.distribute(a, {DistFormat::cyclic(5)}, ProcessorRef(ps_.find("Q")));
+  ProcedureSig sub{"SUB", {DummySpec{"X", ElemType::kReal,
+                                     DummyMapping::inherit(), false}}};
+  CallFrame frame = env_.call(sub, {ActualArg::whole(a.id())});
+  DataEnv& callee = *frame.callee;
+  DistArray& x = callee.find("X");
+  DistArray& w = callee.real("W", IndexDomain{Dim(1, 64)});
+  callee.align(w, x, AlignSpec::colons(1));
+  Distribution dw = callee.distribution_of(w);
+  Distribution dx = callee.distribution_of(x);
+  for (Index1 i = 1; i <= 64; i += 9) {
+    EXPECT_EQ(dw.first_owner(idx({i})), dx.first_owner(idx({i})));
+  }
+  callee.forest().check_invariants();
+}
+
+TEST_F(ProcedureTest, CalleeForestIsLocal) {
+  // §7: an actual argument "is not connected with its alignment tree in the
+  // calling unit during execution of the called procedure."
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64)});
+  DistArray& b = env_.real("B", IndexDomain{Dim(1, 64)});
+  env_.distribute(a, {DistFormat::block()}, ProcessorRef(ps_.find("Q")));
+  env_.align(b, a, AlignSpec::colons(1));
+
+  ProcedureSig sub{"SUB", {DummySpec{"X", ElemType::kReal,
+                                     DummyMapping::inherit(), true}}};
+  CallFrame frame = env_.call(sub, {ActualArg::whole(a.id())});
+  // The dummy is a primary in the callee's forest even though A has an
+  // alignee in the caller.
+  DistArray& x = frame.callee->find("X");
+  EXPECT_TRUE(frame.callee->is_primary(x));
+  EXPECT_TRUE(frame.callee->forest().children_of(x.id()).empty());
+  // Redistributing the dummy inside does not disturb B's alignment to A.
+  frame.callee->redistribute(x, {DistFormat::cyclic()},
+                             ProcessorRef(ps_.find("Q")));
+  EXPECT_EQ(env_.aligned_to(b), &a);
+  EXPECT_EQ(env_.distribution_of(a).format_list()[0], DistFormat::block());
+}
+
+TEST_F(ProcedureTest, ImplicitModeUsesCompilerDefault) {
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 64)});
+  env_.distribute(a, {DistFormat::cyclic(7)}, ProcessorRef(ps_.find("Q")));
+  ProcedureSig sub{"SUB", {DummySpec{"X", ElemType::kReal,
+                                     DummyMapping::implicit(), false}}};
+  CallFrame frame = env_.call(sub, {ActualArg::whole(a.id())});
+  // Implicit = BLOCK over the machine, which differs from CYCLIC(7).
+  ASSERT_EQ(frame.call_events.size(), 1u);
+  Distribution dx = frame.callee->distribution_of(frame.callee->find("X"));
+  EXPECT_EQ(dx.format_list()[0], DistFormat::block());
+}
+
+TEST_F(ProcedureTest, ArgumentCountMismatchThrows) {
+  ProcedureSig sub{"SUB", {DummySpec{"X", ElemType::kReal,
+                                     DummyMapping::inherit(), false}}};
+  EXPECT_THROW(env_.call(sub, {}), ConformanceError);
+}
+
+TEST_F(ProcedureTest, MultipleArgumentsBindIndependently) {
+  // The paper's SUB(A, X) pattern (§8.1.2): pass the whole array and a
+  // section of it, align X to A inside.
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 1000)});
+  env_.distribute(a, {DistFormat::cyclic(3)}, ProcessorRef(ps_.find("Q")));
+  ProcedureSig sub{"SUB",
+                   {DummySpec{"AA", ElemType::kReal,
+                              DummyMapping::inherit(), false},
+                    DummySpec{"X", ElemType::kReal,
+                              DummyMapping::inherit(), false}}};
+  CallFrame frame = env_.call(
+      sub, {ActualArg::whole(a.id()),
+            ActualArg::of_section(a.id(), {Triplet(2, 996, 2)})});
+  DataEnv& callee = *frame.callee;
+  Distribution daa = callee.distribution_of(callee.find("AA"));
+  Distribution dx = callee.distribution_of(callee.find("X"));
+  // X(I) collocated with AA(2*I): exactly the ALIGN X(I) WITH A(2*I) the
+  // paper writes inside SUB.
+  for (Index1 i : {1, 10, 498}) {
+    EXPECT_EQ(dx.first_owner(idx({i})), daa.first_owner(idx({2 * i})));
+  }
+}
+
+}  // namespace
+}  // namespace hpfnt

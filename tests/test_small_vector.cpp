@@ -1,0 +1,109 @@
+#include "support/small_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace hpfnt {
+namespace {
+
+TEST(SmallVector, StartsEmptyWithInlineCapacity) {
+  SmallVector<std::int64_t, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+}
+
+TEST(SmallVector, PushBackWithinInlineStorage) {
+  SmallVector<std::int64_t, 4> v;
+  for (std::int64_t i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);  // never spilled
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i * 10);
+}
+
+TEST(SmallVector, SpillsToHeapBeyondInlineCapacity) {
+  SmallVector<std::int64_t, 2> v;
+  for (std::int64_t i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_GE(v.capacity(), 100u);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<size_t>(i)], i);
+}
+
+TEST(SmallVector, InitializerListAndEquality) {
+  SmallVector<int, 4> a{1, 2, 3};
+  SmallVector<int, 4> b{1, 2, 3};
+  SmallVector<int, 4> c{1, 2, 4};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(SmallVector, CopyPreservesHeapContents) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  SmallVector<int, 2> b(a);
+  EXPECT_EQ(a, b);
+  b.push_back(99);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.size(), 10u);
+}
+
+TEST(SmallVector, CopyAssignOverwrites) {
+  SmallVector<int, 2> a{1, 2};
+  SmallVector<int, 2> b;
+  for (int i = 0; i < 20; ++i) b.push_back(i);
+  b = a;
+  EXPECT_EQ(b, a);
+}
+
+TEST(SmallVector, MoveStealsHeapBuffer) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 50; ++i) a.push_back(i);
+  const int* data = a.data();
+  SmallVector<int, 2> b(std::move(a));
+  EXPECT_EQ(b.size(), 50u);
+  EXPECT_EQ(b.data(), data);  // buffer moved, not copied
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(SmallVector, MoveFromInlineCopies) {
+  SmallVector<int, 4> a{7, 8};
+  SmallVector<int, 4> b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 7);
+  EXPECT_EQ(b[1], 8);
+}
+
+TEST(SmallVector, ResizeFillsWithValue) {
+  SmallVector<int, 4> v;
+  v.resize(6, -1);
+  EXPECT_EQ(v.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) EXPECT_EQ(v[i], -1);
+  v.resize(2);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(SmallVector, FrontBackPop) {
+  SmallVector<int, 4> v{5, 6, 7};
+  EXPECT_EQ(v.front(), 5);
+  EXPECT_EQ(v.back(), 7);
+  v.pop_back();
+  EXPECT_EQ(v.back(), 6);
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(SmallVector, IterationMatchesIndexing) {
+  SmallVector<int, 4> v{1, 4, 9, 16, 25};
+  int sum = 0;
+  for (int x : v) sum += x;
+  EXPECT_EQ(sum, 55);
+}
+
+TEST(SmallVector, CountValueConstructor) {
+  SmallVector<int, 4> v(7, 3);
+  EXPECT_EQ(v.size(), 7u);
+  for (int x : v) EXPECT_EQ(x, 3);
+}
+
+}  // namespace
+}  // namespace hpfnt
