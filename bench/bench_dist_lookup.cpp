@@ -6,11 +6,19 @@
 // format, over N = 2^20 elements. The reproduction holds if GENERAL_BLOCK
 // (binary search, O(log NP)) stays within a small factor of BLOCK/CYCLIC
 // (pure arithmetic) and well below INDIRECT (memory-bound table walk).
+//
+// The run-based variant sweeps the same 2^20-element section once through
+// LayoutView (bulk constant-owner runs) and once per element through
+// Distribution::owners(i); the "ownership_queries" counter records how many
+// per-element probes each sweep spent, so a JSON run
+// (--benchmark_format=json) captures both figures side by side.
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
 #include "core/dist_format.hpp"
+#include "core/layout_view.hpp"
+#include "core/processors.hpp"
 #include "support/rng.hpp"
 
 namespace {
@@ -99,6 +107,57 @@ void BM_LocalIndex(benchmark::State& state) {
   state.SetLabel(format_name(which));
 }
 
+// --- run-based vs per-element section sweep (LayoutView) --------------------
+
+Distribution make_distribution(const ProcessorSpace& ps, int which,
+                               Extent np) {
+  return Distribution::formats(IndexDomain{Dim(kN)},
+                               {make_format(which, kN, np)},
+                               ProcessorRef(ps.find("Q")));
+}
+
+void BM_SweepPerElement(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const Extent np = state.range(1);
+  ProcessorSpace ps(np);
+  ps.declare("Q", IndexDomain::of_extents({np}));
+  const Distribution dist = make_distribution(ps, which, np);
+  IndexTuple idx;
+  idx.push_back(1);
+  for (auto _ : state) {
+    for (Index1 i = 1; i <= kN; ++i) {
+      idx[0] = i;
+      benchmark::DoNotOptimize(dist.owners_uncached(idx));
+    }
+  }
+  state.counters["ownership_queries"] = static_cast<double>(kN);
+  state.SetItemsProcessed(state.iterations() * kN);
+  state.SetLabel(format_name(which));
+}
+
+void BM_SweepRuns(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const Extent np = state.range(1);
+  ProcessorSpace ps(np);
+  ps.declare("Q", IndexDomain::of_extents({np}));
+  const Distribution dist = make_distribution(ps, which, np);
+  const std::vector<Triplet> section = dist.domain().dims();
+  Extent queries = 0;
+  Extent runs = 0;
+  for (auto _ : state) {
+    // compute() bypasses the memo so every iteration pays the real
+    // construction cost.
+    RunTable table = LayoutView::compute(dist, section);
+    benchmark::DoNotOptimize(table.runs.data());
+    queries = table.ownership_queries;
+    runs = static_cast<Extent>(table.runs.size());
+  }
+  state.counters["ownership_queries"] = static_cast<double>(queries);
+  state.counters["runs"] = static_cast<double>(runs);
+  state.SetItemsProcessed(state.iterations() * kN);
+  state.SetLabel(format_name(which));
+}
+
 void AllFormats(benchmark::internal::Benchmark* b) {
   for (int which = 0; which <= 5; ++which) {
     for (Extent np : {16, 64, 256}) {
@@ -109,6 +168,8 @@ void AllFormats(benchmark::internal::Benchmark* b) {
 
 BENCHMARK(BM_Owner)->Apply(AllFormats);
 BENCHMARK(BM_LocalIndex)->Apply(AllFormats);
+BENCHMARK(BM_SweepPerElement)->Apply(AllFormats);
+BENCHMARK(BM_SweepRuns)->Apply(AllFormats);
 
 }  // namespace
 

@@ -358,6 +358,39 @@ void DimMapping::for_each_owned(Index1 p,
   for (Index1 l = 1; l <= count; ++l) fn(global_index(p, l));
 }
 
+std::pair<Index1, Index1> DimMapping::segment_range(Index1 i) const {
+  check_index(i);
+  switch (kind_) {
+    case FormatKind::kBlock:
+    case FormatKind::kViennaBlock:
+    case FormatKind::kGeneralBlock:
+      return block_range(owner(i));
+    case FormatKind::kCollapsed:
+      return {1, n_};
+    case FormatKind::kCyclic: {
+      const Index1 first = ((i - 1) / q_) * q_ + 1;
+      return {first, std::min<Index1>(first + q_ - 1, n_)};
+    }
+    case FormatKind::kIndirect: {
+      const std::vector<Extent>& own = table_->owner_of;
+      const Extent o = own[static_cast<std::size_t>(i - 1)];
+      Index1 lo = i, hi = i;
+      while (lo > 1 && own[static_cast<std::size_t>(lo - 2)] == o) --lo;
+      while (hi < n_ && own[static_cast<std::size_t>(hi)] == o) ++hi;
+      return {lo, hi};
+    }
+    case FormatKind::kUserDefined: {
+      const std::vector<DimOwnerSet>& sets = table_->owner_sets;
+      const DimOwnerSet& s = sets[static_cast<std::size_t>(i - 1)];
+      Index1 lo = i, hi = i;
+      while (lo > 1 && sets[static_cast<std::size_t>(lo - 2)] == s) --lo;
+      while (hi < n_ && sets[static_cast<std::size_t>(hi)] == s) ++hi;
+      return {lo, hi};
+    }
+  }
+  throw InternalError("unreachable format kind");
+}
+
 std::pair<Index1, Index1> DimMapping::block_range(Index1 p) const {
   check_position(p);
   switch (kind_) {

@@ -145,6 +145,14 @@ class DimMapping {
   /// non-contiguous formats.
   std::pair<Index1, Index1> block_range(Index1 p) const;
 
+  /// The maximal contiguous index range [first, last] containing i over
+  /// which the owner (set) of this dimension does not change: the whole
+  /// block for the block family, the CYCLIC(k) segment containing i, the
+  /// entire dimension when collapsed, and the run of equal table entries
+  /// around i for INDIRECT / user-defined formats. This is the per-dimension
+  /// primitive behind LayoutView's run computation (core/layout_view.hpp).
+  std::pair<Index1, Index1> segment_range(Index1 i) const;
+
   bool is_contiguous() const noexcept {
     return kind_ == FormatKind::kBlock || kind_ == FormatKind::kViennaBlock ||
            kind_ == FormatKind::kGeneralBlock ||

@@ -1,7 +1,9 @@
 #include "core/distribution.hpp"
 
 #include <algorithm>
+#include <array>
 
+#include "core/layout_view.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -29,6 +31,10 @@ OwnerSet sorted(OwnerSet set) {
 
 struct Distribution::Payload {
   virtual ~Payload() = default;
+
+  // Run tables computed by LayoutView, shared by all copies of this payload.
+  mutable RunMemo memo;
+
   virtual Kind kind() const = 0;
   virtual const IndexDomain& domain() const = 0;
   virtual OwnerSet owners(const IndexTuple& index) const = 0;
@@ -91,9 +97,11 @@ struct Distribution::FormatsPayload final : Distribution::Payload {
                              array_domain.to_string()));
     }
     const int n = array_domain.rank();
-    // Per-dimension owner positions; usually singletons.
-    std::vector<DimOwnerSet> dim_owners;
-    dim_owners.reserve(static_cast<std::size_t>(n));
+    // Per-dimension owner positions; usually singletons. A fixed-size array
+    // (rank <= kMaxRank, DimOwnerSet inline) keeps the single-owner fast
+    // path free of heap allocation.
+    std::array<DimOwnerSet, kMaxRank> dim_owners;
+    std::size_t dim_count = 0;
     bool any_multi = false;
     for (int d = 0; d < n; ++d) {
       const DimMapping& m = mappings[static_cast<std::size_t>(d)];
@@ -102,13 +110,13 @@ struct Distribution::FormatsPayload final : Distribution::Payload {
           index[static_cast<std::size_t>(d)] - array_domain.lower(d) + 1;
       DimOwnerSet o = m.owners(norm);
       if (o.size() > 1) any_multi = true;
-      dim_owners.push_back(o);
+      dim_owners[dim_count++] = std::move(o);
     }
     OwnerSet out;
     if (!any_multi) {
       IndexTuple coords;
-      coords.resize(dim_owners.size());
-      for (std::size_t k = 0; k < dim_owners.size(); ++k) {
+      coords.resize(dim_count);
+      for (std::size_t k = 0; k < dim_count; ++k) {
         coords[k] = dim_owners[k].front();
       }
       for (ApId p : target.owners_at(coords)) insert_unique(out, p);
@@ -116,19 +124,19 @@ struct Distribution::FormatsPayload final : Distribution::Payload {
     }
     // Cartesian product over replicated per-dimension owner sets.
     IndexTuple coords;
-    coords.resize(dim_owners.size());
-    SmallVector<Index1, kMaxRank> pos(dim_owners.size(), 0);
+    coords.resize(dim_count);
+    SmallVector<Index1, kMaxRank> pos(dim_count, 0);
     while (true) {
-      for (std::size_t k = 0; k < dim_owners.size(); ++k) {
+      for (std::size_t k = 0; k < dim_count; ++k) {
         coords[k] = dim_owners[k][static_cast<std::size_t>(pos[k])];
       }
       for (ApId p : target.owners_at(coords)) insert_unique(out, p);
       std::size_t k = 0;
-      for (; k < dim_owners.size(); ++k) {
+      for (; k < dim_count; ++k) {
         if (static_cast<std::size_t>(++pos[k]) < dim_owners[k].size()) break;
         pos[k] = 0;
       }
-      if (k == dim_owners.size()) break;
+      if (k == dim_count) break;
     }
     return out;
   }
@@ -307,6 +315,10 @@ Distribution Distribution::formats(const IndexDomain& array_domain,
     throw ConformanceError("DISTRIBUTE requires a distribution target");
   }
   const int n = array_domain.rank();
+  if (n > kMaxRank) {
+    throw ConformanceError(cat("distributee rank ", n, " exceeds the Fortran "
+                               "90 maximum of ", kMaxRank, " (R512)"));
+  }
   if (static_cast<int>(format_list.size()) != n) {
     throw ConformanceError(
         cat("distribution format list has length ", format_list.size(),
@@ -414,18 +426,27 @@ Distribution::Kind Distribution::kind() const { return payload().kind(); }
 const IndexDomain& Distribution::domain() const { return payload().domain(); }
 
 OwnerSet Distribution::owners(const IndexTuple& index) const {
+  const Payload& p = payload();
+  if (const void* table = p.memo.whole_table()) {
+    const RunTable& runs = *static_cast<const RunTable*>(table);
+    return owner_set_at(runs, p.domain().linearize(index));
+  }
+  return p.owners(index);
+}
+
+OwnerSet Distribution::owners_uncached(const IndexTuple& index) const {
   return payload().owners(index);
 }
 
 ApId Distribution::first_owner(const IndexTuple& index) const {
-  OwnerSet set = payload().owners(index);
+  OwnerSet set = owners(index);
   ApId best = set.front();
   for (ApId p : set) best = std::min(best, p);
   return best;
 }
 
 bool Distribution::is_owner(ApId p, const IndexTuple& index) const {
-  for (ApId q : payload().owners(index)) {
+  for (ApId q : owners(index)) {
     if (q == p) return true;
   }
   return false;
@@ -504,6 +525,22 @@ const Distribution& Distribution::base() const {
   }
   return static_cast<const ConstructedPayload&>(payload()).base_dist;
 }
+
+const Distribution& Distribution::section_parent() const {
+  if (kind() != Kind::kSectionView) {
+    throw InternalError("section_parent on a non-section distribution");
+  }
+  return static_cast<const SectionPayload&>(payload()).parent;
+}
+
+const std::vector<Triplet>& Distribution::section_triplets() const {
+  if (kind() != Kind::kSectionView) {
+    throw InternalError("section_triplets on a non-section distribution");
+  }
+  return static_cast<const SectionPayload&>(payload()).section;
+}
+
+RunMemo& Distribution::run_memo() const { return payload().memo; }
 
 std::string Distribution::to_string() const {
   return valid() ? payload().to_string() : "<undistributed>";

@@ -23,8 +23,11 @@
 // Ownership queries never allocate on the single-owner fast path.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +38,50 @@
 #include "core/types.hpp"
 
 namespace hpfnt {
+
+/// Memo of computed run tables (see core/layout_view.hpp), shared by every
+/// copy of one distribution payload. Keys are the flattened section
+/// triplets; values are type-erased shared_ptr<const RunTable> (erased so
+/// this header does not depend on layout_view.hpp). The cache is small and
+/// cleared wholesale when full: the sections queried on hot paths are few
+/// and recurring (whole domains, stencil shifts, argument sections).
+class RunMemo {
+ public:
+  std::shared_ptr<const void> lookup(const std::vector<Index1>& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : it->second;
+  }
+
+  void insert(const std::vector<Index1>& key,
+              std::shared_ptr<const void> table, bool whole_domain) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.size() >= kMaxEntries && entries_.count(key) == 0) {
+      entries_.clear();
+    }
+    entries_[key] = table;
+    if (whole_domain && !whole_) {
+      // Armed at most once, and whole_ is never replaced or cleared, so the
+      // published raw pointer stays valid for the payload's lifetime.
+      whole_ = std::move(table);
+      whole_raw_.store(whole_.get(), std::memory_order_release);
+    }
+  }
+
+  /// Lock-free fast path for the owners() compatibility shim: null until a
+  /// whole-domain run table has been memoized (it survives cache eviction;
+  /// the pointee is a RunTable, kept alive by this memo).
+  const void* whole_table() const {
+    return whole_raw_.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr std::size_t kMaxEntries = 16;
+  mutable std::mutex mu_;
+  std::map<std::vector<Index1>, std::shared_ptr<const void>> entries_;
+  std::shared_ptr<const void> whole_;
+  std::atomic<const void*> whole_raw_{nullptr};
+};
 
 class Distribution {
  public:
@@ -74,7 +121,18 @@ class Distribution {
   const IndexDomain& domain() const;
 
   /// δ(index): the owning abstract processors. Never empty.
+  ///
+  /// Per-element compatibility shim over the run-based API: bulk consumers
+  /// should build a LayoutView (core/layout_view.hpp) and iterate its
+  /// constant-owner runs instead. Once a whole-domain run table has been
+  /// memoized this answers from it; otherwise it falls through to the
+  /// payload's per-element mapping.
   OwnerSet owners(const IndexTuple& index) const;
+
+  /// Per-element payload query that never consults the run-table memo.
+  /// This is the primitive LayoutView probes at run boundaries (and the
+  /// independent oracle for its tests); everything else wants owners().
+  OwnerSet owners_uncached(const IndexTuple& index) const;
 
   /// The first owner (canonical "computing" replica).
   ApId first_owner(const IndexTuple& index) const;
@@ -113,6 +171,14 @@ class Distribution {
   /// Accessors for kConstructed payloads.
   const AlignmentFunction& alignment() const;
   const Distribution& base() const;
+
+  /// Accessors for kSectionView payloads.
+  const Distribution& section_parent() const;
+  const std::vector<Triplet>& section_triplets() const;
+
+  /// The payload's run-table memo (valid distributions only). Written by
+  /// LayoutView; read by the owners() shim.
+  RunMemo& run_memo() const;
 
   /// Human-readable description, e.g. "(BLOCK, CYCLIC(4)) TO PR".
   std::string to_string() const;

@@ -1,0 +1,283 @@
+#include "core/layout_view.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/alignment.hpp"
+#include "core/dist_format.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+namespace {
+
+// "No structural boundary along this dimension": the caller clamps to the
+// row remaining. Kept well below the Extent range so span+1 cannot wrap.
+constexpr Extent kUnbounded = std::numeric_limits<Extent>::max() / 4;
+
+// Returns how many additional elements beyond idx — stepping idx[dim] by
+// `step` each time, all other coordinates fixed — are *guaranteed* to keep
+// the owner set unchanged. A sound lower bound: 0 is always safe and is
+// what table-backed mappings without structure (kExplicit) report; the run
+// builder's probe-and-merge loop restores maximality in that case.
+Extent same_owner_span(const Distribution& dist, int dim,
+                       const IndexTuple& idx, Index1 step);
+
+// kFormats: only dimension `dim`'s mapping varies, so the span is the rest
+// of its constant-owner segment (block, cyclic segment, scanned table run),
+// walked at the section's stride.
+Extent formats_span(const Distribution& dist, int dim, const IndexTuple& idx,
+                    Index1 step) {
+  const DimMapping& m = dist.dim_mapping(dim);
+  if (m.kind() == FormatKind::kCollapsed) return kUnbounded;
+  const Index1 norm =
+      idx[static_cast<std::size_t>(dim)] - dist.domain().lower(dim) + 1;
+  const auto [seg_lo, seg_hi] = m.segment_range(norm);
+  return step > 0 ? (seg_hi - norm) / step : (norm - seg_lo) / (-step);
+}
+
+// kConstructed: composition through α (Definition 4). Each base dimension
+// driven by alignee dimension `dim` must be linear a*J+b; its contribution
+// is constant while the image y stays inside the base segment the recursion
+// reports — or, under the §5.1 clamp rule, while y stays beyond the same
+// bound. Non-linear (MAX/MIN) subscripts yield no guarantee.
+Extent constructed_span(const Distribution& dist, int dim,
+                        const IndexTuple& idx, Index1 step) {
+  const AlignmentFunction& alpha = dist.alignment();
+  const Distribution& base = dist.base();
+  const std::vector<AlignmentFunction::BaseDim>& bdims = alpha.base_dims();
+  Extent span = kUnbounded;
+  bool have_image = false;
+  IndexTuple image;
+  for (std::size_t bd = 0; bd < bdims.size(); ++bd) {
+    const AlignmentFunction::BaseDim& spec = bdims[bd];
+    if (spec.kind != AlignmentFunction::BaseDim::Kind::kExpr) continue;
+    if (spec.alignee_dim != dim) continue;
+    const std::optional<AlignExpr::Linear> lin = spec.expr.linear();
+    if (!lin) return 0;
+    const Index1 dstep = lin->a * step;
+    if (dstep == 0) continue;
+    const Index1 y0 = spec.expr.eval(idx[static_cast<std::size_t>(dim)]);
+    const Index1 lb = alpha.base_domain().lower(static_cast<int>(bd));
+    const Index1 ub = alpha.base_domain().upper(static_cast<int>(bd));
+    Extent this_span;
+    if (y0 < lb) {
+      this_span = dstep > 0 ? (lb - 1 - y0) / dstep : kUnbounded;
+    } else if (y0 > ub) {
+      this_span = dstep < 0 ? (y0 - ub - 1) / (-dstep) : kUnbounded;
+    } else {
+      const Extent in_bounds =
+          dstep > 0 ? (ub - y0) / dstep : (y0 - lb) / (-dstep);
+      if (!have_image) {
+        image = alpha.image(idx);
+        have_image = true;
+      }
+      IndexTuple j = image;
+      j[bd] = y0;
+      this_span = std::min(
+          in_bounds, same_owner_span(base, static_cast<int>(bd), j, dstep));
+    }
+    span = std::min(span, this_span);
+    if (span == 0) return 0;
+  }
+  return span;
+}
+
+Extent same_owner_span(const Distribution& dist, int dim,
+                       const IndexTuple& idx, Index1 step) {
+  switch (dist.kind()) {
+    case Distribution::Kind::kFormats:
+      return formats_span(dist, dim, idx, step);
+    case Distribution::Kind::kConstructed:
+      return constructed_span(dist, dim, idx, step);
+    case Distribution::Kind::kSectionView: {
+      // Restriction: compose the view's triplet into the parent's index
+      // space and ask the parent.
+      const Distribution& parent = dist.section_parent();
+      const std::vector<Triplet>& trips = dist.section_triplets();
+      IndexTuple pidx = parent.domain().section_parent_index(trips, idx);
+      return same_owner_span(
+          parent, dim, pidx,
+          trips[static_cast<std::size_t>(dim)].stride() * step);
+    }
+    case Distribution::Kind::kExplicit:
+      return 0;  // run-length scanning via the probe-and-merge loop
+  }
+  return 0;
+}
+
+std::vector<Index1> section_key(const std::vector<Triplet>& section) {
+  std::vector<Index1> key;
+  key.reserve(section.size() * 3);
+  for (const Triplet& t : section) {
+    key.push_back(t.lower());
+    key.push_back(t.upper());
+    key.push_back(t.stride());
+  }
+  return key;
+}
+
+void build_runs(const Distribution& dist, const std::vector<Triplet>& section,
+                RunTable& out) {
+  const int rank = static_cast<int>(section.size());
+  if (rank == 0) {
+    OwnerRun r;
+    r.begin = 0;
+    r.count = 1;
+    r.owners = dist.owners_uncached(IndexTuple{});
+    ++out.ownership_queries;
+    out.runs.push_back(std::move(r));
+    return;
+  }
+  if (out.section_domain.size() == 0) return;
+
+  const Triplet& t0 = section[0];
+  const Extent len0 = t0.size();
+  const bool formats = dist.kind() == Distribution::Kind::kFormats;
+  const Index1 lower0 = dist.domain().lower(0);
+  constexpr std::size_t kNoOpenRun = static_cast<std::size_t>(-1);
+
+  // Odometer over the outer dimensions' section positions, Fortran order
+  // (dimension 1 varies fastest among them; dimension 0 is the run axis).
+  SmallVector<Extent, kMaxRank> opos(
+      static_cast<std::size_t>(rank - 1), 0);
+  IndexTuple idx;
+  idx.resize(static_cast<std::size_t>(rank));
+  Extent linear = 0;
+  while (true) {
+    for (int d = 1; d < rank; ++d) {
+      idx[static_cast<std::size_t>(d)] =
+          section[static_cast<std::size_t>(d)].at(
+              opos[static_cast<std::size_t>(d - 1)]);
+    }
+    // Walk one row: probe at each structural boundary, merge when the probe
+    // repeats the open run's owner set (restores maximality where the
+    // structural span is conservative, e.g. CYCLIC on one processor).
+    std::size_t open = kNoOpenRun;
+    Extent k = 0;
+    while (k < len0) {
+      idx[0] = t0.at(k);
+      OwnerSet own = dist.owners_uncached(idx);
+      ++out.ownership_queries;
+      Extent span = same_owner_span(dist, 0, idx, t0.stride());
+      span = std::min(span, len0 - 1 - k);
+      if (open != kNoOpenRun && out.runs[open].owners == own) {
+        OwnerRun& r = out.runs[open];
+        r.count += span + 1;
+        r.hi = t0.at(k + span);
+      } else {
+        OwnerRun r;
+        r.begin = linear + k;
+        r.count = span + 1;
+        r.lo = idx[0];
+        r.hi = t0.at(k + span);
+        r.stride = t0.stride();
+        for (int d = 1; d < rank; ++d) {
+          r.outer.push_back(idx[static_cast<std::size_t>(d)]);
+        }
+        if (formats) {
+          const DimMapping& m0 = dist.dim_mapping(0);
+          if (m0.kind() != FormatKind::kCollapsed) {
+            r.local_offset = m0.local_index(idx[0] - lower0 + 1);
+          }
+        }
+        r.owners = std::move(own);
+        out.runs.push_back(std::move(r));
+        open = out.runs.size() - 1;
+      }
+      k += span + 1;
+    }
+    linear += len0;
+    int d = 1;
+    for (; d < rank; ++d) {
+      Extent& o = opos[static_cast<std::size_t>(d - 1)];
+      if (++o < section[static_cast<std::size_t>(d)].size()) break;
+      o = 0;
+    }
+    if (d == rank) break;
+  }
+}
+
+}  // namespace
+
+const OwnerSet& owner_set_at(const RunTable& table, Extent linear_pos) {
+  auto it = std::upper_bound(
+      table.runs.begin(), table.runs.end(), linear_pos,
+      [](Extent pos, const OwnerRun& r) { return pos < r.begin; });
+  if (it == table.runs.begin()) {
+    throw MappingError(cat("position ", linear_pos, " before any run"));
+  }
+  --it;
+  if (linear_pos >= it->begin + it->count) {
+    throw MappingError(cat("position ", linear_pos, " beyond the run table"));
+  }
+  return it->owners;
+}
+
+LayoutView::LayoutView(Distribution dist, std::vector<Triplet> section)
+    : dist_(std::move(dist)), section_(std::move(section)) {
+  dist_.domain().validate_section(section_);
+  RunMemo& memo = dist_.run_memo();
+  const std::vector<Index1> key = section_key(section_);
+  if (std::shared_ptr<const void> hit = memo.lookup(key)) {
+    table_ = std::static_pointer_cast<const RunTable>(hit);
+    return;
+  }
+  auto table = std::make_shared<RunTable>(compute(dist_, section_));
+  // Arming the owners() shim with a whole-domain table only pays off when
+  // the payload's own per-element query is dearer than a binary search —
+  // kExplicit already answers in O(1) from its owner table, and its run
+  // table can dwarf it (one run per owner change), so leave it unarmed.
+  const bool whole = section_ == dist_.domain().dims() &&
+                     dist_.kind() != Distribution::Kind::kExplicit;
+  memo.insert(key, table, whole);
+  table_ = std::move(table);
+}
+
+LayoutView LayoutView::whole(const Distribution& dist) {
+  return LayoutView(dist, dist.domain().dims());
+}
+
+RunTable LayoutView::compute(const Distribution& dist,
+                             const std::vector<Triplet>& section) {
+  dist.domain().validate_section(section);
+  RunTable out;
+  out.section_domain = dist.domain().section_domain(section);
+  build_runs(dist, section, out);
+  return out;
+}
+
+IndexTuple LayoutView::parent_index(const OwnerRun& run, Extent offset) const {
+  IndexTuple idx;
+  if (section_.empty()) return idx;  // rank-0: the single empty tuple
+  idx.push_back(run.lo + offset * run.stride);
+  for (Index1 v : run.outer) idx.push_back(v);
+  return idx;
+}
+
+void for_each_common_segment(
+    const RunTable& a, const RunTable& b,
+    const std::function<void(Extent, Extent, const OwnerSet&,
+                             const OwnerSet&)>& fn) {
+  const Extent total = a.section_domain.size();
+  if (total != b.section_domain.size()) {
+    throw InternalError("common-segment walk over tables of different sizes");
+  }
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  Extent pos = 0;
+  while (pos < total) {
+    const OwnerRun& ra = a.runs[ia];
+    const OwnerRun& rb = b.runs[ib];
+    const Extent end_a = ra.begin + ra.count;
+    const Extent end_b = rb.begin + rb.count;
+    const Extent end = std::min(end_a, end_b);
+    fn(pos, end - pos, ra.owners, rb.owners);
+    pos = end;
+    if (pos == end_a) ++ia;
+    if (pos == end_b) ++ib;
+  }
+}
+
+}  // namespace hpfnt

@@ -1,0 +1,151 @@
+// Ownership queries, run-based (the bulk alternative to owners(i)).
+//
+// The paper's distributions (§2.2, §4.1) are *total index mappings* whose
+// formats — BLOCK, CYCLIC(k), GENERAL_BLOCK — are regular enough that the
+// owner set is piecewise constant over large contiguous index ranges. A
+// LayoutView exposes that structure directly: given a Distribution and a
+// triplet-section of its index domain, it yields the maximal runs
+//
+//     { lo, hi, stride, owners, local_offset }
+//
+// along the first (fastest-varying, Fortran order) dimension over which the
+// owner set is constant. Consumers iterate runs instead of elements, so one
+// ownership decision — and one priced communication event — covers a whole
+// contiguous segment.
+//
+// Run tables are computed
+//   * analytically for kFormats payloads (per-dimension segment ranges:
+//     block bounds, cyclic segments, GENERAL_BLOCK bound arrays),
+//   * by composition through the alignment function α for kConstructed
+//     (linear α maps a segment of the base's runs back onto the alignee;
+//     clamped ends form their own constant runs),
+//   * by triplet composition (restriction) for kSectionView, and
+//   * by run-length scanning of the owner table for kExplicit,
+// and are memoized per Distribution payload keyed by the section
+// (Distribution::run_memo), so repeated sweeps of the same section are
+// free. Distribution::owners(IndexTuple) remains as a thin per-element
+// compatibility shim answered from the memoized whole-domain table when one
+// exists.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "core/index_domain.hpp"
+#include "core/triplet.hpp"
+#include "core/types.hpp"
+
+namespace hpfnt {
+
+/// One maximal constant-owner run of a sectioned distribution. Runs never
+/// cross a "row" boundary (a change of the fixed outer dimensions), so a
+/// run always describes a 1-D arithmetic index sequence of the parent
+/// domain: lo, lo+stride, ..., hi.
+struct OwnerRun {
+  Extent begin = 0;  ///< linear position (0-based, Fortran order) of the
+                     ///< run's first element within the section domain
+  Extent count = 0;  ///< number of consecutive section elements covered
+
+  Index1 lo = 0;      ///< parent-domain index (dim 0) of the first element
+  Index1 hi = 0;      ///< parent-domain index (dim 0) of the last element
+  Index1 stride = 1;  ///< parent-domain step between consecutive elements
+  IndexTuple outer;   ///< fixed parent-domain indices of dims 1..rank-1
+
+  OwnerSet owners;  ///< the constant owner set, exactly as owners(i) yields
+
+  Index1 local_offset = 0;  ///< 1-based dim-0 local index of the first
+                            ///< element on owners.front() (kFormats payloads
+                            ///< with a distributed dim 0; 0 otherwise)
+};
+
+/// A computed run table: the runs partition the section domain's linear
+/// positions [0, size) exactly once, in order. `ownership_queries` is the
+/// number of per-element payload probes spent building the table — the
+/// figure the E1 run-based benchmark compares against a per-element sweep.
+struct RunTable {
+  IndexDomain section_domain;
+  std::vector<OwnerRun> runs;
+  Extent ownership_queries = 0;
+};
+
+/// The owner set at a linear section position (binary search over runs).
+const OwnerSet& owner_set_at(const RunTable& table, Extent linear_pos);
+
+/// The smallest owner id — the canonical "computing" replica, matching
+/// Distribution::first_owner.
+inline ApId min_owner(const OwnerSet& set) {
+  ApId best = set.front();
+  for (ApId p : set) best = p < best ? p : best;
+  return best;
+}
+
+inline bool owner_set_contains(const OwnerSet& set, ApId p) {
+  for (ApId q : set) {
+    if (q == p) return true;
+  }
+  return false;
+}
+
+class LayoutView {
+ public:
+  /// Builds (or fetches from the distribution's memo) the run table of
+  /// `section` — one triplet per dimension of dist.domain(), interpreted
+  /// against the domain's index values. Validates the section.
+  LayoutView(Distribution dist, std::vector<Triplet> section);
+
+  /// The whole-domain view. Memoizing this also arms the owners() shim.
+  static LayoutView whole(const Distribution& dist);
+
+  /// Computes a run table without touching the memo (benchmark use: honest
+  /// construction cost on every call).
+  static RunTable compute(const Distribution& dist,
+                          const std::vector<Triplet>& section);
+
+  const Distribution& distribution() const noexcept { return dist_; }
+  const std::vector<Triplet>& section() const noexcept { return section_; }
+  const RunTable& table() const noexcept { return *table_; }
+  const IndexDomain& section_domain() const noexcept {
+    return table_->section_domain;
+  }
+  const std::vector<OwnerRun>& runs() const noexcept { return table_->runs; }
+  Extent run_count() const noexcept {
+    return static_cast<Extent>(table_->runs.size());
+  }
+  Extent size() const noexcept { return table_->section_domain.size(); }
+
+  /// Per-element probes spent building the (possibly shared) table.
+  Extent ownership_queries() const noexcept {
+    return table_->ownership_queries;
+  }
+
+  /// Owner set of the element at a linear section position.
+  const OwnerSet& owner_set_at(Extent linear_pos) const {
+    return hpfnt::owner_set_at(*table_, linear_pos);
+  }
+
+  /// Parent-domain index of the run's element at `offset` (0-based,
+  /// 0 <= offset < run.count).
+  IndexTuple parent_index(const OwnerRun& run, Extent offset) const;
+
+  void for_each_run(const std::function<void(const OwnerRun&)>& fn) const {
+    for (const OwnerRun& r : table_->runs) fn(r);
+  }
+
+ private:
+  Distribution dist_;
+  std::vector<Triplet> section_;
+  std::shared_ptr<const RunTable> table_;
+};
+
+/// Walks two run tables over the same linear position space in lock step,
+/// calling fn once per maximal segment on which both owner sets are
+/// constant. The tables must cover the same total size.
+void for_each_common_segment(
+    const RunTable& a, const RunTable& b,
+    const std::function<void(Extent begin, Extent count,
+                             const OwnerSet& owners_a,
+                             const OwnerSet& owners_b)>& fn);
+
+}  // namespace hpfnt

@@ -1,5 +1,6 @@
 #include "exec/assign.hpp"
 
+#include "core/layout_view.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -67,28 +68,80 @@ AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
     return out;
   };
 
-  // Pass 1: every LHS owner evaluates the RHS for its elements (remote
-  // operand reads are charged to it); results are staged so overlapping
-  // sections see pre-assignment values.
+  // Run tables over the LHS section and every RHS operand section. All
+  // sections conform, so one linear position space [0, size) indexes them
+  // all; communication is decided per constant-owner segment, not per
+  // element.
+  const LayoutView lhs_view(lhs_dist, lhs_section);
+  const std::vector<SecLeaf> leaves = rhs.leaves();
+  std::vector<LayoutView> leaf_views;
+  leaf_views.reserve(leaves.size());
+  for (const SecLeaf& leaf : leaves) {
+    leaf_views.emplace_back(state.layout(leaf.array), *leaf.section);
+  }
+
+  // Pass 1: numerics. The RHS is evaluated completely before the LHS
+  // changes (Fortran array-assignment semantics); values are independent of
+  // placement, so evaluation reads canonical storage directly while the
+  // owner-computes communication is charged run-wise below.
   std::vector<double> staged;
   staged.reserve(static_cast<std::size_t>(iteration.size()));
-  std::vector<ApId> computed_by;
-  computed_by.reserve(static_cast<std::size_t>(iteration.size()));
   iteration.for_each([&](const IndexTuple& pos) {
-    IndexTuple lhs_idx = lhs.domain().section_parent_index(lhs_section, pos);
-    const ApId p = lhs_dist.first_owner(lhs_idx);
-    staged.push_back(rhs.eval_at(state, p, squeeze(pos)));
-    computed_by.push_back(p);
-    if (flops > 0) comm.compute(p, flops);
+    staged.push_back(rhs.eval_serial(state, squeeze(pos)));
   });
 
-  // Pass 2: write results to all owners; replicas receive by message.
+  // Pass 2: owner-computes pricing, one segment at a time. The computing
+  // processor of a segment is the canonical (minimum) LHS owner; operand
+  // segments it does not own arrive as one transfer each, carrying the
+  // element count.
+  auto charge_reads = [&](Extent count, const OwnerSet& lhs_owners,
+                          const OwnerSet& leaf_owners, Extent leaf_bytes) {
+    const ApId p = min_owner(lhs_owners);
+    if (owner_set_contains(leaf_owners, p)) {
+      comm.count_local_reads(count);
+    } else {
+      comm.transfer_block(min_owner(leaf_owners), p, leaf_bytes, count);
+    }
+  };
+  for (std::size_t l = 0; l < leaves.size(); ++l) {
+    const SecLeaf& leaf = leaves[l];
+    const LayoutView& leaf_view = leaf_views[l];
+    if (leaf_view.size() != lhs_view.size()) {
+      // Conformance admits an empty squeezed RHS shape: a single-element
+      // leaf (all unit dimensions, pinned at position 1) broadcast over the
+      // whole LHS section. Every LHS element reads that one element.
+      if (leaf_view.size() != 1) {
+        throw InternalError("nonconforming operand run table in assignment");
+      }
+      const OwnerSet& leaf_owners = leaf_view.runs().front().owners;
+      for (const OwnerRun& r : lhs_view.runs()) {
+        charge_reads(r.count, r.owners, leaf_owners, leaf.bytes);
+      }
+      continue;
+    }
+    for_each_common_segment(
+        lhs_view.table(), leaf_view.table(),
+        [&](Extent, Extent count, const OwnerSet& lhs_owners,
+            const OwnerSet& leaf_owners) {
+          charge_reads(count, lhs_owners, leaf_owners, leaf.bytes);
+        });
+  }
+  for (const OwnerRun& r : lhs_view.runs()) {
+    const ApId p = min_owner(r.owners);
+    if (flops > 0) comm.compute(p, flops * r.count);
+    // Replicas beyond the computing owner receive the whole run by message.
+    for (ApId q : r.owners) {
+      if (q != p) comm.transfer_block(p, q, bytes, r.count);
+    }
+  }
+
+  // Pass 3: write the staged results to canonical storage.
   std::size_t k = 0;
-  iteration.for_each([&](const IndexTuple& pos) {
-    IndexTuple lhs_idx = lhs.domain().section_parent_index(lhs_section, pos);
-    state.write_owned(lhs.id(), lhs_idx, staged[k], computed_by[k], bytes);
-    ++k;
-  });
+  for (const OwnerRun& r : lhs_view.runs()) {
+    for (Extent t = 0; t < r.count; ++t) {
+      state.set_value(lhs.id(), lhs_view.parent_index(r, t), staged[k++]);
+    }
+  }
 
   AssignResult result;
   result.step = comm.end_step();

@@ -48,13 +48,21 @@ ShiftPlan plan_shift(const DimMapping& m, Extent shift) {
       }
     }
   } else {
-    // Exact enumeration for cyclic/irregular mappings.
-    for (Index1 i = 1; i <= m.n(); ++i) {
-      const Index1 j = i + shift;
-      if (j < 1 || j > m.n()) continue;
+    // Run-based walk for cyclic/irregular mappings: both the reader side
+    // (owner of i) and the read side (owner of i+shift) are piecewise
+    // constant, so advance one intersected constant-owner segment at a
+    // time instead of one element at a time.
+    const Index1 first = std::max<Index1>(1, 1 - shift);
+    const Index1 last = std::min<Index1>(m.n(), m.n() - shift);
+    Index1 i = first;
+    while (i <= last) {
       const Index1 dst = m.owner(i);
-      const Index1 src = m.owner(j);
-      if (src != dst) counts[{src, dst}] += 1;
+      const Index1 src = m.owner(i + shift);
+      const Index1 dst_end = m.segment_range(i).second;
+      const Index1 src_end = m.segment_range(i + shift).second - shift;
+      const Index1 end = std::min({last, dst_end, src_end});
+      if (src != dst) counts[{src, dst}] += end - i + 1;
+      i = end + 1;
     }
   }
 

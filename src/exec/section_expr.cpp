@@ -79,8 +79,23 @@ Extent SecExpr::count_flops(const Node& n) {
 
 Extent SecExpr::flops_per_element() const { return count_flops(*node_); }
 
-double SecExpr::eval_node(const Node& n, ProgramState& state, ApId p,
-                          const IndexTuple& pos, bool charge) {
+std::vector<SecLeaf> SecExpr::leaves() const {
+  std::vector<SecLeaf> out;
+  collect_leaves(*node_, out);
+  return out;
+}
+
+void SecExpr::collect_leaves(const Node& n, std::vector<SecLeaf>& out) {
+  if (n.op == Op::kLeaf) {
+    out.push_back(SecLeaf{n.array, n.bytes, &n.domain, &n.section});
+    return;
+  }
+  if (n.lhs) collect_leaves(*n.lhs, out);
+  if (n.rhs) collect_leaves(*n.rhs, out);
+}
+
+double SecExpr::eval_node(const Node& n, const ProgramState& state,
+                          const IndexTuple& pos) {
   switch (n.op) {
     case Op::kConst:
       return n.value;
@@ -94,34 +109,23 @@ double SecExpr::eval_node(const Node& n, ProgramState& state, ApId p,
         full_pos[d] = n.section[d].size() == 1 ? 1 : pos[consumed++];
       }
       IndexTuple parent = n.domain.section_parent_index(n.section, full_pos);
-      if (charge) return state.read_for(p, n.array, parent, n.bytes);
       return state.value(n.array, parent);
     }
     case Op::kAdd:
-      return eval_node(*n.lhs, state, p, pos, charge) +
-             eval_node(*n.rhs, state, p, pos, charge);
+      return eval_node(*n.lhs, state, pos) + eval_node(*n.rhs, state, pos);
     case Op::kSub:
-      return eval_node(*n.lhs, state, p, pos, charge) -
-             eval_node(*n.rhs, state, p, pos, charge);
+      return eval_node(*n.lhs, state, pos) - eval_node(*n.rhs, state, pos);
     case Op::kMul:
-      return eval_node(*n.lhs, state, p, pos, charge) *
-             eval_node(*n.rhs, state, p, pos, charge);
+      return eval_node(*n.lhs, state, pos) * eval_node(*n.rhs, state, pos);
     case Op::kDiv:
-      return eval_node(*n.lhs, state, p, pos, charge) /
-             eval_node(*n.rhs, state, p, pos, charge);
+      return eval_node(*n.lhs, state, pos) / eval_node(*n.rhs, state, pos);
   }
   throw InternalError("unreachable section-expression op");
 }
 
-double SecExpr::eval_at(ProgramState& state, ApId p,
-                        const IndexTuple& pos) const {
-  return eval_node(*node_, state, p, pos, /*charge=*/true);
-}
-
 double SecExpr::eval_serial(const ProgramState& state,
                             const IndexTuple& pos) const {
-  return eval_node(*node_, const_cast<ProgramState&>(state), 0, pos,
-                   /*charge=*/false);
+  return eval_node(*node_, state, pos);
 }
 
 SecExpr operator+(SecExpr a, SecExpr b) {

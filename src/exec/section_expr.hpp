@@ -5,8 +5,10 @@
 //
 // A SecExpr is an elementwise expression tree over array sections and
 // scalar constants. All section leaves must share one shape — the shape of
-// the assignment — and the executor evaluates the tree per element on the
-// LHS owner, charging remote reads through ProgramState::read_for.
+// the assignment. Values are evaluated per element from canonical storage
+// (eval_serial); the communication the evaluation implies is charged by the
+// assignment executor per constant-owner run of each leaf's section
+// (leaves() + core/layout_view.hpp), not per element.
 #pragma once
 
 #include <memory>
@@ -17,6 +19,17 @@
 #include "exec/storage.hpp"
 
 namespace hpfnt {
+
+/// One array-section leaf of a SecExpr, exposed so the executor can build
+/// run tables (core/layout_view.hpp) over every operand and charge remote
+/// reads per constant-owner segment instead of per element. The pointers
+/// borrow from the expression's nodes and stay valid while it lives.
+struct SecLeaf {
+  ArrayId array = kNoArray;
+  Extent bytes = 8;
+  const IndexDomain* domain = nullptr;
+  const std::vector<Triplet>* section = nullptr;
+};
 
 class SecExpr {
  public:
@@ -39,12 +52,12 @@ class SecExpr {
   /// Number of arithmetic operations evaluated per element.
   Extent flops_per_element() const;
 
-  /// Evaluates at `pos` — the 1-based *squeezed* position tuple (one entry
-  /// per non-unit dimension of the shape) — on behalf of processor `p`,
-  /// charging remote reads. Must run inside an open comm step.
-  double eval_at(ProgramState& state, ApId p, const IndexTuple& pos) const;
+  /// All section leaves, in evaluation order (one entry per occurrence).
+  std::vector<SecLeaf> leaves() const;
 
-  /// Evaluates without any communication accounting (serial reference).
+  /// Evaluates at `pos` — the 1-based *squeezed* position tuple (one entry
+  /// per non-unit dimension of the shape) — from canonical storage, with no
+  /// communication accounting.
   double eval_serial(const ProgramState& state, const IndexTuple& pos) const;
 
   friend SecExpr operator+(SecExpr a, SecExpr b);
@@ -75,9 +88,10 @@ class SecExpr {
   static SecExpr binary(Op op, SecExpr a, SecExpr b);
   static void collect_shape(const Node& n, std::vector<Extent>& shape,
                             bool& seen);
+  static void collect_leaves(const Node& n, std::vector<SecLeaf>& out);
   static Extent count_flops(const Node& n);
-  static double eval_node(const Node& n, ProgramState& state, ApId p,
-                          const IndexTuple& pos, bool charge);
+  static double eval_node(const Node& n, const ProgramState& state,
+                          const IndexTuple& pos);
 
   std::shared_ptr<const Node> node_;
 };

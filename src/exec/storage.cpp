@@ -1,5 +1,6 @@
 #include "exec/storage.hpp"
 
+#include "core/layout_view.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -25,20 +26,17 @@ const ProgramState::Store& ProgramState::store(ArrayId id) const {
 }
 
 void ProgramState::account_allocate(const Store& s) {
-  // One domain sweep counts every replica exactly once per owner.
-  s.domain.for_each([&](const IndexTuple& idx) {
-    for (ApId p : s.dist.owners(idx)) {
-      memory_.allocate(p, s.elem_bytes);
-    }
-  });
+  // One pass over the layout's run table counts every replica exactly once
+  // per owner, a whole constant-owner segment at a time.
+  for (const OwnerRun& r : LayoutView::whole(s.dist).runs()) {
+    for (ApId p : r.owners) memory_.allocate(p, s.elem_bytes * r.count);
+  }
 }
 
 void ProgramState::account_release(const Store& s) {
-  s.domain.for_each([&](const IndexTuple& idx) {
-    for (ApId p : s.dist.owners(idx)) {
-      memory_.release(p, s.elem_bytes);
-    }
-  });
+  for (const OwnerRun& r : LayoutView::whole(s.dist).runs()) {
+    for (ApId p : r.owners) memory_.release(p, s.elem_bytes * r.count);
+  }
 }
 
 void ProgramState::create(const DataEnv& env, const DistArray& array) {
@@ -101,28 +99,6 @@ double ProgramState::checksum(ArrayId id) const {
   return total;
 }
 
-double ProgramState::read_for(ApId p, ArrayId id, const IndexTuple& index,
-                              Extent bytes) {
-  const Store& s = store(id);
-  const double v =
-      s.values[static_cast<std::size_t>(s.domain.linearize(index))];
-  if (!s.dist.is_owner(p, index)) {
-    comm_.transfer(s.dist.first_owner(index), p, bytes);
-  } else {
-    comm_.count_local_read();
-  }
-  return v;
-}
-
-void ProgramState::write_owned(ArrayId id, const IndexTuple& index,
-                               double value, ApId computed_by, Extent bytes) {
-  Store& s = store(id);
-  s.values[static_cast<std::size_t>(s.domain.linearize(index))] = value;
-  for (ApId q : s.dist.owners(index)) {
-    if (q != computed_by) comm_.transfer(computed_by, q, bytes);
-  }
-}
-
 StepStats ProgramState::apply_remap(const RemapEvent& event,
                                     const DistArray& array) {
   Store& s = store(array.id());
@@ -135,36 +111,33 @@ StepStats ProgramState::apply_remap(const RemapEvent& event,
   }
   comm_.begin_step(event.reason.empty() ? ("remap " + array.name())
                                         : event.reason);
-  s.domain.for_each([&](const IndexTuple& idx) {
-    OwnerSet old_owners = event.from.owners(idx);
-    OwnerSet new_owners = event.to.owners(idx);
-    const ApId src = old_owners.front();
-    for (ApId q : new_owners) {
-      bool had = false;
-      for (ApId o : old_owners) {
-        if (o == q) {
-          had = true;
-          break;
+  // Walk the two layouts' run tables in lock step: every common segment has
+  // constant owner sets on both sides, so each (mover, destination) pair is
+  // priced once per segment with the element count.
+  const LayoutView from_view = LayoutView::whole(event.from);
+  const LayoutView to_view = LayoutView::whole(event.to);
+  for_each_common_segment(
+      from_view.table(), to_view.table(),
+      [&](Extent, Extent count, const OwnerSet& old_owners,
+          const OwnerSet& new_owners) {
+        const ApId src = old_owners.front();
+        for (ApId q : new_owners) {
+          if (!owner_set_contains(old_owners, q)) {
+            comm_.transfer_block(src, q, s.elem_bytes, count);
+          }
         }
-      }
-      if (!had) comm_.transfer(src, q, s.elem_bytes);
-    }
-    // Memory accounting: replicas appear/disappear with the owner sets.
-    for (ApId q : new_owners) {
-      bool had = false;
-      for (ApId o : old_owners) {
-        if (o == q) had = true;
-      }
-      if (!had) memory_.allocate(q, s.elem_bytes);
-    }
-    for (ApId o : old_owners) {
-      bool kept = false;
-      for (ApId q : new_owners) {
-        if (o == q) kept = true;
-      }
-      if (!kept) memory_.release(o, s.elem_bytes);
-    }
-  });
+        // Memory accounting: replicas appear/disappear with the owner sets.
+        for (ApId q : new_owners) {
+          if (!owner_set_contains(old_owners, q)) {
+            memory_.allocate(q, s.elem_bytes * count);
+          }
+        }
+        for (ApId o : old_owners) {
+          if (!owner_set_contains(new_owners, o)) {
+            memory_.release(o, s.elem_bytes * count);
+          }
+        }
+      });
   s.dist = event.to;
   return comm_.end_step();
 }
@@ -195,21 +168,24 @@ StepStats ProgramState::copy_section(const DistArray& dst,
     staged.push_back(
         s.values[static_cast<std::size_t>(s.domain.linearize(sidx))]);
   });
+  // Charge transfers per common constant-owner segment of the two sections'
+  // run tables: destination owners that do not already hold the value
+  // receive the whole segment from the sources' canonical replica.
+  const LayoutView dst_view(d.dist, dst_section);
+  const LayoutView src_view(s.dist, src_section);
+  for_each_common_segment(
+      dst_view.table(), src_view.table(),
+      [&](Extent, Extent count, const OwnerSet& dst_owners,
+          const OwnerSet& src_owners) {
+        for (ApId q : dst_owners) {
+          if (!owner_set_contains(src_owners, q)) {
+            comm_.transfer_block(src_owners.front(), q, d.elem_bytes, count);
+          }
+        }
+      });
   std::size_t k = 0;
   dshape.for_each([&](const IndexTuple& pos) {
     IndexTuple didx = d.domain.section_parent_index(dst_section, pos);
-    IndexTuple sidx = s.domain.section_parent_index(src_section, pos);
-    OwnerSet src_owners = s.dist.owners(sidx);
-    for (ApId q : d.dist.owners(didx)) {
-      bool already = false;
-      for (ApId o : src_owners) {
-        if (o == q) {
-          already = true;
-          break;
-        }
-      }
-      if (!already) comm_.transfer(src_owners.front(), q, d.elem_bytes);
-    }
     d.values[static_cast<std::size_t>(d.domain.linearize(didx))] =
         staged[k++];
   });

@@ -10,7 +10,9 @@
 // All *communication-counted* operations — remote reads on behalf of a
 // computing processor, replica broadcasts, remaps, argument copies — go
 // through the CommEngine inside an open step, so every mapping decision has
-// a measurable message/byte/time consequence.
+// a measurable message/byte/time consequence. Ownership is decided in bulk:
+// data-movement steps walk the layouts' constant-owner run tables
+// (core/layout_view.hpp) and price one transfer_block per segment.
 #pragma once
 
 #include <functional>
@@ -61,23 +63,12 @@ class ProgramState {
   /// Sum of all elements — cheap whole-array checksum for verification.
   double checksum(ArrayId id) const;
 
-  // --- communication-counted primitives (must be inside an open step) ----
-
-  /// Reads an element on behalf of processor `p`: free when p owns it,
-  /// otherwise a transfer from the element's first owner is recorded.
-  double read_for(ApId p, ArrayId id, const IndexTuple& index, Extent bytes);
-
-  /// Owner-computes write: processor `computed_by` produced `value`; every
-  /// owner stores it, and owners other than `computed_by` receive it by
-  /// message.
-  void write_owned(ArrayId id, const IndexTuple& index, double value,
-                   ApId computed_by, Extent bytes);
-
-  // --- data movement steps -------------------------------------------------
+  // --- data movement steps (priced per constant-owner run) ----------------
 
   /// Executes a remap event: moves every element from its old owners to its
-  /// new owners (one transfer per new owner that lacked the element),
-  /// updates the layout and the memory accounting. One comm step.
+  /// new owners (one transfer_block per constant-owner segment and new
+  /// owner that lacked it), updates the layout and the memory accounting.
+  /// One comm step.
   StepStats apply_remap(const RemapEvent& event, const DistArray& array);
 
   /// Copies a section of `src` onto a section of `dst` (equal shapes),

@@ -34,6 +34,18 @@ void CommEngine::transfer(ApId src, ApId dst, Extent bytes) {
   pair_elements_[{src, dst}] += 1;
 }
 
+void CommEngine::transfer_block(ApId src, ApId dst, Extent elem_bytes,
+                                Extent count) {
+  if (!in_step_) throw InternalError("transfer outside a step");
+  if (count <= 0) return;
+  if (src == dst) {
+    local_reads_ += count;
+    return;
+  }
+  pair_bytes_[{src, dst}] += elem_bytes * count;
+  pair_elements_[{src, dst}] += count;
+}
+
 void CommEngine::compute(ApId p, Extent flops) {
   if (!in_step_) throw InternalError("compute outside a step");
   step_flops_[p] += flops;

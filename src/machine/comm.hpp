@@ -45,6 +45,12 @@ class CommEngine {
   /// are local and free; they are counted as local reads only).
   void transfer(ApId src, ApId dst, Extent bytes);
 
+  /// A run of `count` equal-sized element payloads from src to dst — the
+  /// priced form of one constant-owner segment (core/layout_view.hpp).
+  /// Exactly equivalent to calling transfer(src, dst, elem_bytes) `count`
+  /// times, in one call.
+  void transfer_block(ApId src, ApId dst, Extent elem_bytes, Extent count);
+
   /// Computation attributed to a processor within the step.
   void compute(ApId p, Extent flops);
 
@@ -58,6 +64,7 @@ class CommEngine {
   double total_time_us() const noexcept { return total_time_us_; }
   Extent local_reads() const noexcept { return local_reads_; }
   void count_local_read() noexcept { ++local_reads_; }
+  void count_local_reads(Extent n) noexcept { local_reads_ += n; }
 
   void reset();
 

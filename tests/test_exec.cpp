@@ -94,6 +94,43 @@ TEST_F(ExecTest, AssignMatchesSerialReference) {
   }
 }
 
+TEST_F(ExecTest, ScalarSectionBroadcastAssign) {
+  ProgramState state(machine_);
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 40)});
+  DistArray& b = env_.real("B", IndexDomain{Dim(1, 40)});
+  env_.distribute(a, {DistFormat::block()}, ProcessorRef(ps_.find("Q")));
+  env_.distribute(b, {DistFormat::cyclic(3)}, ProcessorRef(ps_.find("Q")));
+  state.create(env_, a);
+  state.create(env_, b);
+  state.fill(a.id(), [](const IndexTuple& i) {
+    return std::sin(static_cast<double>(i[0]));
+  });
+
+  // B = A(7:7) * 2 — the squeezed RHS shape is empty, so the single source
+  // element broadcasts over the whole LHS (one read per LHS element).
+  SecExpr rhs = SecExpr::section(a, {Triplet(7, 7)}) * 2.0;
+  AssignResult r = assign(state, env_, b, {Triplet(1, 40)}, rhs, "broadcast");
+  EXPECT_EQ(r.elements, 40);
+  const double expected = 2.0 * std::sin(7.0);
+  for (Index1 i = 1; i <= 40; ++i) {
+    EXPECT_DOUBLE_EQ(state.value(b.id(), idx({i})), expected) << "i=" << i;
+  }
+
+  // Each LHS element whose computing owner does not hold A(7) pays one
+  // remote read of the broadcast element.
+  const Distribution& da = env_.distribution_of(a);
+  const Distribution& db = env_.distribution_of(b);
+  const OwnerSet source_owners = da.owners_uncached(idx({7}));
+  Extent expected_remote = 0;
+  for (Index1 i = 1; i <= 40; ++i) {
+    ApId p = db.first_owner(idx({i}));
+    bool collocated = false;
+    for (ApId q : source_owners) collocated = collocated || q == p;
+    if (!collocated) ++expected_remote;
+  }
+  EXPECT_EQ(r.step.element_transfers, expected_remote);
+}
+
 TEST_F(ExecTest, OverlappingSelfAssignmentUsesRhsSnapshot) {
   // A(2:10) = A(1:9): Fortran evaluates the RHS first.
   ProgramState state(machine_);
