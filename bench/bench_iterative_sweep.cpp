@@ -1,0 +1,126 @@
+// Experiment E2 — iterative sweeps replay memoized communication plans
+// (exec/comm_plan.hpp).
+//
+// The paper's distributions make an assignment's communication statically
+// analyzable (§9's SUPERB/Vienna message vectorization), so the priced
+// schedule of a Jacobi step depends only on the participating layouts and
+// sections: the 2nd..Nth iteration can replay the first one's plan instead
+// of re-walking run tables and re-charging every segment.
+//
+// BM_JacobiStepPricing measures the *pricing pass* of one step (manual
+// time: AssignResult::pricing_ns — plan lookup + replay when plans are on,
+// the cold run-table walk + per-segment charging when off). The acceptance
+// bar is plan-hit pricing >= 10x faster than cold pricing on a
+// 100-iteration 2-D BLOCK Jacobi. BM_Jacobi100 runs the whole sweep and
+// exports the cumulative statistics as counters, so a JSON run
+// (--benchmark_format=json) shows the plans-on and plans-off modes
+// producing identical totals while spending very different pricing time.
+#include <benchmark/benchmark.h>
+
+#include "core/data_env.hpp"
+#include "exec/stencil.hpp"
+
+namespace {
+
+using namespace hpfnt;
+
+struct JacobiRig {
+  explicit JacobiRig(Extent n)
+      : machine(16),
+        ps(16),
+        env((ps.declare("G", IndexDomain::of_extents({4, 4})), ps)),
+        a(env.real("A", IndexDomain{Dim(1, n), Dim(1, n)})),
+        b(env.real("B", IndexDomain{Dim(1, n), Dim(1, n)})),
+        state(machine) {
+    const ProcessorRef grid(ps.find("G"));
+    env.distribute(a, {DistFormat::block(), DistFormat::block()}, grid);
+    env.distribute(b, {DistFormat::block(), DistFormat::block()}, grid);
+    state.create(env, a);
+    state.create(env, b);
+    const Extent edge = n;
+    auto init = [edge](const IndexTuple& i) {
+      return (i[0] == 1 || i[0] == edge || i[1] == 1 || i[1] == edge)
+                 ? 100.0
+                 : 0.0;
+    };
+    state.fill(a.id(), init);
+    state.fill(b.id(), init);
+  }
+
+  Machine machine;
+  ProcessorSpace ps;
+  DataEnv env;
+  DistArray& a;
+  DistArray& b;
+  ProgramState state;
+};
+
+// One Jacobi step's pricing pass: plans off = cold run-table walk (the run
+// tables themselves are memoized after the first step, so this is the best
+// uncached pricing, not a strawman); plans on = key build + replay.
+void BM_JacobiStepPricing(benchmark::State& bench) {
+  const bool plans = bench.range(0) != 0;
+  const Extent n = bench.range(1);
+  JacobiRig rig(n);
+  rig.state.plans().set_enabled(plans);
+  // Prime: run tables (and plans, when enabled) for both sweep directions.
+  jacobi_step(rig.state, rig.env, rig.a, rig.b, n);
+  jacobi_step(rig.state, rig.env, rig.b, rig.a, n);
+
+  const DistArray* src = &rig.a;
+  const DistArray* dst = &rig.b;
+  SweepStats last;
+  for (auto _ : bench) {
+    last = jacobi_step(rig.state, rig.env, *src, *dst, n);
+    bench.SetIterationTime(static_cast<double>(last.pricing_ns) * 1e-9);
+    std::swap(src, dst);
+  }
+  bench.counters["ownership_queries_per_step"] =
+      static_cast<double>(last.ownership_queries);
+  bench.counters["plan_hits"] = static_cast<double>(rig.state.plans().hits());
+  bench.SetLabel(plans ? "plan-hit" : "cold");
+}
+
+// The full 100-iteration sweep, fresh state per benchmark iteration. The
+// cumulative counters must be identical across the two modes (the CommPlan
+// tests assert this field-exactly); total_pricing_us carries the E2 win.
+void BM_Jacobi100(benchmark::State& bench) {
+  const bool plans = bench.range(0) != 0;
+  const Extent n = bench.range(1);
+  SweepStats total;
+  Extent cum_bytes = 0;
+  Extent cum_messages = 0;
+  double cum_time_us = 0.0;
+  for (auto _ : bench) {
+    JacobiRig rig(n);
+    rig.state.plans().set_enabled(plans);
+    total = jacobi(rig.state, rig.env, rig.a, rig.b, n, 100);
+    cum_bytes = rig.state.comm().total_bytes();
+    cum_messages = rig.state.comm().total_messages();
+    cum_time_us = rig.state.comm().total_time_us();
+  }
+  bench.counters["cum_bytes"] = static_cast<double>(cum_bytes);
+  bench.counters["cum_messages"] = static_cast<double>(cum_messages);
+  bench.counters["cum_est_time_us"] = cum_time_us;
+  bench.counters["remote_read_fraction"] = total.remote_read_fraction;
+  bench.counters["total_pricing_us"] =
+      static_cast<double>(total.pricing_ns) * 1e-3;
+  bench.counters["ownership_queries"] =
+      static_cast<double>(total.ownership_queries);
+  bench.SetLabel(plans ? "plan-hit" : "cold");
+}
+
+void Modes(benchmark::internal::Benchmark* b) {
+  for (Extent n : {64, 128, 256}) {
+    b->Args({0, n});
+    b->Args({1, n});
+  }
+}
+
+BENCHMARK(BM_JacobiStepPricing)->Apply(Modes)->UseManualTime();
+BENCHMARK(BM_Jacobi100)->Args({0, 64})->Args({1, 64})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,6 +1,9 @@
 #include "core/dist_format.hpp"
 
 #include <algorithm>
+#include <array>
+#include <map>
+#include <mutex>
 
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -100,6 +103,13 @@ namespace {
 Extent ceil_div(Extent a, Extent b) { return (a + b - 1) / b; }
 }  // namespace
 
+struct DimMapping::SegmentMemo {
+  static constexpr std::size_t kMaxEntries = 32;
+  std::mutex mu;
+  std::map<std::array<Index1, 3>, std::shared_ptr<const DimSegmentList>>
+      entries;
+};
+
 DimMapping DimMapping::bind(const DistFormat& format, Extent n, Extent np) {
   if (n < 0) throw ConformanceError("dimension extent must be >= 0");
   if (np < 1) throw ConformanceError("target extent must be >= 1");
@@ -107,6 +117,7 @@ DimMapping DimMapping::bind(const DistFormat& format, Extent n, Extent np) {
   m.kind_ = format.kind();
   m.n_ = n;
   m.np_ = np;
+  m.seg_memo_ = std::make_shared<SegmentMemo>();
   switch (format.kind()) {
     case FormatKind::kBlock:
       m.q_ = n == 0 ? 1 : ceil_div(n, np);
@@ -410,6 +421,64 @@ std::pair<Index1, Index1> DimMapping::block_range(Index1 p) const {
     default:
       throw InternalError("block_range on a non-contiguous format");
   }
+}
+
+DimSegmentList DimMapping::compute_segment_list(const Triplet& t) const {
+  DimSegmentList out;
+  const Extent len = t.size();
+  if (len == 0) return out;
+  check_index(t.lower());
+  check_index(t.last());
+  const Index1 step = t.stride();
+  Extent k = 0;
+  while (k < len) {
+    const Index1 i = t.at(k);
+    DimOwnerSet own = owners(i);
+    ++out.probes;
+    const auto [seg_lo, seg_hi] = segment_range(i);
+    Extent span = step > 0 ? (seg_hi - i) / step : (i - seg_lo) / (-step);
+    span = std::min(span, len - 1 - k);
+    if (!out.segments.empty() && out.segments.back().owners == own) {
+      out.segments.back().count += span + 1;
+    } else {
+      DimSegment s;
+      s.lo = i;
+      s.count = span + 1;
+      s.local_offset = local_index(i);
+      s.owners = std::move(own);
+      out.segments.push_back(std::move(s));
+    }
+    k += span + 1;
+  }
+  return out;
+}
+
+std::shared_ptr<const DimSegmentList> DimMapping::segment_list(
+    const Triplet& t, Extent* probes_charged) const {
+  if (!seg_memo_) {  // default-constructed mapping: no sharing possible
+    auto fresh = std::make_shared<const DimSegmentList>(compute_segment_list(t));
+    if (probes_charged) *probes_charged = fresh->probes;
+    return fresh;
+  }
+  const std::array<Index1, 3> key{t.lower(), t.upper(), t.stride()};
+  {
+    std::lock_guard<std::mutex> lock(seg_memo_->mu);
+    auto it = seg_memo_->entries.find(key);
+    if (it != seg_memo_->entries.end()) {
+      if (probes_charged) *probes_charged = 0;
+      return it->second;
+    }
+  }
+  auto fresh = std::make_shared<const DimSegmentList>(compute_segment_list(t));
+  if (probes_charged) *probes_charged = fresh->probes;
+  std::lock_guard<std::mutex> lock(seg_memo_->mu);
+  if (seg_memo_->entries.size() >= SegmentMemo::kMaxEntries &&
+      seg_memo_->entries.count(key) == 0) {
+    seg_memo_->entries.clear();  // small and recurring; clear wholesale
+  }
+  auto& slot = seg_memo_->entries[key];
+  if (!slot) slot = fresh;  // keep the first on a race
+  return slot;
 }
 
 }  // namespace hpfnt

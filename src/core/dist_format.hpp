@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "core/triplet.hpp"
 #include "core/types.hpp"
 
 namespace hpfnt {
@@ -101,6 +102,25 @@ class DistFormat {
   UserDimFunction user_fn_;
 };
 
+/// One maximal constant-owner segment of a dimension restricted to a
+/// triplet: `count` elements starting at normalized index `lo` and stepping
+/// by the triplet's stride, all mapped to the same per-dimension owner
+/// positions. Segment lists are the per-dimension primitive LayoutView's
+/// run builder composes by outer product (core/layout_view.hpp).
+struct DimSegment {
+  Index1 lo = 0;       ///< normalized index (1..n) of the first element
+  Extent count = 0;    ///< elements covered at the triplet's stride
+  DimOwnerSet owners;  ///< the constant owner positions, as owners(lo) yields
+  Index1 local_offset = 0;  ///< local_index(lo) on the first owner
+};
+
+/// A dimension's constant-owner decomposition over one triplet, plus the
+/// number of per-element payload probes spent computing it.
+struct DimSegmentList {
+  std::vector<DimSegment> segments;
+  Extent probes = 0;
+};
+
 /// A DistFormat bound to one array dimension (extent n, indices normalized
 /// to 1..n) and one target dimension (extent np, positions 1..np).
 class DimMapping {
@@ -153,6 +173,21 @@ class DimMapping {
   /// primitive behind LayoutView's run computation (core/layout_view.hpp).
   std::pair<Index1, Index1> segment_range(Index1 i) const;
 
+  /// The constant-owner decomposition of the normalized triplet `t`
+  /// (indices 1..n, any stride, descending allowed): maximal segments over
+  /// which owners() does not change, adjacent equal-owner segments merged.
+  /// Lists are memoized per bound mapping — every copy of one binding (and
+  /// hence every section of one distribution payload) shares the memo, so
+  /// two sections that agree in this dimension's triplet share the list.
+  /// `probes_charged`, when given, receives the per-element probes this
+  /// call actually spent (0 on a memo hit).
+  std::shared_ptr<const DimSegmentList> segment_list(
+      const Triplet& t, Extent* probes_charged = nullptr) const;
+
+  /// Memo-free decomposition (honest construction cost on every call; the
+  /// benchmarking counterpart of segment_list).
+  DimSegmentList compute_segment_list(const Triplet& t) const;
+
   bool is_contiguous() const noexcept {
     return kind_ == FormatKind::kBlock || kind_ == FormatKind::kViennaBlock ||
            kind_ == FormatKind::kGeneralBlock ||
@@ -182,6 +217,11 @@ class DimMapping {
     bool replicated = false;
   };
   std::shared_ptr<const IndirectTable> table_;
+
+  // Per-binding memo of segment lists keyed by triplet (shared by all
+  // copies of one binding, i.e. per distribution payload per dimension).
+  struct SegmentMemo;
+  std::shared_ptr<SegmentMemo> seg_memo_;
 };
 
 }  // namespace hpfnt

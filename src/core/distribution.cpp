@@ -25,6 +25,40 @@ OwnerSet sorted(OwnerSet set) {
 
 }  // namespace
 
+OwnerSet compose_dim_owners(
+    const ProcessorRef& target,
+    const std::array<const DimOwnerSet*, kMaxRank>& sets,
+    std::size_t dim_count) {
+  OwnerSet out;
+  bool any_multi = false;
+  for (std::size_t k = 0; k < dim_count; ++k) {
+    if (sets[k]->size() > 1) any_multi = true;
+  }
+  IndexTuple coords;
+  coords.resize(dim_count);
+  if (!any_multi) {
+    for (std::size_t k = 0; k < dim_count; ++k) coords[k] = sets[k]->front();
+    for (ApId p : target.owners_at(coords)) insert_unique(out, p);
+    return out;
+  }
+  // Cartesian product over replicated per-dimension owner sets, first
+  // dimension's positions varying fastest.
+  SmallVector<Index1, kMaxRank> pos(dim_count, 0);
+  while (true) {
+    for (std::size_t k = 0; k < dim_count; ++k) {
+      coords[k] = (*sets[k])[static_cast<std::size_t>(pos[k])];
+    }
+    for (ApId p : target.owners_at(coords)) insert_unique(out, p);
+    std::size_t k = 0;
+    for (; k < dim_count; ++k) {
+      if (static_cast<std::size_t>(++pos[k]) < sets[k]->size()) break;
+      pos[k] = 0;
+    }
+    if (k == dim_count) break;
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Payload hierarchy (internal).
 // ---------------------------------------------------------------------------
@@ -101,44 +135,18 @@ struct Distribution::FormatsPayload final : Distribution::Payload {
     // (rank <= kMaxRank, DimOwnerSet inline) keeps the single-owner fast
     // path free of heap allocation.
     std::array<DimOwnerSet, kMaxRank> dim_owners;
+    std::array<const DimOwnerSet*, kMaxRank> dim_sets{};
     std::size_t dim_count = 0;
-    bool any_multi = false;
     for (int d = 0; d < n; ++d) {
       const DimMapping& m = mappings[static_cast<std::size_t>(d)];
       if (m.kind() == FormatKind::kCollapsed) continue;
       const Index1 norm =
           index[static_cast<std::size_t>(d)] - array_domain.lower(d) + 1;
-      DimOwnerSet o = m.owners(norm);
-      if (o.size() > 1) any_multi = true;
-      dim_owners[dim_count++] = std::move(o);
+      dim_owners[dim_count] = m.owners(norm);
+      dim_sets[dim_count] = &dim_owners[dim_count];
+      ++dim_count;
     }
-    OwnerSet out;
-    if (!any_multi) {
-      IndexTuple coords;
-      coords.resize(dim_count);
-      for (std::size_t k = 0; k < dim_count; ++k) {
-        coords[k] = dim_owners[k].front();
-      }
-      for (ApId p : target.owners_at(coords)) insert_unique(out, p);
-      return out;
-    }
-    // Cartesian product over replicated per-dimension owner sets.
-    IndexTuple coords;
-    coords.resize(dim_count);
-    SmallVector<Index1, kMaxRank> pos(dim_count, 0);
-    while (true) {
-      for (std::size_t k = 0; k < dim_count; ++k) {
-        coords[k] = dim_owners[k][static_cast<std::size_t>(pos[k])];
-      }
-      for (ApId p : target.owners_at(coords)) insert_unique(out, p);
-      std::size_t k = 0;
-      for (; k < dim_count; ++k) {
-        if (static_cast<std::size_t>(++pos[k]) < dim_owners[k].size()) break;
-        pos[k] = 0;
-      }
-      if (k == dim_count) break;
-    }
-    return out;
+    return compose_dim_owners(target, dim_sets, dim_count);
   }
 
   Extent local_count(ApId p) const override {

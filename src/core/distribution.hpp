@@ -23,6 +23,7 @@
 // Ownership queries never allocate on the single-owner fast path.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <functional>
 #include <map>
@@ -38,6 +39,18 @@
 #include "core/types.hpp"
 
 namespace hpfnt {
+
+/// Composes per-dimension owner positions (one set per non-collapsed
+/// dimension, ascending dimension order) into the full owner set of a
+/// formats distribution: the union of target.owners_at over the cartesian
+/// product of the sets, first set varying fastest, first-seen order, no
+/// duplicates. The single implementation behind FormatsPayload::owners and
+/// LayoutView's analytic run builder — sharing it is what keeps run tables
+/// elementwise identical to the per-element query.
+OwnerSet compose_dim_owners(
+    const ProcessorRef& target,
+    const std::array<const DimOwnerSet*, kMaxRank>& sets,
+    std::size_t dim_count);
 
 /// Memo of computed run tables (see core/layout_view.hpp), shared by every
 /// copy of one distribution payload. Keys are the flattened section
@@ -179,6 +192,13 @@ class Distribution {
   /// The payload's run-table memo (valid distributions only). Written by
   /// LayoutView; read by the owners() shim.
   RunMemo& run_memo() const;
+
+  /// Stable identity of the shared payload: equal iff two Distributions
+  /// share one payload. Used as a plan-cache key component for payload
+  /// kinds without a cheap structural signature (exec/comm_plan.hpp); the
+  /// cache pins the Distribution so the address cannot be recycled while a
+  /// keyed plan lives. Null for invalid distributions.
+  const void* payload_identity() const noexcept { return payload_.get(); }
 
   /// Human-readable description, e.g. "(BLOCK, CYCLIC(4)) TO PR".
   std::string to_string() const;

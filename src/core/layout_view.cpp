@@ -1,6 +1,7 @@
 #include "core/layout_view.hpp"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 
 #include "core/alignment.hpp"
@@ -107,6 +108,145 @@ Extent same_owner_span(const Distribution& dist, int dim,
   return 0;
 }
 
+// kFormats run construction by outer-product composition of the payload's
+// per-dimension segment lists (DimMapping::segment_list): no per-element
+// probe is ever issued — the probes are the per-dimension segment walks,
+// shared across every section of the payload that agrees in a dimension's
+// triplet. Rows whose outer dimensions stay inside one segment tuple reuse
+// the composed owner sets.
+void build_formats_runs(const Distribution& dist,
+                        const std::vector<Triplet>& section, RunTable& out,
+                        bool use_dim_memo) {
+  const int rank = static_cast<int>(section.size());
+  const IndexDomain& domain = dist.domain();
+  const ProcessorRef& target = dist.target();
+
+  std::vector<std::shared_ptr<const DimSegmentList>> lists;
+  lists.reserve(static_cast<std::size_t>(rank));
+  for (int d = 0; d < rank; ++d) {
+    const Triplet& t = section[static_cast<std::size_t>(d)];
+    const Index1 shift = domain.lower(d) - 1;
+    const Triplet norm(t.lower() - shift, t.upper() - shift, t.stride());
+    const DimMapping& m = dist.dim_mapping(d);
+    if (use_dim_memo) {
+      Extent charged = 0;
+      lists.push_back(m.segment_list(norm, &charged));
+      out.ownership_queries += charged;
+    } else {
+      auto fresh =
+          std::make_shared<const DimSegmentList>(m.compute_segment_list(norm));
+      out.ownership_queries += fresh->probes;
+      lists.push_back(std::move(fresh));
+    }
+  }
+
+  // Expand each outer dimension's list into per-position segment pointers
+  // (cheap pointer fill; all probes were spent above).
+  std::vector<std::vector<const DimSegment*>> outer_seg(
+      static_cast<std::size_t>(rank - 1));
+  for (int d = 1; d < rank; ++d) {
+    auto& ptrs = outer_seg[static_cast<std::size_t>(d - 1)];
+    ptrs.reserve(
+        static_cast<std::size_t>(section[static_cast<std::size_t>(d)].size()));
+    for (const DimSegment& s : lists[static_cast<std::size_t>(d)]->segments) {
+      for (Extent c = 0; c < s.count; ++c) ptrs.push_back(&s);
+    }
+  }
+
+  const Triplet& t0 = section[0];
+  const Extent len0 = t0.size();
+  const Index1 lower0 = domain.lower(0);
+  const bool dim0_distributed =
+      dist.dim_mapping(0).kind() != FormatKind::kCollapsed;
+  const std::vector<DimSegment>& segs0 = lists[0]->segments;
+
+  // Dims contributing a target coordinate, ascending (collapsed dims skip).
+  SmallVector<int, kMaxRank> coord_dims;
+  for (int d = 0; d < rank; ++d) {
+    if (dist.dim_mapping(d).kind() != FormatKind::kCollapsed) {
+      coord_dims.push_back(d);
+    }
+  }
+
+  constexpr std::size_t kNoOpenRun = static_cast<std::size_t>(-1);
+  std::vector<OwnerSet> row_owners(segs0.size());
+  std::array<const DimOwnerSet*, kMaxRank> dim_sets{};
+  SmallVector<const DimSegment*, kMaxRank> cur_outer(
+      static_cast<std::size_t>(rank - 1), nullptr);
+  bool row_valid = false;
+
+  SmallVector<Extent, kMaxRank> opos(static_cast<std::size_t>(rank - 1), 0);
+  IndexTuple idx;
+  idx.resize(static_cast<std::size_t>(rank));
+  Extent linear = 0;
+  while (true) {
+    bool changed = !row_valid;
+    for (int d = 1; d < rank; ++d) {
+      const std::size_t o =
+          static_cast<std::size_t>(opos[static_cast<std::size_t>(d - 1)]);
+      const DimSegment* s = outer_seg[static_cast<std::size_t>(d - 1)][o];
+      if (s != cur_outer[static_cast<std::size_t>(d - 1)]) {
+        cur_outer[static_cast<std::size_t>(d - 1)] = s;
+        changed = true;
+      }
+      idx[static_cast<std::size_t>(d)] =
+          section[static_cast<std::size_t>(d)].at(
+              opos[static_cast<std::size_t>(d - 1)]);
+    }
+    if (changed) {
+      for (std::size_t si = 0; si < segs0.size(); ++si) {
+        std::size_t c = 0;
+        for (int d : coord_dims) {
+          dim_sets[c++] = d == 0
+                              ? &segs0[si].owners
+                              : &cur_outer[static_cast<std::size_t>(d - 1)]
+                                     ->owners;
+        }
+        row_owners[si] = compose_dim_owners(target, dim_sets, c);
+      }
+      row_valid = true;
+    }
+    // Emit this row's runs, merging adjacent equal owner sets exactly as
+    // the probe-based walk does (distinct per-dimension positions can
+    // compose to one owner set, e.g. under a folded oversize arrangement).
+    std::size_t open = kNoOpenRun;
+    Extent k = 0;
+    for (std::size_t si = 0; si < segs0.size(); ++si) {
+      const DimSegment& s = segs0[si];
+      const Index1 seg_lo = s.lo + lower0 - 1;
+      const Index1 seg_hi = seg_lo + (s.count - 1) * t0.stride();
+      if (open != kNoOpenRun && out.runs[open].owners == row_owners[si]) {
+        OwnerRun& r = out.runs[open];
+        r.count += s.count;
+        r.hi = seg_hi;
+      } else {
+        OwnerRun r;
+        r.begin = linear + k;
+        r.count = s.count;
+        r.lo = seg_lo;
+        r.hi = seg_hi;
+        r.stride = t0.stride();
+        for (int d = 1; d < rank; ++d) {
+          r.outer.push_back(idx[static_cast<std::size_t>(d)]);
+        }
+        if (dim0_distributed) r.local_offset = s.local_offset;
+        r.owners = row_owners[si];
+        out.runs.push_back(std::move(r));
+        open = out.runs.size() - 1;
+      }
+      k += s.count;
+    }
+    linear += len0;
+    int d = 1;
+    for (; d < rank; ++d) {
+      Extent& o = opos[static_cast<std::size_t>(d - 1)];
+      if (++o < section[static_cast<std::size_t>(d)].size()) break;
+      o = 0;
+    }
+    if (d == rank) break;
+  }
+}
+
 std::vector<Index1> section_key(const std::vector<Triplet>& section) {
   std::vector<Index1> key;
   key.reserve(section.size() * 3);
@@ -119,7 +259,7 @@ std::vector<Index1> section_key(const std::vector<Triplet>& section) {
 }
 
 void build_runs(const Distribution& dist, const std::vector<Triplet>& section,
-                RunTable& out) {
+                RunTable& out, bool use_dim_memo) {
   const int rank = static_cast<int>(section.size());
   if (rank == 0) {
     OwnerRun r;
@@ -131,11 +271,15 @@ void build_runs(const Distribution& dist, const std::vector<Triplet>& section,
     return;
   }
   if (out.section_domain.size() == 0) return;
+  if (dist.kind() == Distribution::Kind::kFormats) {
+    // Analytic composition of the per-dimension segment lists — no
+    // per-element probes, and lists are shared across sections.
+    build_formats_runs(dist, section, out, use_dim_memo);
+    return;
+  }
 
   const Triplet& t0 = section[0];
   const Extent len0 = t0.size();
-  const bool formats = dist.kind() == Distribution::Kind::kFormats;
-  const Index1 lower0 = dist.domain().lower(0);
   constexpr std::size_t kNoOpenRun = static_cast<std::size_t>(-1);
 
   // Odometer over the outer dimensions' section positions, Fortran order
@@ -175,12 +319,6 @@ void build_runs(const Distribution& dist, const std::vector<Triplet>& section,
         r.stride = t0.stride();
         for (int d = 1; d < rank; ++d) {
           r.outer.push_back(idx[static_cast<std::size_t>(d)]);
-        }
-        if (formats) {
-          const DimMapping& m0 = dist.dim_mapping(0);
-          if (m0.kind() != FormatKind::kCollapsed) {
-            r.local_offset = m0.local_index(idx[0] - lower0 + 1);
-          }
         }
         r.owners = std::move(own);
         out.runs.push_back(std::move(r));
@@ -224,7 +362,13 @@ LayoutView::LayoutView(Distribution dist, std::vector<Triplet> section)
     table_ = std::static_pointer_cast<const RunTable>(hit);
     return;
   }
-  auto table = std::make_shared<RunTable>(compute(dist_, section_));
+  // The memoized path also shares the payload's per-dimension segment
+  // lists across sections (DimMapping::segment_list). The section was
+  // validated above.
+  RunTable computed;
+  computed.section_domain = dist_.domain().section_domain(section_);
+  build_runs(dist_, section_, computed, /*use_dim_memo=*/true);
+  auto table = std::make_shared<RunTable>(std::move(computed));
   // Arming the owners() shim with a whole-domain table only pays off when
   // the payload's own per-element query is dearer than a binary search —
   // kExplicit already answers in O(1) from its owner table, and its run
@@ -244,7 +388,7 @@ RunTable LayoutView::compute(const Distribution& dist,
   dist.domain().validate_section(section);
   RunTable out;
   out.section_domain = dist.domain().section_domain(section);
-  build_runs(dist, section, out);
+  build_runs(dist, section, out, /*use_dim_memo=*/false);
   return out;
 }
 

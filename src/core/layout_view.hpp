@@ -14,8 +14,11 @@
 // contiguous segment.
 //
 // Run tables are computed
-//   * analytically for kFormats payloads (per-dimension segment ranges:
-//     block bounds, cyclic segments, GENERAL_BLOCK bound arrays),
+//   * analytically for kFormats payloads: each dimension's constant-owner
+//     segment list (DimMapping::segment_list — block bounds, cyclic
+//     segments, GENERAL_BLOCK bound arrays; memoized per payload per
+//     dimension, so sections sharing a dimension triplet share the list)
+//     is composed by outer product into runs without any per-element probe,
 //   * by composition through the alignment function α for kConstructed
 //     (linear α maps a segment of the base's runs back onto the alignee;
 //     clamped ends form their own constant runs),
@@ -98,8 +101,9 @@ class LayoutView {
   /// The whole-domain view. Memoizing this also arms the owners() shim.
   static LayoutView whole(const Distribution& dist);
 
-  /// Computes a run table without touching the memo (benchmark use: honest
-  /// construction cost on every call).
+  /// Computes a run table without touching any memo — neither the
+  /// distribution's run memo nor the per-dimension segment-list memos
+  /// (benchmark use: honest construction cost on every call).
   static RunTable compute(const Distribution& dist,
                           const std::vector<Triplet>& section);
 

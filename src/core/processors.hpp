@@ -47,6 +47,7 @@ class ProcessorSpace;
 class ProcessorArrangement {
  public:
   const std::string& name() const noexcept { return name_; }
+  const ProcessorSpace& space() const noexcept { return *space_; }
   const IndexDomain& domain() const noexcept { return domain_; }
   int rank() const noexcept { return domain_.rank(); }
   Extent size() const noexcept { return domain_.size(); }
@@ -164,6 +165,11 @@ class ProcessorRef {
 
   bool valid() const noexcept { return arrangement_ != nullptr; }
   const ProcessorArrangement& arrangement() const;
+
+  /// The section subscripts, one per arrangement dimension (empty for a
+  /// whole-arrangement reference). Together with the arrangement these
+  /// determine the target exactly (plan-key encoding, exec/comm_plan.cpp).
+  const std::vector<TargetSub>& subs() const noexcept { return subs_; }
 
   /// Rank of the target (triplet subscripts only).
   int rank() const noexcept { return static_cast<int>(dims_.size()); }

@@ -1,0 +1,152 @@
+#include "exec/comm_plan.hpp"
+
+#include <cstring>
+
+namespace hpfnt {
+
+namespace {
+
+// Keys are byte strings of fixed-width fields behind one-byte structure
+// tags: unambiguous, cheap to build (no formatting), cheap to hash.
+void append_num(std::string& key, Extent v) {
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  key.append(buf, sizeof v);
+}
+
+void append_ptr(std::string& key, const void* p) {
+  char buf[sizeof p];
+  std::memcpy(buf, &p, sizeof p);
+  key.append(buf, sizeof p);
+}
+
+// True when the payload's schedule-relevant state is fully captured by a
+// compact value signature: a kFormats payload whose formats carry no large
+// or opaque tables. INDIRECT maps print abbreviated and USER functions
+// compare by name only, so those fall back to address keying.
+bool has_structural_signature(const Distribution& dist) {
+  if (dist.kind() != Distribution::Kind::kFormats) return false;
+  for (const DistFormat& f : dist.format_list()) {
+    switch (f.kind()) {
+      case FormatKind::kBlock:
+      case FormatKind::kViennaBlock:
+      case FormatKind::kGeneralBlock:
+      case FormatKind::kCyclic:
+      case FormatKind::kCollapsed:
+        break;
+      case FormatKind::kIndirect:
+      case FormatKind::kUserDefined:
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void PlanKey::add_tag(const char* tag) {
+  key_ += tag;
+  key_ += ';';
+}
+
+void PlanKey::add_scalar(Extent v) {
+  key_ += '#';
+  append_num(key_, v);
+}
+
+void PlanKey::add_section(const std::vector<Triplet>& section) {
+  key_ += 'S';
+  append_num(key_, static_cast<Extent>(section.size()));
+  for (const Triplet& t : section) {
+    append_num(key_, t.lower());
+    append_num(key_, t.upper());
+    append_num(key_, t.stride());
+  }
+}
+
+void PlanKey::add_distribution(const Distribution& dist) {
+  if (has_structural_signature(dist)) {
+    // Value signature: domain bounds, format list, target.
+    key_ += 'F';
+    const IndexDomain& dom = dist.domain();
+    append_num(key_, dom.rank());
+    for (int d = 0; d < dom.rank(); ++d) {
+      append_num(key_, dom.lower(d));
+      append_num(key_, dom.upper(d));
+    }
+    for (const DistFormat& f : dist.format_list()) {
+      key_ += static_cast<char>('a' + static_cast<int>(f.kind()));
+      if (f.kind() == FormatKind::kCyclic) append_num(key_, f.cyclic_k());
+      if (f.kind() == FormatKind::kGeneralBlock) {
+        append_num(key_, static_cast<Extent>(f.general_bounds().size()));
+        for (Extent b : f.general_bounds()) append_num(key_, b);
+      }
+    }
+    const ProcessorRef& target = dist.target();
+    key_ += 'T';
+    // Everything the target's AP mapping depends on: the arrangement's
+    // shape, its EQUIVALENCE-style association offset, and the owning
+    // space's size and policies. The address is kept as belt and braces
+    // against same-shaped arrangements in coexisting spaces.
+    const ProcessorArrangement& arr = target.arrangement();
+    append_ptr(key_, &arr);
+    append_num(key_, arr.ap_offset());
+    append_num(key_, arr.domain().rank());
+    for (int d = 0; d < arr.domain().rank(); ++d) {
+      append_num(key_, arr.domain().extent(d));
+    }
+    append_num(key_, arr.space().processor_count());
+    append_num(key_, static_cast<Extent>(arr.space().scalar_placement()));
+    append_num(key_, static_cast<Extent>(arr.space().oversize_policy()));
+    append_num(key_, static_cast<Extent>(target.subs().size()));
+    for (const TargetSub& sub : target.subs()) {
+      key_ += sub.is_scalar ? '.' : ':';
+      if (sub.is_scalar) {
+        append_num(key_, sub.scalar);
+      } else {
+        append_num(key_, sub.triplet.lower());
+        append_num(key_, sub.triplet.upper());
+        append_num(key_, sub.triplet.stride());
+      }
+    }
+    return;
+  }
+  key_ += 'P';
+  append_ptr(key_, dist.payload_identity());
+  pins_.push_back(dist);
+}
+
+std::shared_ptr<const CommPlan> PlanCache::lookup(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  return it->second.plan;
+}
+
+void PlanCache::insert(const std::string& key,
+                       std::shared_ptr<const CommPlan> plan,
+                       std::vector<Distribution> pinned) {
+  if (!plan || !plan->sealed) return;  // never cache an unsealed schedule
+  // Evict one entry, not the whole cache: address-keyed plans for freshly
+  // derived payloads (forest secondaries) can never recur, and a loop that
+  // keeps inserting them must not wipe out the structural plans other
+  // arrays in the same loop are replaying. An unlucky eviction of a hot
+  // plan just re-prices one step.
+  if (entries_.size() >= kMaxEntries && entries_.count(key) == 0) {
+    entries_.erase(entries_.begin());
+  }
+  entries_[key] = Entry{std::move(plan), std::move(pinned)};
+}
+
+void PlanCache::clear() { entries_.clear(); }
+
+void PlanCache::for_each(
+    const std::function<void(const std::string&, const CommPlan&)>& fn)
+    const {
+  for (const auto& [key, entry] : entries_) fn(key, *entry.plan);
+}
+
+}  // namespace hpfnt

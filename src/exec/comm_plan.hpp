@@ -1,0 +1,148 @@
+// Memoized communication plans: replaying priced schedules for iterative
+// sweeps.
+//
+// The paper's distributions make the communication of an assignment
+// statically analyzable (§9's SUPERB/Vienna Fortran message vectorization):
+// the priced schedule of a step is a pure function of the participating
+// mappings, sections, and per-element costs — not of the data. A CommPlan
+// captures one step's schedule exactly as the exec layer priced it from the
+// run tables: the block transfers {src, dst, elem_bytes, count}, the
+// per-processor compute charges, and the local-read tally, plus the sealed
+// StepStats end_step derived from them. CommEngine::replay(plan) re-issues
+// the step from the sealed statistics alone — byte-identical StepStats and
+// cumulative counters, zero ownership queries, no common-segment walk.
+//
+// A PlanCache (one per ProgramState) memoizes plans keyed on the
+// participating distribution payloads' identities, the section triplets,
+// and the scalar pricing inputs (elem_bytes, flops). Pure-format payloads
+// are keyed *structurally* (domain + formats + target), so two arrays with
+// equal layouts — the alternating source/destination of a Jacobi sweep —
+// share one plan and the 2nd..Nth iteration prices by replay. Payloads
+// without a cheap structural signature (INDIRECT/USER formats, constructed,
+// section-view, explicit) are keyed by payload address and pinned by the
+// cache entry so the address cannot be recycled while the plan lives.
+//
+// Consulted by assign_impl (exec/assign.cpp), ProgramState::copy_section,
+// and ProgramState::apply_remap (exec/storage.cpp).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/distribution.hpp"
+#include "machine/comm.hpp"
+
+namespace hpfnt {
+
+/// One recorded block transfer: `count` elements of `elem_bytes` from the
+/// canonical sending replica to one receiving owner.
+struct PlanTransfer {
+  ApId src = 0;
+  ApId dst = 0;
+  Extent elem_bytes = 0;
+  Extent count = 0;
+
+  friend bool operator==(const PlanTransfer& a, const PlanTransfer& b) {
+    return a.src == b.src && a.dst == b.dst &&
+           a.elem_bytes == b.elem_bytes && a.count == b.count;
+  }
+};
+
+/// One recorded per-processor compute charge.
+struct PlanCompute {
+  ApId p = 0;
+  Extent flops = 0;
+};
+
+/// One per-processor memory-accounting delta (remap plans only: replicas
+/// appearing on new owners / disappearing from old ones). Deltas are
+/// recorded and replayed in charge order — peak-memory gauges depend on
+/// the interleaving, not just the totals.
+struct PlanMemOp {
+  ApId p = 0;
+  Extent delta = 0;  ///< bytes; positive allocates, negative releases
+};
+
+/// One step's priced schedule. Built by pricing a step cold with
+/// CommEngine::record_into armed; sealed by end_step; re-issued by
+/// CommEngine::replay. The recorded operations re-price to exactly the
+/// sealed stats (end_step's statistics are a pure function of them), which
+/// the CommPlan tests assert.
+struct CommPlan {
+  std::string label;                    ///< step label at record time
+  std::vector<PlanTransfer> transfers;  ///< remote segments, in charge order
+  std::vector<PlanCompute> computes;
+  Extent local_reads = 0;        ///< reads satisfied without a message
+  std::vector<PlanMemOp> mem_ops;  ///< remap only, in charge order
+  StepStats stats;                 ///< sealed by CommEngine::end_step
+  bool sealed = false;
+};
+
+/// Builds the cache key of one priced step from its pricing inputs. Every
+/// distribution the schedule depends on must be added; kFormats payloads
+/// whose formats are all structural (BLOCK / VIENNA_BLOCK / GENERAL_BLOCK /
+/// CYCLIC / ":") key by value so structurally equal layouts share plans,
+/// all other payloads key by address and are collected as pins.
+class PlanKey {
+ public:
+  PlanKey() { key_.reserve(256); }
+
+  void add_tag(const char* tag);
+  void add_scalar(Extent v);
+  void add_section(const std::vector<Triplet>& section);
+  void add_distribution(const Distribution& dist);
+
+  const std::string& str() const noexcept { return key_; }
+  std::vector<Distribution> take_pins() { return std::move(pins_); }
+
+ private:
+  std::string key_;
+  std::vector<Distribution> pins_;
+};
+
+/// Memo of sealed plans, keyed by PlanKey strings. Entries pin the
+/// address-keyed Distributions they were priced from, so a payload address
+/// in a key can never be recycled while its plan is alive. Small and
+/// cleared wholesale when full, like Distribution::run_memo: the schedules
+/// of a hot loop are few and recurring.
+class PlanCache {
+ public:
+  /// The sealed plan for `key`, or null. Counts a hit or a miss.
+  std::shared_ptr<const CommPlan> lookup(const std::string& key);
+
+  void insert(const std::string& key, std::shared_ptr<const CommPlan> plan,
+              std::vector<Distribution> pinned);
+
+  /// Caching can be disabled (benchmark baselines price every step cold).
+  bool enabled() const noexcept { return enabled_; }
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+
+  Extent hits() const noexcept { return hits_; }
+  Extent misses() const noexcept { return misses_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  void clear();
+
+  /// Visits every cached plan (test/diagnostic use).
+  void for_each(
+      const std::function<void(const std::string&, const CommPlan&)>& fn)
+      const;
+
+ private:
+  static constexpr std::size_t kMaxEntries = 64;
+
+  struct Entry {
+    std::shared_ptr<const CommPlan> plan;
+    std::vector<Distribution> pinned;
+  };
+
+  bool enabled_ = true;
+  Extent hits_ = 0;
+  Extent misses_ = 0;
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace hpfnt

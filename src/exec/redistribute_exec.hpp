@@ -7,7 +7,10 @@
 // between the actual('s section) and the dummy: when the dummy inherited
 // the actual's mapping, every copy is processor-local and costs nothing —
 // the §8.1.2 point — while explicit/implicit remapping pays messages both
-// ways.
+// ways. Sections conform with the dummy after squeezing unit dimensions
+// (copy_section's rule), so a scalar-subscripted actual such as A(:,j) may
+// bind a rank-1 dummy. Recurring remaps and copies over unchanged layouts
+// replay their memoized plans (exec/comm_plan.hpp).
 #pragma once
 
 #include <vector>

@@ -2,18 +2,40 @@
 
 namespace hpfnt {
 
+namespace {
+
+double derive_fraction(Extent remote, Extent local) {
+  const Extent total = remote + local;
+  return total == 0 ? 0.0
+                    : static_cast<double>(remote) / static_cast<double>(total);
+}
+
+}  // namespace
+
 void SweepStats::accumulate(const AssignResult& r) {
   elements += r.elements;
   messages += r.step.messages;
   bytes += r.step.bytes;
   remote_element_reads += r.step.element_transfers;
+  local_element_reads += r.local_reads;
+  ownership_queries += r.ownership_queries;
+  pricing_ns += r.pricing_ns;
   time_us += r.step.time_us;
-  // Both sweeps in this module read four operands per element.
   remote_read_fraction =
-      elements == 0
-          ? 0.0
-          : static_cast<double>(remote_element_reads) /
-                (static_cast<double>(elements) * 4.0);
+      derive_fraction(remote_element_reads, local_element_reads);
+}
+
+void SweepStats::merge(const SweepStats& other) {
+  elements += other.elements;
+  messages += other.messages;
+  bytes += other.bytes;
+  remote_element_reads += other.remote_element_reads;
+  local_element_reads += other.local_element_reads;
+  ownership_queries += other.ownership_queries;
+  pricing_ns += other.pricing_ns;
+  time_us += other.time_us;
+  remote_read_fraction =
+      derive_fraction(remote_element_reads, local_element_reads);
 }
 
 SweepStats jacobi_step(ProgramState& state, const DataEnv& env,
@@ -37,19 +59,9 @@ SweepStats jacobi(ProgramState& state, const DataEnv& env, DistArray& a,
   const DistArray* src = &a;
   const DistArray* dst = &b;
   for (int it = 0; it < iters; ++it) {
-    SweepStats s = jacobi_step(state, env, *src, *dst, n);
-    total.elements += s.elements;
-    total.messages += s.messages;
-    total.bytes += s.bytes;
-    total.remote_element_reads += s.remote_element_reads;
-    total.time_us += s.time_us;
+    total.merge(jacobi_step(state, env, *src, *dst, n));
     std::swap(src, dst);
   }
-  total.remote_read_fraction =
-      total.elements == 0
-          ? 0.0
-          : static_cast<double>(total.remote_element_reads) /
-                (static_cast<double>(total.elements) * 4.0);
   return total;
 }
 

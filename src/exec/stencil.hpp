@@ -15,10 +15,19 @@ struct SweepStats {
   Extent messages = 0;
   Extent bytes = 0;
   Extent remote_element_reads = 0;
+  Extent local_element_reads = 0;
+  Extent ownership_queries = 0;  ///< payload probes spent pricing (0 on plan hits)
+  Extent pricing_ns = 0;         ///< wall time of the pricing passes
   double time_us = 0.0;
   double remote_read_fraction = 0.0;
 
+  /// Folds one assignment in. The remote-read fraction is derived from the
+  /// assign-side read counters (local reads + element transfers), so it is
+  /// correct for any operand count, not just 4-point stencils.
   void accumulate(const AssignResult& r);
+
+  /// Folds another sweep's totals in, re-deriving the fraction the same way.
+  void merge(const SweepStats& other);
 };
 
 /// One Jacobi iteration on the interior of `a` into `b`:

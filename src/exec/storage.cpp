@@ -109,8 +109,42 @@ StepStats ProgramState::apply_remap(const RemapEvent& event,
     throw ConformanceError(
         "remap event domains do not match the array's storage");
   }
-  comm_.begin_step(event.reason.empty() ? ("remap " + array.name())
-                                        : event.reason);
+  const std::string label =
+      event.reason.empty() ? ("remap " + array.name()) : event.reason;
+
+  // The schedule (and the memory deltas) depend only on the two layouts
+  // and the element size: a recurring remap — the flip-flop of an
+  // iterative REDISTRIBUTE — replays its plan.
+  std::string key;
+  std::vector<Distribution> pins;
+  const bool cacheable = plans_.enabled();
+  if (cacheable) {
+    PlanKey k;
+    k.add_tag("remap");
+    k.add_distribution(event.from);
+    k.add_distribution(event.to);
+    k.add_scalar(s.elem_bytes);
+    key = k.str();
+    pins = k.take_pins();
+    if (std::shared_ptr<const CommPlan> plan = plans_.lookup(key)) {
+      StepStats step = comm_.replay(*plan, label);
+      // Replay the memory deltas in recorded order: peak gauges depend on
+      // the allocate/release interleaving, not just the totals.
+      for (const PlanMemOp& op : plan->mem_ops) {
+        if (op.delta >= 0) {
+          memory_.allocate(op.p, op.delta);
+        } else {
+          memory_.release(op.p, -op.delta);
+        }
+      }
+      s.dist = event.to;
+      return step;
+    }
+  }
+
+  comm_.begin_step(label);
+  auto rec = std::make_shared<CommPlan>();
+  if (cacheable) comm_.record_into(rec);
   // Walk the two layouts' run tables in lock step: every common segment has
   // constant owner sets on both sides, so each (mover, destination) pair is
   // priced once per segment with the element count.
@@ -120,7 +154,10 @@ StepStats ProgramState::apply_remap(const RemapEvent& event,
       from_view.table(), to_view.table(),
       [&](Extent, Extent count, const OwnerSet& old_owners,
           const OwnerSet& new_owners) {
-        const ApId src = old_owners.front();
+        // The sending replica is the canonical (minimum) owner, the
+        // convention of Distribution::first_owner and the assignment
+        // executor; owner sets are not sorted in general.
+        const ApId src = min_owner(old_owners);
         for (ApId q : new_owners) {
           if (!owner_set_contains(old_owners, q)) {
             comm_.transfer_block(src, q, s.elem_bytes, count);
@@ -129,17 +166,23 @@ StepStats ProgramState::apply_remap(const RemapEvent& event,
         // Memory accounting: replicas appear/disappear with the owner sets.
         for (ApId q : new_owners) {
           if (!owner_set_contains(old_owners, q)) {
-            memory_.allocate(q, s.elem_bytes * count);
+            const Extent bytes = s.elem_bytes * count;
+            memory_.allocate(q, bytes);
+            if (cacheable) rec->mem_ops.push_back({q, bytes});
           }
         }
         for (ApId o : old_owners) {
           if (!owner_set_contains(new_owners, o)) {
-            memory_.release(o, s.elem_bytes * count);
+            const Extent bytes = s.elem_bytes * count;
+            memory_.release(o, bytes);
+            if (cacheable) rec->mem_ops.push_back({o, -bytes});
           }
         }
       });
   s.dist = event.to;
-  return comm_.end_step();
+  StepStats step = comm_.end_step();
+  if (cacheable) plans_.insert(key, std::move(rec), std::move(pins));
+  return step;
 }
 
 StepStats ProgramState::copy_section(const DistArray& dst,
@@ -151,15 +194,38 @@ StepStats ProgramState::copy_section(const DistArray& dst,
   Store& s = store(src.id());
   const IndexDomain dshape = d.domain.section_domain(dst_section);
   const IndexDomain sshape = s.domain.section_domain(src_section);
-  if (dshape.size() != sshape.size() || dshape.rank() != sshape.rank()) {
-    throw ConformanceError("copy_section shapes do not conform");
-  }
+  // Fortran conformance, the same rule assign applies: shapes match after
+  // squeezing unit dimensions, so a scalar-subscripted actual (A(:,j))
+  // conforms with a rank-1 dummy.
+  std::vector<Extent> dst_shape;
   for (int k = 0; k < dshape.rank(); ++k) {
-    if (dshape.extent(k) != sshape.extent(k)) {
-      throw ConformanceError("copy_section shapes do not conform");
-    }
+    if (dshape.extent(k) != 1) dst_shape.push_back(dshape.extent(k));
   }
-  comm_.begin_step(label);
+  std::vector<Extent> src_shape;
+  for (int k = 0; k < sshape.rank(); ++k) {
+    if (sshape.extent(k) != 1) src_shape.push_back(sshape.extent(k));
+  }
+  if (dst_shape != src_shape || dshape.size() != sshape.size()) {
+    throw ConformanceError(
+        "copy_section shapes do not conform (after squeezing unit "
+        "dimensions)");
+  }
+
+  std::string key;
+  std::vector<Distribution> pins;
+  const bool cacheable = plans_.enabled();
+  if (cacheable) {
+    PlanKey k;
+    k.add_tag("copy");
+    k.add_distribution(d.dist);
+    k.add_section(dst_section);
+    k.add_distribution(s.dist);
+    k.add_section(src_section);
+    k.add_scalar(d.elem_bytes);
+    key = k.str();
+    pins = k.take_pins();
+  }
+
   // RHS snapshot first (Fortran semantics for overlapping sections).
   std::vector<double> staged;
   staged.reserve(static_cast<std::size_t>(sshape.size()));
@@ -168,28 +234,46 @@ StepStats ProgramState::copy_section(const DistArray& dst,
     staged.push_back(
         s.values[static_cast<std::size_t>(s.domain.linearize(sidx))]);
   });
-  // Charge transfers per common constant-owner segment of the two sections'
-  // run tables: destination owners that do not already hold the value
-  // receive the whole segment from the sources' canonical replica.
-  const LayoutView dst_view(d.dist, dst_section);
-  const LayoutView src_view(s.dist, src_section);
-  for_each_common_segment(
-      dst_view.table(), src_view.table(),
-      [&](Extent, Extent count, const OwnerSet& dst_owners,
-          const OwnerSet& src_owners) {
-        for (ApId q : dst_owners) {
-          if (!owner_set_contains(src_owners, q)) {
-            comm_.transfer_block(src_owners.front(), q, d.elem_bytes, count);
+
+  StepStats step;
+  std::shared_ptr<const CommPlan> plan =
+      cacheable ? plans_.lookup(key) : nullptr;
+  if (plan) {
+    step = comm_.replay(*plan, label);
+  } else {
+    comm_.begin_step(label);
+    auto rec = std::make_shared<CommPlan>();
+    if (cacheable) comm_.record_into(rec);
+    // Charge per common constant-owner segment of the two sections' run
+    // tables: destination owners that do not already hold the value receive
+    // the whole segment from the sources' canonical (minimum) replica;
+    // owners that do hold it read it locally — the statistics assign keeps.
+    const LayoutView dst_view(d.dist, dst_section);
+    const LayoutView src_view(s.dist, src_section);
+    for_each_common_segment(
+        dst_view.table(), src_view.table(),
+        [&](Extent, Extent count, const OwnerSet& dst_owners,
+            const OwnerSet& src_owners) {
+          const ApId sender = min_owner(src_owners);
+          for (ApId q : dst_owners) {
+            if (owner_set_contains(src_owners, q)) {
+              comm_.count_local_reads(count);
+            } else {
+              comm_.transfer_block(sender, q, d.elem_bytes, count);
+            }
           }
-        }
-      });
+        });
+    step = comm_.end_step();
+    if (cacheable) plans_.insert(key, std::move(rec), std::move(pins));
+  }
+
   std::size_t k = 0;
   dshape.for_each([&](const IndexTuple& pos) {
     IndexTuple didx = d.domain.section_parent_index(dst_section, pos);
     d.values[static_cast<std::size_t>(d.domain.linearize(didx))] =
         staged[k++];
   });
-  return comm_.end_step();
+  return step;
 }
 
 }  // namespace hpfnt

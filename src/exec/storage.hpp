@@ -12,7 +12,9 @@
 // through the CommEngine inside an open step, so every mapping decision has
 // a measurable message/byte/time consequence. Ownership is decided in bulk:
 // data-movement steps walk the layouts' constant-owner run tables
-// (core/layout_view.hpp) and price one transfer_block per segment.
+// (core/layout_view.hpp) and price one transfer_block per segment, and the
+// priced schedules are memoized (exec/comm_plan.hpp) so repeating a step
+// over unchanged layouts replays the plan instead of re-walking anything.
 #pragma once
 
 #include <functional>
@@ -22,6 +24,7 @@
 #include "core/array.hpp"
 #include "core/data_env.hpp"
 #include "core/distribution.hpp"
+#include "exec/comm_plan.hpp"
 #include "machine/comm.hpp"
 #include "machine/memory.hpp"
 #include "machine/topology.hpp"
@@ -35,6 +38,11 @@ class ProgramState {
   Machine& machine() noexcept { return *machine_; }
   CommEngine& comm() noexcept { return comm_; }
   MemoryTracker& memory() noexcept { return memory_; }
+
+  /// The memoized communication plans of this state's priced steps
+  /// (exec/comm_plan.hpp). Consulted by assign, copy_section, and
+  /// apply_remap; enabled by default.
+  PlanCache& plans() noexcept { return plans_; }
 
   /// Allocates storage for a created array, laid out by its current
   /// distribution in `env`. Elements start at 0.0.
@@ -71,9 +79,14 @@ class ProgramState {
   /// One comm step.
   StepStats apply_remap(const RemapEvent& event, const DistArray& array);
 
-  /// Copies a section of `src` onto a section of `dst` (equal shapes),
-  /// charging transfers only for elements whose destination owners do not
-  /// already hold the value. One comm step. Used for argument passing.
+  /// Copies a section of `src` onto a section of `dst` (shapes must
+  /// conform after squeezing unit dimensions — the same Fortran rule the
+  /// assignment executor applies, so a scalar-subscripted actual like
+  /// A(:,j) conforms with a rank-1 dummy). Destination owners that do not
+  /// already hold the value receive the segment from the sources'
+  /// canonical (minimum) replica; owners that do hold it are counted as
+  /// local reads, keeping the read statistics symmetric with assign. One
+  /// comm step. Used for argument passing.
   StepStats copy_section(const DistArray& dst,
                          const std::vector<Triplet>& dst_section,
                          const DistArray& src,
@@ -96,6 +109,7 @@ class ProgramState {
   Machine* machine_;
   CommEngine comm_;
   MemoryTracker memory_;
+  PlanCache plans_;
   std::unordered_map<ArrayId, Store> stores_;
 };
 

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+// The plan struct lives with its cache in the exec layer; the engine only
+// appends operations to it while recording and reads its sealed statistics
+// on replay.
+#include "exec/comm_plan.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -18,20 +22,36 @@ CommEngine::CommEngine(const Machine& machine) : machine_(&machine) {}
 void CommEngine::begin_step(std::string label) {
   if (in_step_) throw InternalError("begin_step inside an open step");
   in_step_ = true;
+  recording_.reset();  // a step that unwound mid-record stops recording here
   label_ = std::move(label);
   pair_bytes_.clear();
   pair_elements_.clear();
   step_flops_.clear();
 }
 
+void CommEngine::record_into(std::shared_ptr<CommPlan> plan) {
+  if (!in_step_) throw InternalError("record_into outside a step");
+  recording_ = std::move(plan);
+  if (recording_) {
+    recording_->label = label_;
+    recording_->transfers.clear();
+    recording_->computes.clear();
+    recording_->mem_ops.clear();
+    recording_->local_reads = 0;
+    recording_->sealed = false;
+  }
+}
+
 void CommEngine::transfer(ApId src, ApId dst, Extent bytes) {
   if (!in_step_) throw InternalError("transfer outside a step");
   if (src == dst) {
     ++local_reads_;
+    if (recording_) recording_->local_reads += 1;
     return;
   }
   pair_bytes_[{src, dst}] += bytes;
   pair_elements_[{src, dst}] += 1;
+  if (recording_) recording_->transfers.push_back({src, dst, bytes, 1});
 }
 
 void CommEngine::transfer_block(ApId src, ApId dst, Extent elem_bytes,
@@ -40,15 +60,25 @@ void CommEngine::transfer_block(ApId src, ApId dst, Extent elem_bytes,
   if (count <= 0) return;
   if (src == dst) {
     local_reads_ += count;
+    if (recording_) recording_->local_reads += count;
     return;
   }
   pair_bytes_[{src, dst}] += elem_bytes * count;
   pair_elements_[{src, dst}] += count;
+  if (recording_) {
+    recording_->transfers.push_back({src, dst, elem_bytes, count});
+  }
 }
 
 void CommEngine::compute(ApId p, Extent flops) {
   if (!in_step_) throw InternalError("compute outside a step");
   step_flops_[p] += flops;
+  if (recording_) recording_->computes.push_back({p, flops});
+}
+
+void CommEngine::count_local_reads(Extent n) {
+  local_reads_ += n;
+  if (recording_) recording_->local_reads += n;
 }
 
 StepStats CommEngine::end_step() {
@@ -88,6 +118,24 @@ StepStats CommEngine::end_step() {
   total_bytes_ += stats.bytes;
   total_transfers_ += stats.element_transfers;
   total_time_us_ += stats.time_us;
+  if (recording_) {
+    recording_->stats = stats;
+    recording_->sealed = true;
+    recording_.reset();
+  }
+  return stats;
+}
+
+StepStats CommEngine::replay(const CommPlan& plan, const std::string& label) {
+  if (in_step_) throw InternalError("replay inside an open step");
+  if (!plan.sealed) throw InternalError("replay of an unsealed plan");
+  StepStats stats = plan.stats;
+  if (!label.empty()) stats.label = label;
+  total_messages_ += stats.messages;
+  total_bytes_ += stats.bytes;
+  total_transfers_ += stats.element_transfers;
+  total_time_us_ += stats.time_us;
+  local_reads_ += plan.local_reads;
   return stats;
 }
 

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,6 +23,10 @@
 #include "machine/topology.hpp"
 
 namespace hpfnt {
+
+// A recorded, priced step schedule (defined with its cache in
+// exec/comm_plan.hpp; the engine only appends to and reads its fields).
+struct CommPlan;
 
 struct StepStats {
   std::string label;
@@ -57,14 +62,29 @@ class CommEngine {
   /// Closes the step, computes its statistics, accumulates totals.
   StepStats end_step();
 
+  /// Arms recording of the open step into `plan`: every transfer, compute
+  /// charge, and local-read tally until end_step is appended, and end_step
+  /// seals the plan with the step's statistics. The engine shares ownership
+  /// of the plan, so it stays valid even if the recorded step unwinds
+  /// before end_step; recording disarms at end_step or the next begin_step.
+  void record_into(std::shared_ptr<CommPlan> plan);
+
+  /// Re-issues a sealed plan as one step: accumulates the plan's recorded
+  /// statistics and local-read tally into the engine totals without
+  /// re-walking any ownership structure. Returns the plan's StepStats
+  /// (relabelled with `label` when non-empty) — byte-identical to
+  /// re-pricing the recorded schedule, since end_step's statistics are a
+  /// pure function of the recorded operations.
+  StepStats replay(const CommPlan& plan, const std::string& label = "");
+
   // --- cumulative counters ---
   Extent total_messages() const noexcept { return total_messages_; }
   Extent total_bytes() const noexcept { return total_bytes_; }
   Extent total_transfers() const noexcept { return total_transfers_; }
   double total_time_us() const noexcept { return total_time_us_; }
   Extent local_reads() const noexcept { return local_reads_; }
-  void count_local_read() noexcept { ++local_reads_; }
-  void count_local_reads(Extent n) noexcept { local_reads_ += n; }
+  void count_local_read() { count_local_reads(1); }
+  void count_local_reads(Extent n);
 
   void reset();
 
@@ -73,6 +93,7 @@ class CommEngine {
  private:
   const Machine* machine_;
   bool in_step_ = false;
+  std::shared_ptr<CommPlan> recording_;
   std::string label_;
   std::map<std::pair<ApId, ApId>, Extent> pair_bytes_;
   std::map<std::pair<ApId, ApId>, Extent> pair_elements_;

@@ -1,0 +1,631 @@
+// Regression tests for the run-based exec path's canonical-replica and
+// conformance rules, plus the memoized communication plans
+// (exec/comm_plan.hpp): replayed steps must be field-identical to cold
+// pricing across every distribution kind, and iterative sweeps must price
+// the 2nd..Nth iteration from the plan cache with zero ownership queries.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/layout_view.hpp"
+#include "exec/assign.hpp"
+#include "exec/comm_plan.hpp"
+#include "exec/redistribute_exec.hpp"
+#include "exec/stencil.hpp"
+#include "support/error.hpp"
+
+namespace hpfnt {
+namespace {
+
+IndexTuple idx(std::initializer_list<Index1> values) {
+  IndexTuple t;
+  for (Index1 v : values) t.push_back(v);
+  return t;
+}
+
+void expect_step_eq(const StepStats& a, const StepStats& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.element_transfers, b.element_transfers);
+  EXPECT_EQ(a.flops, b.flops);
+  EXPECT_EQ(a.time_us, b.time_us);  // exact: same op multiset, same fold
+}
+
+/// All transfers of every cached plan, in insertion order per plan.
+std::vector<PlanTransfer> cached_transfers(PlanCache& plans) {
+  std::vector<PlanTransfer> out;
+  plans.for_each([&](const std::string&, const CommPlan& plan) {
+    out.insert(out.end(), plan.transfers.begin(), plan.transfers.end());
+  });
+  return out;
+}
+
+class CommPlanTest : public ::testing::Test {
+ protected:
+  CommPlanTest() : machine_(8), ps_(8), env_(ps_) {
+    ps_.declare("Q", IndexDomain::of_extents({8}));
+  }
+
+  /// A distribution whose owner sets are NOT minimum-first: every index is
+  /// owned by {AP 2, AP 0}, in that order (a user-defined replicating
+  /// format, §2.2's set-valued distributions).
+  Distribution owners_front_not_min(const IndexDomain& domain) {
+    DistFormat f = DistFormat::user_defined(
+        "rep31", [](Index1, Extent, Extent) {
+          DimOwnerSet owners;
+          owners.push_back(3);  // position 3 -> AP 2
+          owners.push_back(1);  // position 1 -> AP 0
+          return owners;
+        });
+    return Distribution::formats(domain, {f}, ProcessorRef(ps_.find("Q")));
+  }
+
+  /// BLOCK onto the single target position Q(p:p), i.e. everything on one
+  /// abstract processor.
+  Distribution all_on(const IndexDomain& domain, Index1 p) {
+    return Distribution::formats(
+        domain, {DistFormat::block()},
+        ProcessorRef(ps_.find("Q"), {TargetSub::range(Triplet(p, p))}));
+  }
+
+  Machine machine_;
+  ProcessorSpace ps_;
+  DataEnv env_;
+};
+
+// --- canonical replica: one convention across assign / copy / remap --------
+
+TEST_F(CommPlanTest, CopySectionSendsFromMinimumOwner) {
+  const IndexDomain dom{Dim(1, 16)};
+  ProgramState state(machine_);
+  DistArray& a = env_.real("A", dom);
+  DistArray& b = env_.real("B", dom);
+  state.create_with(a, owners_front_not_min(dom));
+  state.create_with(b, all_on(dom, 2));  // AP 1: not an owner of A
+  ASSERT_EQ(state.layout(a.id()).owners(idx({1})), (OwnerSet{2, 0}));
+
+  state.copy_section(b, dom.dims(), a, dom.dims(), "copy-in");
+  const std::vector<PlanTransfer> transfers = cached_transfers(state.plans());
+  ASSERT_FALSE(transfers.empty());
+  Extent total = 0;
+  for (const PlanTransfer& t : transfers) {
+    // The sending replica is the canonical minimum owner (AP 0), the
+    // convention of Distribution::first_owner and the assignment executor —
+    // not owners.front() (AP 2).
+    EXPECT_EQ(t.src, 0);
+    EXPECT_EQ(t.dst, 1);
+    total += t.count;
+  }
+  EXPECT_EQ(total, 16);
+}
+
+TEST_F(CommPlanTest, RemapSendsFromMinimumOwner) {
+  const IndexDomain dom{Dim(1, 16)};
+  ProgramState state(machine_);
+  DistArray& a = env_.real("A", dom);
+  const Distribution from = owners_front_not_min(dom);
+  const Distribution to = all_on(dom, 2);
+  state.create_with(a, from);
+  RemapEvent event;
+  event.dummy = a.id();
+  event.from = from;
+  event.to = to;
+  state.apply_remap(event, a);
+  const std::vector<PlanTransfer> transfers = cached_transfers(state.plans());
+  ASSERT_FALSE(transfers.empty());
+  for (const PlanTransfer& t : transfers) {
+    EXPECT_EQ(t.src, 0);
+    EXPECT_EQ(t.dst, 1);
+  }
+}
+
+TEST_F(CommPlanTest, AssignAndCopySectionPriceIdenticalSchedules) {
+  // With a flop-free RHS and an unreplicated destination, C = A and a
+  // copy_section of A onto C describe the same movement; after unifying
+  // the canonical replica and counting copy-side local reads, they price
+  // identically — including the explicit (materialized) form of A.
+  const IndexDomain dom{Dim(1, 16)};
+  for (const bool materialized : {false, true}) {
+    DataEnv env(ps_);
+    DistArray& a = env.real("A", dom);
+    DistArray& c = env.real("C", dom);
+    Distribution src = owners_front_not_min(dom);
+    if (materialized) {
+      src = src.materialize();
+      ASSERT_EQ(src.kind(), Distribution::Kind::kExplicit);
+    }
+    const Distribution dst = all_on(dom, 2);
+
+    ProgramState assigned(machine_);
+    assigned.create_with(a, src);
+    assigned.create_with(c, dst);
+    const AssignResult r =
+        assign_on_layout(assigned, c, dom.dims(), SecExpr::whole(a), "move");
+
+    ProgramState copied(machine_);
+    copied.create_with(a, src);
+    copied.create_with(c, dst);
+    const Extent local_before = copied.comm().local_reads();
+    const StepStats step = copied.copy_section(c, dom.dims(), a, dom.dims(),
+                                               "move");
+    expect_step_eq(step, r.step);
+    EXPECT_EQ(copied.comm().local_reads() - local_before, r.local_reads);
+    EXPECT_EQ(cached_transfers(assigned.plans()),
+              cached_transfers(copied.plans()));
+  }
+}
+
+// --- conformance: squeeze-then-compare in copy_section ----------------------
+
+TEST_F(CommPlanTest, SqueezedCopySectionThroughCall) {
+  // Pass A(:,3) — a rank-2 section with a unit dimension, the model of the
+  // scalar-subscripted actual — to a rank-1 dummy. copy_section applies the
+  // same squeeze-then-compare conformance rule as assign, so the copy-in
+  // and copy-out conform.
+  ProgramState state(machine_);
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 8), Dim(1, 8)});
+  env_.distribute(a, {DistFormat::block(), DistFormat::collapsed()},
+                  ProcessorRef(ps_.find("Q")));
+  state.create(env_, a);
+  state.fill(a.id(), [](const IndexTuple& i) {
+    return static_cast<double>(10 * i[0] + i[1]);
+  });
+
+  CallFrame frame;
+  frame.procedure = "SUB";
+  frame.callee = std::make_unique<DataEnv>(ps_);
+  DistArray& x = frame.callee->real("X", IndexDomain{Dim(1, 8)});
+  BoundArg arg;
+  arg.dummy = x.id();
+  arg.actual = a.id();
+  arg.section = {Triplet(1, 8), Triplet(3, 3)};
+  arg.entry = frame.callee->implicit_distribution(x.domain());
+  frame.args.push_back(arg);
+
+  std::vector<StepStats> in = enter_call(state, env_, frame);
+  ASSERT_EQ(in.size(), 1u);
+  for (Index1 i = 1; i <= 8; ++i) {
+    EXPECT_DOUBLE_EQ(state.value(x.id(), idx({i})),
+                     static_cast<double>(10 * i + 3));
+  }
+
+  assign(state, *frame.callee, x, SecExpr::whole(x) * 2.0);
+  std::vector<StepStats> out = exit_call(state, env_, frame);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(state.value(a.id(), idx({5, 3})), 106.0);  // doubled
+  EXPECT_DOUBLE_EQ(state.value(a.id(), idx({5, 4})), 54.0);   // untouched
+}
+
+TEST_F(CommPlanTest, CopySectionStillRejectsRealShapeMismatch) {
+  ProgramState state(machine_);
+  DistArray& a = env_.real("A", IndexDomain{Dim(1, 2), Dim(1, 4)});
+  DistArray& b = env_.real("B", IndexDomain{Dim(1, 8)});
+  state.create(env_, a);
+  state.create(env_, b);
+  // 8 elements on both sides, but squeezed shapes (2,4) vs (8) differ.
+  EXPECT_THROW(state.copy_section(b, b.domain().dims(), a, a.domain().dims(),
+                                  "bad"),
+               ConformanceError);
+}
+
+// --- copy_section counts local segments -------------------------------------
+
+TEST_F(CommPlanTest, CopySectionCountsLocalReads) {
+  const IndexDomain dom{Dim(1, 24)};
+  ProgramState state(machine_);
+  DistArray& a = env_.real("A", dom);
+  DistArray& b = env_.real("B", dom);
+  const Distribution layout = Distribution::formats(
+      dom, {DistFormat::cyclic(3)}, ProcessorRef(ps_.find("Q")));
+  state.create_with(a, layout);
+  state.create_with(b, layout);
+  const Extent before = state.comm().local_reads();
+  const StepStats step = state.copy_section(b, dom.dims(), a, dom.dims(),
+                                            "collocated copy");
+  EXPECT_EQ(step.messages, 0);
+  // Every destination owner already holds the value: 24 local reads, the
+  // same statistics an assignment between collocated arrays reports.
+  EXPECT_EQ(state.comm().local_reads() - before, 24);
+}
+
+// --- sweep statistics derive the denominator from the counters --------------
+
+TEST_F(CommPlanTest, SweepStatsFractionForTwoOperandExpression) {
+  const IndexDomain dom{Dim(1, 20)};
+  ProgramState state(machine_);
+  DistArray& a = env_.real("A", dom);
+  DistArray& c = env_.real("C", dom);
+  state.create_with(a, all_on(dom, 2));  // A entirely on AP 1
+  state.create_with(c, all_on(dom, 1));  // C entirely on AP 0
+  // C = A + A: two operand reads per element, all remote.
+  const AssignResult r = assign_on_layout(
+      state, c, dom.dims(), SecExpr::whole(a) + SecExpr::whole(a));
+  EXPECT_EQ(r.step.element_transfers, 40);
+  EXPECT_EQ(r.local_reads, 0);
+  SweepStats stats;
+  stats.accumulate(r);
+  // The denominator is local + remote reads (40), not 4 * elements (80).
+  EXPECT_DOUBLE_EQ(stats.remote_read_fraction, 1.0);
+
+  // Mixed: a second, collocated assignment halves the fraction.
+  DistArray& d = env_.real("D", dom);
+  state.create_with(d, all_on(dom, 1));
+  stats.accumulate(assign_on_layout(state, d, dom.dims(),
+                                    SecExpr::whole(d) + SecExpr::whole(d)));
+  EXPECT_DOUBLE_EQ(stats.remote_read_fraction, 0.5);
+}
+
+// --- plan replay: field-identical StepStats across all kinds ----------------
+
+class PlanReplayTest : public CommPlanTest {
+ protected:
+  /// Runs the same assignment three times on a plan-caching state and a
+  /// cold-pricing state; every step must be field-identical, iterations
+  /// 2..3 must replay (zero ownership queries), and cumulative counters
+  /// must agree.
+  void expect_replay_matches_cold(const Distribution& lhs_dist,
+                                  const std::vector<Triplet>& lhs_section,
+                                  const Distribution& rhs_dist,
+                                  const std::vector<Triplet>& rhs_section) {
+    DataEnv env(ps_);
+    DistArray& l = env.real("L", lhs_dist.domain());
+    DistArray& r = env.real("R", rhs_dist.domain());
+
+    ProgramState warm(machine_);
+    ProgramState cold(machine_);
+    cold.plans().set_enabled(false);
+    for (ProgramState* state : {&warm, &cold}) {
+      state->create_with(l, lhs_dist);
+      state->create_with(r, rhs_dist);
+      state->fill(r.id(), [](const IndexTuple& i) {
+        return std::sin(static_cast<double>(i.empty() ? 1 : i[0]));
+      });
+    }
+
+    for (int it = 0; it < 3; ++it) {
+      const SecExpr rhs = SecExpr::section(r, rhs_section) * 2.0;
+      const AssignResult rw =
+          assign_on_layout(warm, l, lhs_section, rhs, "step");
+      const AssignResult rc =
+          assign_on_layout(cold, l, lhs_section, rhs, "step");
+      expect_step_eq(rw.step, rc.step);
+      EXPECT_EQ(rw.local_reads, rc.local_reads);
+      EXPECT_EQ(rw.elements, rc.elements);
+      EXPECT_DOUBLE_EQ(rw.remote_read_fraction, rc.remote_read_fraction);
+      if (it > 0) {
+        EXPECT_EQ(rw.ownership_queries, 0)
+            << "iteration " << it << " did not replay a plan";
+      }
+    }
+    EXPECT_GE(warm.plans().hits(), 2);
+    EXPECT_EQ(cold.plans().hits(), 0);
+    EXPECT_EQ(warm.comm().total_messages(), cold.comm().total_messages());
+    EXPECT_EQ(warm.comm().total_bytes(), cold.comm().total_bytes());
+    EXPECT_EQ(warm.comm().total_transfers(), cold.comm().total_transfers());
+    EXPECT_EQ(warm.comm().total_time_us(), cold.comm().total_time_us());
+    EXPECT_EQ(warm.comm().local_reads(), cold.comm().local_reads());
+    EXPECT_DOUBLE_EQ(warm.checksum(l.id()), cold.checksum(l.id()));
+  }
+};
+
+TEST_F(PlanReplayTest, FormatsKind) {
+  const IndexDomain dom{Dim(1, 40)};
+  const Distribution lhs = Distribution::formats(
+      dom, {DistFormat::cyclic(3)}, ProcessorRef(ps_.find("Q")));
+  const Distribution rhs = Distribution::formats(
+      dom, {DistFormat::block()}, ProcessorRef(ps_.find("Q")));
+  expect_replay_matches_cold(lhs, dom.dims(), rhs, dom.dims());
+}
+
+TEST_F(PlanReplayTest, FormatsKindNegativeStrideSections) {
+  const IndexDomain dom{Dim(1, 40)};
+  const Distribution lhs = Distribution::formats(
+      dom, {DistFormat::block()}, ProcessorRef(ps_.find("Q")));
+  const Distribution rhs = Distribution::formats(
+      dom, {DistFormat::cyclic(2)}, ProcessorRef(ps_.find("Q")));
+  // L(39:1:-2) = 2 * R(2:40:2) — both sections reversed/strided.
+  expect_replay_matches_cold(lhs, {Triplet(39, 1, -2)}, rhs,
+                             {Triplet(40, 2, -2)});
+}
+
+TEST_F(PlanReplayTest, ConstructedKind) {
+  const IndexDomain dom{Dim(1, 40)};
+  const Distribution base = Distribution::formats(
+      dom, {DistFormat::block()}, ProcessorRef(ps_.find("Q")));
+  // L aligned to the base shifted by 5, clamped at the top (§5.1).
+  std::vector<AlignmentFunction::BaseDim> dims(1);
+  dims[0].kind = AlignmentFunction::BaseDim::Kind::kExpr;
+  dims[0].alignee_dim = 0;
+  dims[0].expr = AlignExpr::dummy(0) + 5;
+  const Distribution lhs = Distribution::constructed(
+      AlignmentFunction(dom, dom, std::move(dims)), base);
+  expect_replay_matches_cold(lhs, dom.dims(), base, dom.dims());
+}
+
+TEST_F(PlanReplayTest, SectionViewKind) {
+  const IndexDomain parent_dom{Dim(1, 100)};
+  const IndexDomain dom{Dim(1, 40)};
+  const Distribution parent = Distribution::formats(
+      parent_dom, {DistFormat::cyclic(4)}, ProcessorRef(ps_.find("Q")));
+  const Distribution lhs =
+      Distribution::section_view(parent, {Triplet(2, 80, 2)});
+  ASSERT_EQ(lhs.domain(), dom);
+  const Distribution rhs = Distribution::formats(
+      dom, {DistFormat::block()}, ProcessorRef(ps_.find("Q")));
+  expect_replay_matches_cold(lhs, dom.dims(), rhs, dom.dims());
+}
+
+TEST_F(PlanReplayTest, ExplicitKind) {
+  const IndexDomain dom{Dim(1, 40)};
+  const Distribution lhs =
+      Distribution::formats(dom, {DistFormat::cyclic(5)},
+                            ProcessorRef(ps_.find("Q")))
+          .materialize();
+  ASSERT_EQ(lhs.kind(), Distribution::Kind::kExplicit);
+  const Distribution rhs =
+      Distribution::replicated(dom, ProcessorRef(ps_.find("Q")));
+  expect_replay_matches_cold(lhs, dom.dims(), rhs, dom.dims());
+}
+
+TEST_F(PlanReplayTest, ReplicatedLhsReplaysBroadcasts) {
+  const IndexDomain dom{Dim(1, 16)};
+  const Distribution lhs =
+      Distribution::replicated(dom, ProcessorRef(ps_.find("Q")));
+  const Distribution rhs = Distribution::formats(
+      dom, {DistFormat::block()}, ProcessorRef(ps_.find("Q")));
+  expect_replay_matches_cold(lhs, dom.dims(), rhs, dom.dims());
+}
+
+TEST_F(PlanReplayTest, ReissuingRecordedOpsReproducesSealedStats) {
+  // The sealed StepStats must be exactly what re-pricing the recorded
+  // schedule yields: re-issue every recorded operation through a fresh
+  // engine and compare all fields.
+  const IndexDomain dom{Dim(1, 40)};
+  ProgramState state(machine_);
+  DistArray& a = env_.real("A", dom);
+  DistArray& b = env_.real("B", dom);
+  state.create_with(a, Distribution::formats(dom, {DistFormat::block()},
+                                             ProcessorRef(ps_.find("Q"))));
+  state.create_with(b, Distribution::formats(dom, {DistFormat::cyclic(1)},
+                                             ProcessorRef(ps_.find("Q"))));
+  assign_on_layout(state, b, dom.dims(),
+                   SecExpr::whole(a) + SecExpr::whole(b), "mix");
+
+  std::size_t plans_seen = 0;
+  state.plans().for_each([&](const std::string&, const CommPlan& plan) {
+    ++plans_seen;
+    ASSERT_TRUE(plan.sealed);
+    CommEngine fresh(machine_);
+    fresh.begin_step(plan.label);
+    for (const PlanTransfer& t : plan.transfers) {
+      fresh.transfer_block(t.src, t.dst, t.elem_bytes, t.count);
+    }
+    for (const PlanCompute& c : plan.computes) fresh.compute(c.p, c.flops);
+    fresh.count_local_reads(plan.local_reads);
+    const StepStats repriced = fresh.end_step();
+    expect_step_eq(repriced, plan.stats);
+    EXPECT_EQ(fresh.local_reads(), plan.local_reads);
+  });
+  EXPECT_EQ(plans_seen, 1u);
+}
+
+TEST_F(PlanReplayTest, StructurallyEqualFormatsShareOnePlan) {
+  // Distinct payloads with equal (domain, formats, target) key
+  // structurally: the second assignment replays the first one's plan even
+  // though it involves different arrays.
+  const IndexDomain dom{Dim(1, 32)};
+  auto block = [&] {
+    return Distribution::formats(dom, {DistFormat::block()},
+                                 ProcessorRef(ps_.find("Q")));
+  };
+  auto cyc = [&] {
+    return Distribution::formats(dom, {DistFormat::cyclic(2)},
+                                 ProcessorRef(ps_.find("Q")));
+  };
+  ProgramState state(machine_);
+  DistArray& a1 = env_.real("A1", dom);
+  DistArray& b1 = env_.real("B1", dom);
+  DistArray& a2 = env_.real("A2", dom);
+  DistArray& b2 = env_.real("B2", dom);
+  state.create_with(a1, block());
+  state.create_with(b1, cyc());
+  state.create_with(a2, block());
+  state.create_with(b2, cyc());
+  ASSERT_NE(state.layout(a1.id()).payload_identity(),
+            state.layout(a2.id()).payload_identity());
+
+  assign_on_layout(state, b1, dom.dims(), SecExpr::whole(a1));
+  const AssignResult second =
+      assign_on_layout(state, b2, dom.dims(), SecExpr::whole(a2));
+  EXPECT_EQ(state.plans().hits(), 1);
+  EXPECT_EQ(second.ownership_queries, 0);
+}
+
+TEST_F(PlanReplayTest, DistinctIndirectPayloadsDoNotCollide) {
+  // INDIRECT owner tables have no compact structural signature; they key by
+  // payload address. Two same-sized but different maps must not share a
+  // plan (a false hit would price the second copy as message-free).
+  const IndexDomain dom{Dim(1, 16)};
+  std::vector<Extent> to_one(16, 1);  // AP 0
+  std::vector<Extent> to_two(16, 2);  // AP 1
+  const Distribution src1 = Distribution::formats(
+      dom, {DistFormat::indirect(to_one)}, ProcessorRef(ps_.find("Q")));
+  const Distribution src2 = Distribution::formats(
+      dom, {DistFormat::indirect(to_two)}, ProcessorRef(ps_.find("Q")));
+  ProgramState state(machine_);
+  DistArray& a1 = env_.real("A1", dom);
+  DistArray& a2 = env_.real("A2", dom);
+  DistArray& c = env_.real("C", dom);
+  state.create_with(a1, src1);
+  state.create_with(a2, src2);
+  state.create_with(c, all_on(dom, 1));  // C on AP 0
+
+  const StepStats local = state.copy_section(c, dom.dims(), a1, dom.dims(),
+                                             "from collocated");
+  EXPECT_EQ(local.messages, 0);
+  const StepStats remote = state.copy_section(c, dom.dims(), a2, dom.dims(),
+                                              "from remote");
+  EXPECT_EQ(state.plans().hits(), 0);
+  EXPECT_GT(remote.messages, 0);
+  EXPECT_EQ(remote.element_transfers, 16);
+}
+
+TEST_F(PlanReplayTest, RemapFlipFlopReplaysScheduleAndMemory) {
+  const IndexDomain dom{Dim(1, 16)};
+  ProcessorRef q4(ps_.find("Q"), {TargetSub::range(Triplet(1, 4))});
+  DataEnv env(ps_);
+  DistArray& a = env.real("A", dom);
+  env.distribute(a, {DistFormat::block()}, q4);
+  env.dynamic(a);
+
+  ProgramState warm(machine_);
+  ProgramState cold(machine_);
+  cold.plans().set_enabled(false);
+  for (ProgramState* state : {&warm, &cold}) {
+    state->create(env, a);
+    state->fill(a.id(), [](const IndexTuple& i) {
+      return static_cast<double>(i[0] * i[0]);
+    });
+  }
+
+  // BLOCK -> CYCLIC -> BLOCK -> CYCLIC -> BLOCK: rounds 3..4 replay the
+  // plans of rounds 1..2 (fresh payloads, equal structural keys).
+  for (int round = 0; round < 4; ++round) {
+    std::vector<RemapEvent> events =
+        round % 2 == 0 ? env.redistribute(a, {DistFormat::cyclic()}, q4)
+                       : env.redistribute(a, {DistFormat::block()}, q4);
+    ASSERT_EQ(events.size(), 1u);
+    const StepStats sw = apply_remap(warm, env, events[0]);
+    const StepStats sc = apply_remap(cold, env, events[0]);
+    expect_step_eq(sw, sc);
+  }
+  EXPECT_EQ(warm.plans().hits(), 2);
+  for (ApId p = 0; p < 8; ++p) {
+    EXPECT_EQ(warm.memory().bytes_on(p), cold.memory().bytes_on(p)) << p;
+  }
+  for (Index1 i = 1; i <= 16; ++i) {
+    EXPECT_DOUBLE_EQ(warm.value(a.id(), idx({i})),
+                     static_cast<double>(i * i));
+  }
+}
+
+TEST_F(PlanReplayTest, RemapReplayPreservesPeakMemory) {
+  // Memory deltas must replay in recorded order: batching every allocate
+  // before every release would inflate the peak gauges (read by the E6
+  // replication benchmarks) relative to cold pricing, even though the
+  // totals agree.
+  const IndexDomain dom{Dim(1, 8)};
+  const std::vector<Extent> map = {1, 1, 2, 2, 1, 1, 1, 1};
+  const Distribution from = Distribution::formats(
+      dom, {DistFormat::indirect(map)},
+      ProcessorRef(ps_.find("Q"), {TargetSub::range(Triplet(1, 2))}));
+  const Distribution to = Distribution::formats(
+      dom, {DistFormat::block()},
+      ProcessorRef(ps_.find("Q"), {TargetSub::range(Triplet(1, 2))}));
+  DataEnv env(ps_);
+  DistArray& a = env.real("A", dom);
+  DistArray& b = env.real("B", dom);
+
+  ProgramState warm(machine_);
+  ProgramState cold(machine_);
+  cold.plans().set_enabled(false);
+  for (ProgramState* state : {&warm, &cold}) {
+    state->create_with(a, from);
+    state->create_with(b, from);
+    RemapEvent ev;
+    ev.from = from;
+    ev.to = to;
+    ev.dummy = a.id();
+    state->apply_remap(ev, a);  // warm: records the plan
+    ev.dummy = b.id();
+    state->apply_remap(ev, b);  // warm: replays it
+  }
+  EXPECT_EQ(warm.plans().hits(), 1);
+  for (ApId p = 0; p < 2; ++p) {
+    EXPECT_EQ(warm.memory().bytes_on(p), cold.memory().bytes_on(p)) << p;
+    EXPECT_EQ(warm.memory().peak_on(p), cold.memory().peak_on(p)) << p;
+  }
+}
+
+// --- the E2 acceptance bar: a 100-iteration 2-D BLOCK Jacobi ----------------
+
+TEST_F(PlanReplayTest, JacobiHundredIterationsReplaysWithZeroQueries) {
+  const Extent n = 24;
+  DataEnv env(ps_);
+  DistArray& a = env.real("A", IndexDomain{Dim(1, n), Dim(1, n)});
+  DistArray& b = env.real("B", IndexDomain{Dim(1, n), Dim(1, n)});
+  ProcessorRef grid = env.default_target(2);
+  env.distribute(a, {DistFormat::block(), DistFormat::block()}, grid);
+  env.distribute(b, {DistFormat::block(), DistFormat::block()}, grid);
+
+  auto init = [n](const IndexTuple& i) {
+    return (i[0] == 1 || i[0] == n || i[1] == 1 || i[1] == n) ? 100.0 : 0.0;
+  };
+  ProgramState warm(machine_);
+  ProgramState cold(machine_);
+  cold.plans().set_enabled(false);
+  for (ProgramState* state : {&warm, &cold}) {
+    state->create(env, a);
+    state->create(env, b);
+    state->fill(a.id(), init);
+    state->fill(b.id(), init);
+  }
+
+  const DistArray* src = &a;
+  const DistArray* dst = &b;
+  for (int it = 0; it < 100; ++it) {
+    const SweepStats sw = jacobi_step(warm, env, *src, *dst, n);
+    const SweepStats sc = jacobi_step(cold, env, *src, *dst, n);
+    if (it > 0) {
+      // Iterations 2..100 price purely from the plan cache: A -> B and
+      // B -> A share one plan because the two layouts key structurally.
+      EXPECT_EQ(sw.ownership_queries, 0) << "iteration " << it;
+    }
+    EXPECT_GT(sc.ownership_queries, 0);
+    EXPECT_EQ(sw.messages, sc.messages);
+    EXPECT_EQ(sw.bytes, sc.bytes);
+    EXPECT_EQ(sw.time_us, sc.time_us);
+    std::swap(src, dst);
+  }
+  EXPECT_EQ(warm.plans().misses(), 1);
+  EXPECT_EQ(warm.plans().hits(), 99);
+
+  // Cumulative statistics and memory are byte-identical to the uncached run.
+  EXPECT_EQ(warm.comm().total_messages(), cold.comm().total_messages());
+  EXPECT_EQ(warm.comm().total_bytes(), cold.comm().total_bytes());
+  EXPECT_EQ(warm.comm().total_transfers(), cold.comm().total_transfers());
+  EXPECT_EQ(warm.comm().total_time_us(), cold.comm().total_time_us());
+  EXPECT_EQ(warm.comm().local_reads(), cold.comm().local_reads());
+  EXPECT_EQ(warm.memory().total_bytes(), cold.memory().total_bytes());
+  EXPECT_DOUBLE_EQ(warm.checksum(a.id()), cold.checksum(a.id()));
+  EXPECT_DOUBLE_EQ(warm.checksum(b.id()), cold.checksum(b.id()));
+}
+
+// --- segment lists shared across sections (the discharged ROADMAP item) -----
+
+TEST_F(PlanReplayTest, SectionsSharingADimensionShareItsSegmentList) {
+  // The four leaf sections of a Jacobi step pairwise share a dimension
+  // triplet; the per-payload per-dimension memo makes the second section
+  // that agrees in a dimension spend zero probes there.
+  const Extent n = 64;
+  const IndexDomain dom{Dim(1, n), Dim(1, n)};
+  DataEnv env(ps_);
+  const Distribution dist =
+      Distribution::formats(dom, {DistFormat::block(), DistFormat::block()},
+                            env.default_target(2));
+  const Triplet inner(2, n - 1);
+  const LayoutView first(dist, {Triplet(1, n - 2), inner});
+  const Extent first_queries = first.ownership_queries();
+  EXPECT_GT(first_queries, 0);
+  // Shares dim 1's triplet with `first`: only dim 0's list is computed.
+  const LayoutView second(dist, {Triplet(3, n), inner});
+  EXPECT_LT(second.ownership_queries(), first_queries);
+  // Shares both triplets with `second` via the run memo: free.
+  const LayoutView third(dist, {Triplet(3, n), inner});
+  EXPECT_EQ(&second.table(), &third.table());
+}
+
+}  // namespace
+}  // namespace hpfnt
