@@ -1,5 +1,5 @@
-// Experiment E2 — iterative sweeps replay memoized communication plans
-// (exec/comm_plan.hpp).
+// Experiments E2 and E3 — iterative sweeps replay memoized communication
+// plans (exec/comm_plan.hpp).
 //
 // The paper's distributions make an assignment's communication statically
 // analyzable (§9's SUPERB/Vienna message vectorization), so the priced
@@ -7,7 +7,7 @@
 // sections: the 2nd..Nth iteration can replay the first one's plan instead
 // of re-walking run tables and re-charging every segment.
 //
-// BM_JacobiStepPricing measures the *pricing pass* of one step (manual
+// E2: BM_JacobiStepPricing measures the *pricing pass* of one step (manual
 // time: AssignResult::pricing_ns — plan lookup + replay when plans are on,
 // the cold run-table walk + per-segment charging when off). The acceptance
 // bar is plan-hit pricing >= 10x faster than cold pricing on a
@@ -15,6 +15,14 @@
 // exports the cumulative statistics as counters, so a JSON run
 // (--benchmark_format=json) shows the plans-on and plans-off modes
 // producing identical totals while spending very different pricing time.
+//
+// E3: the same sweep with the second array ALIGN-ed WITH the first instead
+// of DISTRIBUTE-d alike. Its distribution is derived — CONSTRUCT(α, δ_A) —
+// so it exercises the forest's derived-payload cache (one shared payload
+// across queries, warm run tables) and the kConstructed structural plan
+// signature (the identity α collapses to δ_A's signature, so both sweep
+// directions share one plan). The bar is the same >= 5x pricing win over
+// cold, with identical cumulative statistics.
 #include <benchmark/benchmark.h>
 
 #include "core/data_env.hpp"
@@ -25,7 +33,10 @@ namespace {
 using namespace hpfnt;
 
 struct JacobiRig {
-  explicit JacobiRig(Extent n)
+  // `aligned` is the E3 variant: B is ALIGN-ed WITH A (identity), so its
+  // layout is the forest-derived CONSTRUCT(α, δ_A) instead of a second
+  // structurally equal DISTRIBUTE.
+  JacobiRig(Extent n, bool aligned = false)
       : machine(16),
         ps(16),
         env((ps.declare("G", IndexDomain::of_extents({4, 4})), ps)),
@@ -34,7 +45,11 @@ struct JacobiRig {
         state(machine) {
     const ProcessorRef grid(ps.find("G"));
     env.distribute(a, {DistFormat::block(), DistFormat::block()}, grid);
-    env.distribute(b, {DistFormat::block(), DistFormat::block()}, grid);
+    if (aligned) {
+      env.align(b, a, AlignSpec::colons(2));
+    } else {
+      env.distribute(b, {DistFormat::block(), DistFormat::block()}, grid);
+    }
     state.create(env, a);
     state.create(env, b);
     const Extent edge = n;
@@ -58,10 +73,10 @@ struct JacobiRig {
 // One Jacobi step's pricing pass: plans off = cold run-table walk (the run
 // tables themselves are memoized after the first step, so this is the best
 // uncached pricing, not a strawman); plans on = key build + replay.
-void BM_JacobiStepPricing(benchmark::State& bench) {
+void run_step_pricing(benchmark::State& bench, bool aligned) {
   const bool plans = bench.range(0) != 0;
   const Extent n = bench.range(1);
-  JacobiRig rig(n);
+  JacobiRig rig(n, aligned);
   rig.state.plans().set_enabled(plans);
   // Prime: run tables (and plans, when enabled) for both sweep directions.
   jacobi_step(rig.state, rig.env, rig.a, rig.b, n);
@@ -81,23 +96,34 @@ void BM_JacobiStepPricing(benchmark::State& bench) {
   bench.SetLabel(plans ? "plan-hit" : "cold");
 }
 
+void BM_JacobiStepPricing(benchmark::State& bench) {
+  run_step_pricing(bench, /*aligned=*/false);
+}
+
+// E3: B derives its layout from ALIGN B WITH A.
+void BM_AlignedJacobiStepPricing(benchmark::State& bench) {
+  run_step_pricing(bench, /*aligned=*/true);
+}
+
 // The full 100-iteration sweep, fresh state per benchmark iteration. The
 // cumulative counters must be identical across the two modes (the CommPlan
-// tests assert this field-exactly); total_pricing_us carries the E2 win.
-void BM_Jacobi100(benchmark::State& bench) {
+// tests assert this field-exactly); total_pricing_us carries the E2/E3 win.
+void run_jacobi_100(benchmark::State& bench, bool aligned) {
   const bool plans = bench.range(0) != 0;
   const Extent n = bench.range(1);
   SweepStats total;
   Extent cum_bytes = 0;
   Extent cum_messages = 0;
   double cum_time_us = 0.0;
+  Extent plan_hits = 0;
   for (auto _ : bench) {
-    JacobiRig rig(n);
+    JacobiRig rig(n, aligned);
     rig.state.plans().set_enabled(plans);
     total = jacobi(rig.state, rig.env, rig.a, rig.b, n, 100);
     cum_bytes = rig.state.comm().total_bytes();
     cum_messages = rig.state.comm().total_messages();
     cum_time_us = rig.state.comm().total_time_us();
+    plan_hits = rig.state.plans().hits();
   }
   bench.counters["cum_bytes"] = static_cast<double>(cum_bytes);
   bench.counters["cum_messages"] = static_cast<double>(cum_messages);
@@ -107,7 +133,17 @@ void BM_Jacobi100(benchmark::State& bench) {
       static_cast<double>(total.pricing_ns) * 1e-3;
   bench.counters["ownership_queries"] =
       static_cast<double>(total.ownership_queries);
+  bench.counters["plan_hits"] = static_cast<double>(plan_hits);
   bench.SetLabel(plans ? "plan-hit" : "cold");
+}
+
+void BM_Jacobi100(benchmark::State& bench) {
+  run_jacobi_100(bench, /*aligned=*/false);
+}
+
+// E3: iterations 2..100 of the ALIGN-ed sweep price from the plan cache.
+void BM_AlignedJacobi100(benchmark::State& bench) {
+  run_jacobi_100(bench, /*aligned=*/true);
 }
 
 void Modes(benchmark::internal::Benchmark* b) {
@@ -119,6 +155,9 @@ void Modes(benchmark::internal::Benchmark* b) {
 
 BENCHMARK(BM_JacobiStepPricing)->Apply(Modes)->UseManualTime();
 BENCHMARK(BM_Jacobi100)->Args({0, 64})->Args({1, 64})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_AlignedJacobiStepPricing)->Apply(Modes)->UseManualTime();
+BENCHMARK(BM_AlignedJacobi100)->Args({0, 64})->Args({1, 64})
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -148,6 +148,28 @@ bool AlignExpr::is_injective() const {
   return lin.has_value() && lin->a != 0;
 }
 
+void AlignExpr::signature_node(const Node& n, std::string& out) {
+  out += static_cast<char>('0' + static_cast<int>(n.op));
+  switch (n.op) {
+    case Op::kConst:
+      append_raw(out, n.value);
+      return;
+    case Op::kDummy:
+      append_raw(out, static_cast<Index1>(n.dummy));
+      return;
+    case Op::kNeg:
+      signature_node(*n.lhs, out);
+      return;
+    default:
+      signature_node(*n.lhs, out);
+      signature_node(*n.rhs, out);
+  }
+}
+
+void AlignExpr::append_signature(std::string& out) const {
+  signature_node(*node_, out);
+}
+
 std::string AlignExpr::render(const Node& n, const std::string& dummy_name) {
   switch (n.op) {
     case Op::kConst:

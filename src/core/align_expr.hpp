@@ -63,6 +63,16 @@ class AlignExpr {
   /// it is linear (|a| >= 1); MAX/MIN expressions report false.
   bool is_injective() const;
 
+  /// Appends a compact, unambiguous encoding of the tree (one op tag per
+  /// node, fixed-width constants and dummy ids) to `out`. Two expressions
+  /// append equal bytes iff they have the same shape, operators, constants
+  /// and dummy ids — which implies equal values everywhere (the converse
+  /// does not hold: J+1 and 1+J encode differently). Used to build
+  /// plan-cache signatures for constructed distributions
+  /// (exec/comm_plan.hpp) and the structural comparison of alignment
+  /// functions (AlignmentFunction::structurally_equal).
+  void append_signature(std::string& out) const;
+
   /// Rendering with the dummy shown as `dummy_name` (default "J").
   std::string to_string() const;
   std::string to_string(const std::string& dummy_name) const;
@@ -81,6 +91,7 @@ class AlignExpr {
 
   static AlignExpr make_binary(Op op, AlignExpr a, AlignExpr b);
   static Index1 eval_node(const Node& n, Index1 j);
+  static void signature_node(const Node& n, std::string& out);
   static void find_dummy(const Node& n, std::optional<int>& found);
   static std::optional<Linear> linear_node(const Node& n);
   static std::string render(const Node& n, const std::string& dummy_name);

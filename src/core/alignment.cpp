@@ -126,6 +126,50 @@ void AlignmentFunction::for_each_image(
   }
 }
 
+void AlignmentFunction::append_signature(std::string& out) const {
+  alignee_.append_signature(out);
+  base_.append_signature(out);
+  out += static_cast<char>('p' + static_cast<int>(policy_));
+  for (const BaseDim& d : dims_) {
+    switch (d.kind) {
+      case BaseDim::Kind::kConst:
+        out += 'c';
+        append_raw(out, d.constant);
+        break;
+      case BaseDim::Kind::kExpr:
+        out += 'e';
+        append_raw(out, static_cast<Index1>(d.alignee_dim));
+        d.expr.append_signature(out);
+        break;
+      case BaseDim::Kind::kReplicated:
+        out += '*';
+        break;
+    }
+  }
+}
+
+bool AlignmentFunction::structurally_equal(
+    const AlignmentFunction& other) const {
+  std::string mine, theirs;
+  append_signature(mine);
+  other.append_signature(theirs);
+  return mine == theirs;
+}
+
+bool AlignmentFunction::is_identity() const {
+  if (alignee_ != base_) return false;
+  for (std::size_t j = 0; j < dims_.size(); ++j) {
+    const BaseDim& d = dims_[j];
+    if (d.kind != BaseDim::Kind::kExpr ||
+        d.alignee_dim != static_cast<int>(j)) {
+      return false;
+    }
+    const std::optional<AlignExpr::Linear> lin = d.expr.linear();
+    if (!lin || lin->a != 1 || lin->b != 0) return false;
+  }
+  return true;
+}
+
 AlignmentFunction AlignmentFunction::identity(const IndexDomain& alignee_domain,
                                               const IndexDomain& base_domain) {
   return AlignSpec::colons(alignee_domain.rank())

@@ -114,6 +114,28 @@ class AlignmentFunction {
   void for_each_image(const IndexTuple& alignee_index,
                       const std::function<void(const IndexTuple&)>& fn) const;
 
+  /// True iff the two functions have equal domains, policies, and
+  /// structurally equal base-dimension specifications. Structural equality
+  /// implies identical images everywhere. Implemented as byte equality of
+  /// append_signature, so the comparison and the serialization can never
+  /// drift apart.
+  bool structurally_equal(const AlignmentFunction& other) const;
+
+  /// Appends a compact, unambiguous structural encoding — both domains'
+  /// bounds, the bounds policy that defines the §5.1 clamp regions, and
+  /// each base dimension's kind with its constant / expression tree
+  /// (AlignExpr::append_signature) — to `out`. Two functions append equal
+  /// bytes iff they are structurally equal; used to build plan-cache
+  /// signatures for constructed distributions (exec/comm_plan.hpp).
+  void append_signature(std::string& out) const;
+
+  /// True iff the function is the identity mapping of the alignee domain
+  /// onto an equal base domain (every base dimension reads the matching
+  /// alignee dimension through a linear 1*J+0 expression). An identity
+  /// alignment constructs exactly the base distribution, so plan signatures
+  /// collapse it away (exec/comm_plan.cpp).
+  bool is_identity() const;
+
   /// Identity alignment between two domains of equal shape.
   static AlignmentFunction identity(const IndexDomain& alignee_domain,
                                     const IndexDomain& base_domain);

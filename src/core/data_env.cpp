@@ -314,7 +314,7 @@ void DataEnv::deallocate(DistArray& array) {
   array.destroy();
 }
 
-Distribution DataEnv::distribution_of(const DistArray& array) const {
+const Distribution& DataEnv::distribution_of(const DistArray& array) const {
   if (!array.is_created()) {
     throw ConformanceError("array '" + array.name() +
                            "' has no distribution: it is not created");
@@ -322,7 +322,7 @@ Distribution DataEnv::distribution_of(const DistArray& array) const {
   return forest_.distribution_of(array.id());
 }
 
-Distribution DataEnv::distribution_of(const std::string& name) const {
+const Distribution& DataEnv::distribution_of(const std::string& name) const {
   return distribution_of(find(name));
 }
 

@@ -196,9 +196,12 @@ class DataEnv {
   // --- queries ---------------------------------------------------------------
 
   /// The array's current distribution δ; derives CONSTRUCT(α, δ_base) for
-  /// secondaries.
-  Distribution distribution_of(const DistArray& array) const;
-  Distribution distribution_of(const std::string& name) const;
+  /// secondaries, cached in the alignment forest so repeated queries share
+  /// one payload (and its memoized run tables / plan signatures). The
+  /// reference is valid until the next mapping directive; copying the
+  /// Distribution is cheap and keeps the payload shared.
+  const Distribution& distribution_of(const DistArray& array) const;
+  const Distribution& distribution_of(const std::string& name) const;
 
   bool is_primary(const DistArray& array) const;
 

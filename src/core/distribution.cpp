@@ -63,11 +63,23 @@ OwnerSet compose_dim_owners(
 // Payload hierarchy (internal).
 // ---------------------------------------------------------------------------
 
+namespace {
+
+std::uint64_t next_payload_generation() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
 struct Distribution::Payload {
   virtual ~Payload() = default;
 
   // Run tables computed by LayoutView, shared by all copies of this payload.
   mutable RunMemo memo;
+
+  // Process-unique, never-reused id (see Distribution::payload_generation).
+  const std::uint64_t generation = next_payload_generation();
 
   virtual Kind kind() const = 0;
   virtual const IndexDomain& domain() const = 0;
@@ -491,6 +503,13 @@ bool Distribution::same_mapping(const Distribution& other) const {
 }
 
 bool Distribution::structurally_equal(const Distribution& other) const {
+  if (payload_ == other.payload_) return valid();
+  if (kind() == Kind::kConstructed && other.kind() == Kind::kConstructed) {
+    const auto& a = static_cast<const ConstructedPayload&>(payload());
+    const auto& b = static_cast<const ConstructedPayload&>(other.payload());
+    return a.alpha.structurally_equal(b.alpha) &&
+           a.base_dist.structurally_equal(b.base_dist);
+  }
   if (kind() != Kind::kFormats || other.kind() != Kind::kFormats) return false;
   const auto& a = static_cast<const FormatsPayload&>(payload());
   const auto& b = static_cast<const FormatsPayload&>(other.payload());
@@ -549,6 +568,10 @@ const std::vector<Triplet>& Distribution::section_triplets() const {
 }
 
 RunMemo& Distribution::run_memo() const { return payload().memo; }
+
+std::uint64_t Distribution::payload_generation() const noexcept {
+  return payload_ ? payload_->generation : 0;
+}
 
 std::string Distribution::to_string() const {
   return valid() ? payload().to_string() : "<undistributed>";

@@ -25,6 +25,7 @@
 
 #include <array>
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
@@ -171,8 +172,10 @@ class Distribution {
   /// inheritance matching (§7, mode 3).
   bool same_mapping(const Distribution& other) const;
 
-  /// Fast structural comparison: true only for two kFormats distributions
-  /// with equal domains, formats, and targets. (May return false for
+  /// Fast structural comparison: true for two kFormats distributions with
+  /// equal domains, formats, and targets, and for two kConstructed
+  /// distributions whose alignment functions are structurally equal and
+  /// whose bases compare structurally equal in turn. (May return false for
   /// mappings that are element-wise equal.)
   bool structurally_equal(const Distribution& other) const;
 
@@ -199,6 +202,13 @@ class Distribution {
   /// cache pins the Distribution so the address cannot be recycled while a
   /// keyed plan lives. Null for invalid distributions.
   const void* payload_identity() const noexcept { return payload_.get(); }
+
+  /// Monotonically increasing id assigned to every payload at construction;
+  /// unique for the lifetime of the process, never reused. Keyed alongside
+  /// payload_identity() so a plan recorded against a destroyed payload can
+  /// never be replayed for a different payload that the allocator placed at
+  /// the same address (exec/comm_plan.hpp). 0 for invalid distributions.
+  std::uint64_t payload_generation() const noexcept;
 
   /// Human-readable description, e.g. "(BLOCK, CYCLIC(4)) TO PR".
   std::string to_string() const;

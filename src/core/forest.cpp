@@ -84,6 +84,7 @@ void AlignmentForest::make_secondary(ArrayId id, ArrayId base,
   n.parent = base;
   n.alpha = std::move(alpha);
   n.dist = Distribution();
+  n.derived = Distribution();
   b.children.push_back(id);
 }
 
@@ -112,11 +113,19 @@ const AlignmentFunction& AlignmentForest::alignment_of(ArrayId id) const {
   return n.alpha;
 }
 
-Distribution AlignmentForest::distribution_of(ArrayId id) const {
+const Distribution& AlignmentForest::distribution_of(ArrayId id) const {
   const Node& n = node(id);
   if (!n.secondary) return n.dist;
-  const Node& base = node(n.parent);
-  return Distribution::constructed(n.alpha, base.dist);
+  if (!n.derived.valid()) {
+    const Node& base = node(n.parent);
+    n.derived = Distribution::constructed(n.alpha, base.dist);
+  }
+  return n.derived;
+}
+
+void AlignmentForest::invalidate_subtree(Node& n) {
+  n.derived = Distribution();
+  for (ArrayId child : n.children) node(child).derived = Distribution();
 }
 
 void AlignmentForest::set_distribution(ArrayId id, Distribution dist) {
@@ -129,6 +138,7 @@ void AlignmentForest::set_distribution(ArrayId id, Distribution dist) {
   if (!dist.valid()) {
     throw ConformanceError("a primary array requires a distribution");
   }
+  invalidate_subtree(n);
   n.dist = std::move(dist);
 }
 
@@ -140,6 +150,7 @@ void AlignmentForest::detach_from_parent(ArrayId id) {
                    p.children.end());
   n.secondary = false;
   n.parent = kNoArray;
+  n.derived = Distribution();
 }
 
 void AlignmentForest::orphan_children(ArrayId id) {
@@ -147,12 +158,16 @@ void AlignmentForest::orphan_children(ArrayId id) {
   std::vector<ArrayId> children = n.children;
   for (ArrayId child : children) {
     // "made into primary arrays of degenerate trees with their current
-    // distribution" (§5.2 step 1): snapshot the derived distribution.
+    // distribution" (§5.2 step 1): snapshot the derived distribution. The
+    // cached derived payload (when warm) IS that snapshot — a kConstructed
+    // holding the base's distribution by value — so promoting it keeps its
+    // memoized run tables alive instead of re-deriving a cold payload.
     Distribution snapshot = distribution_of(child);
     Node& c = node(child);
     c.secondary = false;
     c.parent = kNoArray;
     c.dist = std::move(snapshot);
+    c.derived = Distribution();
   }
   n.children.clear();
 }
@@ -165,6 +180,10 @@ void AlignmentForest::redistribute(ArrayId id, Distribution dist) {
   if (n.secondary) {
     // §4.2: B is disconnected and made into a new degenerate tree.
     detach_from_parent(id);
+  } else {
+    // §4.2: every secondary follows the new distribution — their cached
+    // derived payloads are stale the moment the base changes.
+    invalidate_subtree(n);
   }
   node(id).dist = std::move(dist);
 }
@@ -177,22 +196,27 @@ void AlignmentForest::realign(ArrayId id, ArrayId base,
   if (id == base) {
     throw ConformanceError("an array cannot be realigned to itself");
   }
-  // Step 1: orphan id's secondaries (if primary) / detach id (if secondary).
-  orphan_children(id);
-  detach_from_parent(id);
-  Node& b = node(base);
-  if (b.secondary) {
+  // Validate before mutating: a failing REALIGN must leave the forest
+  // untouched. The base may not itself be aligned (§2.4, constraint 1) —
+  // unless it is aligned to `id`, in which case step 1's orphaning below
+  // promotes it to a primary first.
+  if (node(base).secondary && node(base).parent != id) {
     throw ConformanceError(
         "the base of a REALIGN must not itself be aligned (§2.4, "
         "constraint 1)");
   }
+  // Step 1: orphan id's secondaries (if primary) / detach id (if secondary).
+  orphan_children(id);
+  detach_from_parent(id);
+  Node& b = node(base);
   // Steps 2 and 3: id becomes a secondary of base; its distribution is
-  // CONSTRUCT(α, δ_base) from now on (derived on demand).
+  // CONSTRUCT(α, δ_base) from now on (derived on demand, then cached).
   Node& n = node(id);
   n.secondary = true;
   n.parent = base;
   n.alpha = std::move(alpha);
   n.dist = Distribution();
+  n.derived = Distribution();
   b.children.push_back(id);
 }
 
@@ -227,9 +251,23 @@ void AlignmentForest::check_invariants() const {
       if (std::find(siblings.begin(), siblings.end(), id) == siblings.end()) {
         throw InternalError("secondary missing from its base's child list");
       }
+      if (n.derived.valid()) {
+        if (n.derived.kind() != Distribution::Kind::kConstructed) {
+          throw InternalError("cached derived distribution is not CONSTRUCT");
+        }
+        if (n.derived.base().payload_identity() !=
+            it->second.dist.payload_identity()) {
+          throw InternalError(
+              "cached derived distribution is stale: it was built against a "
+              "distribution its base no longer has");
+        }
+      }
     } else {
       if (!n.dist.valid()) {
         throw InternalError("primary array without a distribution");
+      }
+      if (n.derived.valid()) {
+        throw InternalError("primary array with a cached derived distribution");
       }
       for (ArrayId child : n.children) {
         auto it = nodes_.find(child);

@@ -15,6 +15,15 @@
 // redistribution of a base is O(1) and every secondary's mapping follows
 // automatically — precisely the invariant the paper requires ("the
 // relationship expressed by the alignment function ... is kept invariant").
+//
+// A secondary's derived distribution CONSTRUCT(α, δ_B) is *cached* on the
+// node: repeated distribution_of calls return the same shared payload, so
+// the payload's memoized run tables (Distribution::run_memo) and any
+// address-keyed communication plans priced against it stay warm across
+// queries. Every mutation that can change a mapping — set_distribution,
+// redistribute, realign, detachment, orphaning, removal — invalidates the
+// affected nodes' cached payloads (for a primary, its whole subtree's), so
+// a stale derived mapping can never be observed.
 #pragma once
 
 #include <unordered_map>
@@ -55,8 +64,12 @@ class AlignmentForest {
   const AlignmentFunction& alignment_of(ArrayId id) const;
 
   /// δ of `id`: the stored distribution for primaries; CONSTRUCT(α, δ_base)
-  /// for secondaries, built against the base's *current* distribution.
-  Distribution distribution_of(ArrayId id) const;
+  /// for secondaries, built against the base's *current* distribution and
+  /// cached on the node — repeated calls return a handle to one shared
+  /// payload until a mutation of the node (or its base) invalidates it.
+  /// The reference is valid until the next mutating call on this forest;
+  /// copying the returned Distribution is cheap and shares the payload.
+  const Distribution& distribution_of(ArrayId id) const;
 
   /// Replaces a primary's distribution directly (static DISTRIBUTE during
   /// specification processing). Throws for secondaries: an alignee's
@@ -101,6 +114,11 @@ class AlignmentForest {
     AlignmentFunction alpha = AlignmentFunction(
         IndexDomain(), IndexDomain(), {});  // valid only when secondary
     Distribution dist;                      // valid only when primary
+    // Memo of CONSTRUCT(alpha, parent's dist), filled lazily by
+    // distribution_of; invalid when the node is primary or the cache has
+    // been invalidated by a mutation. Mutable: caching is not an observable
+    // state change.
+    mutable Distribution derived;
     std::vector<ArrayId> children;
   };
 
@@ -108,6 +126,10 @@ class AlignmentForest {
   const Node& node(ArrayId id) const;
   void detach_from_parent(ArrayId id);
   void orphan_children(ArrayId id);
+
+  /// Drops the cached derived payloads of `n` and (when primary) of every
+  /// child, so the next distribution_of re-derives against current state.
+  void invalidate_subtree(Node& n);
 
   std::unordered_map<ArrayId, Node> nodes_;
 };

@@ -93,6 +93,12 @@ class IndexDomain {
   /// "(0:10, 1:5:2)" rendering; "()" for rank-0.
   std::string to_string() const;
 
+  /// Appends a compact, unambiguous encoding of the dimensions (rank, then
+  /// each dimension's lower/upper/stride as fixed-width integers) to
+  /// `out`. Two domains append equal bytes iff they are equal; used to
+  /// build plan-cache keys and alignment signatures.
+  void append_signature(std::string& out) const;
+
   friend bool operator==(const IndexDomain& a, const IndexDomain& b) {
     return a.dims_ == b.dims_;
   }

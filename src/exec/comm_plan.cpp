@@ -1,48 +1,41 @@
 #include "exec/comm_plan.hpp"
 
-#include <cstring>
+#include "support/strings.hpp"
 
 namespace hpfnt {
 
-namespace {
+// Keys are byte strings of fixed-width fields (append_raw,
+// support/strings.hpp) behind one-byte structure tags: unambiguous, cheap
+// to build (no formatting), cheap to hash.
 
-// Keys are byte strings of fixed-width fields behind one-byte structure
-// tags: unambiguous, cheap to build (no formatting), cheap to hash.
-void append_num(std::string& key, Extent v) {
-  char buf[sizeof v];
-  std::memcpy(buf, &v, sizeof v);
-  key.append(buf, sizeof v);
-}
-
-void append_ptr(std::string& key, const void* p) {
-  char buf[sizeof p];
-  std::memcpy(buf, &p, sizeof p);
-  key.append(buf, sizeof p);
-}
-
-// True when the payload's schedule-relevant state is fully captured by a
-// compact value signature: a kFormats payload whose formats carry no large
-// or opaque tables. INDIRECT maps print abbreviated and USER functions
-// compare by name only, so those fall back to address keying.
 bool has_structural_signature(const Distribution& dist) {
-  if (dist.kind() != Distribution::Kind::kFormats) return false;
-  for (const DistFormat& f : dist.format_list()) {
-    switch (f.kind()) {
-      case FormatKind::kBlock:
-      case FormatKind::kViennaBlock:
-      case FormatKind::kGeneralBlock:
-      case FormatKind::kCyclic:
-      case FormatKind::kCollapsed:
-        break;
-      case FormatKind::kIndirect:
-      case FormatKind::kUserDefined:
-        return false;
-    }
+  switch (dist.kind()) {
+    case Distribution::Kind::kFormats:
+      for (const DistFormat& f : dist.format_list()) {
+        switch (f.kind()) {
+          case FormatKind::kBlock:
+          case FormatKind::kViennaBlock:
+          case FormatKind::kGeneralBlock:
+          case FormatKind::kCyclic:
+          case FormatKind::kCollapsed:
+            break;
+          case FormatKind::kIndirect:
+          case FormatKind::kUserDefined:
+            return false;
+        }
+      }
+      return true;
+    case Distribution::Kind::kConstructed:
+      // The alignment function is always structurally serializable; the
+      // signature composes with the base's, recursing through nested
+      // alignments until a pure-format base.
+      return has_structural_signature(dist.base());
+    case Distribution::Kind::kSectionView:
+    case Distribution::Kind::kExplicit:
+      return false;
   }
-  return true;
+  return false;
 }
-
-}  // namespace
 
 void PlanKey::add_tag(const char* tag) {
   key_ += tag;
@@ -51,35 +44,50 @@ void PlanKey::add_tag(const char* tag) {
 
 void PlanKey::add_scalar(Extent v) {
   key_ += '#';
-  append_num(key_, v);
+  append_raw(key_, v);
 }
 
 void PlanKey::add_section(const std::vector<Triplet>& section) {
   key_ += 'S';
-  append_num(key_, static_cast<Extent>(section.size()));
+  append_raw(key_, static_cast<Extent>(section.size()));
   for (const Triplet& t : section) {
-    append_num(key_, t.lower());
-    append_num(key_, t.upper());
-    append_num(key_, t.stride());
+    append_raw(key_, t.lower());
+    append_raw(key_, t.upper());
+    append_raw(key_, t.stride());
   }
 }
 
 void PlanKey::add_distribution(const Distribution& dist) {
   if (has_structural_signature(dist)) {
+    if (dist.kind() == Distribution::Kind::kConstructed) {
+      // CONSTRUCT(α, δ_B) is a pure function of α and δ_B, so its signature
+      // is α's serialization composed with the base's signature. An
+      // identity α constructs exactly δ_B; collapsing it to the base's own
+      // signature lets an aligned array share plans with — and key
+      // identically to — its base, so an ALIGN-ed Jacobi's two sweep
+      // directions produce one plan, like two equal-format primaries do.
+      if (dist.alignment().is_identity()) {
+        add_distribution(dist.base());
+        return;
+      }
+      key_ += 'C';
+      // The α serialization (domains, clamp policy, per-dimension
+      // expression trees) is the same bytes AlignmentFunction::
+      // structurally_equal compares, so equal-α layouts share keys by
+      // construction.
+      dist.alignment().append_signature(key_);
+      add_distribution(dist.base());
+      return;
+    }
     // Value signature: domain bounds, format list, target.
     key_ += 'F';
-    const IndexDomain& dom = dist.domain();
-    append_num(key_, dom.rank());
-    for (int d = 0; d < dom.rank(); ++d) {
-      append_num(key_, dom.lower(d));
-      append_num(key_, dom.upper(d));
-    }
+    dist.domain().append_signature(key_);
     for (const DistFormat& f : dist.format_list()) {
       key_ += static_cast<char>('a' + static_cast<int>(f.kind()));
-      if (f.kind() == FormatKind::kCyclic) append_num(key_, f.cyclic_k());
+      if (f.kind() == FormatKind::kCyclic) append_raw(key_, f.cyclic_k());
       if (f.kind() == FormatKind::kGeneralBlock) {
-        append_num(key_, static_cast<Extent>(f.general_bounds().size()));
-        for (Extent b : f.general_bounds()) append_num(key_, b);
+        append_raw(key_, static_cast<Extent>(f.general_bounds().size()));
+        for (Extent b : f.general_bounds()) append_raw(key_, b);
       }
     }
     const ProcessorRef& target = dist.target();
@@ -89,30 +97,35 @@ void PlanKey::add_distribution(const Distribution& dist) {
     // space's size and policies. The address is kept as belt and braces
     // against same-shaped arrangements in coexisting spaces.
     const ProcessorArrangement& arr = target.arrangement();
-    append_ptr(key_, &arr);
-    append_num(key_, arr.ap_offset());
-    append_num(key_, arr.domain().rank());
+    append_raw(key_, &arr);
+    append_raw(key_, arr.ap_offset());
+    append_raw(key_, arr.domain().rank());
     for (int d = 0; d < arr.domain().rank(); ++d) {
-      append_num(key_, arr.domain().extent(d));
+      append_raw(key_, arr.domain().extent(d));
     }
-    append_num(key_, arr.space().processor_count());
-    append_num(key_, static_cast<Extent>(arr.space().scalar_placement()));
-    append_num(key_, static_cast<Extent>(arr.space().oversize_policy()));
-    append_num(key_, static_cast<Extent>(target.subs().size()));
+    append_raw(key_, arr.space().processor_count());
+    append_raw(key_, static_cast<Extent>(arr.space().scalar_placement()));
+    append_raw(key_, static_cast<Extent>(arr.space().oversize_policy()));
+    append_raw(key_, static_cast<Extent>(target.subs().size()));
     for (const TargetSub& sub : target.subs()) {
       key_ += sub.is_scalar ? '.' : ':';
       if (sub.is_scalar) {
-        append_num(key_, sub.scalar);
+        append_raw(key_, sub.scalar);
       } else {
-        append_num(key_, sub.triplet.lower());
-        append_num(key_, sub.triplet.upper());
-        append_num(key_, sub.triplet.stride());
+        append_raw(key_, sub.triplet.lower());
+        append_raw(key_, sub.triplet.upper());
+        append_raw(key_, sub.triplet.stride());
       }
     }
     return;
   }
+  // Address keying alone would alias if the payload died and a different
+  // one were allocated at the same address; the process-unique generation
+  // id makes the key valid for exactly one payload lifetime. The pin keeps
+  // the payload (and its run-table memo) alive while the plan does.
   key_ += 'P';
-  append_ptr(key_, dist.payload_identity());
+  append_raw(key_, dist.payload_identity());
+  append_raw(key_, static_cast<Extent>(dist.payload_generation()));
   pins_.push_back(dist);
 }
 

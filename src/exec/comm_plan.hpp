@@ -17,10 +17,30 @@
 // and the scalar pricing inputs (elem_bytes, flops). Pure-format payloads
 // are keyed *structurally* (domain + formats + target), so two arrays with
 // equal layouts — the alternating source/destination of a Jacobi sweep —
-// share one plan and the 2nd..Nth iteration prices by replay. Payloads
-// without a cheap structural signature (INDIRECT/USER formats, constructed,
-// section-view, explicit) are keyed by payload address and pinned by the
-// cache entry so the address cannot be recycled while the plan lives.
+// share one plan and the 2nd..Nth iteration prices by replay.
+//
+// Constructed payloads (the derived CONSTRUCT(α, δ_B) of an aligned array)
+// key structurally too, because the paper makes the mapping algebraic: the
+// signature is the structural serialization of α — alignee/base domain
+// bounds, the bounds policy that defines the §5.1 clamp regions, and each
+// base dimension's kind with its linear expression tree — composed with the
+// base payload's structural signature, recursing through nested alignments
+// until a pure-format base. Two forest-derived payloads with equal α over
+// structurally equal bases therefore share one plan, exactly like two equal
+// BLOCK layouts; an *identity* α collapses to the base's own signature, so
+// an ALIGN-ed Jacobi's a->b and b->a steps share a single plan. A
+// constructed payload over a base without a structural signature falls back
+// to address keying, like the base itself would.
+//
+// Payloads without a cheap structural signature (INDIRECT/USER formats,
+// section-view, explicit) are keyed by payload address *and* by the
+// payload's process-unique generation id (Distribution::payload_generation),
+// and pinned by the cache entry. The pin keeps the payload's address from
+// being recycled while the plan lives; the generation id makes the key
+// robust even without the pin — a payload that dies and a different one the
+// allocator places at the same address can never alias to the same key, so
+// a stale plan can never be replayed for a distribution it was not priced
+// from.
 //
 // Consulted by assign_impl (exec/assign.cpp), ProgramState::copy_section,
 // and ProgramState::apply_remap (exec/storage.cpp).
@@ -81,11 +101,19 @@ struct CommPlan {
   bool sealed = false;
 };
 
+/// True when the payload's schedule-relevant state is fully captured by a
+/// compact value signature: a kFormats payload whose formats carry no large
+/// or opaque tables (INDIRECT maps print abbreviated and USER functions
+/// compare by name only), or a kConstructed payload whose base has a
+/// structural signature in turn (the alignment function itself is always
+/// structurally serializable).
+bool has_structural_signature(const Distribution& dist);
+
 /// Builds the cache key of one priced step from its pricing inputs. Every
-/// distribution the schedule depends on must be added; kFormats payloads
-/// whose formats are all structural (BLOCK / VIENNA_BLOCK / GENERAL_BLOCK /
-/// CYCLIC / ":") key by value so structurally equal layouts share plans,
-/// all other payloads key by address and are collected as pins.
+/// distribution the schedule depends on must be added; payloads with a
+/// structural signature (see has_structural_signature) key by value so
+/// structurally equal layouts share plans, all other payloads key by
+/// address + generation id and are collected as pins.
 class PlanKey {
  public:
   PlanKey() { key_.reserve(256); }

@@ -2,11 +2,26 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 namespace hpfnt {
+
+/// Appends the raw fixed-width bytes of a trivially copyable value (an
+/// integer or a pointer) to `out`. The single encoder behind every binary
+/// signature/cache-key builder (plan keys, alignment signatures), so the
+/// encodings cannot drift apart.
+template <typename T>
+void append_raw(std::string& out, T v) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "append_raw requires a trivially copyable value");
+  char buf[sizeof v];
+  std::memcpy(buf, &v, sizeof v);
+  out.append(buf, sizeof v);
+}
 
 /// Joins `parts` with `sep` ("a, b, c").
 std::string join(const std::vector<std::string>& parts, const std::string& sep);

@@ -186,6 +186,26 @@ TEST_F(ForestTest, RealignToSecondaryRejected) {
   EXPECT_THROW(f.realign(3, 2, identity(16)), ConformanceError);
 }
 
+TEST_F(ForestTest, FailedRealignLeavesForestUntouched) {
+  // The base check must run before step 1 mutates anything: a rejected
+  // REALIGN must not detach the alignee or orphan its secondaries.
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_secondary(2, 1, identity(16));  // alignee to move
+  f.add_primary(3, block_dist(16, 4));
+  f.add_secondary(4, 3, identity(16));  // illegal base (aligned elsewhere)
+  EXPECT_THROW(f.realign(2, 4, identity(16)), ConformanceError);
+  EXPECT_EQ(f.parent_of(2), 1);  // still aligned where it was
+  EXPECT_EQ(f.distribution_of(2).kind(), Distribution::Kind::kConstructed);
+  f.check_invariants();
+
+  // A primary with secondaries: the failed realign must not orphan them.
+  EXPECT_THROW(f.realign(1, 4, identity(16)), ConformanceError);
+  EXPECT_EQ(f.parent_of(2), 1);
+  EXPECT_TRUE(f.is_primary(1));
+  f.check_invariants();
+}
+
 TEST_F(ForestTest, RemoveOrphansChildrenWithSnapshot) {
   // §6 DEALLOCATE: "each array A directly aligned to B is made into a new
   // tree with primary A."
@@ -197,6 +217,111 @@ TEST_F(ForestTest, RemoveOrphansChildrenWithSnapshot) {
   EXPECT_FALSE(f.contains(1));
   EXPECT_TRUE(f.is_primary(2));
   EXPECT_TRUE(f.distribution_of(2).same_mapping(d2_before));
+  f.check_invariants();
+}
+
+// --- the derived-distribution cache and its invalidation --------------------
+
+TEST_F(ForestTest, DerivedDistributionIsCachedAcrossQueries) {
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_secondary(2, 1, identity(16));
+  const Distribution first = f.distribution_of(2);
+  const Distribution second = f.distribution_of(2);
+  // Repeated queries share one payload, so memoized run tables and plan
+  // signatures stay warm; a fresh payload per call would keep them cold.
+  EXPECT_EQ(first.payload_identity(), second.payload_identity());
+  EXPECT_EQ(first.kind(), Distribution::Kind::kConstructed);
+  f.check_invariants();
+}
+
+TEST_F(ForestTest, SetDistributionInvalidatesCachedDerived) {
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_secondary(2, 1, identity(16));
+  const Distribution stale = f.distribution_of(2);  // warm the cache
+  f.set_distribution(1, cyclic_dist(16, 4));
+  const Distribution& fresh = f.distribution_of(2);
+  EXPECT_NE(fresh.payload_identity(), stale.payload_identity());
+  for (Index1 i = 1; i <= 16; ++i) {
+    EXPECT_EQ(fresh.first_owner(idx({i})),
+              f.distribution_of(1).first_owner(idx({i})));
+  }
+  f.check_invariants();
+}
+
+TEST_F(ForestTest, RedistributePrimaryInvalidatesWholeSubtree) {
+  // REDISTRIBUTE of a primary must invalidate the cached derived payloads
+  // of *every* secondary aligned to it; a cache without subtree
+  // invalidation would keep answering from the old base distribution.
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_secondary(2, 1, identity(16));
+  f.add_secondary(3, 1, identity(16));
+  const Distribution stale2 = f.distribution_of(2);
+  const Distribution stale3 = f.distribution_of(3);
+  f.redistribute(1, cyclic_dist(16, 4));
+  const Distribution d1 = f.distribution_of(1);
+  for (ArrayId child : {ArrayId(2), ArrayId(3)}) {
+    const Distribution& d = f.distribution_of(child);
+    EXPECT_NE(d.payload_identity(),
+              (child == 2 ? stale2 : stale3).payload_identity());
+    for (Index1 i = 1; i <= 16; ++i) {
+      EXPECT_EQ(d.first_owner(idx({i})), d1.first_owner(idx({i})))
+          << "child " << child << " index " << i;
+    }
+  }
+  f.check_invariants();
+}
+
+TEST_F(ForestTest, RedistributedSecondaryDropsItsCachedDerived) {
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_secondary(2, 1, identity(16));
+  f.distribution_of(2);  // warm the cache
+  f.redistribute(2, cyclic_dist(16, 4));
+  EXPECT_EQ(f.distribution_of(2).kind(), Distribution::Kind::kFormats);
+  f.check_invariants();
+}
+
+TEST_F(ForestTest, RealignInvalidatesAndRederivesAgainstNewBase) {
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_primary(2, cyclic_dist(16, 4));
+  f.add_secondary(3, 1, identity(16));
+  const Distribution stale = f.distribution_of(3);
+  f.realign(3, 2, identity(16));
+  const Distribution& fresh = f.distribution_of(3);
+  EXPECT_NE(fresh.payload_identity(), stale.payload_identity());
+  EXPECT_EQ(fresh.first_owner(idx({2})),
+            f.distribution_of(2).first_owner(idx({2})));
+  f.check_invariants();
+}
+
+TEST_F(ForestTest, OrphanSnapshotReusesCachedDerivedPayload) {
+  // §5.2 step 1 freezes each orphan's *current* distribution. The cached
+  // derived payload is exactly that snapshot (it holds the base's
+  // distribution by value), so orphaning promotes it instead of deriving a
+  // cold copy — its memoized run tables survive the transition.
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_primary(2, cyclic_dist(16, 4));
+  f.add_secondary(3, 1, identity(16));
+  const Distribution warm = f.distribution_of(3);
+  f.realign(1, 2, identity(16));  // step 1 orphans 3
+  EXPECT_TRUE(f.is_primary(3));
+  EXPECT_EQ(f.distribution_of(3).payload_identity(), warm.payload_identity());
+  f.check_invariants();
+}
+
+TEST_F(ForestTest, RemoveReusesCachedSnapshotForOrphans) {
+  AlignmentForest f;
+  f.add_primary(1, block_dist(16, 4));
+  f.add_secondary(2, 1, identity(16));
+  const Distribution warm = f.distribution_of(2);
+  f.remove(1);
+  EXPECT_TRUE(f.is_primary(2));
+  EXPECT_EQ(f.distribution_of(2).payload_identity(), warm.payload_identity());
   f.check_invariants();
 }
 
