@@ -1,121 +1,184 @@
-// Experiments E5 and E10 — procedure-boundary costs (paper §7, §8.1.2).
+// Experiments E4, E5 and E10 — procedure-boundary costs (paper §7, §8.1.2).
 //
-// E5: CALL SUB(A(2:996:2)) with A CYCLIC(3), over growing N: a dummy that
-// *inherits* its distribution (DISTRIBUTE X *) moves nothing; an explicit
-// specification pays a remap of the section at call AND return. This is
-// precisely why the paper expects subroutines to inherit by default.
+// E4 (BM_RepeatedInheritedSectionCall): the same section actual passed to
+// the same inherit-mapped subroutine N times. Every call mints a *fresh*
+// section-view payload for the dummy (DataEnv::call), so before content
+// plan signatures each call priced its argument copies cold; with the
+// content-hashed keys, call 1 misses once per copy direction and calls
+// 2..N replay — with cumulative statistics byte-identical to a
+// cache-disabled run (asserted field-exactly by the CommPlan tests; the
+// JSON counters carry both modes side by side for CI's bench-smoke
+// artifact, next to E1-E3).
 //
-// E10: the four §7 dummy-mapping modes compared at fixed N, including
-// inheritance-matching (free when the actual matches) and the implicit
-// compiler mapping.
-#include <cstdio>
+// E5 (BM_CallRoundTrip): CALL SUB(A(2:N-4:2)) with A CYCLIC(3): a dummy
+// that *inherits* its distribution (DISTRIBUTE X *) moves nothing; an
+// explicit specification pays a remap of the section at call AND return.
+// This is precisely why the paper expects subroutines to inherit by
+// default.
+//
+// E10 (BM_DummyMappingModes): the four §7 dummy-mapping modes at fixed N,
+// including inheritance-matching (free when the actual matches) and the
+// implicit compiler mapping.
+#include <benchmark/benchmark.h>
+
 #include <string>
 #include <vector>
 
 #include "core/data_env.hpp"
 #include "exec/redistribute_exec.hpp"
-#include "machine/metrics.hpp"
-
-using namespace hpfnt;
 
 namespace {
 
-struct CallCost {
-  Extent in_msgs = 0;
+using namespace hpfnt;
+
+constexpr Extent kProcs = 16;
+
+struct CallRig {
+  explicit CallRig(Extent n, std::vector<DistFormat> formats)
+      : machine(kProcs),
+        ps(kProcs),
+        env((ps.declare("Q", IndexDomain::of_extents({kProcs})), ps)),
+        a(env.real("A", IndexDomain{Dim(1, n)})),
+        state(machine) {
+    env.distribute(a, std::move(formats), ProcessorRef(ps.find("Q")));
+    state.create(env, a);
+  }
+
+  Machine machine;
+  ProcessorSpace ps;
+  DataEnv env;
+  DistArray& a;
+  ProgramState state;
+};
+
+struct RoundTrip {
   Extent in_bytes = 0;
-  Extent out_msgs = 0;
   Extent out_bytes = 0;
+  Extent remaps = 0;
   double time_us = 0.0;
 };
 
-CallCost price_call(Machine& machine, ProcessorSpace& space, Extent n,
-                    const DummyMapping& mapping) {
-  DataEnv env(space);
-  DistArray& a = env.real("A", IndexDomain{Dim(1, n)});
-  env.distribute(a, {DistFormat::cyclic(3)},
-                 ProcessorRef(space.find("Q")));
-  ProgramState state(machine);
-  state.create(env, a);
-
+RoundTrip one_call(CallRig& rig, const DummyMapping& mapping,
+                   const std::vector<Triplet>& section) {
   ProcedureSig sub{"SUB", {DummySpec{"X", ElemType::kReal, mapping, false}}};
-  const Index1 hi = n - 4;
   CallFrame frame =
-      env.call(sub, {ActualArg::of_section(a.id(), {Triplet(2, hi, 2)})});
-  std::vector<StepStats> in = enter_call(state, env, frame);
-  std::vector<StepStats> out = exit_call(state, env, frame);
-  CallCost cost;
-  cost.in_msgs = in[0].messages;
+      rig.env.call(sub, {ActualArg::of_section(rig.a.id(), section)});
+  std::vector<StepStats> in = enter_call(rig.state, rig.env, frame);
+  std::vector<StepStats> out = exit_call(rig.state, rig.env, frame);
+  RoundTrip cost;
   cost.in_bytes = in[0].bytes;
-  cost.out_msgs = out[0].messages;
   cost.out_bytes = out[0].bytes;
+  cost.remaps = static_cast<Extent>(frame.call_events.size());
   cost.time_us = in[0].time_us + out[0].time_us;
   return cost;
 }
 
+// E4: N calls of SUB(A(2:hi:2)) with an inherit dummy, plans on/off. The
+// dummy's layout is a fresh section-view payload every call; iterations
+// 2..N must replay call 1's copy-in/copy-out plans (one miss per copy
+// direction).
+void BM_RepeatedInheritedSectionCall(benchmark::State& bench) {
+  const bool plans = bench.range(0) != 0;
+  const Extent n = bench.range(1);
+  constexpr int kCalls = 32;
+  const std::vector<Triplet> section{Triplet(2, n - 4, 2)};
+  Extent hits = 0;
+  Extent misses = 0;
+  Extent evictions = 0;
+  Extent cum_bytes = 0;
+  Extent cum_messages = 0;
+  Extent cum_local_reads = 0;
+  double cum_time_us = 0.0;
+  for (auto _ : bench) {
+    CallRig rig(n, {DistFormat::cyclic(3)});
+    rig.state.plans().set_enabled(plans);
+    for (int c = 0; c < kCalls; ++c) {
+      benchmark::DoNotOptimize(
+          one_call(rig, DummyMapping::inherit(), section));
+    }
+    hits = rig.state.plans().hits();
+    misses = rig.state.plans().misses();
+    evictions = rig.state.plans().evictions();
+    cum_bytes = rig.state.comm().total_bytes();
+    cum_messages = rig.state.comm().total_messages();
+    cum_local_reads = rig.state.comm().local_reads();
+    cum_time_us = rig.state.comm().total_time_us();
+  }
+  bench.counters["calls"] = kCalls;
+  bench.counters["plan_hits"] = static_cast<double>(hits);
+  bench.counters["plan_misses"] = static_cast<double>(misses);
+  bench.counters["plan_evictions"] = static_cast<double>(evictions);
+  bench.counters["cum_bytes"] = static_cast<double>(cum_bytes);
+  bench.counters["cum_messages"] = static_cast<double>(cum_messages);
+  bench.counters["cum_local_reads"] = static_cast<double>(cum_local_reads);
+  bench.counters["cum_est_time_us"] = cum_time_us;
+  bench.SetLabel(plans ? "plan-hit" : "cold");
+}
+
+// E5: one call round trip per mapping mode over a strided section.
+void BM_CallRoundTrip(benchmark::State& bench) {
+  const int mode = static_cast<int>(bench.range(0));
+  const Extent n = bench.range(1);
+  CallRig rig(n, {DistFormat::cyclic(3)});
+  const ProcessorRef q(rig.ps.find("Q"));
+  const DummyMapping mapping =
+      mode == 0   ? DummyMapping::inherit()
+      : mode == 1 ? DummyMapping::explicit_dist({DistFormat::cyclic(3)}, q)
+                  : DummyMapping::explicit_dist({DistFormat::block()}, q);
+  const std::vector<Triplet> section{Triplet(2, n - 4, 2)};
+  RoundTrip last;
+  for (auto _ : bench) {
+    last = one_call(rig, mapping, section);
+  }
+  bench.counters["call_bytes"] = static_cast<double>(last.in_bytes);
+  bench.counters["return_bytes"] = static_cast<double>(last.out_bytes);
+  bench.counters["round_trip_est_us"] = last.time_us;
+  bench.SetLabel(mode == 0   ? "inherit"
+                 : mode == 1 ? "explicit-cyclic3"
+                             : "explicit-block");
+}
+
+// E10: the four §7 dummy-mapping modes over a whole-array actual (so mode
+// 3, inheritance-matching, can match exactly and be free).
+void BM_DummyMappingModes(benchmark::State& bench) {
+  const int mode = static_cast<int>(bench.range(0));
+  const Extent n = 10000;
+  CallRig rig(n, {DistFormat::cyclic(3)});
+  const ProcessorRef q(rig.ps.find("Q"));
+  const DummyMapping mapping =
+      mode == 0   ? DummyMapping::explicit_dist({DistFormat::block()}, q)
+      : mode == 1 ? DummyMapping::inherit()
+      : mode == 2 ? DummyMapping::inherit_match({DistFormat::cyclic(3)}, q)
+                  : DummyMapping::implicit();
+  RoundTrip last;
+  for (auto _ : bench) {
+    last = one_call(rig, mapping, rig.a.domain().dims());
+  }
+  bench.counters["round_trip_bytes"] =
+      static_cast<double>(last.in_bytes + last.out_bytes);
+  bench.counters["call_site_remaps"] = static_cast<double>(last.remaps);
+  bench.SetLabel(mode == 0   ? "explicit"
+                 : mode == 1 ? "inherited"
+                 : mode == 2 ? "inheritance-matching"
+                             : "implicit");
+}
+
+void E4Modes(benchmark::internal::Benchmark* b) {
+  for (Extent n : {1000, 10000}) {
+    b->Args({0, n});
+    b->Args({1, n});
+  }
+}
+
+BENCHMARK(BM_RepeatedInheritedSectionCall)
+    ->Apply(E4Modes)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CallRoundTrip)
+    ->Args({0, 10000})
+    ->Args({1, 10000})
+    ->Args({2, 10000});
+BENCHMARK(BM_DummyMappingModes)->DenseRange(0, 3);
+
 }  // namespace
 
-int main() {
-  constexpr Extent kProcs = 16;
-  Machine machine(kProcs);
-  ProcessorSpace space(kProcs);
-  space.declare("Q", IndexDomain::of_extents({kProcs}));
-  ProcessorRef q(space.find("Q"));
-
-  std::printf("E5: CALL SUB(A(2:N-4:2)), A CYCLIC(3) over %lld processors "
-              "(paper §8.1.2)\n\n",
-              static_cast<long long>(kProcs));
-  TextTable table({"N", "dummy mapping", "call bytes", "return bytes",
-                   "est. round trip"});
-  for (Extent n : {1000, 10000, 100000}) {
-    for (int mode = 0; mode < 3; ++mode) {
-      DummyMapping mapping =
-          mode == 0   ? DummyMapping::inherit()
-          : mode == 1 ? DummyMapping::explicit_dist({DistFormat::cyclic(3)}, q)
-                      : DummyMapping::explicit_dist({DistFormat::block()}, q);
-      const char* name = mode == 0   ? "DISTRIBUTE X *  (inherit)"
-                         : mode == 1 ? "explicit CYCLIC(3)"
-                                     : "explicit BLOCK";
-      CallCost c = price_call(machine, space, n, mapping);
-      table.add_row({std::to_string(n), name, format_bytes(c.in_bytes),
-                     format_bytes(c.out_bytes), format_us(c.time_us)});
-    }
-  }
-  std::printf("%s\n", table.to_string().c_str());
-
-  std::printf("E10: the four §7 dummy-mapping modes, N=10000\n\n");
-  TextTable modes({"mode", "directive", "call-site remap?",
-                   "round-trip bytes"});
-  struct ModeRow {
-    const char* mode;
-    const char* directive;
-    DummyMapping mapping;
-  };
-  const std::vector<ModeRow> rows = {
-      {"1 explicit", "DISTRIBUTE X(BLOCK) TO Q",
-       DummyMapping::explicit_dist({DistFormat::block()}, q)},
-      {"2 inherited", "DISTRIBUTE X *", DummyMapping::inherit()},
-      {"3 inheritance-matching (match)", "DISTRIBUTE X *(CYCLIC(3)) TO Q",
-       DummyMapping::inherit_match({DistFormat::cyclic(3)}, q)},
-      {"4 implicit", "(none)", DummyMapping::implicit()},
-  };
-  for (const ModeRow& row : rows) {
-    // Whole-array actual so mode 3 can match exactly.
-    DataEnv env(space);
-    DistArray& a = env.real("A", IndexDomain{Dim(1, 10000)});
-    env.distribute(a, {DistFormat::cyclic(3)}, q);
-    ProgramState state(machine);
-    state.create(env, a);
-    ProcedureSig sub{"SUB",
-                     {DummySpec{"X", ElemType::kReal, row.mapping, false}}};
-    CallFrame frame = env.call(sub, {ActualArg::whole(a.id())});
-    std::vector<StepStats> in = enter_call(state, env, frame);
-    std::vector<StepStats> out = exit_call(state, env, frame);
-    modes.add_row({row.mode, row.directive,
-                   frame.call_events.empty() ? "no" : "yes",
-                   format_bytes(in[0].bytes + out[0].bytes)});
-  }
-  std::printf("%s\n", modes.to_string().c_str());
-  std::printf("Inheritance is free; every forced mapping pays the section "
-              "size twice per call (§8.1.2).\n");
-  return 0;
-}
+BENCHMARK_MAIN();

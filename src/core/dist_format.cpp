@@ -203,17 +203,25 @@ DimMapping DimMapping::bind(const DistFormat& format, Extent n, Extent np) {
                                        " of index ", i, " outside 1:", np));
           }
         }
-        table->owner_of[static_cast<std::size_t>(i - 1)] = owners.front();
+        // User functions return owner sets in arbitrary order; the primary
+        // owner — the one owner()/local_index() report — is the canonical
+        // *minimum* position, the replica convention everywhere in the
+        // model (owners.front() would elect whichever replica the user
+        // happened to list first).
+        Index1 primary = owners.front();
+        for (Index1 p : owners) primary = std::min(primary, p);
+        table->owner_of[static_cast<std::size_t>(i - 1)] = primary;
         auto& bucket =
-            table->globals[static_cast<std::size_t>(owners.front() - 1)];
+            table->globals[static_cast<std::size_t>(primary - 1)];
         bucket.push_back(i);
         table->local_of[static_cast<std::size_t>(i - 1)] =
             static_cast<Extent>(bucket.size());
-        // Replicas beyond the first owner also store the element; they are
-        // appended to those owners' global lists so local enumeration and
-        // counts see them.
-        for (std::size_t r = 1; r < owners.size(); ++r) {
-          table->globals[static_cast<std::size_t>(owners[r] - 1)].push_back(i);
+        // Replicas beyond the primary owner also store the element; they
+        // are appended to those owners' global lists so local enumeration
+        // and counts see them.
+        for (Index1 p : owners) {
+          if (p == primary) continue;
+          table->globals[static_cast<std::size_t>(p - 1)].push_back(i);
         }
         table->owner_sets[static_cast<std::size_t>(i - 1)] = owners;
       }
@@ -451,6 +459,36 @@ DimSegmentList DimMapping::compute_segment_list(const Triplet& t) const {
     k += span + 1;
   }
   return out;
+}
+
+std::uint64_t DimMapping::content_digest() const {
+  if (kind_ != FormatKind::kIndirect && kind_ != FormatKind::kUserDefined) {
+    throw InternalError("content_digest on a non-table-backed format");
+  }
+  std::uint64_t d = table_->digest.load(std::memory_order_acquire);
+  if (d != 0) return d;
+  d = fnv1a_mix(fnv1a_mix(fnv1a_basis, n_), np_);
+  if (kind_ == FormatKind::kUserDefined) {
+    // owner_sets is stored in the order the user function returned it, but
+    // the order carries no mapping content — digest a sorted copy so two
+    // functions producing the same sets in different orders share a digest.
+    // (Safe for plan keys even though run *segmentation* compares sets
+    // order-sensitively: a split vs merged equal-set segment prices the
+    // same aggregated StepStats — transfers bucket per (src,dst) pair,
+    // computes per processor, and the replica decisions use only
+    // min_owner/membership, all order-independent.)
+    for (const DimOwnerSet& set : table_->owner_sets) {
+      DimOwnerSet sorted_set = set;
+      std::sort(sorted_set.begin(), sorted_set.end());
+      d = fnv1a_mix(d, static_cast<Extent>(sorted_set.size()));
+      for (Index1 p : sorted_set) d = fnv1a_mix(d, p);
+    }
+  } else {
+    for (Extent p : table_->owner_of) d = fnv1a_mix(d, p);
+  }
+  if (d == 0) d = 1;  // reserve 0 for "not yet computed"
+  table_->digest.store(d, std::memory_order_release);
+  return d;
 }
 
 std::shared_ptr<const DimSegmentList> DimMapping::segment_list(

@@ -23,6 +23,8 @@
 // (O(log NP) for GENERAL_BLOCK) without allocation.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -111,7 +113,7 @@ struct DimSegment {
   Index1 lo = 0;       ///< normalized index (1..n) of the first element
   Extent count = 0;    ///< elements covered at the triplet's stride
   DimOwnerSet owners;  ///< the constant owner positions, as owners(lo) yields
-  Index1 local_offset = 0;  ///< local_index(lo) on the first owner
+  Index1 local_offset = 0;  ///< local_index(lo) on the canonical (min) owner
 };
 
 /// A dimension's constant-owner decomposition over one triplet, plus the
@@ -139,7 +141,10 @@ class DimMapping {
   }
 
   /// Owner position of normalized index i (1..n). For user-defined formats
-  /// this returns the *first* owner; use owners() to observe replication.
+  /// this returns the canonical (minimum) owner position — owner sets come
+  /// back from user functions in arbitrary order, and the minimum is the
+  /// replica convention everywhere in the model; use owners() to observe
+  /// replication.
   Index1 owner(Index1 i) const;
 
   /// All owner positions of i (singleton except for user-defined formats).
@@ -188,6 +193,16 @@ class DimMapping {
   /// benchmarking counterpart of segment_list).
   DimSegmentList compute_segment_list(const Triplet& t) const;
 
+  /// FNV-1a digest of the bound per-index owner content of a table-backed
+  /// dimension (INDIRECT / user-defined): every index's full owner set,
+  /// plus the extents. Memoized on the shared table (all copies of one
+  /// binding share it; tables are immutable after bind, so the memo is
+  /// never invalidated). This is what lets a kFormats payload with opaque
+  /// formats carry a *content* plan signature — two bindings digest equal
+  /// iff their owner tables are elementwise equal (modulo hash collision).
+  /// Throws InternalError for arithmetic formats, which need no digest.
+  std::uint64_t content_digest() const;
+
   bool is_contiguous() const noexcept {
     return kind_ == FormatKind::kBlock || kind_ == FormatKind::kViennaBlock ||
            kind_ == FormatKind::kGeneralBlock ||
@@ -210,11 +225,15 @@ class DimMapping {
                                     // (1..np), ends_[0] = 0
   // Indirect / user-defined tables (shared so DimMapping copies stay cheap).
   struct IndirectTable {
-    std::vector<Extent> owner_of;            // [i-1] -> first owner
+    std::vector<Extent> owner_of;            // [i-1] -> canonical (min) owner
     std::vector<std::vector<Index1>> globals;  // per owner p-1: owned indices
-    std::vector<Extent> local_of;            // [i-1] -> local index on first owner
+    std::vector<Extent> local_of;  // [i-1] -> local index on canonical owner
     std::vector<DimOwnerSet> owner_sets;     // only for user-defined replication
     bool replicated = false;
+    // Lazily computed content digest (0 = not yet computed; the computed
+    // value is forced nonzero). Atomic so concurrent first queries race
+    // benignly to the same value.
+    mutable std::atomic<std::uint64_t> digest{0};
   };
   std::shared_ptr<const IndirectTable> table_;
 

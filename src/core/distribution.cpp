@@ -310,6 +310,26 @@ struct Distribution::ExplicitPayload final : Distribution::Payload {
   IndexDomain map_domain;
   std::vector<OwnerSet> owner_table;
   bool any_replicated = false;
+  // Lazily computed FNV-1a digest of the owner table (0 = not yet
+  // computed; the computed value is forced nonzero). Atomic so concurrent
+  // first queries race benignly to the same value. Like the run-table
+  // memo, it lives on the immutable payload, so it needs no invalidation.
+  mutable std::atomic<std::uint64_t> digest{0};
+
+  std::uint64_t content_digest() const {
+    std::uint64_t d = digest.load(std::memory_order_acquire);
+    if (d != 0) return d;
+    d = fnv1a_basis;
+    for (const OwnerSet& set : owner_table) {
+      // Sets are sorted at construction (explicit_map), so the bytes are
+      // canonical: elementwise-equal tables digest equal.
+      d = fnv1a_mix(d, static_cast<Extent>(set.size()));
+      for (ApId p : set) d = fnv1a_mix(d, p);
+    }
+    if (d == 0) d = 1;
+    digest.store(d, std::memory_order_release);
+    return d;
+  }
 
   Kind kind() const override { return Kind::kExplicit; }
   const IndexDomain& domain() const override { return map_domain; }
@@ -504,17 +524,137 @@ bool Distribution::same_mapping(const Distribution& other) const {
 
 bool Distribution::structurally_equal(const Distribution& other) const {
   if (payload_ == other.payload_) return valid();
-  if (kind() == Kind::kConstructed && other.kind() == Kind::kConstructed) {
-    const auto& a = static_cast<const ConstructedPayload&>(payload());
-    const auto& b = static_cast<const ConstructedPayload&>(other.payload());
-    return a.alpha.structurally_equal(b.alpha) &&
-           a.base_dist.structurally_equal(b.base_dist);
+  if (!valid() || !other.valid() || kind() != other.kind()) return false;
+  switch (kind()) {
+    case Kind::kConstructed: {
+      const auto& a = static_cast<const ConstructedPayload&>(payload());
+      const auto& b = static_cast<const ConstructedPayload&>(other.payload());
+      return a.alpha.structurally_equal(b.alpha) &&
+             a.base_dist.structurally_equal(b.base_dist);
+    }
+    case Kind::kFormats: {
+      const auto& a = static_cast<const FormatsPayload&>(payload());
+      const auto& b = static_cast<const FormatsPayload&>(other.payload());
+      if (!(a.array_domain == b.array_domain &&
+            a.format_list == b.format_list && a.target == b.target)) {
+        return false;
+      }
+      // DistFormat equality compares user-defined formats by *name* only,
+      // and two same-named functions can map differently — confirm their
+      // bound owner content (the same digests the plan keys use), so
+      // structural equality and plan keys can never disagree and a
+      // call-site remap is never skipped for a renamed-but-different
+      // mapping.
+      for (std::size_t d = 0; d < a.format_list.size(); ++d) {
+        if (a.format_list[d].kind() == FormatKind::kUserDefined &&
+            a.mappings[d].content_digest() != b.mappings[d].content_digest()) {
+          return false;
+        }
+      }
+      return true;
+    }
+    case Kind::kSectionView: {
+      const auto& a = static_cast<const SectionPayload&>(payload());
+      const auto& b = static_cast<const SectionPayload&>(other.payload());
+      return a.section == b.section &&
+             a.parent.structurally_equal(b.parent);
+    }
+    case Kind::kExplicit: {
+      // Owner tables are canonicalized (sorted) at construction, so
+      // element-wise vector equality is the structural comparison; the
+      // digests screen out the common unequal case first.
+      const auto& a = static_cast<const ExplicitPayload&>(payload());
+      const auto& b = static_cast<const ExplicitPayload&>(other.payload());
+      return a.map_domain == b.map_domain &&
+             a.content_digest() == b.content_digest() &&
+             a.owner_table == b.owner_table;
+    }
   }
-  if (kind() != Kind::kFormats || other.kind() != Kind::kFormats) return false;
-  const auto& a = static_cast<const FormatsPayload&>(payload());
-  const auto& b = static_cast<const FormatsPayload&>(other.payload());
-  return a.array_domain == b.array_domain &&
-         a.format_list == b.format_list && a.target == b.target;
+  return false;
+}
+
+bool Distribution::has_plan_signature() const noexcept {
+  return payload_ != nullptr;
+}
+
+void Distribution::append_plan_signature(std::string& out) const {
+  switch (kind()) {
+    case Kind::kFormats: {
+      const auto& p = static_cast<const FormatsPayload&>(payload());
+      // Value signature: domain bounds, format list, target. Formats whose
+      // specification is an opaque table (INDIRECT) or function
+      // (user-defined — DistFormat compares those by *name* only) enter as
+      // the digest of their bound owner content, so two same-named user
+      // formats with different mappings can never share a plan.
+      out += 'F';
+      p.array_domain.append_signature(out);
+      for (std::size_t d = 0; d < p.format_list.size(); ++d) {
+        const DistFormat& f = p.format_list[d];
+        out += static_cast<char>('a' + static_cast<int>(f.kind()));
+        switch (f.kind()) {
+          case FormatKind::kCyclic:
+            append_raw(out, f.cyclic_k());
+            break;
+          case FormatKind::kGeneralBlock:
+            append_raw(out, static_cast<Extent>(f.general_bounds().size()));
+            for (Extent b : f.general_bounds()) append_raw(out, b);
+            break;
+          case FormatKind::kIndirect:
+          case FormatKind::kUserDefined:
+            append_raw(out, p.mappings[d].content_digest());
+            break;
+          case FormatKind::kBlock:
+          case FormatKind::kViennaBlock:
+          case FormatKind::kCollapsed:
+            break;
+        }
+      }
+      p.target.append_signature(out);
+      return;
+    }
+    case Kind::kConstructed: {
+      // CONSTRUCT(α, δ_B) is a pure function of α and δ_B, so its
+      // signature is α's serialization composed with the base's. An
+      // identity α constructs exactly δ_B; collapsing it to the base's own
+      // signature lets an aligned array share plans with — and key
+      // identically to — its base, so an ALIGN-ed Jacobi's two sweep
+      // directions produce one plan, like two equal-format primaries do.
+      const auto& p = static_cast<const ConstructedPayload&>(payload());
+      if (p.alpha.is_identity()) {
+        p.base_dist.append_plan_signature(out);
+        return;
+      }
+      out += 'C';
+      // The α serialization (domains, clamp policy, per-dimension
+      // expression trees) is the same bytes AlignmentFunction::
+      // structurally_equal compares, so equal-α layouts share keys by
+      // construction.
+      p.alpha.append_signature(out);
+      p.base_dist.append_plan_signature(out);
+      return;
+    }
+    case Kind::kSectionView: {
+      // A section view is a pure function of the parent's mapping and the
+      // restricting triplets, so — like kConstructed recursing through α —
+      // it serializes the triplets composed with the parent's signature.
+      // This is what gives the fresh section-view dummy minted at every
+      // procedure call (DataEnv::call) a key equal to last call's.
+      const auto& p = static_cast<const SectionPayload&>(payload());
+      out += 'V';
+      append_raw(out, static_cast<Extent>(p.section.size()));
+      for (const Triplet& t : p.section) t.append_signature(out);
+      p.parent.append_plan_signature(out);
+      return;
+    }
+    case Kind::kExplicit: {
+      const auto& p = static_cast<const ExplicitPayload&>(payload());
+      out += 'X';
+      p.map_domain.append_signature(out);
+      append_raw(out, p.content_digest());
+      return;
+    }
+  }
+  throw InternalError("unreachable distribution kind");
 }
 
 const std::vector<DistFormat>& Distribution::format_list() const {

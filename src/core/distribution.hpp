@@ -173,11 +173,36 @@ class Distribution {
   bool same_mapping(const Distribution& other) const;
 
   /// Fast structural comparison: true for two kFormats distributions with
-  /// equal domains, formats, and targets, and for two kConstructed
+  /// equal domains, formats, and targets; for two kConstructed
   /// distributions whose alignment functions are structurally equal and
-  /// whose bases compare structurally equal in turn. (May return false for
-  /// mappings that are element-wise equal.)
+  /// whose bases compare structurally equal in turn; for two kSectionView
+  /// distributions with equal restricting triplets over structurally equal
+  /// parents; and for two kExplicit distributions with equal domains and
+  /// element-wise equal owner tables (tables are canonicalized — sorted —
+  /// at construction, so this is a plain vector comparison). (May return
+  /// false for mappings that are element-wise equal.)
   bool structurally_equal(const Distribution& other) const;
+
+  /// True when the payload's mapping is fully captured by a compact
+  /// *content* signature (append_plan_signature). Every payload kind now
+  /// qualifies: formats serialize their specification (INDIRECT and
+  /// user-defined formats digest their bound owner tables), constructed
+  /// payloads compose α with the base's signature, section views compose
+  /// the restricting triplets with the parent's signature, and explicit
+  /// payloads digest their owner table. False only for invalid
+  /// distributions.
+  bool has_plan_signature() const noexcept;
+
+  /// Appends the payload's content plan signature to `out`: a byte string
+  /// equal for two distributions exactly when any priced communication
+  /// schedule over them is interchangeable — the PlanCache key component
+  /// (exec/comm_plan.hpp) that lets two payloads minted at different
+  /// addresses (the fresh section-view dummy of every procedure call)
+  /// share one plan. Table-backed content enters as a memoized 64-bit
+  /// FNV-1a digest, so signatures stay cheap for large owner tables; the
+  /// digest is computed once per payload (payloads are immutable, like
+  /// their run-table memos, so it is never invalidated).
+  void append_plan_signature(std::string& out) const;
 
   /// Accessors for kFormats payloads; throw InternalError otherwise.
   const std::vector<DistFormat>& format_list() const;

@@ -156,11 +156,7 @@ std::string IndexDomain::to_string() const {
 
 void IndexDomain::append_signature(std::string& out) const {
   append_raw(out, static_cast<Index1>(rank()));
-  for (const Triplet& t : dims_) {
-    append_raw(out, t.lower());
-    append_raw(out, t.upper());
-    append_raw(out, t.stride());
-  }
+  for (const Triplet& t : dims_) t.append_signature(out);
 }
 
 }  // namespace hpfnt

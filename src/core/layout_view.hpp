@@ -59,8 +59,9 @@ struct OwnerRun {
   OwnerSet owners;  ///< the constant owner set, exactly as owners(i) yields
 
   Index1 local_offset = 0;  ///< 1-based dim-0 local index of the first
-                            ///< element on owners.front() (kFormats payloads
-                            ///< with a distributed dim 0; 0 otherwise)
+                            ///< element on the canonical (minimum) owner
+                            ///< (kFormats payloads with a distributed dim 0;
+                            ///< 0 otherwise)
 };
 
 /// A computed run table: the runs partition the section domain's linear
@@ -76,20 +77,9 @@ struct RunTable {
 /// The owner set at a linear section position (binary search over runs).
 const OwnerSet& owner_set_at(const RunTable& table, Extent linear_pos);
 
-/// The smallest owner id — the canonical "computing" replica, matching
-/// Distribution::first_owner.
-inline ApId min_owner(const OwnerSet& set) {
-  ApId best = set.front();
-  for (ApId p : set) best = p < best ? p : best;
-  return best;
-}
-
-inline bool owner_set_contains(const OwnerSet& set, ApId p) {
-  for (ApId q : set) {
-    if (q == p) return true;
-  }
-  return false;
-}
+// min_owner / owner_set_contains — the canonical-replica helpers the run
+// consumers below rely on — live with OwnerSet in core/types.hpp so layers
+// beneath Distribution (processors, dist_format) share one definition.
 
 class LayoutView {
  public:

@@ -42,8 +42,10 @@ OwnerSet ProcessorArrangement::owners_of(const IndexTuple& index) const {
 
 ApId ProcessorArrangement::ap_of(const IndexTuple& index) const {
   if (is_scalar()) {
-    OwnerSet owners = owners_of(index);
-    return owners.front();
+    // The canonical replica of a replicated owner set is the *minimum*
+    // owner (the convention of Distribution::first_owner and the exec
+    // layer); owner sets are not sorted in general.
+    return min_owner(owners_of(index));
   }
   return space_->resolve(ap_offset_ + domain_.linearize(index));
 }
@@ -215,8 +217,8 @@ OwnerSet ProcessorRef::owners_at(const IndexTuple& coords) const {
 }
 
 ApId ProcessorRef::ap_at(const IndexTuple& coords) const {
-  OwnerSet owners = owners_at(coords);
-  return owners.front();
+  // Canonical replica = minimum owner, as everywhere else in the model.
+  return min_owner(owners_at(coords));
 }
 
 std::vector<ApId> ProcessorRef::all_aps() const {
@@ -245,6 +247,29 @@ std::string ProcessorRef::to_string() const {
                                 : s.triplet.to_string());
   }
   return subscripted(arrangement_->name(), parts);
+}
+
+void ProcessorRef::append_signature(std::string& out) const {
+  const ProcessorArrangement& arr = arrangement();
+  out += 'T';
+  append_raw(out, &arr);
+  append_raw(out, arr.ap_offset());
+  append_raw(out, arr.domain().rank());
+  for (int d = 0; d < arr.domain().rank(); ++d) {
+    append_raw(out, arr.domain().extent(d));
+  }
+  append_raw(out, arr.space().processor_count());
+  append_raw(out, static_cast<Extent>(arr.space().scalar_placement()));
+  append_raw(out, static_cast<Extent>(arr.space().oversize_policy()));
+  append_raw(out, static_cast<Extent>(subs_.size()));
+  for (const TargetSub& sub : subs_) {
+    out += sub.is_scalar ? '.' : ':';
+    if (sub.is_scalar) {
+      append_raw(out, sub.scalar);
+    } else {
+      sub.triplet.append_signature(out);
+    }
+  }
 }
 
 bool operator==(const ProcessorRef& a, const ProcessorRef& b) {

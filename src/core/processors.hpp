@@ -197,6 +197,14 @@ class ProcessorRef {
 
   std::string to_string() const;
 
+  /// Appends everything the target's AP mapping depends on to a binary
+  /// signature: the arrangement's shape, its EQUIVALENCE-style association
+  /// offset, the owning space's size and policies, and the section
+  /// subscripts. The arrangement's address is kept as belt and braces
+  /// against same-shaped arrangements in coexisting spaces. One component
+  /// of Distribution::append_plan_signature (exec/comm_plan.hpp keys).
+  void append_signature(std::string& out) const;
+
   friend bool operator==(const ProcessorRef& a, const ProcessorRef& b);
   friend bool operator!=(const ProcessorRef& a, const ProcessorRef& b) {
     return !(a == b);

@@ -61,4 +61,19 @@ std::string Triplet::to_string() const {
   return out;
 }
 
+void Triplet::append_signature(std::string& out) const {
+  append_raw(out, lower_);
+  append_raw(out, upper_);
+  append_raw(out, stride_);
+}
+
+std::vector<Extent> squeezed_shape(const std::vector<Triplet>& section) {
+  std::vector<Extent> shape;
+  shape.reserve(section.size());
+  for (const Triplet& t : section) {
+    if (t.size() != 1) shape.push_back(t.size());
+  }
+  return shape;
+}
+
 }  // namespace hpfnt

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/types.hpp"
 
@@ -62,6 +63,11 @@ class Triplet {
   /// "l:u:s" rendering; stride omitted when 1.
   std::string to_string() const;
 
+  /// Appends the three fixed-width fields to a binary signature — the one
+  /// triplet encoder behind index-domain signatures, plan-key sections, and
+  /// section-view plan signatures, so the encodings cannot drift apart.
+  void append_signature(std::string& out) const;
+
   friend bool operator==(const Triplet& a, const Triplet& b) {
     return a.lower_ == b.lower_ && a.upper_ == b.upper_ &&
            a.stride_ == b.stride_;
@@ -75,5 +81,11 @@ class Triplet {
   Index1 upper_;
   Index1 stride_;
 };
+
+/// The section's extents with unit dimensions dropped — the shape Fortran
+/// conformance compares, since scalar subscripts contribute extent-1
+/// dimensions (shared by the assignment executor, copy_section, and
+/// section expressions).
+std::vector<Extent> squeezed_shape(const std::vector<Triplet>& section);
 
 }  // namespace hpfnt

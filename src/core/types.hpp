@@ -32,4 +32,21 @@ inline constexpr ArrayId kNoArray = -1;
 /// of owners except for full-dimension replication, which spills gracefully.
 using OwnerSet = SmallVector<ApId, 8>;
 
+/// The smallest owner id — the canonical "computing"/"sending" replica,
+/// matching Distribution::first_owner. Owner sets are not sorted in
+/// general (user-defined replication yields them in user order), so
+/// set.front() is never a correct replica choice.
+inline ApId min_owner(const OwnerSet& set) {
+  ApId best = set.front();
+  for (ApId p : set) best = p < best ? p : best;
+  return best;
+}
+
+inline bool owner_set_contains(const OwnerSet& set, ApId p) {
+  for (ApId q : set) {
+    if (q == p) return true;
+  }
+  return false;
+}
+
 }  // namespace hpfnt

@@ -42,10 +42,7 @@ AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
   const IndexDomain iteration = lhs.domain().section_domain(lhs_section);
   // Fortran conformance: shapes match after squeezing unit dimensions
   // (scalar subscripts), so D(:,j) = D(:,j) + A(:) is legal.
-  std::vector<Extent> lhs_shape;
-  for (int d = 0; d < iteration.rank(); ++d) {
-    if (iteration.extent(d) != 1) lhs_shape.push_back(iteration.extent(d));
-  }
+  const std::vector<Extent> lhs_shape = squeezed_shape(iteration.dims());
   const std::vector<Extent> rhs_shape = rhs.shape();
   if (!rhs_shape.empty() && rhs_shape != lhs_shape) {
     throw ConformanceError(

@@ -9,32 +9,14 @@ namespace hpfnt {
 // to build (no formatting), cheap to hash.
 
 bool has_structural_signature(const Distribution& dist) {
-  switch (dist.kind()) {
-    case Distribution::Kind::kFormats:
-      for (const DistFormat& f : dist.format_list()) {
-        switch (f.kind()) {
-          case FormatKind::kBlock:
-          case FormatKind::kViennaBlock:
-          case FormatKind::kGeneralBlock:
-          case FormatKind::kCyclic:
-          case FormatKind::kCollapsed:
-            break;
-          case FormatKind::kIndirect:
-          case FormatKind::kUserDefined:
-            return false;
-        }
-      }
-      return true;
-    case Distribution::Kind::kConstructed:
-      // The alignment function is always structurally serializable; the
-      // signature composes with the base's, recursing through nested
-      // alignments until a pure-format base.
-      return has_structural_signature(dist.base());
-    case Distribution::Kind::kSectionView:
-    case Distribution::Kind::kExplicit:
-      return false;
-  }
-  return false;
+  // Every valid payload now carries a content signature
+  // (Distribution::append_plan_signature): formats serialize their
+  // specification with table-backed formats entering as memoized digests,
+  // constructed payloads compose α with the base, section views compose
+  // their triplets with the parent, explicit payloads digest their owner
+  // table. Address+generation keying remains only as the fallback for an
+  // invalid distribution (which no caller should pass).
+  return dist.has_plan_signature();
 }
 
 void PlanKey::add_tag(const char* tag) {
@@ -50,75 +32,15 @@ void PlanKey::add_scalar(Extent v) {
 void PlanKey::add_section(const std::vector<Triplet>& section) {
   key_ += 'S';
   append_raw(key_, static_cast<Extent>(section.size()));
-  for (const Triplet& t : section) {
-    append_raw(key_, t.lower());
-    append_raw(key_, t.upper());
-    append_raw(key_, t.stride());
-  }
+  for (const Triplet& t : section) t.append_signature(key_);
 }
 
 void PlanKey::add_distribution(const Distribution& dist) {
-  if (has_structural_signature(dist)) {
-    if (dist.kind() == Distribution::Kind::kConstructed) {
-      // CONSTRUCT(α, δ_B) is a pure function of α and δ_B, so its signature
-      // is α's serialization composed with the base's signature. An
-      // identity α constructs exactly δ_B; collapsing it to the base's own
-      // signature lets an aligned array share plans with — and key
-      // identically to — its base, so an ALIGN-ed Jacobi's two sweep
-      // directions produce one plan, like two equal-format primaries do.
-      if (dist.alignment().is_identity()) {
-        add_distribution(dist.base());
-        return;
-      }
-      key_ += 'C';
-      // The α serialization (domains, clamp policy, per-dimension
-      // expression trees) is the same bytes AlignmentFunction::
-      // structurally_equal compares, so equal-α layouts share keys by
-      // construction.
-      dist.alignment().append_signature(key_);
-      add_distribution(dist.base());
-      return;
-    }
-    // Value signature: domain bounds, format list, target.
-    key_ += 'F';
-    dist.domain().append_signature(key_);
-    for (const DistFormat& f : dist.format_list()) {
-      key_ += static_cast<char>('a' + static_cast<int>(f.kind()));
-      if (f.kind() == FormatKind::kCyclic) append_raw(key_, f.cyclic_k());
-      if (f.kind() == FormatKind::kGeneralBlock) {
-        append_raw(key_, static_cast<Extent>(f.general_bounds().size()));
-        for (Extent b : f.general_bounds()) append_raw(key_, b);
-      }
-    }
-    const ProcessorRef& target = dist.target();
-    key_ += 'T';
-    // Everything the target's AP mapping depends on: the arrangement's
-    // shape, its EQUIVALENCE-style association offset, and the owning
-    // space's size and policies. The address is kept as belt and braces
-    // against same-shaped arrangements in coexisting spaces.
-    const ProcessorArrangement& arr = target.arrangement();
-    append_raw(key_, &arr);
-    append_raw(key_, arr.ap_offset());
-    append_raw(key_, arr.domain().rank());
-    for (int d = 0; d < arr.domain().rank(); ++d) {
-      append_raw(key_, arr.domain().extent(d));
-    }
-    append_raw(key_, arr.space().processor_count());
-    append_raw(key_, static_cast<Extent>(arr.space().scalar_placement()));
-    append_raw(key_, static_cast<Extent>(arr.space().oversize_policy()));
-    append_raw(key_, static_cast<Extent>(target.subs().size()));
-    for (const TargetSub& sub : target.subs()) {
-      key_ += sub.is_scalar ? '.' : ':';
-      if (sub.is_scalar) {
-        append_raw(key_, sub.scalar);
-      } else {
-        append_raw(key_, sub.triplet.lower());
-        append_raw(key_, sub.triplet.upper());
-        append_raw(key_, sub.triplet.stride());
-      }
-    }
+  if (dist.has_plan_signature()) {
+    dist.append_plan_signature(key_);
     return;
   }
+  // Fallback for payload kinds without a content signature (none today).
   // Address keying alone would alias if the payload died and a different
   // one were allocated at the same address; the process-unique generation
   // id makes the key valid for exactly one payload lifetime. The pin keeps
@@ -136,6 +58,7 @@ std::shared_ptr<const CommPlan> PlanCache::lookup(const std::string& key) {
     return nullptr;
   }
   ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.pos);  // promote to front
   return it->second.plan;
 }
 
@@ -143,18 +66,41 @@ void PlanCache::insert(const std::string& key,
                        std::shared_ptr<const CommPlan> plan,
                        std::vector<Distribution> pinned) {
   if (!plan || !plan->sealed) return;  // never cache an unsealed schedule
-  // Evict one entry, not the whole cache: address-keyed plans for freshly
-  // derived payloads (forest secondaries) can never recur, and a loop that
-  // keeps inserting them must not wipe out the structural plans other
-  // arrays in the same loop are replaying. An unlucky eviction of a hot
-  // plan just re-prices one step.
-  if (entries_.size() >= kMaxEntries && entries_.count(key) == 0) {
-    entries_.erase(entries_.begin());
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.plan = std::move(plan);
+    it->second.pinned = std::move(pinned);
+    lru_.splice(lru_.begin(), lru_, it->second.pos);
+    return;
   }
-  entries_[key] = Entry{std::move(plan), std::move(pinned)};
+  // Evict the least-recently-used entry, not the whole cache: a loop that
+  // keeps inserting one-shot plans must not wipe out the plans other
+  // arrays in the same loop are replaying, and the replayed (recently
+  // touched) plans are exactly the ones LRU order protects. An unlucky
+  // eviction of a hot plan just re-prices one step.
+  while (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(plan), std::move(pinned),
+                              lru_.begin()});
 }
 
-void PlanCache::clear() { entries_.clear(); }
+void PlanCache::set_capacity(std::size_t capacity) {
+  capacity_ = capacity < 1 ? 1 : capacity;
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void PlanCache::clear() {
+  entries_.clear();
+  lru_.clear();
+}
 
 void PlanCache::for_each(
     const std::function<void(const std::string&, const CommPlan&)>& fn)

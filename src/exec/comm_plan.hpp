@@ -13,40 +13,45 @@
 // cumulative counters, zero ownership queries, no common-segment walk.
 //
 // A PlanCache (one per ProgramState) memoizes plans keyed on the
-// participating distribution payloads' identities, the section triplets,
-// and the scalar pricing inputs (elem_bytes, flops). Pure-format payloads
-// are keyed *structurally* (domain + formats + target), so two arrays with
-// equal layouts — the alternating source/destination of a Jacobi sweep —
-// share one plan and the 2nd..Nth iteration prices by replay.
+// participating distributions' *content* signatures
+// (Distribution::append_plan_signature), the section triplets, and the
+// scalar pricing inputs (elem_bytes, flops). Every payload kind keys by
+// content, so structurally identical layouts minted at different addresses
+// share one plan:
 //
-// Constructed payloads (the derived CONSTRUCT(α, δ_B) of an aligned array)
-// key structurally too, because the paper makes the mapping algebraic: the
-// signature is the structural serialization of α — alignee/base domain
-// bounds, the bounds policy that defines the §5.1 clamp regions, and each
-// base dimension's kind with its linear expression tree — composed with the
-// base payload's structural signature, recursing through nested alignments
-// until a pure-format base. Two forest-derived payloads with equal α over
-// structurally equal bases therefore share one plan, exactly like two equal
-// BLOCK layouts; an *identity* α collapses to the base's own signature, so
-// an ALIGN-ed Jacobi's a->b and b->a steps share a single plan. A
-// constructed payload over a base without a structural signature falls back
-// to address keying, like the base itself would.
+//   * pure-format payloads serialize (domain, formats, target); the
+//     alternating source/destination of a Jacobi sweep share one plan and
+//     the 2nd..Nth iteration prices by replay;
+//   * INDIRECT and user-defined formats enter as a memoized FNV-1a digest
+//     of their bound owner tables (DimMapping::content_digest) — two
+//     same-named user formats with different mappings can never collide;
+//   * constructed payloads (the derived CONSTRUCT(α, δ_B) of an aligned
+//     array) compose the structural serialization of α with the base's
+//     signature, recursing through nested alignments; an *identity* α
+//     collapses to the base's own signature, so an ALIGN-ed Jacobi's a->b
+//     and b->a steps share a single plan;
+//   * section views compose the restricting triplets with the parent's
+//     signature — so the fresh section-view dummy every procedure call
+//     mints (DataEnv::call / enter_call / exit_call) keys identically to
+//     last call's, and call N>1 replays call 1's argument-copy plans;
+//   * explicit payloads digest their (canonicalized) owner table.
 //
-// Payloads without a cheap structural signature (INDIRECT/USER formats,
-// section-view, explicit) are keyed by payload address *and* by the
-// payload's process-unique generation id (Distribution::payload_generation),
-// and pinned by the cache entry. The pin keeps the payload's address from
-// being recycled while the plan lives; the generation id makes the key
-// robust even without the pin — a payload that dies and a different one the
-// allocator places at the same address can never alias to the same key, so
-// a stale plan can never be replayed for a distribution it was not priced
-// from.
+// Address + process-unique generation-id keying (with the Distribution
+// pinned by the entry) survives only as the fallback for a payload kind
+// without a signature — none today.
+//
+// The cache is a size-bounded LRU: lookups promote, inserts evict the
+// least-recently-used entry, and hit/miss/evict counters are exposed for
+// the benches. Long interp sessions that churn section-view dummies
+// therefore stay bounded no matter how many distinct schedules they price.
 //
 // Consulted by assign_impl (exec/assign.cpp), ProgramState::copy_section,
-// and ProgramState::apply_remap (exec/storage.cpp).
+// and ProgramState::apply_remap (exec/storage.cpp) — the latter two carry
+// the procedure-argument path (enter_call/exit_call, call-site remaps).
 #pragma once
 
 #include <functional>
+#include <list>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -102,18 +107,17 @@ struct CommPlan {
 };
 
 /// True when the payload's schedule-relevant state is fully captured by a
-/// compact value signature: a kFormats payload whose formats carry no large
-/// or opaque tables (INDIRECT maps print abbreviated and USER functions
-/// compare by name only), or a kConstructed payload whose base has a
-/// structural signature in turn (the alignment function itself is always
-/// structurally serializable).
+/// compact content signature — a thin alias for
+/// Distribution::has_plan_signature, kept because the exec layer and its
+/// tests reason about plan keys through this header. True for every valid
+/// distribution since table-backed payloads gained content digests.
 bool has_structural_signature(const Distribution& dist);
 
 /// Builds the cache key of one priced step from its pricing inputs. Every
 /// distribution the schedule depends on must be added; payloads with a
-/// structural signature (see has_structural_signature) key by value so
-/// structurally equal layouts share plans, all other payloads key by
-/// address + generation id and are collected as pins.
+/// content signature (all of them today) key by value so structurally
+/// equal layouts share plans, anything else keys by address + generation
+/// id and is collected as a pin.
 class PlanKey {
  public:
   PlanKey() { key_.reserve(256); }
@@ -131,11 +135,12 @@ class PlanKey {
   std::vector<Distribution> pins_;
 };
 
-/// Memo of sealed plans, keyed by PlanKey strings. Entries pin the
-/// address-keyed Distributions they were priced from, so a payload address
-/// in a key can never be recycled while its plan is alive. Small and
-/// cleared wholesale when full, like Distribution::run_memo: the schedules
-/// of a hot loop are few and recurring.
+/// Size-bounded LRU memo of sealed plans, keyed by PlanKey strings.
+/// Lookups promote the entry to most-recently-used; inserts evict from the
+/// LRU tail, so the replayed plans of a hot loop are exactly the ones that
+/// survive. Entries pin any address-keyed Distributions they were priced
+/// from, so a payload address in a key can never be recycled while its
+/// plan is alive. Hit/miss/evict counters are exposed for the benches.
 class PlanCache {
  public:
   /// The sealed plan for `key`, or null. Counts a hit or a miss.
@@ -150,7 +155,13 @@ class PlanCache {
 
   Extent hits() const noexcept { return hits_; }
   Extent misses() const noexcept { return misses_; }
+  Extent evictions() const noexcept { return evictions_; }
   std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Bound on the number of cached plans; shrinking evicts from the LRU
+  /// tail immediately. Clamped to >= 1.
+  std::size_t capacity() const noexcept { return capacity_; }
+  void set_capacity(std::size_t capacity);
 
   void clear();
 
@@ -160,16 +171,20 @@ class PlanCache {
       const;
 
  private:
-  static constexpr std::size_t kMaxEntries = 64;
+  static constexpr std::size_t kDefaultCapacity = 64;
 
   struct Entry {
     std::shared_ptr<const CommPlan> plan;
     std::vector<Distribution> pinned;
+    std::list<std::string>::iterator pos;  // position in lru_
   };
 
   bool enabled_ = true;
+  std::size_t capacity_ = kDefaultCapacity;
   Extent hits_ = 0;
   Extent misses_ = 0;
+  Extent evictions_ = 0;
+  std::list<std::string> lru_;  // front = most recently used
   std::unordered_map<std::string, Entry> entries_;
 };
 

@@ -41,12 +41,8 @@ void SecExpr::collect_shape(const Node& n, std::vector<Extent>& shape,
   if (n.op == Op::kLeaf) {
     // Fortran conformance ignores dimensions of extent 1 contributed by
     // scalar subscripts: D(:,j) conforms with A(:). Shapes are therefore
-    // compared squeezed.
-    std::vector<Extent> mine;
-    mine.reserve(n.section.size());
-    for (const Triplet& t : n.section) {
-      if (t.size() != 1) mine.push_back(t.size());
-    }
+    // compared squeezed (the same rule assign and copy_section apply).
+    std::vector<Extent> mine = squeezed_shape(n.section);
     if (!seen) {
       shape = mine;
       seen = true;

@@ -197,15 +197,8 @@ StepStats ProgramState::copy_section(const DistArray& dst,
   // Fortran conformance, the same rule assign applies: shapes match after
   // squeezing unit dimensions, so a scalar-subscripted actual (A(:,j))
   // conforms with a rank-1 dummy.
-  std::vector<Extent> dst_shape;
-  for (int k = 0; k < dshape.rank(); ++k) {
-    if (dshape.extent(k) != 1) dst_shape.push_back(dshape.extent(k));
-  }
-  std::vector<Extent> src_shape;
-  for (int k = 0; k < sshape.rank(); ++k) {
-    if (sshape.extent(k) != 1) src_shape.push_back(sshape.extent(k));
-  }
-  if (dst_shape != src_shape || dshape.size() != sshape.size()) {
+  if (squeezed_shape(dshape.dims()) != squeezed_shape(sshape.dims()) ||
+      dshape.size() != sshape.size()) {
     throw ConformanceError(
         "copy_section shapes do not conform (after squeezing unit "
         "dimensions)");

@@ -27,12 +27,17 @@ HpfTemplate& HpfModel::declare_allocatable_template(const std::string& name,
       "problem 1)"));
 }
 
+void HpfModel::invalidate_derived() {
+  derived_cache_.assign(arrays_.size(), Distribution());
+}
+
 void HpfModel::distribute_template(HpfTemplate& tmpl,
                                    std::vector<DistFormat> formats,
                                    ProcessorRef target) {
   template_dists_[static_cast<std::size_t>(tmpl.tag())] =
       Distribution::formats(tmpl.domain(), std::move(formats),
                             std::move(target));
+  invalidate_derived();
 }
 
 HpfArray& HpfModel::declare_array(const std::string& name,
@@ -44,6 +49,7 @@ HpfArray& HpfModel::declare_array(const std::string& name,
   arrays_.push_back(std::move(array));
   links_.emplace_back();
   array_dists_.emplace_back();
+  derived_cache_.emplace_back();
   return *arrays_.back();
 }
 
@@ -56,6 +62,7 @@ void HpfModel::distribute_array(HpfArray& array,
   }
   array_dists_[static_cast<std::size_t>(array.id)] = Distribution::formats(
       array.domain, std::move(formats), std::move(target));
+  invalidate_derived();
 }
 
 void HpfModel::align_to_template(HpfArray& array, HpfTemplate& tmpl,
@@ -72,6 +79,7 @@ void HpfModel::align_to_template(HpfArray& array, HpfTemplate& tmpl,
   link.target = Link::Target::kTemplate;
   link.target_id = tmpl.tag();
   link.spec = spec;
+  invalidate_derived();
 }
 
 void HpfModel::align_to_array(HpfArray& array, HpfArray& base,
@@ -89,6 +97,7 @@ void HpfModel::align_to_array(HpfArray& array, HpfArray& base,
   link.target = Link::Target::kArray;
   link.target_id = base.id;
   link.spec = spec;
+  invalidate_derived();
 }
 
 const HpfArray& HpfModel::array_by_id(int id) const {
@@ -110,6 +119,11 @@ Distribution HpfModel::distribution_of_template(const HpfTemplate& tmpl) const {
 }
 
 Distribution HpfModel::distribution_of(const HpfArray& array) const {
+  {
+    const Distribution& cached =
+        derived_cache_[static_cast<std::size_t>(array.id)];
+    if (cached.valid()) return cached;
+  }
   // Walk the chain, composing CONSTRUCT from the far end back.
   std::vector<const HpfArray*> chain;
   std::set<int> visited;
@@ -122,17 +136,28 @@ Distribution HpfModel::distribution_of(const HpfArray& array) const {
     const Link& link = links_[static_cast<std::size_t>(current->id)];
     chain.push_back(current);
     if (link.target == Link::Target::kArray) {
+      const Distribution& cached =
+          derived_cache_[static_cast<std::size_t>(link.target_id)];
+      if (cached.valid()) break;  // fold onto the memoized tail below
       current = &array_by_id(link.target_id);
       continue;
     }
     break;
   }
-  // `chain.back()` ends either at a template alignment or a direct/missing
-  // distribution.
+  // `chain.back()` ends at a memoized tail, a template alignment, or a
+  // direct/missing distribution.
   const HpfArray* last = chain.back();
   const Link& last_link = links_[static_cast<std::size_t>(last->id)];
   Distribution dist;
-  if (last_link.target == Link::Target::kTemplate) {
+  if (last_link.target == Link::Target::kArray) {
+    // The walk above stopped on a memoized tail array.
+    const HpfArray* base = &array_by_id(last_link.target_id);
+    AlignmentFunction alpha = last_link.spec->reduce(last->domain,
+                                                     base->domain);
+    dist = Distribution::constructed(
+        std::move(alpha),
+        derived_cache_[static_cast<std::size_t>(last_link.target_id)]);
+  } else if (last_link.target == Link::Target::kTemplate) {
     const HpfTemplate& tmpl = template_by_tag(last_link.target_id);
     Distribution tmpl_dist = distribution_of_template(tmpl);
     AlignmentFunction alpha =
@@ -147,13 +172,16 @@ Distribution HpfModel::distribution_of(const HpfArray& array) const {
     }
     dist = direct;
   }
-  // Fold the remaining chain (closest-to-last first).
+  derived_cache_[static_cast<std::size_t>(last->id)] = dist;
+  // Fold the remaining chain (closest-to-last first), memoizing every
+  // intermediate node so sibling chains share their common suffix.
   for (std::size_t k = chain.size() - 1; k-- > 0;) {
     const HpfArray* node = chain[k];
     const HpfArray* base = chain[k + 1];
     const Link& link = links_[static_cast<std::size_t>(node->id)];
     AlignmentFunction alpha = link.spec->reduce(node->domain, base->domain);
     dist = Distribution::constructed(std::move(alpha), std::move(dist));
+    derived_cache_[static_cast<std::size_t>(node->id)] = dist;
   }
   return dist;
 }

@@ -75,6 +75,14 @@ class HpfModel {
   /// The array's mapping: CONSTRUCT composed along the alignment chain down
   /// to the ultimate template/array distribution. Throws when the chain
   /// ends in an object that was never distributed, or on a cycle.
+  ///
+  /// Memoized per array (every node the chain walk visits is cached too),
+  /// so repeated queries — every procedure call passing the same actual
+  /// through pass_to_procedure — return one shared payload: run-table
+  /// memos stay warm and the payload keys the PlanCache identically call
+  /// after call. Any mapping mutation (DISTRIBUTE of a template or array,
+  /// ALIGN) drops the whole memo, mirroring AlignmentForest's
+  /// derived-payload cache in the paper's own model.
   Distribution distribution_of(const HpfArray& array) const;
 
   Distribution distribution_of_template(const HpfTemplate& tmpl) const;
@@ -101,6 +109,7 @@ class HpfModel {
 
   const HpfArray& array_by_id(int id) const;
   const HpfTemplate& template_by_tag(int tag) const;
+  void invalidate_derived();
 
   ProcessorSpace* space_;
   std::vector<std::unique_ptr<HpfTemplate>> templates_;
@@ -108,6 +117,11 @@ class HpfModel {
   std::vector<std::unique_ptr<HpfArray>> arrays_;
   std::vector<Link> links_;                   // parallel to arrays_
   std::vector<Distribution> array_dists_;     // direct distributions
+  // Memoized results of distribution_of, parallel to arrays_ (invalid =
+  // not cached). Dropped wholesale by every mapping mutation; a template
+  // redistribution can affect any chain, so per-node invalidation would
+  // buy nothing.
+  mutable std::vector<Distribution> derived_cache_;
   int next_tag_ = 0;
 };
 

@@ -20,9 +20,17 @@ std::string StepStats::to_string() const {
 CommEngine::CommEngine(const Machine& machine) : machine_(&machine) {}
 
 void CommEngine::begin_step(std::string label) {
+  if (recording_) {
+    // A silent recording_.reset() here would lose a partial schedule
+    // without a trace; an armed recording means the step that armed it
+    // never reached end_step (it is still open, or it unwound mid-record),
+    // so fail loudly instead of producing wrong stats.
+    throw InternalError(
+        "begin_step while a plan recording is armed: the step that armed "
+        "it (label '" + label_ + "') never reached end_step");
+  }
   if (in_step_) throw InternalError("begin_step inside an open step");
   in_step_ = true;
-  recording_.reset();  // a step that unwound mid-record stops recording here
   label_ = std::move(label);
   pair_bytes_.clear();
   pair_elements_.clear();
@@ -128,7 +136,13 @@ StepStats CommEngine::end_step() {
 
 StepStats CommEngine::replay(const CommPlan& plan, const std::string& label) {
   if (in_step_) throw InternalError("replay inside an open step");
-  if (!plan.sealed) throw InternalError("replay of an unsealed plan");
+  if (!plan.sealed) {
+    // An unsealed plan's stats field is default-constructed (or partial);
+    // accumulating it would silently corrupt the cumulative counters.
+    throw InternalError(
+        "replay of an unsealed plan: its recording never reached end_step, "
+        "so it holds no complete priced schedule");
+  }
   StepStats stats = plan.stats;
   if (!label.empty()) stats.label = label;
   total_messages_ += stats.messages;

@@ -66,7 +66,9 @@ class CommEngine {
   /// charge, and local-read tally until end_step is appended, and end_step
   /// seals the plan with the step's statistics. The engine shares ownership
   /// of the plan, so it stays valid even if the recorded step unwinds
-  /// before end_step; recording disarms at end_step or the next begin_step.
+  /// before end_step. Recording disarms only at end_step; a begin_step
+  /// while a recording is still armed throws InternalError rather than
+  /// silently dropping the partial schedule.
   void record_into(std::shared_ptr<CommPlan> plan);
 
   /// Re-issues a sealed plan as one step: accumulates the plan's recorded

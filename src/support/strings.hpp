@@ -23,6 +23,29 @@ void append_raw(std::string& out, T v) {
   out.append(buf, sizeof v);
 }
 
+/// 64-bit FNV-1a: the cheap content digest behind the plan-key signatures
+/// of table-backed payloads (explicit owner tables, INDIRECT/USER formats).
+/// Streamed value by value via fnv1a_mix so callers never materialize a
+/// byte buffer; start from fnv1a_basis.
+inline constexpr std::uint64_t fnv1a_basis = 1469598103934665603ULL;
+
+inline std::uint64_t fnv1a_bytes(std::uint64_t h, const void* data,
+                                 std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t fnv1a_mix(std::uint64_t h, T v) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "fnv1a_mix requires a trivially copyable value");
+  return fnv1a_bytes(h, &v, sizeof v);
+}
+
 /// Joins `parts` with `sep` ("a, b, c").
 std::string join(const std::vector<std::string>& parts, const std::string& sep);
 

@@ -14,6 +14,7 @@
 #include "exec/redistribute_exec.hpp"
 #include "exec/stencil.hpp"
 #include "support/error.hpp"
+#include "support/strings.hpp"
 
 namespace hpfnt {
 namespace {
@@ -443,29 +444,189 @@ TEST_F(PlanReplayTest, StructurallyEqualFormatsShareOnePlan) {
   EXPECT_EQ(second.ownership_queries, 0);
 }
 
-TEST_F(PlanReplayTest, StructuralSignatureCoverage) {
+TEST_F(PlanReplayTest, ContentSignatureCoverage) {
+  // Every payload kind now carries a content plan signature: formats
+  // (including table-backed INDIRECT/USER ones, which digest their bound
+  // owner tables), constructed payloads over any base, section views, and
+  // explicit maps. Nothing falls back to address keying any more.
   const IndexDomain dom{Dim(1, 16)};
   const Distribution block = Distribution::formats(
       dom, {DistFormat::block()}, ProcessorRef(ps_.find("Q")));
   EXPECT_TRUE(has_structural_signature(block));
-  // Constructed over a pure-format base: structural, recursively.
   const Distribution over_block =
       Distribution::constructed(AlignmentFunction::identity(dom, dom), block);
   EXPECT_TRUE(has_structural_signature(over_block));
   const Distribution nested = Distribution::constructed(
       AlignmentFunction::identity(dom, dom), over_block);
   EXPECT_TRUE(has_structural_signature(nested));
-  // Constructed over an opaque base falls back to address keying, like the
-  // base itself would.
   const Distribution indirect = Distribution::formats(
       dom, {DistFormat::indirect(std::vector<Extent>(16, 1))},
       ProcessorRef(ps_.find("Q")));
-  EXPECT_FALSE(has_structural_signature(indirect));
-  EXPECT_FALSE(has_structural_signature(Distribution::constructed(
+  EXPECT_TRUE(has_structural_signature(indirect));
+  EXPECT_TRUE(has_structural_signature(Distribution::constructed(
       AlignmentFunction::identity(dom, dom), indirect)));
-  EXPECT_FALSE(has_structural_signature(block.materialize()));
-  EXPECT_FALSE(
+  EXPECT_TRUE(has_structural_signature(block.materialize()));
+  EXPECT_TRUE(
       has_structural_signature(Distribution::section_view(block, dom.dims())));
+}
+
+namespace {
+
+/// The PlanKey bytes of a single distribution (no pins expected).
+std::string key_of(const Distribution& dist) {
+  PlanKey k;
+  k.add_distribution(dist);
+  return k.str();
+}
+
+}  // namespace
+
+TEST_F(PlanReplayTest, AddressDistinctSectionViewsKeyIdentically) {
+  // Two section-view payloads minted separately — exactly what every
+  // procedure call does for an inherited section dummy — must produce the
+  // same plan-key bytes when parent content and triplets agree, and
+  // different bytes when either differs.
+  const IndexDomain dom{Dim(1, 100)};
+  const Distribution parent1 = Distribution::formats(
+      dom, {DistFormat::cyclic(4)}, ProcessorRef(ps_.find("Q")));
+  const Distribution parent2 = Distribution::formats(
+      dom, {DistFormat::cyclic(4)}, ProcessorRef(ps_.find("Q")));
+  ASSERT_NE(parent1.payload_identity(), parent2.payload_identity());
+
+  const Distribution v1 =
+      Distribution::section_view(parent1, {Triplet(2, 80, 2)});
+  const Distribution v2 =
+      Distribution::section_view(parent2, {Triplet(2, 80, 2)});
+  ASSERT_NE(v1.payload_identity(), v2.payload_identity());
+  EXPECT_EQ(key_of(v1), key_of(v2));
+  EXPECT_TRUE(v1.structurally_equal(v2));
+
+  // Different triplets or a different parent layout change the key.
+  EXPECT_NE(key_of(Distribution::section_view(parent1, {Triplet(2, 80, 4)})),
+            key_of(v1));
+  const Distribution other_parent = Distribution::formats(
+      dom, {DistFormat::block()}, ProcessorRef(ps_.find("Q")));
+  EXPECT_NE(key_of(Distribution::section_view(other_parent,
+                                              {Triplet(2, 80, 2)})),
+            key_of(v1));
+  // Nested views recurse through both layers.
+  EXPECT_EQ(key_of(Distribution::section_view(v1, {Triplet(1, 20)})),
+            key_of(Distribution::section_view(v2, {Triplet(1, 20)})));
+}
+
+TEST_F(PlanReplayTest, ExplicitContentKeysShareAndDistinguish) {
+  const IndexDomain dom{Dim(1, 24)};
+  auto striped = [&](ApId first) {
+    std::vector<OwnerSet> table;
+    for (Index1 i = 0; i < 24; ++i) {
+      OwnerSet set;
+      set.push_back((first + i) % 4);
+      table.push_back(set);
+    }
+    return Distribution::explicit_map(dom, std::move(table));
+  };
+  const Distribution e1 = striped(0);
+  const Distribution e2 = striped(0);
+  ASSERT_NE(e1.payload_identity(), e2.payload_identity());
+  EXPECT_EQ(key_of(e1), key_of(e2));
+  EXPECT_TRUE(e1.structurally_equal(e2));
+  EXPECT_NE(key_of(striped(1)), key_of(e1));
+  EXPECT_FALSE(striped(1).structurally_equal(e1));
+
+  // The owner-set *order* carries no content: explicit_map canonicalizes,
+  // so {2,0} and {0,2} tables digest and compare equal.
+  auto rep = [&](bool reversed) {
+    OwnerSet set;
+    if (reversed) {
+      set.push_back(2);
+      set.push_back(0);
+    } else {
+      set.push_back(0);
+      set.push_back(2);
+    }
+    return Distribution::explicit_map(
+        dom, std::vector<OwnerSet>(24, set));
+  };
+  EXPECT_EQ(key_of(rep(true)), key_of(rep(false)));
+  EXPECT_TRUE(rep(true).structurally_equal(rep(false)));
+}
+
+TEST_F(PlanReplayTest, AddressDistinctSectionViewDummiesShareOnePlan) {
+  // The copy_section schedule of call 2's fresh section-view dummy replays
+  // call 1's plan: same parent layout, same triplets, different payload
+  // addresses (the acceptance criterion's unit form).
+  const Extent n = 64;
+  const IndexDomain dom{Dim(1, n)};
+  const IndexDomain vdom{Dim(1, 30)};
+  const Distribution parent = Distribution::formats(
+      dom, {DistFormat::cyclic(3)}, ProcessorRef(ps_.find("Q")));
+  const std::vector<Triplet> window{Triplet(2, 60, 2)};
+  ProgramState state(machine_);
+  DistArray& d1 = env_.real("SV1", vdom);
+  DistArray& d2 = env_.real("SV2", vdom);
+  DistArray& c = env_.real("SVC", vdom);
+  state.create_with(d1, Distribution::section_view(parent, window));
+  state.create_with(d2, Distribution::section_view(parent, window));
+  ASSERT_NE(state.layout(d1.id()).payload_identity(),
+            state.layout(d2.id()).payload_identity());
+  state.create_with(c, all_on(vdom, 1));
+
+  const StepStats first =
+      state.copy_section(c, vdom.dims(), d1, vdom.dims(), "copy-out");
+  EXPECT_EQ(state.plans().hits(), 0);
+  EXPECT_EQ(state.plans().misses(), 1);
+  const StepStats second =
+      state.copy_section(c, vdom.dims(), d2, vdom.dims(), "copy-out");
+  EXPECT_EQ(state.plans().hits(), 1);
+  EXPECT_EQ(state.plans().misses(), 1);
+  expect_step_eq(first, second);
+}
+
+TEST_F(PlanReplayTest, RepeatedInheritedSectionCallsReplayArgumentPlans) {
+  // The E4 shape: CALL SUB(A(2:60:2)) with an inherit dummy, repeated. The
+  // dummy's entry layout is a *fresh* section-view payload every call;
+  // before content-hashed keys every call priced its copy-in/copy-out
+  // cold. Now: one miss per copy direction, 2(N-1) hits, and cumulative
+  // engine counters byte-identical to a cache-disabled run.
+  const Extent n = 64;
+  const int calls = 5;
+  const IndexDomain dom{Dim(1, n)};
+  DataEnv env(ps_);
+  DistArray& a = env.real("A", dom);
+  env.distribute(a, {DistFormat::cyclic(3)}, ProcessorRef(ps_.find("Q")));
+
+  ProgramState warm(machine_);
+  ProgramState cold(machine_);
+  cold.plans().set_enabled(false);
+  for (ProgramState* state : {&warm, &cold}) {
+    state->create(env, a);
+    state->fill(a.id(), [](const IndexTuple& i) {
+      return static_cast<double>(i[0] * 7);
+    });
+  }
+
+  ProcedureSig sub{
+      "SUB",
+      {DummySpec{"X", ElemType::kReal, DummyMapping::inherit(), false}}};
+  for (int it = 0; it < calls; ++it) {
+    for (ProgramState* state : {&warm, &cold}) {
+      CallFrame frame =
+          env.call(sub, {ActualArg::of_section(a.id(), {Triplet(2, 60, 2)})});
+      std::vector<StepStats> in = enter_call(*state, env, frame);
+      std::vector<StepStats> out = exit_call(*state, env, frame);
+      ASSERT_EQ(in.size(), 1u);
+      ASSERT_EQ(out.size(), 1u);
+    }
+  }
+  EXPECT_EQ(warm.plans().misses(), 2);  // copy-in and copy-out schedules
+  EXPECT_EQ(warm.plans().hits(), 2 * (calls - 1));
+  EXPECT_EQ(cold.plans().hits(), 0);
+  EXPECT_EQ(warm.comm().total_messages(), cold.comm().total_messages());
+  EXPECT_EQ(warm.comm().total_bytes(), cold.comm().total_bytes());
+  EXPECT_EQ(warm.comm().total_transfers(), cold.comm().total_transfers());
+  EXPECT_EQ(warm.comm().total_time_us(), cold.comm().total_time_us());
+  EXPECT_EQ(warm.comm().local_reads(), cold.comm().local_reads());
+  EXPECT_DOUBLE_EQ(warm.checksum(a.id()), cold.checksum(a.id()));
 }
 
 TEST_F(PlanReplayTest, StructurallyEqualConstructedShareOnePlan) {
@@ -532,9 +693,9 @@ TEST_F(PlanReplayTest, DistinctAlignmentsDoNotShareAPlan) {
 }
 
 TEST_F(PlanReplayTest, DistinctIndirectPayloadsDoNotCollide) {
-  // INDIRECT owner tables have no compact structural signature; they key by
-  // payload address. Two same-sized but different maps must not share a
-  // plan (a false hit would price the second copy as message-free).
+  // INDIRECT owner tables key by a digest of their bound content. Two
+  // same-sized but different maps must not share a plan (a false hit would
+  // price the second copy as message-free).
   const IndexDomain dom{Dim(1, 16)};
   std::vector<Extent> to_one(16, 1);  // AP 0
   std::vector<Extent> to_two(16, 2);  // AP 1
@@ -813,16 +974,15 @@ TEST_F(PlanReplayTest, RealignedArrayDoesNotReplayStalePlan) {
   EXPECT_EQ(warm.comm().total_messages(), cold.comm().total_messages());
 }
 
-// --- pinned-address keying: generation ids forbid address aliasing ----------
+// --- recycled payload addresses can never alias a plan key ------------------
 
 TEST_F(PlanReplayTest, RecycledPayloadAddressDoesNotReplayStalePlan) {
-  // A plan keyed by payload address alone aliases when the payload dies and
-  // the allocator places a different payload at the same address: the stale
-  // plan replays for a distribution it was never priced from. The cache
-  // entry's pins normally keep the payload alive, but nothing in the API
-  // ties the pins to the key — the generation id in the key makes the
-  // aliasing structurally impossible. Simulate the hazardous sequence: an
-  // address-keyed entry whose payload has been released.
+  // Historically explicit payloads keyed by address (+ generation id);
+  // today they key by content digest, which makes address recycling
+  // structurally irrelevant — a different mapping at the same address
+  // digests differently, so the stale plan cannot replay. Keep simulating
+  // the hazardous sequence end to end: an entry whose payload has been
+  // released and whose address the allocator hands to a different mapping.
   const IndexDomain dom{Dim(1, 8)};
   auto explicit_on = [&](ApId p) {
     OwnerSet one;
@@ -889,6 +1049,108 @@ TEST_F(PlanReplayTest, SectionsSharingADimensionShareItsSegmentList) {
   // Shares both triplets with `second` via the run memo: free.
   const LayoutView third(dist, {Triplet(3, n), inner});
   EXPECT_EQ(&second.table(), &third.table());
+}
+
+// --- PlanCache is a size-bounded LRU ----------------------------------------
+
+TEST(PlanCacheLruTest, EvictsLeastRecentlyUsedAndCounts) {
+  auto sealed = [] {
+    auto plan = std::make_shared<CommPlan>();
+    plan->sealed = true;
+    return plan;
+  };
+  PlanCache cache;
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  cache.insert("a", sealed(), {});
+  cache.insert("b", sealed(), {});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0);
+
+  // Touch "a" so "b" becomes the LRU victim.
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  cache.insert("c", sealed(), {});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_NE(cache.lookup("a"), nullptr);
+  EXPECT_NE(cache.lookup("c"), nullptr);
+  EXPECT_EQ(cache.lookup("b"), nullptr);  // evicted
+  EXPECT_EQ(cache.hits(), 3);
+  EXPECT_EQ(cache.misses(), 1);
+
+  // Re-inserting an existing key refreshes, never evicts.
+  cache.insert("c", sealed(), {});
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1);
+
+  // Shrinking the capacity evicts from the tail immediately.
+  cache.set_capacity(1);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.evictions(), 2);
+  EXPECT_NE(cache.lookup("c"), nullptr);  // most recently touched survives
+
+  // An unsealed plan is never cached.
+  cache.insert("u", std::make_shared<CommPlan>(), {});
+  EXPECT_EQ(cache.lookup("u"), nullptr);
+}
+
+TEST(PlanCacheLruTest, ChurningOneShotKeysNeverGrowsPastCapacity) {
+  // A long interp session churning distinct section-view schedules must
+  // stay bounded: every insert past capacity evicts exactly one entry.
+  auto sealed = [] {
+    auto plan = std::make_shared<CommPlan>();
+    plan->sealed = true;
+    return plan;
+  };
+  PlanCache cache;
+  for (int i = 0; i < 1000; ++i) {
+    cache.insert(cat("key", i), sealed(), {});
+    EXPECT_LE(cache.size(), cache.capacity());
+  }
+  EXPECT_EQ(cache.size(), cache.capacity());
+  EXPECT_EQ(cache.evictions(),
+            static_cast<Extent>(1000 - cache.capacity()));
+}
+
+// --- CommEngine misuse guards -----------------------------------------------
+
+TEST_F(CommPlanTest, ReplayOfUnsealedPlanThrows) {
+  // A plan whose recording never reached end_step holds default (wrong)
+  // stats; replaying it must fail loudly instead of corrupting the
+  // cumulative counters.
+  CommEngine engine(machine_);
+  CommPlan unsealed;
+  EXPECT_THROW(engine.replay(unsealed), InternalError);
+  EXPECT_EQ(engine.total_messages(), 0);
+  EXPECT_EQ(engine.local_reads(), 0);
+}
+
+TEST_F(CommPlanTest, BeginStepWhileRecordingArmedThrows) {
+  // If a recorded step unwinds before end_step (a pricing error mid-step),
+  // the armed recording must not silently leak its partial schedule into
+  // the next step: begin_step reports the unsealed recording explicitly.
+  CommEngine engine(machine_);
+  engine.begin_step("first");
+  auto plan = std::make_shared<CommPlan>();
+  engine.record_into(plan);
+  engine.transfer_block(0, 1, 8, 4);
+  // The step unwinds here without end_step; the next begin_step must name
+  // the armed recording, not just "inside an open step".
+  try {
+    engine.begin_step("second");
+    FAIL() << "begin_step did not throw";
+  } catch (const InternalError& e) {
+    EXPECT_NE(std::string(e.what()).find("recording"), std::string::npos);
+  }
+  EXPECT_FALSE(plan->sealed);
+}
+
+TEST_F(CommPlanTest, ReplayInsideOpenStepThrows) {
+  CommEngine engine(machine_);
+  CommPlan sealed;
+  sealed.sealed = true;
+  engine.begin_step("open");
+  EXPECT_THROW(engine.replay(sealed), InternalError);
 }
 
 }  // namespace

@@ -260,6 +260,78 @@ TEST(UserDefinedFormat, SupportsReplication) {
   EXPECT_EQ(o[1], 4);
 }
 
+TEST(UserDefinedFormat, UnsortedOwnerSetsElectMinimumPrimary) {
+  // User functions return owner sets in arbitrary order; the primary
+  // owner — the replica owner()/local_index() report and local addressing
+  // buckets under — is the canonical *minimum* position, not whichever
+  // replica the user listed first (regression: owner_of took
+  // owners.front(), so {3,1} elected position 3).
+  DistFormat f = DistFormat::user_defined(
+      "rep31", [](Index1, Extent, Extent) {
+        DimOwnerSet owners;
+        owners.push_back(3);
+        owners.push_back(1);
+        return owners;
+      });
+  DimMapping m = DimMapping::bind(f, 6, 4);
+  for (Index1 i = 1; i <= 6; ++i) {
+    EXPECT_EQ(m.owner(i), 1) << "index " << i;
+    // Local addressing follows the primary owner's bucket.
+    EXPECT_EQ(m.local_index(i), i) << "index " << i;
+    EXPECT_EQ(m.global_index(1, m.local_index(i)), i) << "index " << i;
+  }
+  // The full owner sets still observe the replication, in user order.
+  EXPECT_EQ(m.owners(2).size(), 2u);
+  EXPECT_EQ(m.owners(2)[0], 3);
+  EXPECT_EQ(m.owners(2)[1], 1);
+  // Both replicas store every element.
+  EXPECT_EQ(m.local_count(1), 6);
+  EXPECT_EQ(m.local_count(3), 6);
+  EXPECT_EQ(m.local_count(2), 0);
+}
+
+TEST(UserDefinedFormat, ContentDigestIsOrderInsensitiveAndContentSensitive) {
+  auto make = [](const char* name, bool reversed) {
+    return DimMapping::bind(
+        DistFormat::user_defined(
+            name,
+            [reversed](Index1, Extent, Extent) {
+              DimOwnerSet owners;
+              if (reversed) {
+                owners.push_back(3);
+                owners.push_back(1);
+              } else {
+                owners.push_back(1);
+                owners.push_back(3);
+              }
+              return owners;
+            }),
+        8, 4);
+  };
+  // Same owner sets in different orders: same mapping, same digest — the
+  // plan-key property two same-shaped bindings rely on to share plans.
+  EXPECT_EQ(make("fwd", false).content_digest(),
+            make("rev", true).content_digest());
+  // A genuinely different mapping digests differently even under the same
+  // name (DistFormat equality compares user formats by name only; the
+  // digest must not).
+  DimMapping other = DimMapping::bind(
+      DistFormat::user_defined("fwd",
+                               [](Index1, Extent, Extent) {
+                                 DimOwnerSet owners;
+                                 owners.push_back(2);
+                                 return owners;
+                               }),
+      8, 4);
+  EXPECT_NE(make("fwd", false).content_digest(), other.content_digest());
+  // Memoized per binding: the second query returns the same value.
+  DimMapping m = make("memo", false);
+  EXPECT_EQ(m.content_digest(), m.content_digest());
+  // Arithmetic formats need no digest and refuse to fake one.
+  EXPECT_THROW(DimMapping::bind(DistFormat::block(), 8, 4).content_digest(),
+               InternalError);
+}
+
 TEST(UserDefinedFormat, TotalityEnforced) {
   DistFormat f = DistFormat::user_defined(
       "partial", [](Index1 i, Extent, Extent) {

@@ -207,6 +207,39 @@ TEST_F(DistributionTest, SameMappingDetectsEquivalentDifferentSpecs) {
   EXPECT_TRUE(a.structurally_equal(a));
 }
 
+TEST_F(DistributionTest, StructuralEqualityChecksUserFormatContent) {
+  // DistFormat compares user-defined formats by name only; two same-named
+  // functions can map differently, and structurally_equal gates whether a
+  // call-site remap is skipped (DataEnv::call), so it must confirm the
+  // bound owner content — directly and through a section view.
+  ProcessorRef q4(ps_.find("Q"), {TargetSub::range(Triplet(1, 4))});
+  auto on = [&](Index1 p) {
+    return Distribution::formats(
+        IndexDomain{Dim(1, 8)},
+        {DistFormat::user_defined("f",
+                                  [p](Index1, Extent, Extent) {
+                                    DimOwnerSet owners;
+                                    owners.push_back(p);
+                                    return owners;
+                                  })},
+        q4);
+  };
+  const Distribution f1 = on(1);
+  const Distribution f1_again = on(1);
+  const Distribution f2 = on(2);  // same name, different mapping
+  EXPECT_TRUE(f1.structurally_equal(f1_again));
+  EXPECT_FALSE(f1.structurally_equal(f2));
+  EXPECT_FALSE(f1.same_mapping(f2));
+
+  const std::vector<Triplet> window{Triplet(2, 8, 2)};
+  EXPECT_TRUE(Distribution::section_view(f1, window)
+                  .structurally_equal(
+                      Distribution::section_view(f1_again, window)));
+  EXPECT_FALSE(Distribution::section_view(f1, window)
+                   .structurally_equal(
+                       Distribution::section_view(f2, window)));
+}
+
 TEST_F(DistributionTest, SameMappingDetectsDifference) {
   ProcessorRef q4(ps_.find("Q"), {TargetSub::range(Triplet(1, 4))});
   Distribution a = Distribution::formats(IndexDomain{Dim(1, 10)},

@@ -83,6 +83,49 @@ TEST_F(HpfModelTest, AlignmentChainsCompose) {
   }
 }
 
+TEST_F(HpfModelTest, DerivedDistributionsAreMemoizedAndInvalidated) {
+  // distribution_of is memoized per array (and per chain node), so the
+  // inherited-dummy path — every procedure call re-querying the actual's
+  // mapping through pass_to_procedure — receives one shared payload: warm
+  // run-table memos and identical plan keys call after call. Any mapping
+  // mutation drops the memo.
+  HpfModel model(ps_);
+  HpfTemplate& t = model.declare_template("T", IndexDomain{Dim(1, 64)});
+  HpfArray& b = model.declare_array("B", IndexDomain{Dim(1, 32)});
+  HpfArray& a = model.declare_array("A", IndexDomain{Dim(1, 16)});
+  AlignExpr i = AlignExpr::dummy(0);
+  model.align_to_template(
+      b, t, AlignSpec({AligneeSub::dummy(0, "I")},
+                      {BaseSub::of_expr(i * 2)}));
+  model.align_to_array(a, b,
+                       AlignSpec({AligneeSub::dummy(0, "I")},
+                                 {BaseSub::of_expr(i + 1)}));
+  model.distribute_template(t, {DistFormat::cyclic(4)},
+                            ProcessorRef(ps_.find("Q")));
+
+  const Distribution first = model.distribution_of(a);
+  EXPECT_EQ(first.payload_identity(),
+            model.distribution_of(a).payload_identity());
+  // The chain walk memoized B too; A's cached base is B's cached payload.
+  EXPECT_EQ(model.distribution_of(b).payload_identity(),
+            model.distribution_of(b).payload_identity());
+  EXPECT_EQ(first.base().payload_identity(),
+            model.distribution_of(b).payload_identity());
+
+  // Redistributing the template invalidates every chain: a fresh payload
+  // with the new mapping, re-memoized.
+  model.distribute_template(t, {DistFormat::block()},
+                            ProcessorRef(ps_.find("Q")));
+  const Distribution second = model.distribution_of(a);
+  EXPECT_NE(second.payload_identity(), first.payload_identity());
+  EXPECT_EQ(second.payload_identity(),
+            model.distribution_of(a).payload_identity());
+  const Distribution dt = model.distribution_of_template(t);
+  for (Index1 k : {1, 7, 16}) {
+    EXPECT_EQ(second.first_owner(idx({k})), dt.first_owner(idx({2 * k + 2})));
+  }
+}
+
 TEST_F(HpfModelTest, UndistributedTemplateIsAnError) {
   HpfModel model(ps_);
   HpfTemplate& t = model.declare_template("T", IndexDomain{Dim(1, 32)});

@@ -131,6 +131,72 @@ TEST_F(ScriptTest, NestedSubroutineCalls) {
   EXPECT_EQ(restores, 1);
 }
 
+TEST_F(ScriptTest, RepeatedCallsReplayArgumentAndRemapPlans) {
+  // N calls of SUB(A(2:63:2)): the inherit dummy's entry layout is a fresh
+  // section-view payload every call, and the body's REDISTRIBUTE remaps
+  // from that fresh payload. With content-hashed plan keys the three
+  // per-call schedules (copy-in, remap, copy-out) each price cold exactly
+  // once — one miss per schedule, 3(N-1) hits — and the cumulative engine
+  // counters are byte-identical to a cache-disabled run.
+  const int calls = 6;
+  std::string script =
+      "!HPF$ PROCESSORS Q(16)\n"
+      "REAL A(64)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK) TO Q\n"
+      "SUBROUTINE SUB(X)\n"
+      "REAL X(:)\n"
+      "!HPF$ DISTRIBUTE X *\n"
+      "!HPF$ DYNAMIC X\n"
+      "!HPF$ REDISTRIBUTE X(CYCLIC) TO Q\n"
+      "END\n";
+  for (int c = 0; c < calls; ++c) script += "CALL SUB(A(2:63:2))\n";
+
+  Machine machine(32);
+  ProgramState warm(machine);
+  ProgramState cold(machine);
+  cold.plans().set_enabled(false);
+  std::vector<StepStats> warm_steps;
+  std::vector<StepStats> cold_steps;
+  // Each interpreter declares PROCESSORS Q, so each needs its own space.
+  ProcessorSpace warm_space(32);
+  ProcessorSpace cold_space(32);
+  {
+    Interpreter in(warm_space);
+    in.set_state(&warm);
+    in.run(script);
+    warm_steps = in.steps();
+  }
+  {
+    Interpreter in(cold_space);
+    in.set_state(&cold);
+    in.run(script);
+    cold_steps = in.steps();
+  }
+
+  EXPECT_EQ(warm.plans().misses(), 3);  // copy-in, remap, copy-out
+  EXPECT_EQ(warm.plans().hits(), 3 * (calls - 1));
+  EXPECT_EQ(cold.plans().hits(), 0);
+  EXPECT_EQ(cold.plans().misses(), 0);
+
+  // Step-by-step and cumulative statistics are byte-identical.
+  ASSERT_EQ(warm_steps.size(), cold_steps.size());
+  for (std::size_t k = 0; k < warm_steps.size(); ++k) {
+    EXPECT_EQ(warm_steps[k].messages, cold_steps[k].messages) << k;
+    EXPECT_EQ(warm_steps[k].bytes, cold_steps[k].bytes) << k;
+    EXPECT_EQ(warm_steps[k].element_transfers,
+              cold_steps[k].element_transfers) << k;
+    EXPECT_EQ(warm_steps[k].time_us, cold_steps[k].time_us) << k;
+  }
+  EXPECT_EQ(warm.comm().total_messages(), cold.comm().total_messages());
+  EXPECT_EQ(warm.comm().total_bytes(), cold.comm().total_bytes());
+  EXPECT_EQ(warm.comm().total_transfers(), cold.comm().total_transfers());
+  EXPECT_EQ(warm.comm().total_time_us(), cold.comm().total_time_us());
+  EXPECT_EQ(warm.comm().local_reads(), cold.comm().local_reads());
+  // The remap inside the body really moved data (content keys shared a
+  // schedule with messages, not a degenerate all-local one).
+  EXPECT_GT(warm.comm().total_messages(), 0);
+}
+
 TEST_F(ScriptTest, LocalArraysInSubroutineAlignToDummy) {
   Interpreter in(ps_);
   in.run(

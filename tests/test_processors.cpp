@@ -103,6 +103,22 @@ TEST(ScalarArrangement, ReplicatedPlacement) {
   EXPECT_EQ(owners.size(), 8u);
 }
 
+TEST(ScalarArrangement, CanonicalApIsMinimumOwner) {
+  // The canonical replica of a replicated owner set is everywhere the
+  // *minimum* owner (ROADMAP rule: owner sets are not sorted in general,
+  // so owners.front() is not a correct replica choice). ap_of/ap_at must
+  // report min(owners_of), whatever order the set arrives in — today
+  // kReplicated yields ascending sets, so this pins the rule against any
+  // future placement policy that does not.
+  ProcessorSpace ps(8, ScalarPlacement::kReplicated);
+  const auto& s = ps.declare_scalar("S");
+  const OwnerSet owners = s.owners_of(IndexTuple{});
+  ASSERT_EQ(owners.size(), 8u);
+  EXPECT_EQ(s.ap_of(IndexTuple{}), min_owner(owners));
+  ProcessorRef ref(s);
+  EXPECT_EQ(ref.ap_at(IndexTuple{}), min_owner(owners));
+}
+
 TEST(ScalarArrangement, ArbitraryPlacementIsStable) {
   ProcessorSpace ps(8, ScalarPlacement::kArbitrary);
   const auto& s = ps.declare_scalar("S");
