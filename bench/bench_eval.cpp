@@ -1,0 +1,215 @@
+// Experiment E5 — the segment-vectorized evaluation engine
+// (exec/section_expr.hpp SecProgram) vs the per-element reference oracle.
+//
+// E1–E4 batched ownership (run tables) and pricing (plan replay); E5
+// measures what a warm sweep step actually spends after those wins: the
+// numerics. BM_EvalSweep times one END-TO-END assignment statement
+//
+//     b(2:n-1) = (a(1:n-2) + a(3:n)) * 0.5        (ping-ponged)
+//
+// wall-clock — pass 1 numerics + pass 2 pricing (plan replay) + pass 3
+// writeback — with the element engine (IndexTuple per position, recursive
+// eval_serial, per-element set_value) and with the segment engine
+// (compiled SecProgram over flat strided segments, raw spans, bulk
+// store_segment), across BLOCK / CYCLIC / ALIGN-derived / section-view
+// layouts. Acceptance bar: >= 10x on the 2^20-element BLOCK sweep, with
+// byte-identical cumulative StepStats and stored values — verified here
+// before timing (abort on any divergence) and differentially in
+// tests/test_eval_segments.cpp.
+//
+// CI's bench-smoke job uploads this binary's JSON as BENCH_eval.json and
+// fails if any segment-engine variant is slower than its element twin.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+#include <utility>
+
+#include "core/data_env.hpp"
+#include "exec/assign.hpp"
+
+namespace {
+
+using namespace hpfnt;
+
+enum Layout : int { kBlock = 0, kCyclic = 1, kAligned = 2, kSectionView = 3 };
+
+const char* layout_name(int layout) {
+  switch (layout) {
+    case kBlock: return "BLOCK";
+    case kCyclic: return "CYCLIC(4)";
+    case kAligned: return "ALIGNED";
+    default: return "SECTION_VIEW";
+  }
+}
+
+// 1-D ping-pong rig; both arrays share one layout family.
+struct EvalRig {
+  EvalRig(int layout, Extent n)
+      : machine(16),
+        ps(16),
+        env((ps.declare("P", IndexDomain::of_extents({16})), ps)),
+        a(env.real("A", IndexDomain{Dim(1, n)})),
+        b(env.real("B", IndexDomain{Dim(1, n)})),
+        state(machine) {
+    const ProcessorRef procs(ps.find("P"));
+    switch (layout) {
+      case kBlock:
+      case kAligned:
+        env.distribute(a, {DistFormat::block()}, procs);
+        break;
+      case kCyclic:
+        env.distribute(a, {DistFormat::cyclic(4)}, procs);
+        break;
+      case kSectionView:
+        break;  // storage layouts installed below
+    }
+    if (layout == kAligned) {
+      env.align(b, a, AlignSpec::colons(1));
+    } else if (layout != kSectionView) {
+      env.distribute(b, {DistFormat::block()},
+                     ProcessorRef(ps.find("P")));
+    }
+    if (layout == kSectionView) {
+      // Dummy-argument style layouts: each array is the even-index section
+      // of a 2n BLOCK parent, seen through its own standard [1:n] domain.
+      const Distribution parent = Distribution::formats(
+          IndexDomain{Dim(1, 2 * n)}, {DistFormat::block()}, procs);
+      state.create_with(
+          a, Distribution::section_view(parent, {Triplet(1, 2 * n - 1, 2)}));
+      state.create_with(
+          b, Distribution::section_view(parent, {Triplet(2, 2 * n, 2)}));
+    } else {
+      state.create(env, a);
+      state.create(env, b);
+    }
+    auto init = [n](const IndexTuple& i) {
+      return (i[0] == 1 || i[0] == n) ? 100.0 : 0.01 * (i[0] % 97);
+    };
+    state.fill(a.id(), init);
+    state.fill(b.id(), init);
+    rhs_ab = sweep_rhs(a, n);
+    rhs_ba = sweep_rhs(b, n);
+  }
+
+  static SecExpr sweep_rhs(const DistArray& src, Extent n) {
+    return (SecExpr::section(src, {Triplet(1, n - 2)}) +
+            SecExpr::section(src, {Triplet(3, n)})) *
+           0.5;
+  }
+
+  AssignResult step(const DistArray& src, const DistArray& dst, Extent n,
+                    EvalEngine engine) {
+    // One expression per sweep direction, reused across iterations: the
+    // compiled SecProgram cached on it stays warm, like a real sweep loop.
+    const SecExpr& rhs = src.id() == a.id() ? rhs_ab : rhs_ba;
+    return assign_on_layout(state, dst, {Triplet(2, n - 1)}, rhs,
+                            "sweep " + src.name() + "->" + dst.name(), engine);
+  }
+
+  Machine machine;
+  ProcessorSpace ps;
+  DataEnv env;
+  DistArray& a;
+  DistArray& b;
+  ProgramState state;
+  SecExpr rhs_ab = SecExpr::constant(0.0);  // replaced in the constructor
+  SecExpr rhs_ba = SecExpr::constant(0.0);
+};
+
+void die(const char* what, int layout, Extent n) {
+  std::fprintf(stderr,
+               "E5 equivalence FAILED (%s, layout=%s, n=%lld): the segment "
+               "engine must match the element engine byte-for-byte\n",
+               what, layout_name(layout), static_cast<long long>(n));
+  std::abort();
+}
+
+// Runs `iters` ping-pong steps on two identically-initialized rigs, one per
+// engine, and requires byte-identical cumulative statistics and stored
+// values before any timing is believed.
+void verify_equivalence(int layout, Extent n) {
+  static std::set<std::pair<int, Extent>> verified;
+  if (!verified.insert({layout, n}).second) return;
+  EvalRig seg_rig(layout, n);
+  EvalRig ele_rig(layout, n);
+  const DistArray* ss = &seg_rig.a;
+  const DistArray* sd = &seg_rig.b;
+  const DistArray* es = &ele_rig.a;
+  const DistArray* ed = &ele_rig.b;
+  for (int it = 0; it < 3; ++it) {
+    const AssignResult rs = seg_rig.step(*ss, *sd, n, EvalEngine::kSegment);
+    const AssignResult re = ele_rig.step(*es, *ed, n, EvalEngine::kElement);
+    if (rs.step.messages != re.step.messages ||
+        rs.step.bytes != re.step.bytes ||
+        rs.step.element_transfers != re.step.element_transfers ||
+        rs.step.flops != re.step.flops ||
+        std::memcmp(&rs.step.time_us, &re.step.time_us, sizeof(double)) != 0 ||
+        rs.local_reads != re.local_reads) {
+      die("StepStats", layout, n);
+    }
+    std::swap(ss, sd);
+    std::swap(es, ed);
+  }
+  const std::pair<ArrayId, ArrayId> pairs[] = {
+      {seg_rig.a.id(), ele_rig.a.id()}, {seg_rig.b.id(), ele_rig.b.id()}};
+  for (const auto& [seg_id, ele_id] : pairs) {
+    if (std::memcmp(seg_rig.state.values_span(seg_id),
+                    ele_rig.state.values_span(ele_id),
+                    sizeof(double) *
+                        static_cast<std::size_t>(
+                            seg_rig.state.values_count(seg_id))) != 0) {
+      die("values", layout, n);
+    }
+  }
+}
+
+void BM_EvalSweep(benchmark::State& bench) {
+  const EvalEngine engine =
+      bench.range(0) != 0 ? EvalEngine::kSegment : EvalEngine::kElement;
+  const int layout = static_cast<int>(bench.range(1));
+  const Extent n = bench.range(2);
+  verify_equivalence(layout, n);
+  EvalRig rig(layout, n);
+  const DistArray* src = &rig.a;
+  const DistArray* dst = &rig.b;
+  // Prime both sweep directions: run tables, plans, the compiled program
+  // cache, and the scratch arena are warm — the steady state of a sweep.
+  rig.step(*src, *dst, n, engine);
+  std::swap(src, dst);
+  rig.step(*src, *dst, n, engine);
+  std::swap(src, dst);
+  AssignResult last;
+  for (auto _ : bench) {
+    last = rig.step(*src, *dst, n, engine);
+    std::swap(src, dst);
+  }
+  bench.counters["elements"] = static_cast<double>(last.elements);
+  bench.counters["checksum"] = rig.state.checksum(rig.a.id());
+  bench.counters["cum_bytes"] =
+      static_cast<double>(rig.state.comm().total_bytes());
+  bench.counters["cum_messages"] =
+      static_cast<double>(rig.state.comm().total_messages());
+  bench.SetLabel(std::string(layout_name(layout)) + "/" +
+                 (engine == EvalEngine::kSegment ? "segment" : "element"));
+}
+
+void Modes(benchmark::internal::Benchmark* b) {
+  // The acceptance case: 2^20-element BLOCK sweep, both engines. CYCLIC
+  // runs at 2^16 (its 1-D run tables are per-owner-change, so 2^20 would
+  // spend the smoke run building multi-hundred-MB tables, not evaluating).
+  for (int engine : {0, 1}) {
+    b->Args({engine, kBlock, 1 << 20});
+    b->Args({engine, kCyclic, 1 << 16});
+    b->Args({engine, kAligned, 1 << 20});
+    b->Args({engine, kSectionView, 1 << 20});
+  }
+}
+
+BENCHMARK(BM_EvalSweep)->Apply(Modes)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -25,12 +25,30 @@
 // cold, with identical cumulative statistics.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "core/data_env.hpp"
 #include "exec/stencil.hpp"
 
 namespace {
 
 using namespace hpfnt;
+
+// Regression tripwire for the pricing timer: AssignResult::pricing_ns must
+// cover the WHOLE pricing section — PlanKey construction + hashing
+// included, not just the plan lookup/replay — so a warm (plan-hit) step
+// can never report a zero pricing time. A timer started after the key was
+// built and consulted would.
+void require_pricing_timed(const SweepStats& s, const char* mode) {
+  if (s.pricing_ns <= 0) {
+    std::fprintf(stderr,
+                 "E2 regression: %s step reported pricing_ns=%lld; the "
+                 "pricing timer must cover PlanKey construction\n",
+                 mode, static_cast<long long>(s.pricing_ns));
+    std::abort();
+  }
+}
 
 struct JacobiRig {
   // `aligned` is the E3 variant: B is ALIGN-ed WITH A (identity), so its
@@ -87,6 +105,7 @@ void run_step_pricing(benchmark::State& bench, bool aligned) {
   SweepStats last;
   for (auto _ : bench) {
     last = jacobi_step(rig.state, rig.env, *src, *dst, n);
+    require_pricing_timed(last, plans ? "plan-hit" : "cold");
     bench.SetIterationTime(static_cast<double>(last.pricing_ns) * 1e-9);
     std::swap(src, dst);
   }
@@ -120,6 +139,7 @@ void run_jacobi_100(benchmark::State& bench, bool aligned) {
     JacobiRig rig(n, aligned);
     rig.state.plans().set_enabled(plans);
     total = jacobi(rig.state, rig.env, rig.a, rig.b, n, 100);
+    require_pricing_timed(total, plans ? "plan-hit" : "cold");
     cum_bytes = rig.state.comm().total_bytes();
     cum_messages = rig.state.comm().total_messages();
     cum_time_us = rig.state.comm().total_time_us();

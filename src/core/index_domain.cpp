@@ -75,32 +75,7 @@ IndexTuple IndexDomain::delinearize(Extent position) const {
 
 void IndexDomain::for_each(
     const std::function<void(const IndexTuple&)>& fn) const {
-  if (empty()) return;
-  IndexTuple current;
-  current.resize(static_cast<std::size_t>(rank()));
-  for (int d = 0; d < rank(); ++d) {
-    current[static_cast<size_t>(d)] = dims_[static_cast<size_t>(d)].lower();
-  }
-  if (rank() == 0) {
-    fn(current);
-    return;
-  }
-  // Odometer walk, first dimension fastest (Fortran order).
-  std::vector<Extent> pos(static_cast<std::size_t>(rank()), 0);
-  while (true) {
-    fn(current);
-    int d = 0;
-    for (; d < rank(); ++d) {
-      const Triplet& t = dims_[static_cast<size_t>(d)];
-      if (++pos[static_cast<size_t>(d)] < t.size()) {
-        current[static_cast<size_t>(d)] = t.at(pos[static_cast<size_t>(d)]);
-        break;
-      }
-      pos[static_cast<size_t>(d)] = 0;
-      current[static_cast<size_t>(d)] = t.lower();
-    }
-    if (d == rank()) return;
-  }
+  walk(fn);
 }
 
 void IndexDomain::validate_section(const std::vector<Triplet>& section) const {
@@ -157,6 +132,100 @@ std::string IndexDomain::to_string() const {
 void IndexDomain::append_signature(std::string& out) const {
   append_raw(out, static_cast<Index1>(rank()));
   for (const Triplet& t : dims_) t.append_signature(out);
+}
+
+SegmentIter::SegmentIter(const IndexDomain& domain,
+                         const std::vector<Triplet>& section) {
+  domain.validate_section(section);
+  const int rank = domain.rank();
+  if (rank == 0) {
+    // Rank-0: the single empty tuple is one 1-element segment.
+    row_len_ = 1;
+    return;
+  }
+  for (int d = 0; d < rank; ++d) {
+    if (section[static_cast<std::size_t>(d)].empty()) {
+      done_ = true;
+      return;
+    }
+  }
+  // The linearization is affine per dimension, so the position of the
+  // section element (k_0, ..., k_{n-1}) (0-based section positions) is
+  //   base + sum_d k_d * step_d,
+  // where step_d is the position distance between two consecutive section
+  // indices of dimension d times the dimension's pitch. Both are exact
+  // integer quantities because every section index lies on the dimension's
+  // arithmetic index sequence.
+  Extent pitch = 1;
+  Extent base = 0;
+  for (int d = 0; d < rank; ++d) {
+    const Triplet& dom = domain.dim(d);
+    const Triplet& sec = section[static_cast<std::size_t>(d)];
+    base += dom.position_of(sec.at(0)) * pitch;
+    const Extent step =
+        sec.size() > 1
+            ? (dom.position_of(sec.at(1)) - dom.position_of(sec.at(0))) * pitch
+            : 0;
+    if (d == 0) {
+      row_len_ = sec.size();
+      step0_ = sec.size() > 1 ? step : 1;
+    } else {
+      counts_.push_back(sec.size());
+      steps_.push_back(step);
+      pos_.push_back(0);
+    }
+    pitch *= dom.size();
+  }
+  row_base_ = base;
+}
+
+bool SegmentIter::advance_row() {
+  for (std::size_t d = 0; d < counts_.size(); ++d) {
+    if (++pos_[d] < counts_[d]) {
+      row_base_ += steps_[d];
+      return true;
+    }
+    pos_[d] = 0;
+    row_base_ -= steps_[d] * (counts_[d] - 1);
+  }
+  return false;
+}
+
+bool SegmentIter::next(FlatSegment& out) {
+  if (done_) return false;
+  FlatSegment open{row_base_, row_len_, step0_};
+  // Greedy cross-row merge: absorb following rows while their elements
+  // continue the open segment's arithmetic position sequence. A 1-element
+  // open segment has no committed stride yet, so the first continuation
+  // defines it (this is what flattens A(j, :) into one pitch-strided
+  // segment, and a whole contiguous section into a single segment).
+  while (advance_row()) {
+    const Extent rb = row_base_;
+    if (open.count == 1) {  // row_len_ == 1: stride not committed yet
+      open.stride = rb - open.base;
+      open.count = 2;
+      continue;
+    }
+    if (rb == open.base + open.count * open.stride &&
+        (row_len_ == 1 || step0_ == open.stride)) {
+      open.count += row_len_;
+      continue;
+    }
+    out = open;
+    return true;  // the pending row (row_base_/pos_) starts the next segment
+  }
+  done_ = true;
+  out = open;
+  return true;
+}
+
+std::vector<FlatSegment> segment_list(const IndexDomain& domain,
+                                      const std::vector<Triplet>& section) {
+  std::vector<FlatSegment> out;
+  SegmentIter it(domain, section);
+  FlatSegment seg;
+  while (it.next(seg)) out.push_back(seg);
+  return out;
 }
 
 }  // namespace hpfnt

@@ -5,7 +5,12 @@
 //
 // The domain provides membership tests, Fortran-order (column-major)
 // linearization — the basis for EQUIVALENCE-style processor association
-// (§3) and for local storage layout — and element iteration.
+// (§3) and for local storage layout — and element iteration. Because the
+// linearization is affine per dimension, any triplet-section of a domain
+// decomposes into a handful of maximal flat strided segments
+// (SegmentIter / for_each_segment below): the iteration-space analogue of
+// the constant-owner runs of core/layout_view.hpp, and the basis of the
+// segment-vectorized evaluation engine (exec/section_expr.hpp).
 #pragma once
 
 #include <functional>
@@ -73,6 +78,15 @@ class IndexDomain {
   /// fastest). Rank-0 domains invoke `fn` once with the empty tuple.
   void for_each(const std::function<void(const IndexTuple&)>& fn) const;
 
+  /// Same walk without the std::function indirection: the callback is a
+  /// template parameter, so hot loops inline it. The type-erased overload
+  /// above is kept for existing callers that already hold a std::function
+  /// (non-template overloads win overload resolution for those).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(fn);
+  }
+
   /// The domain obtained by taking a section (one triplet per dimension,
   /// positions interpreted against this domain's index values, not
   /// positions): section of A(0:9) by [2:8:2] is the domain {2,4,6,8}
@@ -107,7 +121,97 @@ class IndexDomain {
   }
 
  private:
+  template <typename Fn>
+  void walk(Fn& fn) const {
+    if (empty()) return;
+    IndexTuple current;
+    current.resize(static_cast<std::size_t>(rank()));
+    for (int d = 0; d < rank(); ++d) {
+      current[static_cast<size_t>(d)] = dims_[static_cast<size_t>(d)].lower();
+    }
+    if (rank() == 0) {
+      fn(current);
+      return;
+    }
+    // Odometer walk, first dimension fastest (Fortran order).
+    std::vector<Extent> pos(static_cast<std::size_t>(rank()), 0);
+    while (true) {
+      fn(current);
+      int d = 0;
+      for (; d < rank(); ++d) {
+        const Triplet& t = dims_[static_cast<size_t>(d)];
+        if (++pos[static_cast<size_t>(d)] < t.size()) {
+          current[static_cast<size_t>(d)] = t.at(pos[static_cast<size_t>(d)]);
+          break;
+        }
+        pos[static_cast<size_t>(d)] = 0;
+        current[static_cast<size_t>(d)] = t.lower();
+      }
+      if (d == rank()) return;
+    }
+  }
+
   std::vector<Triplet> dims_;
 };
+
+/// One maximal flat strided segment of a sectioned domain: `count` section
+/// elements whose parent-domain linear positions (0-based, Fortran order)
+/// are base, base+stride, base+2*stride, ... The stride may be negative
+/// (descending section triplets) but is never zero for count > 1.
+struct FlatSegment {
+  Extent base = 0;
+  Extent count = 0;
+  Extent stride = 1;
+};
+
+/// Decomposes a triplet-section of a domain into maximal FlatSegments, in
+/// the section's Fortran element order (so the segments' counts sum to the
+/// section size and concatenating them enumerates exactly the section's
+/// linear positions, in order).
+///
+/// Segments start as the section's dim-0 rows but merge greedily across row
+/// boundaries whenever the parent positions continue the same arithmetic
+/// sequence — a whole-array section is ONE segment, a column section
+/// A(j, :) is one stride-`pitch` segment — the flattening of Hunt et al.'s
+/// strided-loop formulation. This is the iteration-space counterpart of
+/// LayoutView's constant-owner runs: run tables say WHO owns a segment,
+/// FlatSegments say WHERE its canonical values live, and the evaluation
+/// engine (exec/section_expr.hpp) iterates the latter with tight strided
+/// loops instead of per-element IndexTuple arithmetic.
+class SegmentIter {
+ public:
+  /// Validates `section` against `domain`. Neither is retained.
+  SegmentIter(const IndexDomain& domain, const std::vector<Triplet>& section);
+
+  /// Produces the next maximal segment; false when exhausted.
+  bool next(FlatSegment& out);
+
+ private:
+  bool advance_row();  // steps the outer odometer; false at the end
+
+  Extent row_len_ = 0;   // section[0].size() (1 for rank-0)
+  Extent step0_ = 1;     // linear-position step along dimension 0
+  Extent row_base_ = 0;  // linear position of the current row's first element
+  SmallVector<Extent, kMaxRank> counts_;  // outer dims' section sizes
+  SmallVector<Extent, kMaxRank> steps_;   // outer dims' linear-position steps
+  SmallVector<Extent, kMaxRank> pos_;     // outer odometer
+  bool done_ = false;
+};
+
+/// Calls `fn(const FlatSegment&)` for every maximal segment of the section.
+/// Templated like IndexDomain::for_each so the segment loop inlines.
+template <typename Fn>
+void for_each_segment(const IndexDomain& domain,
+                      const std::vector<Triplet>& section, Fn&& fn) {
+  SegmentIter it(domain, section);
+  FlatSegment seg;
+  while (it.next(seg)) fn(seg);
+}
+
+/// The section's full segment decomposition as a value — the memoizable
+/// form (exec/section_expr.hpp caches one list per operand on the compiled
+/// program, the way DimMapping::segment_list memoizes owner segments).
+std::vector<FlatSegment> segment_list(const IndexDomain& domain,
+                                      const std::vector<Triplet>& section);
 
 }  // namespace hpfnt

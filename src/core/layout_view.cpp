@@ -404,24 +404,7 @@ void for_each_common_segment(
     const RunTable& a, const RunTable& b,
     const std::function<void(Extent, Extent, const OwnerSet&,
                              const OwnerSet&)>& fn) {
-  const Extent total = a.section_domain.size();
-  if (total != b.section_domain.size()) {
-    throw InternalError("common-segment walk over tables of different sizes");
-  }
-  std::size_t ia = 0;
-  std::size_t ib = 0;
-  Extent pos = 0;
-  while (pos < total) {
-    const OwnerRun& ra = a.runs[ia];
-    const OwnerRun& rb = b.runs[ib];
-    const Extent end_a = ra.begin + ra.count;
-    const Extent end_b = rb.begin + rb.count;
-    const Extent end = std::min(end_a, end_b);
-    fn(pos, end - pos, ra.owners, rb.owners);
-    pos = end;
-    if (pos == end_a) ++ia;
-    if (pos == end_b) ++ib;
-  }
+  for_each_common_segment<decltype(fn)>(a, b, fn);
 }
 
 }  // namespace hpfnt

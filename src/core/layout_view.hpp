@@ -31,6 +31,7 @@
 // exists.
 #pragma once
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -39,6 +40,7 @@
 #include "core/index_domain.hpp"
 #include "core/triplet.hpp"
 #include "core/types.hpp"
+#include "support/error.hpp"
 
 namespace hpfnt {
 
@@ -127,6 +129,15 @@ class LayoutView {
     for (const OwnerRun& r : table_->runs) fn(r);
   }
 
+  /// Indirection-free variant: the callback is a template parameter, so
+  /// exec-layer hot loops inline it (the std::function overload above is
+  /// kept for callers that already hold one; non-template overloads win
+  /// for those).
+  template <typename Fn>
+  void for_each_run(Fn&& fn) const {
+    for (const OwnerRun& r : table_->runs) fn(r);
+  }
+
  private:
   Distribution dist_;
   std::vector<Triplet> section_;
@@ -141,5 +152,29 @@ void for_each_common_segment(
     const std::function<void(Extent begin, Extent count,
                              const OwnerSet& owners_a,
                              const OwnerSet& owners_b)>& fn);
+
+/// Indirection-free variant of the lock-step walk for hot loops (assign's
+/// cold pricing walks one of these per RHS operand); same contract.
+template <typename Fn>
+void for_each_common_segment(const RunTable& a, const RunTable& b, Fn&& fn) {
+  const Extent total = a.section_domain.size();
+  if (total != b.section_domain.size()) {
+    throw InternalError("common-segment walk over tables of different sizes");
+  }
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  Extent pos = 0;
+  while (pos < total) {
+    const OwnerRun& ra = a.runs[ia];
+    const OwnerRun& rb = b.runs[ib];
+    const Extent end_a = ra.begin + ra.count;
+    const Extent end_b = rb.begin + rb.count;
+    const Extent end = std::min(end_a, end_b);
+    fn(pos, end - pos, ra.owners, rb.owners);
+    pos = end;
+    if (pos == end_a) ++ia;
+    if (pos == end_b) ++ib;
+  }
+}
 
 }  // namespace hpfnt

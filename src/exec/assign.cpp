@@ -14,22 +14,25 @@ namespace {
 AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
                          const DistArray& lhs,
                          const std::vector<Triplet>& lhs_section,
-                         const SecExpr& rhs, const std::string& label);
+                         const SecExpr& rhs, const std::string& label,
+                         EvalEngine engine);
 
 }  // namespace
 
 AssignResult assign(ProgramState& state, const DataEnv& env,
                     const DistArray& lhs, std::vector<Triplet> lhs_section,
-                    const SecExpr& rhs, const std::string& label) {
+                    const SecExpr& rhs, const std::string& label,
+                    EvalEngine engine) {
   return assign_impl(state, env.distribution_of(lhs), lhs, lhs_section, rhs,
-                     label);
+                     label, engine);
 }
 
 AssignResult assign_on_layout(ProgramState& state, const DistArray& lhs,
                               std::vector<Triplet> lhs_section,
-                              const SecExpr& rhs, const std::string& label) {
+                              const SecExpr& rhs, const std::string& label,
+                              EvalEngine engine) {
   return assign_impl(state, state.layout(lhs.id()), lhs, lhs_section, rhs,
-                     label);
+                     label, engine);
 }
 
 namespace {
@@ -37,7 +40,8 @@ namespace {
 AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
                          const DistArray& lhs,
                          const std::vector<Triplet>& lhs_section,
-                         const SecExpr& rhs, const std::string& label) {
+                         const SecExpr& rhs, const std::string& label,
+                         EvalEngine engine) {
   lhs.domain().validate_section(lhs_section);
   const IndexDomain iteration = lhs.domain().section_domain(lhs_section);
   // Fortran conformance: shapes match after squeezing unit dimensions
@@ -58,34 +62,47 @@ AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
   CommEngine& comm = state.comm();
   const Extent local_before = comm.local_reads();
 
-  // Squeeze helper: the RHS sees positions with unit dimensions dropped.
-  auto squeeze = [&](const IndexTuple& pos) {
-    IndexTuple out;
-    for (int d = 0; d < iteration.rank(); ++d) {
-      if (iteration.extent(d) != 1) {
-        out.push_back(pos[static_cast<std::size_t>(d)]);
-      }
-    }
-    return out;
-  };
-
-  const std::vector<SecLeaf> leaves = rhs.leaves();
+  const SecProgram& prog = rhs.program();
+  const std::vector<SecLeaf>& leaves = prog.leaves();
 
   // Pass 1: numerics. The RHS is evaluated completely before the LHS
   // changes (Fortran array-assignment semantics); values are independent of
   // placement, so evaluation reads canonical storage directly while the
   // owner-computes communication is charged run-wise below — and runs every
-  // step even when the priced schedule is replayed from a plan.
-  std::vector<double> staged;
-  staged.reserve(static_cast<std::size_t>(iteration.size()));
-  iteration.for_each([&](const IndexTuple& pos) {
-    staged.push_back(rhs.eval_serial(state, squeeze(pos)));
-  });
+  // step even when the priced schedule is replayed from a plan. The
+  // compiled program evaluates whole flat strided segments into the
+  // state's reusable staging buffer; the element engine is the reference
+  // oracle (identical values by construction, asserted differentially).
+  ScratchArena& arena = state.scratch();
+  const Extent total = iteration.size();
+  arena.staged.resize(static_cast<std::size_t>(total));
+  double* staged = arena.staged.data();
+  if (engine == EvalEngine::kSegment) {
+    prog.eval(state, arena, total, staged);
+  } else {
+    // Squeeze helper: the RHS sees positions with unit dimensions dropped.
+    auto squeeze = [&](const IndexTuple& pos) {
+      IndexTuple out;
+      for (int d = 0; d < iteration.rank(); ++d) {
+        if (iteration.extent(d) != 1) {
+          out.push_back(pos[static_cast<std::size_t>(d)]);
+        }
+      }
+      return out;
+    };
+    Extent at = 0;
+    iteration.for_each([&](const IndexTuple& pos) {
+      staged[at++] = rhs.eval_serial(state, squeeze(pos));
+    });
+  }
 
   // Pass 2: owner-computes pricing. The schedule is a pure function of the
   // participating layouts, sections, and per-element costs, so a recurring
   // assignment — the 2nd..Nth iteration of a sweep — replays its memoized
-  // plan with zero ownership queries and no common-segment walk.
+  // plan with zero ownership queries and no common-segment walk. The timer
+  // must start BEFORE PlanKey construction: key building + hashing is part
+  // of the warm path's pricing cost (the E2 bench harness asserts a
+  // nonzero warm pricing_ns as a regression tripwire).
   const auto price_start = std::chrono::steady_clock::now();
   PlanCache& plans = state.plans();
   std::string key;
@@ -183,13 +200,22 @@ AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
                           .count();
 
   // Pass 3: write the staged results to canonical storage (section order
-  // equals the run tables' linear order, so no view is needed here).
-  std::size_t k = 0;
-  iteration.for_each([&](const IndexTuple& pos) {
-    state.set_value(lhs.id(),
-                    lhs.domain().section_parent_index(lhs_section, pos),
-                    staged[k++]);
-  });
+  // equals the run tables' linear order, so no view is needed here) —
+  // whole flat LHS segments at a time.
+  if (engine == EvalEngine::kSegment) {
+    Extent written = 0;
+    for_each_segment(lhs.domain(), lhs_section, [&](const FlatSegment& seg) {
+      state.store_segment(lhs.id(), seg, staged + written);
+      written += seg.count;
+    });
+  } else {
+    std::size_t k = 0;
+    iteration.for_each([&](const IndexTuple& pos) {
+      state.set_value(lhs.id(),
+                      lhs.domain().section_parent_index(lhs_section, pos),
+                      staged[k++]);
+    });
+  }
 
   result.elements = iteration.size();
   result.local_reads = comm.local_reads() - local_before;

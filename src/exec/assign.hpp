@@ -7,6 +7,18 @@
 // (replicas) receive the result by message. All transfers of one assignment
 // form one comm step, so pairs are message-vectorized.
 //
+// Pass structure (all three batched — nothing in a warm sweep is
+// per-element):
+//   1. numerics — the RHS's compiled SecProgram evaluates whole flat
+//      strided segments of every operand into the state's reusable staging
+//      buffer (Fortran semantics: the snapshot completes before the LHS
+//      changes);
+//   2. pricing — the owner-computes communication is charged per
+//      constant-owner run segment (core/layout_view.hpp), or the whole
+//      priced schedule replays from the plan cache (exec/comm_plan.hpp);
+//   3. writeback — the staged values land in canonical storage one flat
+//      LHS segment at a time (ProgramState::store_segment).
+//
 // This is the workload the paper's mapping model exists to serve: the
 // communication an assignment induces is exactly determined by the
 // distributions and alignments of the arrays involved.
@@ -18,6 +30,13 @@
 #include "exec/section_expr.hpp"
 
 namespace hpfnt {
+
+/// Which numerics engine passes 1 and 3 use. kSegment is the production
+/// path (compiled SecProgram over flat strided segments); kElement is the
+/// per-element reference oracle (eval_serial + set_value) kept for the
+/// differential tests and the E5 benchmark baseline. Both engines price
+/// identically and must produce byte-identical values and StepStats.
+enum class EvalEngine { kSegment, kElement };
 
 struct AssignResult {
   StepStats step;
@@ -40,7 +59,8 @@ struct AssignResult {
 /// LHS(section) = rhs.
 AssignResult assign(ProgramState& state, const DataEnv& env,
                     const DistArray& lhs, std::vector<Triplet> lhs_section,
-                    const SecExpr& rhs, const std::string& label = "");
+                    const SecExpr& rhs, const std::string& label = "",
+                    EvalEngine engine = EvalEngine::kSegment);
 
 /// LHS = rhs over the whole array.
 AssignResult assign(ProgramState& state, const DataEnv& env,
@@ -54,7 +74,8 @@ AssignResult assign(ProgramState& state, const DataEnv& env,
 AssignResult assign_on_layout(ProgramState& state, const DistArray& lhs,
                               std::vector<Triplet> lhs_section,
                               const SecExpr& rhs,
-                              const std::string& label = "");
+                              const std::string& label = "",
+                              EvalEngine engine = EvalEngine::kSegment);
 
 /// Serial reference: evaluates the same assignment without any ownership
 /// or communication, for verifying the distributed executor's numerics.

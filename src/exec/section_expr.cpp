@@ -1,5 +1,7 @@
 #include "exec/section_expr.hpp"
 
+#include <algorithm>
+
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -122,6 +124,248 @@ double SecExpr::eval_node(const Node& n, const ProgramState& state,
 double SecExpr::eval_serial(const ProgramState& state,
                             const IndexTuple& pos) const {
   return eval_node(*node_, state, pos);
+}
+
+// --- SecProgram: the segment-vectorized engine ------------------------------
+
+void SecExpr::compile_node(const Node& n, SecProgram& prog, int& stack) {
+  switch (n.op) {
+    case Op::kConst:
+      prog.code_.push_back({SecProgram::OpCode::kConst, -1, n.value});
+      prog.depth_ = std::max(prog.depth_, ++stack);
+      return;
+    case Op::kLeaf: {
+      SecProgram::Inst inst;
+      inst.op = SecProgram::OpCode::kLeaf;
+      inst.leaf = static_cast<int>(prog.leaves_.size());
+      prog.leaves_.push_back(SecLeaf{n.array, n.bytes, &n.domain, &n.section});
+      SecProgram::LeafPlan plan;
+      plan.segments = segment_list(n.domain, n.section);
+      for (const FlatSegment& s : plan.segments) {
+        plan.size += s.count;
+        plan.bound = std::max(
+            plan.bound, 1 + std::max(s.base, s.base + (s.count - 1) * s.stride));
+      }
+      prog.plans_.push_back(std::move(plan));
+      prog.code_.push_back(inst);
+      prog.depth_ = std::max(prog.depth_, ++stack);
+      return;
+    }
+    default:
+      break;
+  }
+  // Binary node. A constant operand folds into a fused immediate op so no
+  // register is spent splatting it — x*0.25 is one multiply pass. The
+  // non-commutative reversed forms (c - x, c / x) get their own opcodes;
+  // IEEE semantics are exactly eval_node's (no reassociation, no
+  // reciprocal tricks), which the differential tests assert.
+  const bool lhs_const = n.lhs->op == Op::kConst;
+  const bool rhs_const = n.rhs->op == Op::kConst;
+  using OpCode = SecProgram::OpCode;
+  if (rhs_const && !lhs_const) {
+    compile_node(*n.lhs, prog, stack);
+    OpCode op = OpCode::kAddC;
+    switch (n.op) {
+      case Op::kAdd: op = OpCode::kAddC; break;
+      case Op::kSub: op = OpCode::kSubC; break;
+      case Op::kMul: op = OpCode::kMulC; break;
+      case Op::kDiv: op = OpCode::kDivC; break;
+      default: throw InternalError("unreachable section-expression op");
+    }
+    prog.code_.push_back({op, -1, n.rhs->value});
+    return;
+  }
+  if (lhs_const && !rhs_const) {
+    compile_node(*n.rhs, prog, stack);
+    OpCode op = OpCode::kAddC;
+    switch (n.op) {
+      case Op::kAdd: op = OpCode::kAddC; break;
+      case Op::kSub: op = OpCode::kRSubC; break;
+      case Op::kMul: op = OpCode::kMulC; break;
+      case Op::kDiv: op = OpCode::kRDivC; break;
+      default: throw InternalError("unreachable section-expression op");
+    }
+    prog.code_.push_back({op, -1, n.lhs->value});
+    return;
+  }
+  compile_node(*n.lhs, prog, stack);
+  compile_node(*n.rhs, prog, stack);
+  OpCode op = OpCode::kAdd;
+  switch (n.op) {
+    case Op::kAdd: op = OpCode::kAdd; break;
+    case Op::kSub: op = OpCode::kSub; break;
+    case Op::kMul: op = OpCode::kMul; break;
+    case Op::kDiv: op = OpCode::kDiv; break;
+    default: throw InternalError("unreachable section-expression op");
+  }
+  prog.code_.push_back({op, -1, 0.0});
+  --stack;
+}
+
+const SecProgram& SecExpr::program() const {
+  if (!node_->program) {
+    auto prog = std::make_shared<SecProgram>();
+    int stack = 0;
+    compile_node(*node_, *prog, stack);
+    node_->program = std::move(prog);
+  }
+  return *node_->program;
+}
+
+void SecProgram::eval_segment(const Operand* operands, Extent count,
+                              double* out, double* regs) const {
+  // Register slot 0 is the output buffer itself, so the final result needs
+  // no copy; slots 1.. live in the caller's register file.
+  auto slot = [&](int i) { return i == 0 ? out : regs + (i - 1) * count; };
+  int top = 0;  // number of live registers
+  for (const Inst& inst : code_) {
+    switch (inst.op) {
+      case OpCode::kConst: {
+        double* d = slot(top++);
+        for (Extent k = 0; k < count; ++k) d[k] = inst.value;
+        break;
+      }
+      case OpCode::kLeaf: {
+        const Operand& o = operands[inst.leaf];
+        double* d = slot(top++);
+        if (o.stride == 0) {
+          const double v = o.ptr[0];
+          for (Extent k = 0; k < count; ++k) d[k] = v;
+        } else if (o.stride == 1) {
+          std::copy_n(o.ptr, static_cast<std::size_t>(count), d);
+        } else {
+          for (Extent k = 0; k < count; ++k) d[k] = o.ptr[k * o.stride];
+        }
+        break;
+      }
+      case OpCode::kAdd: {
+        const double* b = slot(--top);
+        double* a = slot(top - 1);
+        for (Extent k = 0; k < count; ++k) a[k] += b[k];
+        break;
+      }
+      case OpCode::kSub: {
+        const double* b = slot(--top);
+        double* a = slot(top - 1);
+        for (Extent k = 0; k < count; ++k) a[k] -= b[k];
+        break;
+      }
+      case OpCode::kMul: {
+        const double* b = slot(--top);
+        double* a = slot(top - 1);
+        for (Extent k = 0; k < count; ++k) a[k] *= b[k];
+        break;
+      }
+      case OpCode::kDiv: {
+        const double* b = slot(--top);
+        double* a = slot(top - 1);
+        for (Extent k = 0; k < count; ++k) a[k] /= b[k];
+        break;
+      }
+      case OpCode::kAddC: {
+        double* a = slot(top - 1);
+        const double c = inst.value;
+        for (Extent k = 0; k < count; ++k) a[k] += c;
+        break;
+      }
+      case OpCode::kSubC: {
+        double* a = slot(top - 1);
+        const double c = inst.value;
+        for (Extent k = 0; k < count; ++k) a[k] -= c;
+        break;
+      }
+      case OpCode::kMulC: {
+        double* a = slot(top - 1);
+        const double c = inst.value;
+        for (Extent k = 0; k < count; ++k) a[k] *= c;
+        break;
+      }
+      case OpCode::kDivC: {
+        double* a = slot(top - 1);
+        const double c = inst.value;
+        for (Extent k = 0; k < count; ++k) a[k] /= c;
+        break;
+      }
+      case OpCode::kRSubC: {
+        double* a = slot(top - 1);
+        const double c = inst.value;
+        for (Extent k = 0; k < count; ++k) a[k] = c - a[k];
+        break;
+      }
+      case OpCode::kRDivC: {
+        double* a = slot(top - 1);
+        const double c = inst.value;
+        for (Extent k = 0; k < count; ++k) a[k] = c / a[k];
+        break;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Chunk size of the whole-statement driver: large enough to amortize the
+/// per-chunk cursor work, small enough that depth() registers stay cache
+/// resident.
+constexpr Extent kEvalChunk = 2048;
+
+struct LeafCursor {
+  const double* base = nullptr;
+  std::size_t seg = 0;   // index into the plan's segment list
+  Extent off = 0;        // elements consumed of the current segment
+  bool broadcast = false;
+};
+
+}  // namespace
+
+void SecProgram::eval(const ProgramState& state, ScratchArena& arena,
+                      Extent total, double* out) const {
+  if (total <= 0) return;
+  // Inline storage keeps the warm path allocation-free (the ScratchArena
+  // contract); expressions rarely have more than a handful of leaves.
+  SmallVector<LeafCursor, 8> cursors(leaves_.size(), LeafCursor{});
+  for (std::size_t l = 0; l < leaves_.size(); ++l) {
+    const LeafPlan& plan = plans_[l];
+    LeafCursor& c = cursors[l];
+    c.base = state.values_span(leaves_[l].array);
+    if (plan.bound > state.values_count(leaves_[l].array)) {
+      throw InternalError(
+          "section-expression leaf outruns its array's canonical storage");
+    }
+    c.broadcast = plan.size == 1 && total != 1;
+    if (!c.broadcast && plan.size != total) {
+      throw InternalError(
+          "nonconforming operand segment list in section expression");
+    }
+  }
+  arena.regs.resize(static_cast<std::size_t>(
+      std::max(0, depth_ - 1) * kEvalChunk));
+  SmallVector<Operand, 8> ops(leaves_.size(), Operand{});
+  Extent pos = 0;
+  while (pos < total) {
+    Extent chunk = std::min(kEvalChunk, total - pos);
+    for (std::size_t l = 0; l < leaves_.size(); ++l) {
+      LeafCursor& c = cursors[l];
+      if (c.broadcast) {
+        ops[l] = {c.base + plans_[l].segments.front().base, 0};
+        continue;
+      }
+      const FlatSegment& sg = plans_[l].segments[c.seg];
+      ops[l] = {c.base + sg.base + c.off * sg.stride, sg.stride};
+      chunk = std::min(chunk, sg.count - c.off);
+    }
+    eval_segment(ops.data(), chunk, out + pos, arena.regs.data());
+    for (std::size_t l = 0; l < leaves_.size(); ++l) {
+      LeafCursor& c = cursors[l];
+      if (c.broadcast) continue;
+      c.off += chunk;
+      if (c.off == plans_[l].segments[c.seg].count) {
+        ++c.seg;
+        c.off = 0;
+      }
+    }
+    pos += chunk;
+  }
 }
 
 SecExpr operator+(SecExpr a, SecExpr b) {

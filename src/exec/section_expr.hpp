@@ -5,17 +5,28 @@
 //
 // A SecExpr is an elementwise expression tree over array sections and
 // scalar constants. All section leaves must share one shape — the shape of
-// the assignment. Values are evaluated per element from canonical storage
-// (eval_serial); the communication the evaluation implies is charged by the
-// assignment executor per constant-owner run of each leaf's section
+// the assignment. The communication the evaluation implies is charged by
+// the assignment executor per constant-owner run of each leaf's section
 // (leaves() + core/layout_view.hpp), not per element.
+//
+// Numerics run through the segment-vectorized engine: the tree is compiled
+// once per statement into a flat postfix program (SecProgram, cached on the
+// expression's root node) whose kernels evaluate whole flat strided
+// segments (core/index_domain.hpp) of every operand with tight loops over
+// raw canonical-storage spans — constants fold into fused immediate ops,
+// unit-dimension leaves splat (stride-0 operands) — so the hot path of a
+// warm sweep touches no IndexTuple, no shared_ptr walk, and no
+// std::function. eval_serial is retained as the per-element reference
+// oracle the differential tests compare against.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/array.hpp"
+#include "core/index_domain.hpp"
 #include "exec/storage.hpp"
 
 namespace hpfnt {
@@ -29,6 +40,67 @@ struct SecLeaf {
   Extent bytes = 8;
   const IndexDomain* domain = nullptr;
   const std::vector<Triplet>* section = nullptr;
+};
+
+/// A SecExpr compiled to a flat postfix program. Compilation happens once
+/// per statement (SecExpr::program() caches the result on the root node, so
+/// copies of the expression share it) and precomputes each leaf's flat
+/// segment decomposition; evaluation then runs tight strided loops over raw
+/// operand spans, one conforming chunk at a time.
+class SecProgram {
+ public:
+  /// One leaf operand of a kernel call: `count` values live at
+  /// ptr, ptr+stride, ... A stride of 0 splats a single element (scalar or
+  /// all-unit-dimension leaves broadcast over the whole statement).
+  struct Operand {
+    const double* ptr = nullptr;
+    Extent stride = 0;
+  };
+
+  /// Leaves in evaluation order — identical content and order to
+  /// SecExpr::leaves(), without re-collecting per statement.
+  const std::vector<SecLeaf>& leaves() const noexcept { return leaves_; }
+
+  /// Register-stack depth of the postfix program (slot 0 is the output).
+  int depth() const noexcept { return depth_; }
+
+  /// The kernel: out[k] = expr(operands[l].ptr[k * operands[l].stride]) for
+  /// k in [0, count). `regs` must hold (depth() - 1) * count doubles.
+  void eval_segment(const Operand* operands, Extent count, double* out,
+                    double* regs) const;
+
+  /// Whole-statement driver: evaluates all `total` conforming positions
+  /// into out[0, total), reading canonical storage spans from `state` and
+  /// chunking the register file through `arena.regs`. Leaves whose section
+  /// holds a single element broadcast; any other size mismatch throws.
+  void eval(const ProgramState& state, ScratchArena& arena, Extent total,
+            double* out) const;
+
+ private:
+  friend class SecExpr;
+
+  enum class OpCode : std::uint8_t {
+    kConst,   // push a splatted constant
+    kLeaf,    // push a strided operand load
+    kAdd, kSub, kMul, kDiv,      // pop b, pop a, push a∘b
+    kAddC, kSubC, kMulC, kDivC,  // top = top ∘ value (folded constant)
+    kRSubC, kRDivC,              // top = value ∘ top
+  };
+  struct Inst {
+    OpCode op = OpCode::kConst;
+    int leaf = -1;       // kLeaf: index into leaves_/plans_
+    double value = 0.0;  // kConst and the folded-constant ops
+  };
+  struct LeafPlan {
+    std::vector<FlatSegment> segments;  // memoized decomposition, in order
+    Extent size = 0;                    // section element count
+    Extent bound = 0;                   // 1 + max linear position touched
+  };
+
+  std::vector<Inst> code_;
+  std::vector<SecLeaf> leaves_;
+  std::vector<LeafPlan> plans_;
+  int depth_ = 0;
 };
 
 class SecExpr {
@@ -55,6 +127,11 @@ class SecExpr {
   /// All section leaves, in evaluation order (one entry per occurrence).
   std::vector<SecLeaf> leaves() const;
 
+  /// The compiled postfix program, built on first use and cached on the
+  /// root node (copies of the expression share one program; the cached
+  /// leaf segment lists stay warm across a whole sweep).
+  const SecProgram& program() const;
+
   /// Evaluates at `pos` — the 1-based *squeezed* position tuple (one entry
   /// per non-unit dimension of the shape) — from canonical storage, with no
   /// communication accounting.
@@ -80,6 +157,9 @@ class SecExpr {
     std::vector<Triplet> section;         // kLeaf
     std::shared_ptr<const Node> lhs;
     std::shared_ptr<const Node> rhs;
+    /// Compiled-program cache (program()); mutable like the distribution
+    /// payloads' run memos — nodes are immutable once built.
+    mutable std::shared_ptr<const SecProgram> program;
   };
 
   explicit SecExpr(std::shared_ptr<const Node> node)
@@ -92,6 +172,7 @@ class SecExpr {
   static Extent count_flops(const Node& n);
   static double eval_node(const Node& n, const ProgramState& state,
                           const IndexTuple& pos);
+  static void compile_node(const Node& n, SecProgram& prog, int& stack);
 
   std::shared_ptr<const Node> node_;
 };

@@ -38,14 +38,24 @@ void SweepStats::merge(const SweepStats& other) {
       derive_fraction(remote_element_reads, local_element_reads);
 }
 
-SweepStats jacobi_step(ProgramState& state, const DataEnv& env,
-                       const DistArray& a, const DistArray& b, Extent n) {
+namespace {
+
+// The 5-point interior stencil of `a`. Built once per sweep direction so
+// the compiled SecProgram (and its leaf segment lists) cached on the
+// expression stays warm across iterations.
+SecExpr five_point_rhs(const DistArray& a, Extent n) {
   const Triplet inner(2, n - 1);
-  SecExpr rhs = (SecExpr::section(a, {Triplet(1, n - 2), inner}) +
-                 SecExpr::section(a, {Triplet(3, n), inner}) +
-                 SecExpr::section(a, {inner, Triplet(1, n - 2)}) +
-                 SecExpr::section(a, {inner, Triplet(3, n)})) *
-                0.25;
+  return (SecExpr::section(a, {Triplet(1, n - 2), inner}) +
+          SecExpr::section(a, {Triplet(3, n), inner}) +
+          SecExpr::section(a, {inner, Triplet(1, n - 2)}) +
+          SecExpr::section(a, {inner, Triplet(3, n)})) *
+         0.25;
+}
+
+SweepStats jacobi_step_with(ProgramState& state, const DataEnv& env,
+                            const SecExpr& rhs, const DistArray& a,
+                            const DistArray& b, Extent n) {
+  const Triplet inner(2, n - 1);
   AssignResult r = assign(state, env, b, {inner, inner}, rhs,
                           "jacobi " + a.name() + "->" + b.name());
   SweepStats stats;
@@ -53,13 +63,25 @@ SweepStats jacobi_step(ProgramState& state, const DataEnv& env,
   return stats;
 }
 
+}  // namespace
+
+SweepStats jacobi_step(ProgramState& state, const DataEnv& env,
+                       const DistArray& a, const DistArray& b, Extent n) {
+  return jacobi_step_with(state, env, five_point_rhs(a, n), a, b, n);
+}
+
 SweepStats jacobi(ProgramState& state, const DataEnv& env, DistArray& a,
                   DistArray& b, Extent n, int iters) {
   SweepStats total;
+  // One expression per direction, reused every iteration: odd iterations
+  // recompile nothing and rebuild no segment lists.
+  const SecExpr rhs_ab = five_point_rhs(a, n);
+  const SecExpr rhs_ba = five_point_rhs(b, n);
   const DistArray* src = &a;
   const DistArray* dst = &b;
   for (int it = 0; it < iters; ++it) {
-    total.merge(jacobi_step(state, env, *src, *dst, n));
+    const SecExpr& rhs = src == &a ? rhs_ab : rhs_ba;
+    total.merge(jacobi_step_with(state, env, rhs, *src, *dst, n));
     std::swap(src, dst);
   }
   return total;

@@ -1,5 +1,7 @@
 #include "exec/storage.hpp"
 
+#include <algorithm>
+
 #include "core/layout_view.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -82,6 +84,48 @@ void ProgramState::set_value(ArrayId id, const IndexTuple& index,
                              double value) {
   Store& s = store(id);
   s.values[static_cast<std::size_t>(s.domain.linearize(index))] = value;
+}
+
+const double* ProgramState::values_span(ArrayId id) const {
+  return store(id).values.data();
+}
+
+Extent ProgramState::values_count(ArrayId id) const {
+  return static_cast<Extent>(store(id).values.size());
+}
+
+void ProgramState::check_segment(const Store& s, const FlatSegment& seg) {
+  const Extent last = seg.base + (seg.count - 1) * seg.stride;
+  const Extent lo = seg.stride >= 0 ? seg.base : last;
+  const Extent hi = seg.stride >= 0 ? last : seg.base;
+  if (seg.count <= 0 || lo < 0 ||
+      hi >= static_cast<Extent>(s.values.size())) {
+    throw InternalError("flat segment leaves the array's canonical storage");
+  }
+}
+
+void ProgramState::store_segment(ArrayId id, const FlatSegment& seg,
+                                 const double* src) {
+  Store& s = store(id);
+  check_segment(s, seg);
+  double* dst = s.values.data() + seg.base;
+  if (seg.stride == 1) {
+    std::copy_n(src, static_cast<std::size_t>(seg.count), dst);
+  } else {
+    for (Extent k = 0; k < seg.count; ++k) dst[k * seg.stride] = src[k];
+  }
+}
+
+void ProgramState::load_segment(ArrayId id, const FlatSegment& seg,
+                                double* dst) const {
+  const Store& s = store(id);
+  check_segment(s, seg);
+  const double* src = s.values.data() + seg.base;
+  if (seg.stride == 1) {
+    std::copy_n(src, static_cast<std::size_t>(seg.count), dst);
+  } else {
+    for (Extent k = 0; k < seg.count; ++k) dst[k] = src[k * seg.stride];
+  }
 }
 
 void ProgramState::fill(ArrayId id,
@@ -219,13 +263,14 @@ StepStats ProgramState::copy_section(const DistArray& dst,
     pins = k.take_pins();
   }
 
-  // RHS snapshot first (Fortran semantics for overlapping sections).
-  std::vector<double> staged;
-  staged.reserve(static_cast<std::size_t>(sshape.size()));
-  sshape.for_each([&](const IndexTuple& pos) {
-    IndexTuple sidx = s.domain.section_parent_index(src_section, pos);
-    staged.push_back(
-        s.values[static_cast<std::size_t>(s.domain.linearize(sidx))]);
+  // RHS snapshot first (Fortran semantics for overlapping sections), one
+  // flat strided segment at a time into the reusable staging buffer.
+  std::vector<double>& staged = scratch_.staged;
+  staged.resize(static_cast<std::size_t>(sshape.size()));
+  Extent staged_at = 0;
+  for_each_segment(s.domain, src_section, [&](const FlatSegment& seg) {
+    load_segment(src.id(), seg, staged.data() + staged_at);
+    staged_at += seg.count;
   });
 
   StepStats step;
@@ -260,11 +305,10 @@ StepStats ProgramState::copy_section(const DistArray& dst,
     if (cacheable) plans_.insert(key, std::move(rec), std::move(pins));
   }
 
-  std::size_t k = 0;
-  dshape.for_each([&](const IndexTuple& pos) {
-    IndexTuple didx = d.domain.section_parent_index(dst_section, pos);
-    d.values[static_cast<std::size_t>(d.domain.linearize(didx))] =
-        staged[k++];
+  Extent written = 0;
+  for_each_segment(d.domain, dst_section, [&](const FlatSegment& seg) {
+    store_segment(dst.id(), seg, staged.data() + written);
+    written += seg.count;
   });
   return step;
 }

@@ -31,6 +31,16 @@
 
 namespace hpfnt {
 
+/// Reusable scratch buffers for the evaluation engine: `staged` holds one
+/// statement's RHS snapshot (assign / copy_section), `regs` the register
+/// file of SecProgram's strided kernels. Owned by the ProgramState so a
+/// warm sweep allocates nothing after its first statement; capacity only
+/// grows. Statements do not nest, so one arena per state suffices.
+struct ScratchArena {
+  std::vector<double> staged;
+  std::vector<double> regs;
+};
+
 class ProgramState {
  public:
   explicit ProgramState(Machine& machine);
@@ -64,6 +74,29 @@ class ProgramState {
 
   /// Writes one element on all owners (initialization; no communication).
   void set_value(ArrayId id, const IndexTuple& index, double value);
+
+  // --- bulk canonical-storage access (the evaluation engine's hot path) ---
+
+  /// The array's canonical values, linearized in domain Fortran order. The
+  /// span stays valid until the array is destroyed; the exec layer reads
+  /// whole flat segments (core/index_domain.hpp) through it instead of
+  /// per-element value(), and writes through the bounds-checked
+  /// store_segment below.
+  const double* values_span(ArrayId id) const;
+
+  /// Number of canonical values behind values_span (the domain's size).
+  Extent values_count(ArrayId id) const;
+
+  /// Writes `seg.count` values from `src` (contiguous) into the canonical
+  /// storage positions seg.base, seg.base+seg.stride, ... Bounds-checked
+  /// once per segment, not per element.
+  void store_segment(ArrayId id, const FlatSegment& seg, const double* src);
+
+  /// Reads a flat segment of canonical storage into `dst` (contiguous).
+  void load_segment(ArrayId id, const FlatSegment& seg, double* dst) const;
+
+  /// Scratch buffers reused across statements (see ScratchArena).
+  ScratchArena& scratch() noexcept { return scratch_; }
 
   /// Initializes every element from a function of its index.
   void fill(ArrayId id, const std::function<double(const IndexTuple&)>& fn);
@@ -106,10 +139,14 @@ class ProgramState {
   void account_allocate(const Store& s);
   void account_release(const Store& s);
 
+  /// Throws InternalError when the segment leaves [0, values.size()).
+  static void check_segment(const Store& s, const FlatSegment& seg);
+
   Machine* machine_;
   CommEngine comm_;
   MemoryTracker memory_;
   PlanCache plans_;
+  ScratchArena scratch_;
   std::unordered_map<ArrayId, Store> stores_;
 };
 

@@ -1,6 +1,7 @@
 #include "machine/comm.hpp"
 
 #include <algorithm>
+#include <map>
 
 // The plan struct lives with its cache in the exec layer; the engine only
 // appends operations to it while recording and reads its sealed statistics
@@ -32,8 +33,7 @@ void CommEngine::begin_step(std::string label) {
   if (in_step_) throw InternalError("begin_step inside an open step");
   in_step_ = true;
   label_ = std::move(label);
-  pair_bytes_.clear();
-  pair_elements_.clear();
+  step_pairs_.clear();
   step_flops_.clear();
 }
 
@@ -57,8 +57,9 @@ void CommEngine::transfer(ApId src, ApId dst, Extent bytes) {
     if (recording_) recording_->local_reads += 1;
     return;
   }
-  pair_bytes_[{src, dst}] += bytes;
-  pair_elements_[{src, dst}] += 1;
+  PairTraffic& traffic = step_pairs_.accumulate({src, dst});
+  traffic.bytes += bytes;
+  traffic.elements += 1;
   if (recording_) recording_->transfers.push_back({src, dst, bytes, 1});
 }
 
@@ -71,8 +72,9 @@ void CommEngine::transfer_block(ApId src, ApId dst, Extent elem_bytes,
     if (recording_) recording_->local_reads += count;
     return;
   }
-  pair_bytes_[{src, dst}] += elem_bytes * count;
-  pair_elements_[{src, dst}] += count;
+  PairTraffic& traffic = step_pairs_.accumulate({src, dst});
+  traffic.bytes += elem_bytes * count;
+  traffic.elements += count;
   if (recording_) {
     recording_->transfers.push_back({src, dst, elem_bytes, count});
   }
@@ -80,7 +82,7 @@ void CommEngine::transfer_block(ApId src, ApId dst, Extent elem_bytes,
 
 void CommEngine::compute(ApId p, Extent flops) {
   if (!in_step_) throw InternalError("compute outside a step");
-  step_flops_[p] += flops;
+  step_flops_.accumulate(p) += flops;
   if (recording_) recording_->computes.push_back({p, flops});
 }
 
@@ -95,30 +97,31 @@ StepStats CommEngine::end_step() {
 
   StepStats stats;
   stats.label = label_;
-  stats.messages = static_cast<Extent>(pair_bytes_.size());
+  stats.messages = static_cast<Extent>(step_pairs_.size());
 
-  // Per-processor send/receive loads for the BSP-like time bound.
+  // Per-processor send/receive loads for the BSP-like time bound. The
+  // pairs are walked in sorted (src, dst) order so the floating-point
+  // accumulation below stays byte-identical to the ordered-map iteration
+  // the flat tables replaced.
   std::map<ApId, double> send_us;
   std::map<ApId, double> recv_us;
   const CostParams& cost = machine_->cost();
-  for (const auto& [pair, bytes] : pair_bytes_) {
-    stats.bytes += bytes;
-    const double t = cost.message_us(bytes);
-    send_us[pair.first] += t;
-    recv_us[pair.second] += t;
-  }
-  for (const auto& [pair, elements] : pair_elements_) {
-    stats.element_transfers += elements;
+  for (const PairStepTable::Cell& cell : step_pairs_.sorted()) {
+    stats.bytes += cell.payload.bytes;
+    stats.element_transfers += cell.payload.elements;
+    const double t = cost.message_us(cell.payload.bytes);
+    send_us[cell.key.first] += t;
+    recv_us[cell.key.second] += t;
   }
   double comm_us = 0.0;
   for (const auto& [p, t] : send_us) comm_us = std::max(comm_us, t);
   for (const auto& [p, t] : recv_us) comm_us = std::max(comm_us, t);
 
   double compute_us = 0.0;
-  for (const auto& [p, flops] : step_flops_) {
-    stats.flops += flops;
+  for (const ApStepTable::Cell& cell : step_flops_.sorted()) {
+    stats.flops += cell.payload;
     compute_us = std::max(compute_us,
-                          static_cast<double>(flops) * cost.flop_us);
+                          static_cast<double>(cell.payload) * cost.flop_us);
   }
   stats.time_us = comm_us + compute_us;
 

@@ -13,13 +13,13 @@
 //              the messages it sends/receives, plus the step's compute.
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/types.hpp"
+#include "machine/step_accum.hpp"
 #include "machine/topology.hpp"
 
 namespace hpfnt {
@@ -97,9 +97,12 @@ class CommEngine {
   bool in_step_ = false;
   std::shared_ptr<CommPlan> recording_;
   std::string label_;
-  std::map<std::pair<ApId, ApId>, Extent> pair_bytes_;
-  std::map<std::pair<ApId, ApId>, Extent> pair_elements_;
-  std::map<ApId, Extent> step_flops_;
+  // Step accumulators are flat open-addressed tables (machine/step_accum.hpp)
+  // so cold pricing pays O(1) per charged segment, not a std::map's
+  // O(log P) node walk; end_step sorts the handful of entries once to keep
+  // its statistics byte-identical to the old ordered-map iteration.
+  PairStepTable step_pairs_;
+  ApStepTable step_flops_;
 
   Extent total_messages_ = 0;
   Extent total_bytes_ = 0;
