@@ -1,0 +1,241 @@
+// Experiment E6 — multi-session throughput of the shared plan service
+// (service/plan_service.hpp).
+//
+// Production framing (ROADMAP item 3): an interp session is a user, and
+// heavy traffic is many concurrent sessions executing directive scripts
+// against the same small set of layout shapes. Plan keys are pure content
+// signatures, so one session's priced CommPlan is valid for every session
+// with matching layouts — the question E6 answers is what the shared L2
+// buys when K threads run M sessions of the paper's workloads (the Jacobi
+// sweep of the introduction plus §7 procedure-call argument copies).
+//
+// BM_MultiSessionSweeps runs K>=4 threads x M>=8 sessions per iteration in
+// two modes: `private` (each session only has its own L1 PlanCache, every
+// session prices every schedule cold once) and `shared` (all sessions
+// attach to one PlanService primed by a single sequential session — every
+// session then replays warm from the service). Counters report plans
+// priced vs replayed and the aggregate sweep rate; the JSON run
+// (--benchmark_format=json) is gated in CI on a positive shared hit rate.
+//
+// Correctness is asserted in-binary: every session's cumulative engine
+// totals (messages, bytes, simulated time) and data checksums must be
+// byte-identical to a serial baseline session in BOTH modes — a shared
+// replay that diverged from cold pricing aborts the benchmark.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/data_env.hpp"
+#include "directives/interp.hpp"
+#include "exec/stencil.hpp"
+#include "service/plan_service.hpp"
+
+namespace {
+
+using namespace hpfnt;
+
+constexpr int kThreads = 4;           // K
+constexpr int kSessionsPerThread = 2; // K * this = M = 8 sessions
+constexpr Extent kN = 64;
+constexpr int kSweeps = 10;
+
+/// One session's observable outcome: cumulative priced statistics, data
+/// checksums, and the L1 cache counters it retired with.
+struct SessionTotals {
+  Extent messages = 0;
+  Extent bytes = 0;
+  double time_us = 0.0;
+  double checksum = 0.0;
+  Extent l1_hits = 0;
+  Extent l1_misses = 0;
+
+  bool operator==(const SessionTotals& o) const {
+    return messages == o.messages && bytes == o.bytes &&
+           time_us == o.time_us && checksum == o.checksum;
+  }
+};
+
+/// One scripted session: its own machine, processor space, environments and
+/// program states (a session is single-threaded; only the *service* is
+/// shared). Runs the E2 Jacobi sweep and a §7 procedure-call script.
+SessionTotals run_session(PlanService* service) {
+  SessionTotals totals;
+
+  // Part 1: the Jacobi sweep (kSweeps iterations alternating a->b, b->a).
+  {
+    Machine machine(16);
+    ProcessorSpace ps(16);
+    ps.declare("G", IndexDomain::of_extents({4, 4}));
+    DataEnv env(ps);
+    DistArray& a = env.real("A", IndexDomain{Dim(1, kN), Dim(1, kN)});
+    DistArray& b = env.real("B", IndexDomain{Dim(1, kN), Dim(1, kN)});
+    const ProcessorRef grid(ps.find("G"));
+    env.distribute(a, {DistFormat::block(), DistFormat::block()}, grid);
+    env.distribute(b, {DistFormat::block(), DistFormat::block()}, grid);
+    ProgramState state(machine);
+    state.set_plan_service(service);
+    state.create(env, a);
+    state.create(env, b);
+    auto init = [](const IndexTuple& i) {
+      return (i[0] == 1 || i[0] == kN || i[1] == 1 || i[1] == kN) ? 100.0
+                                                                  : 0.0;
+    };
+    state.fill(a.id(), init);
+    state.fill(b.id(), init);
+    jacobi(state, env, a, b, kN, kSweeps);
+    totals.messages += state.comm().total_messages();
+    totals.bytes += state.comm().total_bytes();
+    totals.time_us += state.comm().total_time_us();
+    totals.checksum += state.checksum(a.id()) + state.checksum(b.id());
+    totals.l1_hits += state.plans().hits();
+    totals.l1_misses += state.plans().misses();
+  }
+
+  // Part 2: procedure-call argument copies — every CALL mints fresh
+  // section-view dummies, but their plan keys are content signatures, so
+  // call N>1 replays call 1's copy-in/copy-out plans (and with a shared
+  // service, every call of every later session replays session 1's).
+  {
+    Machine machine(32);
+    ProcessorSpace ps(32);
+    ProgramState state(machine);
+    state.set_plan_service(service);
+    dir::Interpreter in(ps);
+    in.set_state(&state);
+    in.run(
+        "!HPF$ PROCESSORS Q(16)\n"
+        "REAL A(1000)\n"
+        "!HPF$ DISTRIBUTE A(CYCLIC(3)) TO Q\n"
+        "SUBROUTINE EXPL(X)\n"
+        "REAL X(:)\n"
+        "!HPF$ DISTRIBUTE X(BLOCK) TO Q\n"
+        "END\n");
+    const ArrayId a = in.env().find("A").id();
+    state.fill(a, [](const IndexTuple& i) {
+      return static_cast<double>(i[0] % 17);
+    });
+    for (int call = 0; call < 4; ++call) {
+      in.run("CALL EXPL(A(2:996:2))\n");
+    }
+    totals.messages += state.comm().total_messages();
+    totals.bytes += state.comm().total_bytes();
+    totals.time_us += state.comm().total_time_us();
+    totals.checksum += state.checksum(a);
+    totals.l1_hits += state.plans().hits();
+    totals.l1_misses += state.plans().misses();
+  }
+  return totals;
+}
+
+/// Serial baseline (private L1 only): the ground truth every concurrent
+/// session must reproduce byte-identically.
+const SessionTotals& baseline() {
+  static const SessionTotals totals = run_session(nullptr);
+  return totals;
+}
+
+void require_identical(const SessionTotals& got, const char* mode) {
+  if (!(got == baseline())) {
+    std::fprintf(stderr,
+                 "E6 regression (%s mode): session totals diverged from the "
+                 "serial baseline — messages %lld vs %lld, bytes %lld vs "
+                 "%lld, time %.3f vs %.3f, checksum %.17g vs %.17g\n",
+                 mode, static_cast<long long>(got.messages),
+                 static_cast<long long>(baseline().messages),
+                 static_cast<long long>(got.bytes),
+                 static_cast<long long>(baseline().bytes), got.time_us,
+                 baseline().time_us, got.checksum, baseline().checksum);
+    std::abort();
+  }
+}
+
+// K threads x M sessions per benchmark iteration. shared mode: one fresh
+// PlanService, primed by one sequential session so the timed concurrent
+// phase is deterministic (every session replays warm); private mode: no
+// service, every session prices cold.
+void BM_MultiSessionSweeps(benchmark::State& bench) {
+  const bool shared = bench.range(0) != 0;
+  const char* mode = shared ? "shared" : "private";
+
+  Extent plans_priced = 0;
+  Extent plans_replayed = 0;
+  Extent shared_hits = 0;
+  Extent shared_misses = 0;
+  for (auto _ : bench) {
+    bench.PauseTiming();
+    std::unique_ptr<PlanService> svc;
+    if (shared) {
+      svc = std::make_unique<PlanService>();
+      require_identical(run_session(svc.get()), mode);  // prime, untimed
+    }
+    std::vector<SessionTotals> results(
+        static_cast<std::size_t>(kThreads * kSessionsPerThread));
+    bench.ResumeTiming();
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int s = 0; s < kSessionsPerThread; ++s) {
+          results[static_cast<std::size_t>(t * kSessionsPerThread + s)] =
+              run_session(svc.get());
+        }
+      });
+    }
+    for (std::thread& th : threads) th.join();
+
+    plans_priced = 0;
+    plans_replayed = 0;
+    for (const SessionTotals& r : results) {
+      require_identical(r, mode);
+      plans_replayed += r.l1_hits;
+      plans_priced += r.l1_misses;  // corrected below for service hits
+    }
+    if (shared) {
+      const PlanServiceStats stats = svc->stats();
+      // An L1 miss that hit the service was a replay, not a cold pricing;
+      // the service's insert counter is exactly the cold pricings (the
+      // prime session's), and the concurrent sessions priced nothing.
+      plans_replayed += stats.hits();
+      plans_priced -= stats.hits();
+      shared_hits = stats.hits();
+      shared_misses = stats.misses();
+      if (stats.hits() == 0) {
+        std::fprintf(stderr,
+                     "E6 regression: shared mode recorded zero service "
+                     "hits — cross-session keys no longer match\n");
+        std::abort();
+      }
+    }
+  }
+
+  const Extent sessions = kThreads * kSessionsPerThread;
+  bench.SetItemsProcessed(bench.iterations() * sessions * kSweeps);
+  bench.counters["sweeps_per_sec"] = benchmark::Counter(
+      static_cast<double>(bench.iterations() * sessions * kSweeps),
+      benchmark::Counter::kIsRate);
+  bench.counters["plans_priced"] = static_cast<double>(plans_priced);
+  bench.counters["plans_replayed"] = static_cast<double>(plans_replayed);
+  bench.counters["shared_hits"] = static_cast<double>(shared_hits);
+  bench.counters["shared_hit_rate"] =
+      shared_hits + shared_misses == 0
+          ? 0.0
+          : static_cast<double>(shared_hits) /
+                static_cast<double>(shared_hits + shared_misses);
+  bench.counters["stats_divergence"] = 0.0;  // require_identical aborts
+  bench.SetLabel(mode);
+}
+
+BENCHMARK(BM_MultiSessionSweeps)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -116,6 +116,11 @@ const AlignmentFunction& AlignmentForest::alignment_of(ArrayId id) const {
 const Distribution& AlignmentForest::distribution_of(ArrayId id) const {
   const Node& n = node(id);
   if (!n.secondary) return n.dist;
+  // Guarded lazy fill: concurrent const readers may fault the same node's
+  // derived payload; the lock makes the publication safe and the reference
+  // stays valid until the next mutating call (which requires exclusive
+  // access and so cannot overlap these readers).
+  std::lock_guard<std::mutex> lock(*derive_mu_);
   if (!n.derived.valid()) {
     const Node& base = node(n.parent);
     n.derived = Distribution::constructed(n.alpha, base.dist);

@@ -24,8 +24,16 @@
 // redistribute, realign, detachment, orphaning, removal — invalidates the
 // affected nodes' cached payloads (for a primary, its whole subtree's), so
 // a stale derived mapping can never be observed.
+//
+// Concurrency: the lazy fill inside distribution_of is guarded by a
+// per-forest mutex, so any number of threads may query a const forest
+// concurrently (the memo-publication rule every write-once cache in this
+// codebase follows). Mutating calls still require exclusive access, like
+// every other container.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -126,6 +134,13 @@ class AlignmentForest {
   const Node& node(ArrayId id) const;
   void detach_from_parent(ArrayId id);
   void orphan_children(ArrayId id);
+
+  // Guards the lazy derived-payload fill in distribution_of, so concurrent
+  // const readers publish the memo safely. Held behind a shared_ptr to keep
+  // the forest copyable/movable; copies sharing one mutex is harmless (the
+  // lock only serializes a cheap cache fill).
+  mutable std::shared_ptr<std::mutex> derive_mu_ =
+      std::make_shared<std::mutex>();
 
   /// Drops the cached derived payloads of `n` and (when primary) of every
   /// child, so the next distribution_of re-derives against current state.

@@ -250,14 +250,18 @@ std::string ProcessorRef::to_string() const {
 }
 
 void ProcessorRef::append_signature(std::string& out) const {
+  // Pure *content* signature — deliberately no arrangement address. A
+  // priced schedule only ever records abstract processor ids, and those
+  // are fully determined by (ap_offset, domain, machine size, placement /
+  // oversize policies): two arrangements that agree on all of them map
+  // every element to identical ApIds, so their plans are interchangeable —
+  // including across sessions with separate ProcessorSpaces, which is what
+  // lets the shared PlanService (service/plan_service.hpp) serve one
+  // session's plan to every other session with matching layout content.
   const ProcessorArrangement& arr = arrangement();
   out += 'T';
-  append_raw(out, &arr);
   append_raw(out, arr.ap_offset());
-  append_raw(out, arr.domain().rank());
-  for (int d = 0; d < arr.domain().rank(); ++d) {
-    append_raw(out, arr.domain().extent(d));
-  }
+  arr.domain().append_signature(out);
   append_raw(out, arr.space().processor_count());
   append_raw(out, static_cast<Extent>(arr.space().scalar_placement()));
   append_raw(out, static_cast<Extent>(arr.space().oversize_policy()));

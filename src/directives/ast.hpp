@@ -168,6 +168,7 @@ struct AstNode {
     kTemplate,
     kInherit,
     kRead,          // READ parsed and reported as unsupported at bind time
+    kStats,         // STATS: snapshot the session's plan-cache counters
     kSubroutineStart,
     kEnd,
   };

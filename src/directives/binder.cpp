@@ -455,6 +455,7 @@ void Binder::apply(const AstNode& node, std::vector<RemapEvent>* events) {
           "READ is not executed by the directive interpreter; assign the "
           "scalars instead, e.g.  N = 8");
     case AstNode::Kind::kCall:
+    case AstNode::Kind::kStats:
     case AstNode::Kind::kSubroutineStart:
     case AstNode::Kind::kEnd:
       throw InternalError("node must be handled by the interpreter");

@@ -1,5 +1,6 @@
 #include "directives/interp.hpp"
 
+#include "service/plan_service.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -46,6 +47,39 @@ void Interpreter::exec_node(const AstNode& node, Binder& binder) {
     case AstNode::Kind::kCall:
       exec_call(*node.call, binder);
       return;
+    case AstNode::Kind::kStats: {
+      // Surface the plan-cache counters while the session still has them:
+      // the L1 PlanCache is per-session and its counters silently reset
+      // with it, so a script asserts cache behavior here, not post-mortem.
+      if (!state_) {
+        note("STATS (no program state attached)");
+        return;
+      }
+      PlanCacheStats snap;
+      const PlanCache& plans = state_->plans();
+      snap.hits = plans.hits();
+      snap.misses = plans.misses();
+      snap.evictions = plans.evictions();
+      snap.size = static_cast<Extent>(plans.size());
+      std::string line =
+          cat("STATS plans hits=", snap.hits, " misses=", snap.misses,
+              " evictions=", snap.evictions, " size=", snap.size);
+      if (PlanService* service = state_->plan_service()) {
+        const PlanServiceStats shared = service->stats();
+        snap.shared_attached = true;
+        snap.shared_hits = shared.hits();
+        snap.shared_misses = shared.misses();
+        snap.shared_inserts = shared.inserts();
+        snap.shared_evictions = shared.evictions();
+        line += cat(" | shared hits=", snap.shared_hits,
+                    " misses=", snap.shared_misses,
+                    " inserts=", snap.shared_inserts,
+                    " evictions=", snap.shared_evictions);
+      }
+      plan_stats_.push_back(snap);
+      note(std::move(line));
+      return;
+    }
     case AstNode::Kind::kDeclaration: {
       binder.apply(node);
       for (const AstDeclName& n : node.declaration->names) {

@@ -24,6 +24,24 @@
 
 namespace hpfnt::dir {
 
+/// One STATS statement's snapshot of the attached state's plan caching.
+/// The session-local (L1) PlanCache counters die with the session; a STATS
+/// statement is how a script observes them before they do — and how it
+/// asserts cache behavior ("this loop replayed N plans") in tests. When
+/// the session is attached to a shared PlanService (L2), the service's
+/// process-wide totals ride along.
+struct PlanCacheStats {
+  Extent hits = 0;
+  Extent misses = 0;
+  Extent evictions = 0;
+  Extent size = 0;
+  bool shared_attached = false;  ///< true when a PlanService was attached
+  Extent shared_hits = 0;        ///< process-wide, all sessions
+  Extent shared_misses = 0;
+  Extent shared_inserts = 0;
+  Extent shared_evictions = 0;
+};
+
 class Interpreter {
  public:
   explicit Interpreter(ProcessorSpace& space);
@@ -51,6 +69,12 @@ class Interpreter {
   /// Human-readable trace of executed operations.
   const std::vector<std::string>& trace() const noexcept { return trace_; }
 
+  /// Snapshots taken by STATS statements, in execution order (empty when
+  /// no state is attached — STATS then only leaves a trace line).
+  const std::vector<PlanCacheStats>& plan_stats() const noexcept {
+    return plan_stats_;
+  }
+
  private:
   struct CalleeScope {
     std::unique_ptr<Binder> binder;
@@ -73,6 +97,7 @@ class Interpreter {
   std::vector<RemapEvent> events_;
   std::vector<StepStats> steps_;
   std::vector<std::string> trace_;
+  std::vector<PlanCacheStats> plan_stats_;
 };
 
 }  // namespace hpfnt::dir

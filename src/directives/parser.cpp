@@ -424,6 +424,14 @@ AstNode parse_statement(Cursor& c, int line_no) {
     node.kind = AstNode::Kind::kRead;
     return node;  // rest of the line ignored; the binder explains
   }
+  // STATS: snapshot the plan-cache counters (a scalar named STATS can
+  // still be assigned — the lookahead keeps `STATS = 3` an assignment).
+  if (c.at_ident("STATS") && c.peek(1).kind != Tok::kAssign) {
+    c.eat();
+    node.kind = AstNode::Kind::kStats;
+    c.expect_end("STATS");
+    return node;
+  }
   // Scalar assignment: NAME = expr.
   if (c.at(Tok::kIdent) && c.peek(1).kind == Tok::kAssign) {
     node.kind = AstNode::Kind::kAssign;

@@ -125,7 +125,7 @@ AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
 
   AssignResult result;
   std::shared_ptr<const CommPlan> plan =
-      plans.enabled() ? plans.lookup(key) : nullptr;
+      plans.enabled() ? state.lookup_plan(key) : nullptr;
   if (plan) {
     result.step = comm.replay(*plan, step_label);
   } else {
@@ -188,7 +188,9 @@ AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
       }
     }
     result.step = comm.end_step();
-    if (plans.enabled()) plans.insert(key, std::move(rec), std::move(pins));
+    if (plans.enabled()) {
+      state.publish_plan(key, std::move(rec), std::move(pins));
+    }
 
     result.ownership_queries = lhs_view.ownership_queries();
     for (const LayoutView& v : leaf_views) {

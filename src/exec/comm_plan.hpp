@@ -45,6 +45,14 @@
 // the benches. Long interp sessions that churn section-view dummies
 // therefore stay bounded no matter how many distinct schedules they price.
 //
+// The PlanCache is also the L1 of a two-level hierarchy: because every key
+// is a pure content signature, a sealed plan is valid for ANY session whose
+// layouts match, and ProgramState::lookup_plan/publish_plan consult a
+// process-wide sharded PlanService (service/plan_service.hpp) as the shared
+// L2 behind this cache — an L1 miss takes one shard lock, a service hit
+// back-fills the L1, and a cold miss publishes the freshly priced plan to
+// both levels.
+//
 // Consulted by assign_impl (exec/assign.cpp), ProgramState::copy_section,
 // and ProgramState::apply_remap (exec/storage.cpp) — the latter two carry
 // the procedure-argument path (enter_call/exit_call, call-site remaps).

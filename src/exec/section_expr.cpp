@@ -203,13 +203,28 @@ void SecExpr::compile_node(const Node& n, SecProgram& prog, int& stack) {
 }
 
 const SecProgram& SecExpr::program() const {
-  if (!node_->program) {
-    auto prog = std::make_shared<SecProgram>();
+  // Lock-free once-publication (the memo-publication rule of the
+  // distribution payload caches): concurrent first calls may each compile
+  // a program, but exactly one wins the CAS into the shared root-node slot
+  // and every caller returns the winner — so two sessions faulting the
+  // same expression's program race benignly. A published program is never
+  // replaced (nodes are immutable), so the returned reference stays valid
+  // while the expression lives.
+  std::shared_ptr<const SecProgram> prog =
+      std::atomic_load_explicit(&node_->program, std::memory_order_acquire);
+  if (!prog) {
+    auto built = std::make_shared<SecProgram>();
     int stack = 0;
-    compile_node(*node_, *prog, stack);
-    node_->program = std::move(prog);
+    compile_node(*node_, *built, stack);
+    std::shared_ptr<const SecProgram> expected;
+    prog = std::move(built);
+    if (!std::atomic_compare_exchange_strong_explicit(
+            &node_->program, &expected, prog, std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      prog = std::move(expected);  // another thread published first
+    }
   }
-  return *node_->program;
+  return *prog;
 }
 
 void SecProgram::eval_segment(const Operand* operands, Extent count,

@@ -158,7 +158,10 @@ class SecExpr {
     std::shared_ptr<const Node> lhs;
     std::shared_ptr<const Node> rhs;
     /// Compiled-program cache (program()); mutable like the distribution
-    /// payloads' run memos — nodes are immutable once built.
+    /// payloads' run memos — nodes are immutable once built. Accessed only
+    /// through the std::atomic_* shared_ptr free functions so concurrent
+    /// sessions can fault the program without a race (one compile wins,
+    /// all callers share it).
     mutable std::shared_ptr<const SecProgram> program;
   };
 

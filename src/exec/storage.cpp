@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/layout_view.hpp"
+#include "service/plan_service.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -10,6 +11,29 @@ namespace hpfnt {
 
 ProgramState::ProgramState(Machine& machine)
     : machine_(&machine), comm_(machine), memory_(machine.processors()) {}
+
+std::shared_ptr<const CommPlan> ProgramState::lookup_plan(
+    const std::string& key) {
+  if (!plans_.enabled()) return nullptr;
+  if (std::shared_ptr<const CommPlan> plan = plans_.lookup(key)) return plan;
+  if (service_) {
+    if (std::shared_ptr<const CommPlan> plan = service_->lookup(key)) {
+      // Back-fill the session L1 so this session's next touch of the key
+      // replays without a shard lock (the warm path of a hot loop).
+      plans_.insert(key, plan, {});
+      return plan;
+    }
+  }
+  return nullptr;
+}
+
+void ProgramState::publish_plan(const std::string& key,
+                                std::shared_ptr<const CommPlan> plan,
+                                std::vector<Distribution> pinned) {
+  if (!plans_.enabled() || !plan || !plan->sealed) return;
+  if (service_) service_->insert(key, plan, pinned);
+  plans_.insert(key, std::move(plan), std::move(pinned));
+}
 
 ProgramState::Store& ProgramState::store(ArrayId id) {
   auto it = stores_.find(id);
@@ -128,19 +152,49 @@ void ProgramState::load_segment(ArrayId id, const FlatSegment& seg,
   }
 }
 
-void ProgramState::fill(ArrayId id,
+void ProgramState::fill(ArrayId id, const std::vector<Triplet>& section,
                         const std::function<double(const IndexTuple&)>& fn) {
   Store& s = store(id);
-  s.domain.for_each([&](const IndexTuple& idx) {
-    s.values[static_cast<std::size_t>(s.domain.linearize(idx))] = fn(idx);
+  s.domain.validate_section(section);
+  const IndexDomain shape = s.domain.section_domain(section);
+  // Stage in section order, then write whole flat segments — section order
+  // equals the segments' linear order (the assignment pass-3 invariant),
+  // and store_segment bounds-checks once per segment, not per element.
+  std::vector<double>& staged = scratch_.staged;
+  staged.resize(static_cast<std::size_t>(shape.size()));
+  Extent at = 0;
+  shape.for_each([&](const IndexTuple& pos) {
+    staged[static_cast<std::size_t>(at++)] =
+        fn(s.domain.section_parent_index(section, pos));
+  });
+  Extent written = 0;
+  for_each_segment(s.domain, section, [&](const FlatSegment& seg) {
+    store_segment(id, seg, staged.data() + written);
+    written += seg.count;
   });
 }
 
-double ProgramState::checksum(ArrayId id) const {
+void ProgramState::fill(ArrayId id,
+                        const std::function<double(const IndexTuple&)>& fn) {
+  fill(id, store(id).domain.dims(), fn);
+}
+
+double ProgramState::checksum(ArrayId id,
+                              const std::vector<Triplet>& section) const {
   const Store& s = store(id);
+  s.domain.validate_section(section);
   double total = 0.0;
-  for (double v : s.values) total += v;
+  for_each_segment(s.domain, section, [&](const FlatSegment& seg) {
+    const double* p = s.values.data() + seg.base;
+    for (Extent k = 0; k < seg.count; ++k) total += p[k * seg.stride];
+  });
   return total;
+}
+
+double ProgramState::checksum(ArrayId id) const {
+  // The whole domain decomposes into one contiguous segment, so this sums
+  // in storage order exactly as the old flat-vector walk did.
+  return checksum(id, store(id).domain.dims());
 }
 
 StepStats ProgramState::apply_remap(const RemapEvent& event,
@@ -170,7 +224,7 @@ StepStats ProgramState::apply_remap(const RemapEvent& event,
     k.add_scalar(s.elem_bytes);
     key = k.str();
     pins = k.take_pins();
-    if (std::shared_ptr<const CommPlan> plan = plans_.lookup(key)) {
+    if (std::shared_ptr<const CommPlan> plan = lookup_plan(key)) {
       StepStats step = comm_.replay(*plan, label);
       // Replay the memory deltas in recorded order: peak gauges depend on
       // the allocate/release interleaving, not just the totals.
@@ -225,7 +279,7 @@ StepStats ProgramState::apply_remap(const RemapEvent& event,
       });
   s.dist = event.to;
   StepStats step = comm_.end_step();
-  if (cacheable) plans_.insert(key, std::move(rec), std::move(pins));
+  if (cacheable) publish_plan(key, std::move(rec), std::move(pins));
   return step;
 }
 
@@ -275,7 +329,7 @@ StepStats ProgramState::copy_section(const DistArray& dst,
 
   StepStats step;
   std::shared_ptr<const CommPlan> plan =
-      cacheable ? plans_.lookup(key) : nullptr;
+      cacheable ? lookup_plan(key) : nullptr;
   if (plan) {
     step = comm_.replay(*plan, label);
   } else {
@@ -302,7 +356,7 @@ StepStats ProgramState::copy_section(const DistArray& dst,
           }
         });
     step = comm_.end_step();
-    if (cacheable) plans_.insert(key, std::move(rec), std::move(pins));
+    if (cacheable) publish_plan(key, std::move(rec), std::move(pins));
   }
 
   Extent written = 0;

@@ -31,6 +31,8 @@
 
 namespace hpfnt {
 
+class PlanService;  // service/plan_service.hpp: the shared L2 plan cache
+
 /// Reusable scratch buffers for the evaluation engine: `staged` holds one
 /// statement's RHS snapshot (assign / copy_section), `regs` the register
 /// file of SecProgram's strided kernels. Owned by the ProgramState so a
@@ -49,10 +51,34 @@ class ProgramState {
   CommEngine& comm() noexcept { return comm_; }
   MemoryTracker& memory() noexcept { return memory_; }
 
-  /// The memoized communication plans of this state's priced steps
+  /// The session-local (L1) memo of this state's priced steps
   /// (exec/comm_plan.hpp). Consulted by assign, copy_section, and
-  /// apply_remap; enabled by default.
+  /// apply_remap through lookup_plan/publish_plan below; enabled by
+  /// default. Disabling it disables plan caching entirely (the shared
+  /// service is only consulted behind it).
   PlanCache& plans() noexcept { return plans_; }
+  const PlanCache& plans() const noexcept { return plans_; }
+
+  /// Attaches this session to a shared (L2) plan service
+  /// (service/plan_service.hpp) — or detaches it with nullptr, the
+  /// default. Once attached, an L1 miss consults the service before
+  /// pricing cold, and every freshly priced plan is published to both
+  /// levels, so sessions with matching layout content share each other's
+  /// priced schedules. The service must outlive the session.
+  void set_plan_service(PlanService* service) noexcept { service_ = service; }
+  PlanService* plan_service() const noexcept { return service_; }
+
+  /// L1 → L2 plan consultation (see exec/comm_plan.hpp for the hierarchy).
+  /// Returns the sealed plan for `key` or null; a service hit back-fills
+  /// the L1 so the next lookup of this key takes no shard lock. Null when
+  /// the L1 is disabled.
+  std::shared_ptr<const CommPlan> lookup_plan(const std::string& key);
+
+  /// Publishes a freshly priced plan to the L1 and (when attached) the
+  /// shared service. No-op when the L1 is disabled or the plan is unsealed.
+  void publish_plan(const std::string& key,
+                    std::shared_ptr<const CommPlan> plan,
+                    std::vector<Distribution> pinned);
 
   /// Allocates storage for a created array, laid out by its current
   /// distribution in `env`. Elements start at 0.0.
@@ -98,10 +124,21 @@ class ProgramState {
   /// Scratch buffers reused across statements (see ScratchArena).
   ScratchArena& scratch() noexcept { return scratch_; }
 
-  /// Initializes every element from a function of its index.
+  /// Initializes every element of a section from a function of its parent
+  /// index. Values are staged in section order and written back through
+  /// whole flat strided segments (core/index_domain.hpp) — one bounds check
+  /// per segment, not per element, like assignment pass 3.
+  void fill(ArrayId id, const std::vector<Triplet>& section,
+            const std::function<double(const IndexTuple&)>& fn);
+
+  /// Whole-array fill.
   void fill(ArrayId id, const std::function<double(const IndexTuple&)>& fn);
 
-  /// Sum of all elements — cheap whole-array checksum for verification.
+  /// Sum of a section's elements — cheap checksum for verification. Reads
+  /// canonical storage one flat strided segment at a time.
+  double checksum(ArrayId id, const std::vector<Triplet>& section) const;
+
+  /// Whole-array checksum (sums in storage order, as always).
   double checksum(ArrayId id) const;
 
   // --- data movement steps (priced per constant-owner run) ----------------
@@ -145,7 +182,8 @@ class ProgramState {
   Machine* machine_;
   CommEngine comm_;
   MemoryTracker memory_;
-  PlanCache plans_;
+  PlanCache plans_;            // session-local L1
+  PlanService* service_ = nullptr;  // optional shared L2 (not owned)
   ScratchArena scratch_;
   std::unordered_map<ArrayId, Store> stores_;
 };

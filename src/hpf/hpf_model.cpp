@@ -119,6 +119,12 @@ Distribution HpfModel::distribution_of_template(const HpfTemplate& tmpl) const {
 }
 
 Distribution HpfModel::distribution_of(const HpfArray& array) const {
+  // One lock over the whole chain walk: concurrent const readers may fault
+  // the same (or overlapping) chains, and the fold below reads and writes
+  // several derived_cache_ entries — serializing the fill is the simplest
+  // publication that keeps sibling chains sharing their common suffix.
+  // Mutations (align/distribute/redistribute) require exclusive access.
+  std::lock_guard<std::mutex> lock(*derive_mu_);
   {
     const Distribution& cached =
         derived_cache_[static_cast<std::size_t>(array.id)];

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -120,8 +121,13 @@ class HpfModel {
   // Memoized results of distribution_of, parallel to arrays_ (invalid =
   // not cached). Dropped wholesale by every mapping mutation; a template
   // redistribution can affect any chain, so per-node invalidation would
-  // buy nothing.
+  // buy nothing. The lazy fill is guarded by derive_mu_ so concurrent
+  // const readers publish the memo safely (mutations still require
+  // exclusive access); the mutex sits behind a shared_ptr to keep the
+  // model movable.
   mutable std::vector<Distribution> derived_cache_;
+  mutable std::shared_ptr<std::mutex> derive_mu_ =
+      std::make_shared<std::mutex>();
   int next_tag_ = 0;
 };
 
