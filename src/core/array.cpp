@@ -84,6 +84,28 @@ void DistArray::destroy() {
   domain_ = IndexDomain();
 }
 
+bool DistArray::has_shadow() const noexcept {
+  for (const ShadowWidth& w : shadow_) {
+    if (w.left != 0 || w.right != 0) return true;
+  }
+  return false;
+}
+
+void DistArray::set_shadow(std::vector<ShadowWidth> widths) {
+  if (static_cast<int>(widths.size()) != rank_) {
+    throw ConformanceError(cat("SHADOW declares ", widths.size(),
+                               " dimension widths for rank-", rank_, " '",
+                               name_, "'"));
+  }
+  for (const ShadowWidth& w : widths) {
+    if (w.left < 0 || w.right < 0) {
+      throw ConformanceError("SHADOW widths must be nonnegative for '" +
+                             name_ + "'");
+    }
+  }
+  shadow_ = std::move(widths);
+}
+
 std::string DistArray::to_string() const {
   std::string out = cat(elem_type_name(type_), " ", name_);
   if (created_) {
@@ -94,6 +116,14 @@ std::string DistArray::to_string() const {
   if (attrs_.allocatable) out += " ALLOCATABLE";
   if (attrs_.dynamic) out += " DYNAMIC";
   if (is_dummy_) out += " DUMMY";
+  if (has_shadow()) {
+    out += " SHADOW(";
+    for (std::size_t d = 0; d < shadow_.size(); ++d) {
+      if (d) out += ",";
+      out += cat(shadow_[d].left, ":", shadow_[d].right);
+    }
+    out += ")";
+  }
   return out;
 }
 

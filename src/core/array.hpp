@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/index_domain.hpp"
 #include "core/types.hpp"
@@ -17,6 +18,19 @@
 namespace hpfnt {
 
 enum class ElemType { kReal, kDoublePrecision, kInteger, kLogical };
+
+/// Declared shadow (ghost-region) widths of one array dimension, per the
+/// HPF/JA SHADOW directive: `left` ghost cells below each owner's local
+/// range and `right` above it. Zero widths mean no shadow — the default —
+/// and every pre-shadow behavior is unchanged.
+struct ShadowWidth {
+  Extent left = 0;
+  Extent right = 0;
+
+  friend bool operator==(const ShadowWidth& a, const ShadowWidth& b) {
+    return a.left == b.left && a.right == b.right;
+  }
+};
 
 /// Storage size in bytes, used by the communication cost model.
 Extent elem_bytes(ElemType type);
@@ -56,6 +70,16 @@ class DistArray {
 
   bool is_dummy() const noexcept { return is_dummy_; }
 
+  /// Declared per-dimension shadow widths (SHADOW directive). Empty when
+  /// the array has no shadow; otherwise exactly rank() entries.
+  const std::vector<ShadowWidth>& shadow() const noexcept { return shadow_; }
+  bool has_shadow() const noexcept;
+
+  /// Declares the shadow widths (one per dimension, all >= 0). Storage
+  /// layers materialize the ghost cells when the array's storage is
+  /// (re)created.
+  void set_shadow(std::vector<ShadowWidth> widths);
+
   Extent size() const { return domain().size(); }
   Extent bytes() const { return size() * elem_bytes(type_); }
 
@@ -75,6 +99,7 @@ class DistArray {
   int rank_;
   IndexDomain domain_;
   ArrayAttrs attrs_;
+  std::vector<ShadowWidth> shadow_;  // empty, or one entry per dimension
   bool created_ = false;
   bool is_dummy_ = false;
 };

@@ -507,18 +507,27 @@ Distribution Distribution::materialize() const {
   const IndexDomain& dom = domain();
   std::vector<OwnerSet> table;
   table.reserve(static_cast<std::size_t>(dom.size()));
-  dom.for_each(
-      [&](const IndexTuple& idx) { table.push_back(owners(idx)); });
+  // Runs partition the linear positions [0, size) in Fortran order — the
+  // same order for_each visits — so one ownership decision per run covers
+  // the whole constant segment.
+  const LayoutView view = LayoutView::whole(*this);
+  view.for_each_run([&](const OwnerRun& run) {
+    for (Extent k = 0; k < run.count; ++k) table.push_back(run.owners);
+  });
   return explicit_map(dom, std::move(table));
 }
 
 bool Distribution::same_mapping(const Distribution& other) const {
   if (domain() != other.domain()) return false;
+  const LayoutView mine = LayoutView::whole(*this);
+  const LayoutView theirs = LayoutView::whole(other);
   bool equal = true;
-  domain().for_each([&](const IndexTuple& idx) {
-    if (!equal) return;
-    if (sorted(owners(idx)) != sorted(other.owners(idx))) equal = false;
-  });
+  for_each_common_segment(
+      mine.table(), theirs.table(),
+      [&](Extent, Extent, const OwnerSet& a, const OwnerSet& b) {
+        if (!equal) return;
+        if (sorted(a) != sorted(b)) equal = false;
+      });
   return equal;
 }
 

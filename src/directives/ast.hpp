@@ -152,6 +152,14 @@ struct AstInherit {
   std::vector<std::string> names;
 };
 
+/// SHADOW A(w [, w]...) — declared ghost-region widths, one sub per
+/// dimension: an expression `w` declares the symmetric width w:w, a
+/// triplet `l:r` declares left and right widths separately (HPF/JA).
+struct AstShadow {
+  std::string name;
+  std::vector<AstSub> widths;
+};
+
 // --- program structure ---------------------------------------------------------------
 
 struct AstNode {
@@ -167,6 +175,7 @@ struct AstNode {
     kDynamic,
     kTemplate,
     kInherit,
+    kShadow,        // SHADOW: declared ghost-region widths (HPF/JA)
     kRead,          // READ parsed and reported as unsupported at bind time
     kStats,         // STATS: snapshot the session's plan-cache counters
     kSubroutineStart,
@@ -186,6 +195,7 @@ struct AstNode {
   std::optional<AstDynamic> dynamic;
   std::optional<AstTemplateDecl> template_decl;
   std::optional<AstInherit> inherit;
+  std::optional<AstShadow> shadow;
   std::string subroutine_name;               // kSubroutineStart
   std::vector<std::string> subroutine_args;  // kSubroutineStart
 };

@@ -322,6 +322,43 @@ std::vector<Triplet> Binder::bind_section(const std::vector<AstSub>& subs,
   return out;
 }
 
+std::vector<ShadowWidth> Binder::bind_shadow(const AstShadow& shadow) const {
+  std::vector<ShadowWidth> out;
+  out.reserve(shadow.widths.size());
+  for (const AstSub& s : shadow.widths) {
+    ShadowWidth w;
+    switch (s.kind) {
+      case AstSub::Kind::kExpr: {
+        // A bare expression declares the symmetric width w:w.
+        const Index1 v = eval(s.expr);
+        w.left = v;
+        w.right = v;
+        break;
+      }
+      case AstSub::Kind::kTriplet: {
+        if (s.stride) {
+          throw ConformanceError(
+              "a SHADOW width is LEFT:RIGHT, with no stride");
+        }
+        w.left = s.lower ? eval(s.lower) : 0;
+        w.right = s.upper ? eval(s.upper) : 0;
+        break;
+      }
+      case AstSub::Kind::kColon:
+      case AstSub::Kind::kStar:
+        throw ConformanceError(
+            "SHADOW widths must be expressions or LEFT:RIGHT pairs for '" +
+            shadow.name + "'");
+    }
+    if (w.left < 0 || w.right < 0) {
+      throw ConformanceError("SHADOW widths must be nonnegative for '" +
+                             shadow.name + "'");
+    }
+    out.push_back(w);
+  }
+  return out;
+}
+
 ElemType Binder::bind_type(const std::string& type) const {
   if (iequals(type, "REAL")) return ElemType::kReal;
   if (iequals(type, "INTEGER")) return ElemType::kInteger;
@@ -436,6 +473,18 @@ void Binder::apply(const AstNode& node, std::vector<RemapEvent>* events) {
       for (const std::string& name : node.dynamic->names) {
         env_->dynamic(env_->find(name));
       }
+      return;
+    }
+    case AstNode::Kind::kShadow: {
+      const AstShadow& sh = *node.shadow;
+      DistArray& array = env_->find(sh.name);
+      std::vector<ShadowWidth> widths = bind_shadow(sh);
+      if (static_cast<int>(widths.size()) != array.rank()) {
+        fail_at(node, cat("SHADOW declares ", widths.size(),
+                          " dimension widths for rank-", array.rank(), " '",
+                          array.name(), "'"));
+      }
+      array.set_shadow(std::move(widths));
       return;
     }
     case AstNode::Kind::kTemplate:

@@ -55,6 +55,11 @@ class Binder {
   std::vector<Triplet> bind_section(const std::vector<AstSub>& subs,
                                     const IndexDomain& domain) const;
 
+  /// Binds SHADOW width subs: an expression `w` declares the symmetric
+  /// widths w:w, a triplet `l:r` the left and right widths separately.
+  /// Widths must be nonnegative; ':' and '*' subs are rejected.
+  std::vector<ShadowWidth> bind_shadow(const AstShadow& shadow) const;
+
   // --- node application (main-program semantics) -----------------------------
   /// Applies one node. Executable remapping nodes append their RemapEvents
   /// to `events`. Throws DirectiveError/ConformanceError on violations.

@@ -76,6 +76,10 @@ void Interpreter::exec_node(const AstNode& node, Binder& binder) {
                     " inserts=", snap.shared_inserts,
                     " evictions=", snap.shared_evictions);
       }
+      snap.comm_exposed_us = state_->comm().total_exposed_comm_us();
+      snap.comm_hidden_us = state_->comm().total_hidden_comm_us();
+      line += cat(" | comm exposed=", snap.comm_exposed_us,
+                  "us hidden=", snap.comm_hidden_us, "us");
       plan_stats_.push_back(snap);
       note(std::move(line));
       return;
@@ -106,6 +110,21 @@ void Interpreter::exec_node(const AstNode& node, Binder& binder) {
       for (const std::string& name : node.deallocate->names) {
         note("DEALLOCATE " + name);
       }
+      return;
+    }
+    case AstNode::Kind::kShadow: {
+      binder.apply(node);
+      // Shadow widths change the ghost footprint: re-materialize storage so
+      // account_shadow charges the strips under the new declaration. Like a
+      // specification-part DISTRIBUTE, this moves no data.
+      if (state_) {
+        DistArray& array = env.find(node.shadow->name);
+        if (state_->exists(array.id())) {
+          state_->destroy(array);
+          state_->create(env, array);
+        }
+      }
+      note("SHADOW " + node.shadow->name);
       return;
     }
     case AstNode::Kind::kDistribute: {

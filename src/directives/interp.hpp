@@ -40,6 +40,8 @@ struct PlanCacheStats {
   Extent shared_misses = 0;
   Extent shared_inserts = 0;
   Extent shared_evictions = 0;
+  double comm_exposed_us = 0.0;  ///< cumulative exposed comm (split-phase)
+  double comm_hidden_us = 0.0;   ///< cumulative comm hidden under compute
 };
 
 class Interpreter {

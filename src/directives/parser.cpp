@@ -543,6 +543,18 @@ AstNode parse_directive(Cursor& c, int line_no) {
     node.inherit = std::move(inh);
     return node;
   }
+  if (c.accept_ident("SHADOW")) {
+    // SHADOW A(w, l:r, ...) — one width sub per array dimension: an
+    // expression declares the symmetric width w:w, a triplet the left and
+    // right widths separately (HPF/JA explicit shadow).
+    node.kind = AstNode::Kind::kShadow;
+    AstShadow sh;
+    sh.name = c.expect_name("SHADOW");
+    sh.widths = parse_sub_list(c, "SHADOW widths");
+    c.expect_end("SHADOW");
+    node.shadow = std::move(sh);
+    return node;
+  }
   c.fail(cat("unknown directive ", Cursor::describe(c.peek())));
 }
 

@@ -4,6 +4,7 @@
 
 #include "core/layout_view.hpp"
 #include "exec/comm_plan.hpp"
+#include "exec/overlap.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -104,6 +105,34 @@ AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
   // of the warm path's pricing cost (the E2 bench harness asserts a
   // nonzero warm pricing_ns as a regression tripwire).
   const auto price_start = std::chrono::steady_clock::now();
+
+  // Split-phase analysis (exec/overlap.hpp, the shared source of truth): a
+  // leaf whose section is a pure per-dimension shift of the LHS section, on
+  // a structurally identical mapping, with every shifted dimension covered
+  // by the leaf array's declared shadow, has ONLY halo transfers — they
+  // land in ghost cells no interior computation reads, so they are charged
+  // in the engine's POSTED phase and overlap the compute. Everything else
+  // (unshifted reads, broadcasts, replica updates) stays synchronous, so
+  // with no shadow declared (or overlap disabled) every leaf is sync and
+  // the step prices exactly as before.
+  std::vector<char> posted(leaves.size(), 0);
+  if (comm.overlap_enabled()) {
+    for (std::size_t l = 0; l < leaves.size(); ++l) {
+      const SecLeaf& leaf = leaves[l];
+      const std::optional<std::vector<Extent>> shifts =
+          section_shift(lhs_section, *leaf.section);
+      if (!shifts) continue;
+      bool shifted = false;
+      for (Extent sft : *shifts) shifted |= (sft != 0);
+      if (!shifted) continue;  // unshifted reads are owner-local anyway
+      if (!shadow_covers(lhs_dist, state.layout(leaf.array), *shifts,
+                         state.shadow_of(leaf.array))) {
+        continue;
+      }
+      posted[l] = 1;
+    }
+  }
+
   PlanCache& plans = state.plans();
   std::string key;
   std::vector<Distribution> pins;
@@ -114,10 +143,23 @@ AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
     k.add_section(lhs_section);
     k.add_scalar(bytes);
     k.add_scalar(flops);
-    for (const SecLeaf& leaf : leaves) {
+    for (std::size_t l = 0; l < leaves.size(); ++l) {
+      const SecLeaf& leaf = leaves[l];
       k.add_distribution(state.layout(leaf.array));
       k.add_section(*leaf.section);
       k.add_scalar(leaf.bytes);
+      // Posted leaves extend the key with the covering shadow widths, so a
+      // shadowed split-phase plan can never collide with the synchronous
+      // plan of the same layouts (overlap off, or no shadow declared,
+      // contributes nothing — those keys stay byte-identical to the
+      // pre-shadow scheme and keep sharing across sessions).
+      if (posted[l]) {
+        k.add_tag("posted");
+        for (const ShadowWidth& w : state.shadow_of(leaf.array)) {
+          k.add_scalar(w.left);
+          k.add_scalar(w.right);
+        }
+      }
     }
     key = k.str();
     pins = k.take_pins();
@@ -172,12 +214,17 @@ AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
         }
         continue;
       }
+      // A covered leaf's remote segments are all halo transfers (the
+      // plan==measure property of plan_shift): charge them in the posted
+      // phase so they overlap the compute and record as boundary transfers.
+      if (posted[l]) comm.begin_posted();
       for_each_common_segment(
           lhs_view.table(), leaf_view.table(),
           [&](Extent, Extent count, const OwnerSet& lhs_owners,
               const OwnerSet& leaf_owners) {
             charge_reads(count, lhs_owners, leaf_owners, leaf.bytes);
           });
+      if (posted[l]) comm.end_posted();
     }
     for (const OwnerRun& r : lhs_view.runs()) {
       const ApId p = min_owner(r.owners);

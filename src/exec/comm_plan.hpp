@@ -72,15 +72,29 @@ namespace hpfnt {
 
 /// One recorded block transfer: `count` elements of `elem_bytes` from the
 /// canonical sending replica to one receiving owner.
+///
+/// `posted` partitions the plan's transfer list into its boundary and
+/// interior sets at record time. The partition rule (exec/overlap.hpp,
+/// leaf_is_shadow_covered): a transfer is posted — boundary — iff it was
+/// charged for an operand that is a pure per-dimension shift of the
+/// target section on a structurally identical mapping, with every shifted
+/// dimension either collapsed (whole dimension local) or contiguous with a
+/// declared shadow at least as wide as the shift. Then the plan==measure
+/// property of plan_shift guarantees all the operand's remote elements are
+/// halo reads landing in ghost cells, so they overlap the interior compute
+/// (CommEngine posted phase). Everything else — unshifted remote reads,
+/// replica broadcasts, remap copies — stays in the sync set.
 struct PlanTransfer {
   ApId src = 0;
   ApId dst = 0;
   Extent elem_bytes = 0;
   Extent count = 0;
+  bool posted = false;  ///< boundary (overlapped) vs interior/sync transfer
 
   friend bool operator==(const PlanTransfer& a, const PlanTransfer& b) {
     return a.src == b.src && a.dst == b.dst &&
-           a.elem_bytes == b.elem_bytes && a.count == b.count;
+           a.elem_bytes == b.elem_bytes && a.count == b.count &&
+           a.posted == b.posted;
   }
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "core/distribution.hpp"
 #include "support/error.hpp"
 
 namespace hpfnt {
@@ -97,6 +98,66 @@ std::vector<OverlapArea> overlap_areas(const DimMapping& m,
         area.left = std::max(area.left, ghost[static_cast<std::size_t>(p - 1)]);
       }
     }
+  }
+  return areas;
+}
+
+std::optional<std::vector<Extent>> section_shift(
+    const std::vector<Triplet>& from, const std::vector<Triplet>& to) {
+  if (from.size() != to.size()) return std::nullopt;
+  std::vector<Extent> shifts(from.size(), 0);
+  for (std::size_t d = 0; d < from.size(); ++d) {
+    const Triplet& a = from[d];
+    const Triplet& b = to[d];
+    // The element sets are {lower + k*stride : k < size}, so equal strides
+    // and sizes make `to` the translate of `from` by the lower-bound delta.
+    if (a.stride() != b.stride() || a.size() != b.size()) return std::nullopt;
+    shifts[d] = b.lower() - a.lower();
+  }
+  return shifts;
+}
+
+bool shadow_covers(const Distribution& lhs, const Distribution& leaf,
+                   const std::vector<Extent>& shifts,
+                   const std::vector<ShadowWidth>& shadow) {
+  // The coverage argument needs the reader of index i and the owner of the
+  // operand element i+shift to live on the SAME mapping: then every remote
+  // read is at distance |shift| beyond the reader's own block, i.e. inside
+  // a ghost region of at least that width. Aligned/constructed or
+  // section-view payloads fall back to the sync phase.
+  if (lhs.kind() != Distribution::Kind::kFormats ||
+      leaf.kind() != Distribution::Kind::kFormats) {
+    return false;
+  }
+  if (!lhs.structurally_equal(leaf)) return false;
+  for (std::size_t d = 0; d < shifts.size(); ++d) {
+    const Extent shift = shifts[d];
+    if (shift == 0) continue;
+    const DimMapping& m = lhs.dim_mapping(static_cast<int>(d));
+    // A collapsed dimension is not distributed: shifts along it never
+    // leave the owner, so they are covered with no shadow at all.
+    if (m.kind() == FormatKind::kCollapsed) continue;
+    if (!m.is_contiguous()) return false;
+    const Extent left = d < shadow.size() ? shadow[d].left : 0;
+    const Extent right = d < shadow.size() ? shadow[d].right : 0;
+    if (shift > 0 ? right < shift : left < -shift) return false;
+  }
+  return true;
+}
+
+std::vector<OverlapArea> shadow_areas(const DimMapping& m, Extent left,
+                                      Extent right) {
+  if (!m.is_contiguous()) {
+    throw InternalError(
+        "shadow areas are defined for contiguous (block-family) mappings");
+  }
+  std::vector<OverlapArea> areas(static_cast<std::size_t>(m.np()));
+  for (Index1 p = 1; p <= m.np(); ++p) {
+    if (m.local_count(p) == 0) continue;
+    const auto [lo, hi] = m.block_range(p);
+    OverlapArea& area = areas[static_cast<std::size_t>(p - 1)];
+    area.left = std::min<Extent>(left, lo - 1);
+    area.right = std::min<Extent>(right, m.n() - hi);
   }
   return areas;
 }

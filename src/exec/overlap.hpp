@@ -13,13 +13,26 @@
 // to an exact enumeration. The tests verify that a plan predicts the
 // executor's measured transfers *exactly* — plan(m, k) == measure(m, k) —
 // so the analysis can be trusted as a cost model.
+// The module is also the shared source of truth for split-phase plan
+// recording (exec/assign.cpp, exec/comm_plan.hpp): section_shift detects a
+// pure per-dimension shift between the target section and an operand's,
+// shadow_covers decides whether declared shadow widths cover that shift on
+// a structurally identical mapping (so ALL the operand's remote reads are
+// halo transfers landing in ghost cells — boundary, posted), and
+// shadow_areas gives the per-processor ghost allocation the storage layer
+// materializes for declared widths.
 #pragma once
 
+#include <optional>
 #include <vector>
 
+#include "core/array.hpp"
 #include "core/dist_format.hpp"
+#include "core/triplet.hpp"
 
 namespace hpfnt {
+
+class Distribution;
 
 /// One planned message of a shift: `count` elements travelling src -> dst.
 struct ShiftMessage {
@@ -59,5 +72,34 @@ struct OverlapArea {
 /// otherwise.
 std::vector<OverlapArea> overlap_areas(const DimMapping& m,
                                        const std::vector<Extent>& shifts);
+
+/// The per-dimension translation taking `from` onto `to`, when `to` is a
+/// pure shift of `from`: equal rank, and in every dimension the same
+/// extent and stride with both bounds offset by one constant. Returns the
+/// constants (zero where the dimensions coincide), or nullopt when the
+/// sections are not a pure shift of each other.
+std::optional<std::vector<Extent>> section_shift(
+    const std::vector<Triplet>& from, const std::vector<Triplet>& to);
+
+/// The split-phase coverage rule: true iff every remote read of an operand
+/// that is a `shifts`-translate of the target section is a halo read into
+/// `lhs`'s declared ghost cells, so the whole operand's exchange can be
+/// POSTED (overlapped with interior compute). Requires both distributions
+/// to be kFormats and structurally equal; each shifted dimension must be
+/// either collapsed (the dimension is not distributed, so the shift stays
+/// local) or contiguous with `shadow` at least as wide as the shift on the
+/// shifted side. `shadow` may be empty (no declared widths).
+bool shadow_covers(const Distribution& lhs, const Distribution& leaf,
+                   const std::vector<Extent>& shifts,
+                   const std::vector<ShadowWidth>& shadow);
+
+/// Ghost cells each processor (index p-1) materializes in one dimension
+/// for declared widths {left, right}: the declared widths clamped to the
+/// array bounds around the processor's block — the union of the ghost
+/// regions of every shift the shadow can cover. Positions owning no
+/// elements allocate no ghosts. Contiguous mappings only (InternalError
+/// otherwise, like overlap_areas).
+std::vector<OverlapArea> shadow_areas(const DimMapping& m, Extent left,
+                                      Extent right);
 
 }  // namespace hpfnt

@@ -21,6 +21,8 @@ void SweepStats::accumulate(const AssignResult& r) {
   ownership_queries += r.ownership_queries;
   pricing_ns += r.pricing_ns;
   time_us += r.step.time_us;
+  exposed_comm_us += r.step.exposed_comm_us;
+  hidden_comm_us += r.step.hidden_comm_us;
   remote_read_fraction =
       derive_fraction(remote_element_reads, local_element_reads);
 }
@@ -34,6 +36,8 @@ void SweepStats::merge(const SweepStats& other) {
   ownership_queries += other.ownership_queries;
   pricing_ns += other.pricing_ns;
   time_us += other.time_us;
+  exposed_comm_us += other.exposed_comm_us;
+  hidden_comm_us += other.hidden_comm_us;
   remote_read_fraction =
       derive_fraction(remote_element_reads, local_element_reads);
 }

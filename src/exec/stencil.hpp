@@ -19,6 +19,8 @@ struct SweepStats {
   Extent ownership_queries = 0;  ///< payload probes spent pricing (0 on plan hits)
   Extent pricing_ns = 0;         ///< wall time of the pricing passes
   double time_us = 0.0;
+  double exposed_comm_us = 0.0;  ///< posted comm the compute could not hide
+  double hidden_comm_us = 0.0;   ///< posted comm overlapped with compute
   double remote_read_fraction = 0.0;
 
   /// Folds one assignment in. The remote-read fraction is derived from the

@@ -1,8 +1,10 @@
 #include "exec/storage.hpp"
 
 #include <algorithm>
+#include <array>
 
 #include "core/layout_view.hpp"
+#include "exec/overlap.hpp"
 #include "service/plan_service.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -65,6 +67,93 @@ void ProgramState::account_release(const Store& s) {
   }
 }
 
+void ProgramState::account_shadow(const Store& s, bool allocate) {
+  if (s.shadow.empty()) return;
+  if (!s.dist.valid() || s.dist.kind() != Distribution::Kind::kFormats) {
+    // Derived (aligned/section-view/explicit) layouts never post halo
+    // exchanges (exec/overlap.hpp shadow_covers), so they materialize no
+    // ghost cells either.
+    return;
+  }
+  // Per-dimension geometry: collapsed dimensions contribute their whole
+  // extent as a constant factor; distributed dimensions contribute their
+  // per-position local counts and (for contiguous mappings with declared
+  // widths) the clamped ghost strip widths from shadow_areas. Shadowed
+  // non-contiguous dimensions allocate nothing — the coverage rule never
+  // posts across them.
+  struct DimGeom {
+    std::vector<Extent> local;  // per target position (index p-1)
+    std::vector<Extent> ghost;  // ghost cells in this dimension, ditto
+  };
+  Extent collapsed_factor = 1;
+  std::vector<DimGeom> dims;  // non-collapsed dims, ascending order
+  for (int d = 0; d < s.domain.rank(); ++d) {
+    const DimMapping& m = s.dist.dim_mapping(d);
+    if (m.kind() == FormatKind::kCollapsed) {
+      collapsed_factor *= m.n();
+      continue;
+    }
+    DimGeom g;
+    const std::size_t np = static_cast<std::size_t>(m.np());
+    g.local.resize(np);
+    g.ghost.assign(np, 0);
+    for (Index1 p = 1; p <= m.np(); ++p) {
+      g.local[static_cast<std::size_t>(p - 1)] = m.local_count(p);
+    }
+    const ShadowWidth& w = s.shadow[static_cast<std::size_t>(d)];
+    if ((w.left != 0 || w.right != 0) && m.is_contiguous()) {
+      const std::vector<OverlapArea> areas = shadow_areas(m, w.left, w.right);
+      for (std::size_t i = 0; i < np; ++i) {
+        g.ghost[i] = areas[i].left + areas[i].right;
+      }
+    }
+    dims.push_back(std::move(g));
+  }
+  if (dims.empty()) return;  // fully collapsed: nothing is remote, no ghosts
+
+  // Walk the cartesian product of target positions; each position tuple's
+  // ghost cells are the per-dimension face strips (no corners):
+  //   sum_d ghost_d(p_d) * prod_{e != d} local_e(p_e).
+  const ProcessorRef& target = s.dist.target();
+  const std::size_t k = dims.size();
+  std::array<DimOwnerSet, kMaxRank> pos_sets;
+  std::array<const DimOwnerSet*, kMaxRank> set_ptrs{};
+  std::vector<std::size_t> pos(k, 0);
+  while (true) {
+    Extent elems = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      Extent term = dims[j].ghost[pos[j]];
+      if (term == 0) continue;
+      for (std::size_t l = 0; l < k; ++l) {
+        if (l != j) term *= dims[l].local[pos[l]];
+      }
+      elems += term;
+    }
+    if (elems > 0) {
+      for (std::size_t j = 0; j < k; ++j) {
+        pos_sets[j].clear();
+        pos_sets[j].push_back(static_cast<Index1>(pos[j] + 1));
+        set_ptrs[j] = &pos_sets[j];
+      }
+      const OwnerSet owners = compose_dim_owners(target, set_ptrs, k);
+      const Extent bytes = s.elem_bytes * elems * collapsed_factor;
+      for (ApId q : owners) {
+        if (allocate) {
+          memory_.allocate(q, bytes);
+        } else {
+          memory_.release(q, bytes);
+        }
+      }
+    }
+    std::size_t j = 0;
+    for (; j < k; ++j) {
+      if (++pos[j] < dims[j].local.size()) break;
+      pos[j] = 0;
+    }
+    if (j == k) break;
+  }
+}
+
 void ProgramState::create(const DataEnv& env, const DistArray& array) {
   create_with(array, env.distribution_of(array));
 }
@@ -78,7 +167,9 @@ void ProgramState::create_with(const DistArray& array, Distribution layout) {
   s.dist = std::move(layout);
   s.values.assign(static_cast<std::size_t>(s.domain.size()), 0.0);
   s.elem_bytes = elem_bytes(array.type());
+  s.shadow = array.shadow();
   account_allocate(s);
+  account_shadow(s, /*allocate=*/true);
   stores_.emplace(array.id(), std::move(s));
 }
 
@@ -87,6 +178,7 @@ void ProgramState::destroy(const DistArray& array) {
   if (it == stores_.end()) {
     throw InternalError("destroy of an array without storage");
   }
+  account_shadow(it->second, /*allocate=*/false);
   account_release(it->second);
   stores_.erase(it);
 }
@@ -97,6 +189,10 @@ bool ProgramState::exists(ArrayId id) const noexcept {
 
 const Distribution& ProgramState::layout(ArrayId id) const {
   return store(id).dist;
+}
+
+const std::vector<ShadowWidth>& ProgramState::shadow_of(ArrayId id) const {
+  return store(id).shadow;
 }
 
 double ProgramState::value(ArrayId id, const IndexTuple& index) const {
@@ -225,6 +321,12 @@ StepStats ProgramState::apply_remap(const RemapEvent& event,
     key = k.str();
     pins = k.take_pins();
     if (std::shared_ptr<const CommPlan> plan = lookup_plan(key)) {
+      // Ghost cells follow the layout: release under the old distribution
+      // before the move, re-materialize under the new one after. This
+      // happens outside the plan in both the warm and cold paths, so the
+      // recorded mem_ops stay layout-only and the interleaving (and thus
+      // the peak gauges) is identical either way.
+      account_shadow(s, /*allocate=*/false);
       StepStats step = comm_.replay(*plan, label);
       // Replay the memory deltas in recorded order: peak gauges depend on
       // the allocate/release interleaving, not just the totals.
@@ -236,10 +338,12 @@ StepStats ProgramState::apply_remap(const RemapEvent& event,
         }
       }
       s.dist = event.to;
+      account_shadow(s, /*allocate=*/true);
       return step;
     }
   }
 
+  account_shadow(s, /*allocate=*/false);  // see the warm path above
   comm_.begin_step(label);
   auto rec = std::make_shared<CommPlan>();
   if (cacheable) comm_.record_into(rec);
@@ -279,6 +383,7 @@ StepStats ProgramState::apply_remap(const RemapEvent& event,
       });
   s.dist = event.to;
   StepStats step = comm_.end_step();
+  account_shadow(s, /*allocate=*/true);
   if (cacheable) publish_plan(key, std::move(rec), std::move(pins));
   return step;
 }

@@ -95,6 +95,10 @@ class ProgramState {
   /// The layout the data currently follows (updated by apply_remap).
   const Distribution& layout(ArrayId id) const;
 
+  /// The shadow widths the storage was materialized with (captured from
+  /// DistArray::shadow at create time). Empty when the array has none.
+  const std::vector<ShadowWidth>& shadow_of(ArrayId id) const;
+
   /// Canonical value of one element (no communication).
   double value(ArrayId id, const IndexTuple& index) const;
 
@@ -169,12 +173,23 @@ class ProgramState {
     Distribution dist;
     std::vector<double> values;  // canonical, by domain linearization
     Extent elem_bytes = 8;
+    std::vector<ShadowWidth> shadow;  // declared ghost widths, may be empty
   };
 
   Store& store(ArrayId id);
   const Store& store(ArrayId id) const;
   void account_allocate(const Store& s);
   void account_release(const Store& s);
+
+  /// Ghost-cell memory accounting for declared shadow widths: each owner
+  /// materializes the clamped per-dimension ghost strips of its local
+  /// block (exec/overlap.hpp shadow_areas; face strips only — a pure
+  /// per-dimension shift never reads a corner). Charged at create/destroy
+  /// and re-charged around apply_remap's layout change, always OUTSIDE the
+  /// recorded plan: ghost geometry is derived from the layout, so cached
+  /// remap plans stay layout-only and shadow never changes a plan's
+  /// mem_ops.
+  void account_shadow(const Store& s, bool allocate);
 
   /// Throws InternalError when the segment leaves [0, values.size()).
   static void check_segment(const Store& s, const FlatSegment& seg);

@@ -13,9 +13,16 @@
 namespace hpfnt {
 
 std::string StepStats::to_string() const {
-  return cat(label, ": msgs=", messages, " bytes=", bytes,
-             " transfers=", element_transfers, " flops=", flops,
-             " time=", time_us, "us");
+  std::string s = cat(label, ": msgs=", messages, " bytes=", bytes,
+                      " transfers=", element_transfers, " flops=", flops,
+                      " time=", time_us, "us");
+  // Purely synchronous steps keep the historical format — golden strings
+  // recorded before split-phase pricing must not change.
+  if (exposed_comm_us != 0.0 || hidden_comm_us != 0.0) {
+    s += cat(" exposed=", exposed_comm_us, "us hidden=", hidden_comm_us,
+             "us");
+  }
+  return s;
 }
 
 CommEngine::CommEngine(const Machine& machine) : machine_(&machine) {}
@@ -32,9 +39,24 @@ void CommEngine::begin_step(std::string label) {
   }
   if (in_step_) throw InternalError("begin_step inside an open step");
   in_step_ = true;
+  posted_phase_ = false;
   label_ = std::move(label);
   step_pairs_.clear();
+  posted_pairs_.clear();
   step_flops_.clear();
+}
+
+void CommEngine::begin_posted() {
+  if (!in_step_) throw InternalError("begin_posted outside a step");
+  if (posted_phase_) throw InternalError("begin_posted inside a posted phase");
+  posted_phase_ = true;
+}
+
+void CommEngine::end_posted() {
+  if (!posted_phase_) {
+    throw InternalError("end_posted without a matching begin_posted");
+  }
+  posted_phase_ = false;
 }
 
 void CommEngine::record_into(std::shared_ptr<CommPlan> plan) {
@@ -57,10 +79,13 @@ void CommEngine::transfer(ApId src, ApId dst, Extent bytes) {
     if (recording_) recording_->local_reads += 1;
     return;
   }
-  PairTraffic& traffic = step_pairs_.accumulate({src, dst});
+  PairTraffic& traffic =
+      (posted_phase_ ? posted_pairs_ : step_pairs_).accumulate({src, dst});
   traffic.bytes += bytes;
   traffic.elements += 1;
-  if (recording_) recording_->transfers.push_back({src, dst, bytes, 1});
+  if (recording_) {
+    recording_->transfers.push_back({src, dst, bytes, 1, posted_phase_});
+  }
 }
 
 void CommEngine::transfer_block(ApId src, ApId dst, Extent elem_bytes,
@@ -72,11 +97,13 @@ void CommEngine::transfer_block(ApId src, ApId dst, Extent elem_bytes,
     if (recording_) recording_->local_reads += count;
     return;
   }
-  PairTraffic& traffic = step_pairs_.accumulate({src, dst});
+  PairTraffic& traffic =
+      (posted_phase_ ? posted_pairs_ : step_pairs_).accumulate({src, dst});
   traffic.bytes += elem_bytes * count;
   traffic.elements += count;
   if (recording_) {
-    recording_->transfers.push_back({src, dst, elem_bytes, count});
+    recording_->transfers.push_back(
+        {src, dst, elem_bytes, count, posted_phase_});
   }
 }
 
@@ -93,29 +120,38 @@ void CommEngine::count_local_reads(Extent n) {
 
 StepStats CommEngine::end_step() {
   if (!in_step_) throw InternalError("end_step without begin_step");
+  if (posted_phase_) {
+    throw InternalError("end_step inside an open posted phase");
+  }
   in_step_ = false;
 
   StepStats stats;
   stats.label = label_;
-  stats.messages = static_cast<Extent>(step_pairs_.size());
+  stats.messages =
+      static_cast<Extent>(step_pairs_.size() + posted_pairs_.size());
 
-  // Per-processor send/receive loads for the BSP-like time bound. The
-  // pairs are walked in sorted (src, dst) order so the floating-point
+  // Per-processor send/receive loads for one phase's BSP-like time bound.
+  // The pairs are walked in sorted (src, dst) order so the floating-point
   // accumulation below stays byte-identical to the ordered-map iteration
   // the flat tables replaced.
-  std::map<ApId, double> send_us;
-  std::map<ApId, double> recv_us;
   const CostParams& cost = machine_->cost();
-  for (const PairStepTable::Cell& cell : step_pairs_.sorted()) {
-    stats.bytes += cell.payload.bytes;
-    stats.element_transfers += cell.payload.elements;
-    const double t = cost.message_us(cell.payload.bytes);
-    send_us[cell.key.first] += t;
-    recv_us[cell.key.second] += t;
-  }
-  double comm_us = 0.0;
-  for (const auto& [p, t] : send_us) comm_us = std::max(comm_us, t);
-  for (const auto& [p, t] : recv_us) comm_us = std::max(comm_us, t);
+  auto bsp_bound = [&](const PairStepTable& pairs) {
+    std::map<ApId, double> send_us;
+    std::map<ApId, double> recv_us;
+    for (const PairStepTable::Cell& cell : pairs.sorted()) {
+      stats.bytes += cell.payload.bytes;
+      stats.element_transfers += cell.payload.elements;
+      const double t = cost.message_us(cell.payload.bytes);
+      send_us[cell.key.first] += t;
+      recv_us[cell.key.second] += t;
+    }
+    double bound = 0.0;
+    for (const auto& [p, t] : send_us) bound = std::max(bound, t);
+    for (const auto& [p, t] : recv_us) bound = std::max(bound, t);
+    return bound;
+  };
+  const double sync_us = bsp_bound(step_pairs_);
+  const double posted_us = bsp_bound(posted_pairs_);
 
   double compute_us = 0.0;
   for (const ApStepTable::Cell& cell : step_flops_.sorted()) {
@@ -123,12 +159,19 @@ StepStats CommEngine::end_step() {
     compute_us = std::max(compute_us,
                           static_cast<double>(cell.payload) * cost.flop_us);
   }
-  stats.time_us = comm_us + compute_us;
+  // Split-phase pricing: posted communication overlaps the computation,
+  // sync communication is serial. With no posted transfers this is
+  // sync + compute exactly — the pre-split-phase formula.
+  stats.hidden_comm_us = std::min(posted_us, compute_us);
+  stats.exposed_comm_us = posted_us - stats.hidden_comm_us;
+  stats.time_us = std::max(compute_us, posted_us) + sync_us;
 
   total_messages_ += stats.messages;
   total_bytes_ += stats.bytes;
   total_transfers_ += stats.element_transfers;
   total_time_us_ += stats.time_us;
+  total_exposed_us_ += stats.exposed_comm_us;
+  total_hidden_us_ += stats.hidden_comm_us;
   if (recording_) {
     recording_->stats = stats;
     recording_->sealed = true;
@@ -152,17 +195,49 @@ StepStats CommEngine::replay(const CommPlan& plan, const std::string& label) {
   total_bytes_ += stats.bytes;
   total_transfers_ += stats.element_transfers;
   total_time_us_ += stats.time_us;
+  total_exposed_us_ += stats.exposed_comm_us;
+  total_hidden_us_ += stats.hidden_comm_us;
   local_reads_ += plan.local_reads;
   return stats;
 }
 
+void CommEngine::post(const CommPlan& plan) {
+  if (in_step_) throw InternalError("post inside an open step");
+  if (!plan.sealed) {
+    throw InternalError(
+        "post of an unsealed plan: only a complete priced schedule can be "
+        "put in flight");
+  }
+  if (posted_plan_) {
+    throw InternalError(
+        "post while another plan is already in flight: wait() for it first");
+  }
+  posted_plan_ = &plan;
+}
+
+StepStats CommEngine::wait(const CommPlan& plan, const std::string& label) {
+  if (in_step_) throw InternalError("wait inside an open step");
+  if (posted_plan_ != &plan) {
+    throw InternalError(posted_plan_
+                            ? "wait on a plan that is not the one in flight"
+                            : "wait without a posted plan");
+  }
+  posted_plan_ = nullptr;
+  return replay(plan, label);
+}
+
 void CommEngine::reset() {
   if (in_step_) throw InternalError("reset inside an open step");
+  if (posted_plan_) {
+    throw InternalError("reset with a posted plan still in flight");
+  }
   total_messages_ = 0;
   total_bytes_ = 0;
   total_transfers_ = 0;
   local_reads_ = 0;
   total_time_us_ = 0.0;
+  total_exposed_us_ = 0.0;
+  total_hidden_us_ = 0.0;
 }
 
 }  // namespace hpfnt

@@ -6,11 +6,49 @@
 // element transfers between the same (src, dst) pair within a step ride in
 // ONE message, which is how distributed-memory compilers of the era
 // aggregated communication (SUPERB/Vienna Fortran message vectorization,
-// [13] in the paper). Step statistics therefore report
-//   messages = number of distinct communicating pairs,
-//   bytes    = total payload,
-//   time     = BSP-like estimate: max over processors of the α+βn cost of
-//              the messages it sends/receives, plus the step's compute.
+// [13] in the paper).
+//
+// Split-phase steps. A step's transfers live in one of two phases:
+//
+//   * the SYNC phase (the default): transfers that must complete before the
+//     step's computation can run — a synchronous barrier exchange;
+//   * the POSTED phase (bracketed by begin_posted/end_posted): boundary
+//     transfers that were posted up front and complete concurrently with
+//     the step's interior computation, because every value they deliver
+//     lands in a declared shadow (ghost) region that no interior
+//     computation reads.
+//
+// Pricing. With C = the step's compute time (max over processors),
+// V = the BSP bound of the posted exchange, and X = the BSP bound of the
+// sync exchange, a step costs
+//
+//     time_us = max(C, V) + X
+//
+// i.e. posted communication is overlapped with computation and only its
+// excess over the compute time is exposed; sync communication is serial as
+// before. StepStats splits the posted bound honestly:
+//
+//     hidden_comm_us  = min(V, C)   -- paid for by overlap
+//     exposed_comm_us = V - hidden  -- posted comm the compute cannot hide
+//
+// A step with no posted transfers has V = 0, so time_us = C + X,
+// hidden = exposed = 0: byte-identical to the pre-split-phase model. That
+// collapse is the differential oracle — split-phase with zero shadow IS
+// the old synchronous step.
+//
+// Each BSP bound is the max over processors of the α+βn cost of the
+// messages a processor sends/receives within that phase; a (src, dst) pair
+// active in both phases carries two messages (the posted one really is a
+// separate message on the wire). Step statistics therefore report
+//   messages = distinct (src,dst) pairs, summed over the two phases,
+//   bytes    = total payload across both phases,
+//   time     = max(compute, posted comm) + sync comm, per the formula.
+//
+// Plan replay is split-phase too: post(plan) marks a sealed plan's
+// boundary exchange as in flight, wait(plan) completes it and accumulates
+// the plan's (already overlap-priced) statistics; replay(plan) is the
+// fused post+wait. Ordinary begin_step/end_step steps may run between a
+// post and its wait — that is the point of posting.
 #pragma once
 
 #include <memory>
@@ -30,11 +68,13 @@ struct CommPlan;
 
 struct StepStats {
   std::string label;
-  Extent messages = 0;        // distinct (src,dst) pairs
-  Extent bytes = 0;           // total payload bytes
+  Extent messages = 0;        // distinct (src,dst) pairs, both phases
+  Extent bytes = 0;           // total payload bytes, both phases
   Extent element_transfers = 0;  // individual remote element reads/copies
   Extent flops = 0;
-  double time_us = 0.0;
+  double time_us = 0.0;          // max(compute, posted comm) + sync comm
+  double exposed_comm_us = 0.0;  // posted comm the compute could not hide
+  double hidden_comm_us = 0.0;   // posted comm overlapped with compute
 
   std::string to_string() const;
 };
@@ -56,6 +96,14 @@ class CommEngine {
   /// times, in one call.
   void transfer_block(ApId src, ApId dst, Extent elem_bytes, Extent count);
 
+  /// Brackets the POSTED phase of the open step: transfers charged between
+  /// begin_posted and end_posted are boundary transfers overlapped with the
+  /// step's computation (they land in shadow regions), and are priced by
+  /// the max(compute, posted)+sync formula above. May be opened and closed
+  /// several times within one step (once per covered operand).
+  void begin_posted();
+  void end_posted();
+
   /// Computation attributed to a processor within the step.
   void compute(ApId p, Extent flops);
 
@@ -63,12 +111,13 @@ class CommEngine {
   StepStats end_step();
 
   /// Arms recording of the open step into `plan`: every transfer, compute
-  /// charge, and local-read tally until end_step is appended, and end_step
-  /// seals the plan with the step's statistics. The engine shares ownership
-  /// of the plan, so it stays valid even if the recorded step unwinds
-  /// before end_step. Recording disarms only at end_step; a begin_step
-  /// while a recording is still armed throws InternalError rather than
-  /// silently dropping the partial schedule.
+  /// charge, and local-read tally until end_step is appended (posted-phase
+  /// transfers are tagged PlanTransfer::posted), and end_step seals the
+  /// plan with the step's statistics. The engine shares ownership of the
+  /// plan, so it stays valid even if the recorded step unwinds before
+  /// end_step. Recording disarms only at end_step; a begin_step while a
+  /// recording is still armed throws InternalError rather than silently
+  /// dropping the partial schedule.
   void record_into(std::shared_ptr<CommPlan> plan);
 
   /// Re-issues a sealed plan as one step: accumulates the plan's recorded
@@ -79,11 +128,28 @@ class CommEngine {
   /// pure function of the recorded operations.
   StepStats replay(const CommPlan& plan, const std::string& label = "");
 
+  /// Split-phase replay: post() marks the sealed plan's boundary exchange
+  /// as in flight (no statistics move yet); wait() completes it,
+  /// accumulating the plan's overlap-priced statistics exactly as replay
+  /// would. Exactly one plan may be in flight at a time, wait must name
+  /// the posted plan, and ordinary steps may open and close in between —
+  /// that interleaving is what posting buys.
+  void post(const CommPlan& plan);
+  StepStats wait(const CommPlan& plan, const std::string& label = "");
+
+  /// Whether the exec layer should post covered boundary transfers at all.
+  /// Off, every step prices synchronously (the oracle the benches compare
+  /// against); the flag never changes how a sealed plan replays.
+  bool overlap_enabled() const noexcept { return overlap_enabled_; }
+  void set_overlap_enabled(bool on) noexcept { overlap_enabled_ = on; }
+
   // --- cumulative counters ---
   Extent total_messages() const noexcept { return total_messages_; }
   Extent total_bytes() const noexcept { return total_bytes_; }
   Extent total_transfers() const noexcept { return total_transfers_; }
   double total_time_us() const noexcept { return total_time_us_; }
+  double total_exposed_comm_us() const noexcept { return total_exposed_us_; }
+  double total_hidden_comm_us() const noexcept { return total_hidden_us_; }
   Extent local_reads() const noexcept { return local_reads_; }
   void count_local_read() { count_local_reads(1); }
   void count_local_reads(Extent n);
@@ -95,13 +161,17 @@ class CommEngine {
  private:
   const Machine* machine_;
   bool in_step_ = false;
+  bool posted_phase_ = false;
+  bool overlap_enabled_ = true;
   std::shared_ptr<CommPlan> recording_;
+  const CommPlan* posted_plan_ = nullptr;
   std::string label_;
   // Step accumulators are flat open-addressed tables (machine/step_accum.hpp)
   // so cold pricing pays O(1) per charged segment, not a std::map's
   // O(log P) node walk; end_step sorts the handful of entries once to keep
   // its statistics byte-identical to the old ordered-map iteration.
-  PairStepTable step_pairs_;
+  PairStepTable step_pairs_;    // SYNC phase
+  PairStepTable posted_pairs_;  // POSTED phase
   ApStepTable step_flops_;
 
   Extent total_messages_ = 0;
@@ -109,6 +179,8 @@ class CommEngine {
   Extent total_transfers_ = 0;
   Extent local_reads_ = 0;
   double total_time_us_ = 0.0;
+  double total_exposed_us_ = 0.0;
+  double total_hidden_us_ = 0.0;
 };
 
 }  // namespace hpfnt

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
+#include "exec/comm_plan.hpp"
 #include "machine/comm.hpp"
 #include "machine/memory.hpp"
 #include "machine/metrics.hpp"
@@ -104,6 +107,189 @@ TEST(CommEngine, StepDisciplineEnforced) {
   comm.begin_step("open");
   EXPECT_THROW(comm.begin_step("nested"), InternalError);
   comm.end_step();
+}
+
+TEST(CommEngine, StepStatsStringKeepsGoldenFormatWhenSync) {
+  // Satellite regression: golden strings recorded before split-phase
+  // pricing must survive verbatim for purely synchronous steps.
+  StepStats s;
+  s.label = "step";
+  s.messages = 2;
+  s.bytes = 16;
+  s.element_transfers = 2;
+  s.flops = 4;
+  s.time_us = 36.0;
+  EXPECT_EQ(s.to_string(),
+            "step: msgs=2 bytes=16 transfers=2 flops=4 time=36us");
+  s.hidden_comm_us = 10.0;
+  s.exposed_comm_us = 8.0;
+  EXPECT_EQ(s.to_string(),
+            "step: msgs=2 bytes=16 transfers=2 flops=4 time=36us "
+            "exposed=8us hidden=10us");
+}
+
+TEST(SplitPhase, PostedCommOverlapsCompute) {
+  CostParams c;
+  c.alpha_us = 10.0;
+  c.beta_us_per_byte = 1.0;
+  c.flop_us = 2.0;
+  Machine m(4, c);
+  CommEngine comm(m);
+  comm.begin_step("overlap");
+  comm.begin_posted();
+  comm.transfer(0, 1, 8);  // V = 18us, lands in a shadow region
+  comm.end_posted();
+  comm.compute(0, 5);      // C = 10us
+  comm.transfer(2, 3, 8);  // X = 18us, must complete before compute
+  StepStats s = comm.end_step();
+  EXPECT_DOUBLE_EQ(s.time_us, 36.0);  // max(10, 18) + 18
+  EXPECT_DOUBLE_EQ(s.hidden_comm_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.exposed_comm_us, 8.0);
+  EXPECT_EQ(s.messages, 2);
+  EXPECT_EQ(s.bytes, 16);
+  EXPECT_DOUBLE_EQ(comm.total_hidden_comm_us(), 10.0);
+  EXPECT_DOUBLE_EQ(comm.total_exposed_comm_us(), 8.0);
+  comm.reset();
+  EXPECT_DOUBLE_EQ(comm.total_hidden_comm_us(), 0.0);
+  EXPECT_DOUBLE_EQ(comm.total_exposed_comm_us(), 0.0);
+}
+
+TEST(SplitPhase, FullyHiddenPostedCommCostsNothingExtra) {
+  CostParams c;
+  c.alpha_us = 10.0;
+  c.beta_us_per_byte = 1.0;
+  c.flop_us = 2.0;
+  Machine m(4, c);
+  CommEngine comm(m);
+  comm.begin_step("hidden");
+  comm.begin_posted();
+  comm.transfer(0, 1, 8);  // V = 18us
+  comm.end_posted();
+  comm.compute(0, 20);     // C = 40us swallows the posted exchange
+  StepStats s = comm.end_step();
+  EXPECT_DOUBLE_EQ(s.time_us, 40.0);
+  EXPECT_DOUBLE_EQ(s.hidden_comm_us, 18.0);
+  EXPECT_DOUBLE_EQ(s.exposed_comm_us, 0.0);
+}
+
+TEST(SplitPhase, ZeroPostedCollapsesToSyncPricing) {
+  // The differential oracle: a step with an empty posted phase prices
+  // byte-identically to one that never opened a posted phase at all.
+  CostParams c;
+  c.alpha_us = 10.0;
+  c.beta_us_per_byte = 1.0;
+  c.flop_us = 2.0;
+  Machine m(4, c);
+  CommEngine with(m);
+  with.begin_step("s");
+  with.begin_posted();
+  with.end_posted();
+  with.transfer(0, 1, 8);
+  with.compute(0, 5);
+  StepStats a = with.end_step();
+  CommEngine without(m);
+  without.begin_step("s");
+  without.transfer(0, 1, 8);
+  without.compute(0, 5);
+  StepStats b = without.end_step();
+  EXPECT_EQ(a.time_us, b.time_us);  // exact, not approximate
+  EXPECT_DOUBLE_EQ(a.time_us, 28.0);  // C + X = 10 + 18
+  EXPECT_DOUBLE_EQ(a.exposed_comm_us, 0.0);
+  EXPECT_DOUBLE_EQ(a.hidden_comm_us, 0.0);
+}
+
+TEST(SplitPhase, SamePairInBothPhasesCarriesTwoMessages) {
+  CostParams c;
+  c.alpha_us = 10.0;
+  c.beta_us_per_byte = 1.0;
+  c.flop_us = 0.0;
+  Machine m(4, c);
+  CommEngine comm(m);
+  comm.begin_step("two-phase-pair");
+  comm.transfer(0, 1, 8);
+  comm.begin_posted();
+  comm.transfer(0, 1, 8);
+  comm.end_posted();
+  StepStats s = comm.end_step();
+  // The posted message really is a separate message on the wire: the pair
+  // pays alpha twice even though src/dst coincide.
+  EXPECT_EQ(s.messages, 2);
+  EXPECT_DOUBLE_EQ(s.time_us, 36.0);  // max(0, 18) + 18
+}
+
+TEST(SplitPhase, PostedPhaseDisciplineEnforced) {
+  Machine m(2);
+  CommEngine comm(m);
+  EXPECT_THROW(comm.begin_posted(), InternalError);
+  EXPECT_THROW(comm.end_posted(), InternalError);
+  comm.begin_step("open");
+  comm.begin_posted();
+  EXPECT_THROW(comm.begin_posted(), InternalError);
+  EXPECT_THROW(comm.end_step(), InternalError);
+  comm.end_posted();
+  EXPECT_THROW(comm.end_posted(), InternalError);
+  comm.end_step();
+}
+
+TEST(SplitPhase, PostWaitReplaysBetweenSteps) {
+  CostParams c;
+  c.alpha_us = 10.0;
+  c.beta_us_per_byte = 1.0;
+  c.flop_us = 2.0;
+  Machine m(4, c);
+  CommEngine comm(m);
+  auto plan = std::make_shared<CommPlan>();
+  comm.begin_step("record");
+  comm.record_into(plan);
+  comm.begin_posted();
+  comm.transfer(0, 1, 8);
+  comm.end_posted();
+  comm.compute(0, 5);
+  StepStats recorded = comm.end_step();
+  ASSERT_TRUE(plan->sealed);
+  ASSERT_EQ(plan->transfers.size(), 1u);
+  EXPECT_TRUE(plan->transfers[0].posted);
+
+  comm.reset();
+  comm.post(*plan);
+  // Ordinary steps may run while the plan is in flight — that interleaving
+  // is the point of posting.
+  comm.begin_step("interior");
+  comm.compute(1, 3);
+  comm.end_step();
+  StepStats waited = comm.wait(*plan, "waited");
+  EXPECT_EQ(waited.label, "waited");
+  EXPECT_EQ(waited.time_us, recorded.time_us);
+  EXPECT_EQ(waited.hidden_comm_us, recorded.hidden_comm_us);
+  EXPECT_EQ(comm.total_messages(), recorded.messages);
+  EXPECT_DOUBLE_EQ(comm.total_hidden_comm_us(), recorded.hidden_comm_us);
+}
+
+TEST(SplitPhase, PostWaitDisciplineEnforced) {
+  Machine m(2);
+  CommEngine comm(m);
+  auto plan = std::make_shared<CommPlan>();
+  EXPECT_THROW(comm.post(*plan), InternalError);  // unsealed
+  comm.begin_step("seal");
+  comm.record_into(plan);
+  comm.transfer(0, 1, 8);
+  comm.end_step();
+
+  auto other = std::make_shared<CommPlan>();
+  comm.begin_step("seal-other");
+  comm.record_into(other);
+  comm.transfer(1, 0, 8);
+  comm.end_step();
+
+  EXPECT_THROW(comm.wait(*plan), InternalError);  // nothing posted
+  comm.post(*plan);
+  EXPECT_THROW(comm.post(*other), InternalError);  // one in flight at a time
+  EXPECT_THROW(comm.wait(*other), InternalError);  // wrong plan
+  EXPECT_THROW(comm.reset(), InternalError);       // pending post
+  comm.wait(*plan);
+  comm.post(*other);
+  comm.wait(*other);
+  comm.reset();
 }
 
 TEST(MemoryTracker, TracksPerProcessorBytes) {

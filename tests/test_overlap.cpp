@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <tuple>
+#include <utility>
 
 #include "exec/assign.hpp"
 #include "support/error.hpp"
@@ -85,6 +87,85 @@ TEST(OverlapAreas, WideStencilWidensOverlap) {
 TEST(OverlapAreas, NonContiguousRejected) {
   DimMapping m = DimMapping::bind(DistFormat::cyclic(), 64, 8);
   EXPECT_THROW(overlap_areas(m, {1}), InternalError);
+}
+
+// Differential oracle for a shift plan: walk every in-range element read
+// i -> i+shift and re-derive remote counts and distinct (src, dst) pairs
+// from per-element owner() probes — the definitionally correct answer the
+// analytic plan must reproduce.
+void expect_plan_matches_element_walk(const DimMapping& m, Extent shift) {
+  ShiftPlan plan = plan_shift(m, shift);
+  Extent remote = 0;
+  std::map<std::pair<Index1, Index1>, Extent> pairs;
+  for (Index1 i = 1; i <= static_cast<Index1>(m.n()); ++i) {
+    const Index1 j = i + shift;
+    if (j < 1 || j > static_cast<Index1>(m.n())) continue;
+    const Index1 dst = m.owner(i);
+    const Index1 src = m.owner(j);
+    if (src == dst) continue;
+    ++remote;
+    ++pairs[{src, dst}];
+  }
+  EXPECT_EQ(plan.remote_elements, remote) << "shift " << shift;
+  ASSERT_EQ(plan.messages.size(), pairs.size()) << "shift " << shift;
+  for (const ShiftMessage& msg : plan.messages) {
+    auto it = pairs.find({msg.src, msg.dst});
+    ASSERT_NE(it, pairs.end())
+        << "unexpected pair " << msg.src << "->" << msg.dst;
+    EXPECT_EQ(msg.count, it->second)
+        << "pair " << msg.src << "->" << msg.dst << " shift " << shift;
+  }
+}
+
+TEST(OverlapPlan, CyclicNegativeShiftsMatchElementWalk) {
+  DimMapping m = DimMapping::bind(DistFormat::cyclic(5), 96, 8);
+  for (Extent shift : {-1, -4, -5, -12, -40}) {
+    expect_plan_matches_element_walk(m, shift);
+  }
+}
+
+TEST(OverlapPlan, GeneralBlockNegativeShiftsMatchElementWalk) {
+  DimMapping m = DimMapping::bind(
+      DistFormat::general_block({10, 11, 30, 48, 48, 60, 77}), 96, 8);
+  for (Extent shift : {-1, -3, -17, -25}) {
+    expect_plan_matches_element_walk(m, shift);
+  }
+}
+
+TEST(OverlapAreas, GeneralBlockNegativeShiftsMatchOwnedRanges) {
+  // Differential: with uneven (including single-element and empty) blocks,
+  // each position's ghost areas must equal the per-shift count of in-range
+  // reads landing outside its owned interval — maxed across shifts of the
+  // same sign, exactly as the shift plans deliver them.
+  const Extent n = 96;
+  DimMapping m = DimMapping::bind(
+      DistFormat::general_block({10, 11, 30, 48, 48, 60, 77}), n, 8);
+  const std::vector<Extent> shifts = {-3, -1, 2};
+  std::vector<OverlapArea> areas = overlap_areas(m, shifts);
+  ASSERT_EQ(areas.size(), 8u);
+  for (Index1 p = 1; p <= 8; ++p) {
+    const OverlapArea& area = areas[static_cast<std::size_t>(p - 1)];
+    if (m.local_count(p) == 0) {
+      EXPECT_EQ(area.left, 0);
+      EXPECT_EQ(area.right, 0);
+      continue;
+    }
+    const auto [lo, hi] = m.block_range(p);
+    Extent left = 0, right = 0;
+    for (Extent s : shifts) {
+      Extent below = 0, above = 0;
+      for (Index1 i = lo; i <= hi; ++i) {
+        const Index1 j = i + s;
+        if (j < 1 || j > n) continue;  // out-of-range reads do not ghost
+        if (j < lo) ++below;
+        if (j > hi) ++above;
+      }
+      left = std::max(left, below);
+      right = std::max(right, above);
+    }
+    EXPECT_EQ(area.left, left) << "position " << p;
+    EXPECT_EQ(area.right, right) << "position " << p;
+  }
 }
 
 // --- the plan == measure property ----------------------------------------------

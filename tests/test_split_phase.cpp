@@ -1,0 +1,266 @@
+// Split-phase communication end to end: SHADOW-declared ghost regions turn
+// the boundary transfers of shifted stencil operands into posted exchanges
+// that overlap the interior computation, and the synchronous model is the
+// differential oracle — same values, same bytes, same messages, lower
+// modeled time. The stress test is a TSan target (sanitize-thread CI job).
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "directives/interp.hpp"
+#include "exec/stencil.hpp"
+#include "service/plan_service.hpp"
+#include "support/error.hpp"
+
+namespace hpfnt {
+namespace {
+
+PlanServiceConfig config(std::size_t shards, std::size_t capacity) {
+  PlanServiceConfig cfg;
+  cfg.shards = shards;
+  cfg.shard_capacity = capacity;
+  return cfg;
+}
+
+// A self-contained Jacobi session (the test_plan_service idiom) with
+// optional SHADOW(1,1) declarations and a split-phase toggle.
+struct JacobiSession {
+  explicit JacobiSession(bool shadow, bool overlap,
+                         PlanService* service = nullptr, Extent n = 32,
+                         int iters = 4)
+      : machine(16),
+        ps(16),
+        env((ps.declare("G", IndexDomain::of_extents({4, 4})), ps)),
+        a(env.real("A", IndexDomain{Dim(1, n), Dim(1, n)})),
+        b(env.real("B", IndexDomain{Dim(1, n), Dim(1, n)})),
+        state(machine) {
+    const ProcessorRef grid(ps.find("G"));
+    env.distribute(a, {DistFormat::block(), DistFormat::block()}, grid);
+    env.distribute(b, {DistFormat::block(), DistFormat::block()}, grid);
+    if (shadow) {
+      a.set_shadow({{1, 1}, {1, 1}});
+      b.set_shadow({{1, 1}, {1, 1}});
+    }
+    state.comm().set_overlap_enabled(overlap);
+    state.set_plan_service(service);
+    state.create(env, a);
+    state.create(env, b);
+    const Extent edge = n;
+    auto init = [edge](const IndexTuple& i) {
+      return (i[0] == 1 || i[0] == edge || i[1] == 1 || i[1] == edge) ? 100.0
+                                                                      : 0.0;
+    };
+    state.fill(a.id(), init);
+    state.fill(b.id(), init);
+    sweep = jacobi(state, env, a, b, n, iters);
+  }
+
+  Extent messages() { return state.comm().total_messages(); }
+  Extent bytes() { return state.comm().total_bytes(); }
+  Extent transfers() { return state.comm().total_transfers(); }
+  double time_us() { return state.comm().total_time_us(); }
+  double hidden_us() { return state.comm().total_hidden_comm_us(); }
+  double exposed_us() { return state.comm().total_exposed_comm_us(); }
+  double checksum() { return state.checksum(a.id()) + state.checksum(b.id()); }
+
+  Machine machine;
+  ProcessorSpace ps;
+  DataEnv env;
+  DistArray& a;
+  DistArray& b;
+  ProgramState state;
+  SweepStats sweep;
+};
+
+TEST(SplitPhaseJacobi, ShadowOverlapBeatsSyncOracleByteIdentically) {
+  JacobiSession overlap(/*shadow=*/true, /*overlap=*/true);
+  JacobiSession oracle(/*shadow=*/true, /*overlap=*/false);
+
+  // Same data movement, bit for bit: the posted exchange carries exactly
+  // the bytes/messages/elements the synchronous barrier carried.
+  EXPECT_EQ(overlap.checksum(), oracle.checksum());
+  EXPECT_EQ(overlap.bytes(), oracle.bytes());
+  EXPECT_EQ(overlap.messages(), oracle.messages());
+  EXPECT_EQ(overlap.transfers(), oracle.transfers());
+
+  // But the boundary exchange overlaps the interior compute: comm really
+  // hides under compute and the modeled time strictly drops.
+  EXPECT_GT(overlap.hidden_us(), 0.0);
+  EXPECT_LT(overlap.time_us(), oracle.time_us());
+  EXPECT_GT(overlap.sweep.hidden_comm_us, 0.0);
+  // The saving is exactly the hidden communication: per step the oracle
+  // pays C + V where split-phase pays max(C, V) = C + V - min(C, V).
+  EXPECT_NEAR(oracle.time_us() - overlap.time_us(), overlap.hidden_us(),
+              1e-9 * oracle.time_us());
+
+  // Declaring shadow without enabling overlap changes nothing but memory:
+  // the oracle's priced totals equal a plain synchronous session's.
+  JacobiSession plain(/*shadow=*/false, /*overlap=*/false);
+  EXPECT_EQ(oracle.time_us(), plain.time_us());
+  EXPECT_EQ(oracle.bytes(), plain.bytes());
+  EXPECT_EQ(oracle.messages(), plain.messages());
+  EXPECT_EQ(oracle.checksum(), plain.checksum());
+  EXPECT_DOUBLE_EQ(oracle.hidden_us(), 0.0);
+  EXPECT_DOUBLE_EQ(oracle.exposed_us(), 0.0);
+}
+
+TEST(SplitPhaseJacobi, ZeroShadowCollapsesExactly) {
+  // The differential oracle of the model: overlap enabled but no shadow
+  // declared posts nothing, and every step prices byte-identically to the
+  // pre-split-phase synchronous engine.
+  JacobiSession no_shadow(/*shadow=*/false, /*overlap=*/true);
+  JacobiSession sync(/*shadow=*/false, /*overlap=*/false);
+  EXPECT_EQ(no_shadow.time_us(), sync.time_us());  // exact, not approximate
+  EXPECT_EQ(no_shadow.bytes(), sync.bytes());
+  EXPECT_EQ(no_shadow.messages(), sync.messages());
+  EXPECT_EQ(no_shadow.checksum(), sync.checksum());
+  EXPECT_DOUBLE_EQ(no_shadow.hidden_us(), 0.0);
+  EXPECT_DOUBLE_EQ(no_shadow.exposed_us(), 0.0);
+}
+
+TEST(SplitPhaseJacobi, PostedPlansReplayFromSharedService) {
+  PlanService svc(config(16, 64));
+  JacobiSession first(/*shadow=*/true, /*overlap=*/true, &svc);
+  const Extent posted_inserts = svc.stats().inserts();
+  ASSERT_GT(posted_inserts, 0);
+
+  // A second overlap session replays every plan from the shared cache —
+  // no new inserts — and the overlap pricing survives replay intact.
+  JacobiSession second(/*shadow=*/true, /*overlap=*/true, &svc);
+  EXPECT_EQ(svc.stats().inserts(), posted_inserts);
+  EXPECT_EQ(second.time_us(), first.time_us());
+  EXPECT_EQ(second.checksum(), first.checksum());
+  EXPECT_GT(second.hidden_us(), 0.0);
+  EXPECT_EQ(second.hidden_us(), first.hidden_us());
+
+  // A synchronous session against the same service must key differently:
+  // posted plans never collide with sync plans, so its totals match a
+  // private synchronous run bit for bit.
+  JacobiSession shared_sync(/*shadow=*/false, /*overlap=*/false, &svc);
+  JacobiSession private_sync(/*shadow=*/false, /*overlap=*/false);
+  EXPECT_GT(svc.stats().inserts(), posted_inserts);  // new sync keys
+  EXPECT_EQ(shared_sync.time_us(), private_sync.time_us());
+  EXPECT_EQ(shared_sync.checksum(), private_sync.checksum());
+  EXPECT_DOUBLE_EQ(shared_sync.hidden_us(), 0.0);
+}
+
+TEST(SplitPhaseShadow, GhostMemoryAccountedAndReleased) {
+  Machine machine(8);
+  ProcessorSpace ps(8);
+  ps.declare("Q", IndexDomain::of_extents({8}));
+  DataEnv env(ps);
+  DistArray& a = env.real("A", IndexDomain{Dim(1, 64)});
+  env.distribute(a, {DistFormat::block()}, ProcessorRef(ps.find("Q")));
+
+  ProgramState state(machine);
+  state.create(env, a);
+  const Extent plain_bytes = state.memory().total_bytes();
+  state.destroy(a);
+  EXPECT_EQ(state.memory().total_bytes(), 0);
+
+  // BLOCK 64 over 8: ends ghost 1 element, interiors 2 — 14 ghost elements.
+  const Extent elem = plain_bytes / 64;
+  a.set_shadow({{1, 1}});
+  state.create(env, a);
+  EXPECT_EQ(state.memory().total_bytes(), plain_bytes + 14 * elem);
+  state.destroy(a);
+  EXPECT_EQ(state.memory().total_bytes(), 0);
+
+  // Non-contiguous layouts cannot materialize contiguous ghost strips: a
+  // CYCLIC array with declared shadow allocates no ghost cells.
+  DistArray& c = env.real("C", IndexDomain{Dim(1, 64)});
+  env.distribute(c, {DistFormat::cyclic()}, ProcessorRef(ps.find("Q")));
+  c.set_shadow({{1, 1}});
+  state.create(env, c);
+  EXPECT_EQ(state.memory().total_bytes(), plain_bytes);
+  state.destroy(c);
+}
+
+TEST(SplitPhaseDirective, ShadowParsesBindsAndMaterializes) {
+  ProcessorSpace ps(8);
+  Machine machine(8);
+  ProgramState state(machine);
+  dir::Interpreter in(ps);
+  in.set_state(&state);
+  in.run(
+      "!HPF$ PROCESSORS Q(8)\n"
+      "REAL A(64)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK) TO Q\n"
+      "!HPF$ SHADOW A(1)\n"
+      "STATS\n");
+  const DistArray& a = in.env().find("A");
+  ASSERT_EQ(a.shadow().size(), 1u);
+  EXPECT_EQ(a.shadow()[0].left, 1);
+  EXPECT_EQ(a.shadow()[0].right, 1);
+  // Storage was re-materialized with the ghost strips charged: 64 owned
+  // REAL elements plus 14 ghosts (BLOCK 64 over 8, width 1 each side).
+  EXPECT_EQ(state.memory().total_bytes(),
+            (64 + 14) * elem_bytes(ElemType::kReal));
+  bool traced_shadow = false;
+  bool traced_comm = false;
+  for (const std::string& line : in.trace()) {
+    if (line.find("SHADOW A") != std::string::npos) traced_shadow = true;
+    if (line.find("comm exposed=") != std::string::npos) traced_comm = true;
+  }
+  EXPECT_TRUE(traced_shadow);
+  EXPECT_TRUE(traced_comm);  // STATS reports the split-phase counters
+
+  // The asymmetric LEFT:RIGHT form.
+  in.run("!HPF$ SHADOW A(0:2)\n");
+  EXPECT_EQ(in.env().find("A").shadow()[0].left, 0);
+  EXPECT_EQ(in.env().find("A").shadow()[0].right, 2);
+}
+
+TEST(SplitPhaseDirective, ShadowErrorsAreConformanceChecked) {
+  ProcessorSpace ps(8);
+  auto run = [&ps](const std::string& script) {
+    dir::Interpreter in(ps);
+    in.run(
+        "!HPF$ PROCESSORS Q(8)\n"
+        "REAL A(64)\n"
+        "!HPF$ DISTRIBUTE A(BLOCK) TO Q\n" +
+        script);
+  };
+  EXPECT_THROW(run("!HPF$ SHADOW A(1,1)\n"), DirectiveError);  // rank
+  EXPECT_THROW(run("!HPF$ SHADOW A(-1)\n"), ConformanceError);
+  EXPECT_THROW(run("!HPF$ SHADOW A(*)\n"), ConformanceError);
+  EXPECT_THROW(run("!HPF$ SHADOW A(1:2:3)\n"), ConformanceError);  // stride
+}
+
+// --- multi-threaded stress (a TSan target) ----------------------------------
+
+TEST(SplitPhaseStress, ConcurrentOverlapSessionsShareOneService) {
+  JacobiSession baseline(/*shadow=*/true, /*overlap=*/true);
+  ASSERT_GT(baseline.hidden_us(), 0.0);
+
+  PlanService svc(config(16, 64));
+  // Prime so the concurrent phase replays posted plans deterministically.
+  JacobiSession prime(/*shadow=*/true, /*overlap=*/true, &svc);
+  const Extent distinct = svc.stats().inserts();
+
+  constexpr int kThreads = 4;
+  std::vector<double> times(kThreads, 0.0);
+  std::vector<double> hidden(kThreads, 0.0);
+  std::vector<double> sums(kThreads, 0.0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      JacobiSession session(/*shadow=*/true, /*overlap=*/true, &svc);
+      times[static_cast<std::size_t>(t)] = session.time_us();
+      hidden[static_cast<std::size_t>(t)] = session.hidden_us();
+      sums[static_cast<std::size_t>(t)] = session.checksum();
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(times[static_cast<std::size_t>(t)], baseline.time_us());
+    EXPECT_EQ(hidden[static_cast<std::size_t>(t)], baseline.hidden_us());
+    EXPECT_EQ(sums[static_cast<std::size_t>(t)], baseline.checksum());
+  }
+  EXPECT_EQ(svc.stats().inserts(), distinct);  // replay only, no re-pricing
+}
+
+}  // namespace
+}  // namespace hpfnt
