@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adaptive_load_balance.dir/examples/adaptive_load_balance.cpp.o"
+  "CMakeFiles/example_adaptive_load_balance.dir/examples/adaptive_load_balance.cpp.o.d"
+  "example_adaptive_load_balance"
+  "example_adaptive_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adaptive_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

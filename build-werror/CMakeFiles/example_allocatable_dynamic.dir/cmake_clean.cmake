@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_allocatable_dynamic.dir/examples/allocatable_dynamic.cpp.o"
+  "CMakeFiles/example_allocatable_dynamic.dir/examples/allocatable_dynamic.cpp.o.d"
+  "example_allocatable_dynamic"
+  "example_allocatable_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_allocatable_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

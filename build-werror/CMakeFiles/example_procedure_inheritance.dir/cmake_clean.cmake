@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_procedure_inheritance.dir/examples/procedure_inheritance.cpp.o"
+  "CMakeFiles/example_procedure_inheritance.dir/examples/procedure_inheritance.cpp.o.d"
+  "example_procedure_inheritance"
+  "example_procedure_inheritance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_procedure_inheritance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

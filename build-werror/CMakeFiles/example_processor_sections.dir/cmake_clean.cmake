@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_processor_sections.dir/examples/processor_sections.cpp.o"
+  "CMakeFiles/example_processor_sections.dir/examples/processor_sections.cpp.o.d"
+  "example_processor_sections"
+  "example_processor_sections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_processor_sections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

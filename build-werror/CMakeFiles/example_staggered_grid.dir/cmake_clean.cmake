@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_staggered_grid.dir/examples/staggered_grid.cpp.o"
+  "CMakeFiles/example_staggered_grid.dir/examples/staggered_grid.cpp.o.d"
+  "example_staggered_grid"
+  "example_staggered_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_staggered_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/analyzer.cpp" "CMakeFiles/hpfnt.dir/src/analysis/analyzer.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/analysis/analyzer.cpp.o.d"
+  "/root/repo/src/analysis/diagnostic.cpp" "CMakeFiles/hpfnt.dir/src/analysis/diagnostic.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/analysis/diagnostic.cpp.o.d"
+  "/root/repo/src/balance/partition.cpp" "CMakeFiles/hpfnt.dir/src/balance/partition.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/balance/partition.cpp.o.d"
+  "/root/repo/src/core/align_expr.cpp" "CMakeFiles/hpfnt.dir/src/core/align_expr.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/core/align_expr.cpp.o.d"
+  "/root/repo/src/core/alignment.cpp" "CMakeFiles/hpfnt.dir/src/core/alignment.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/core/alignment.cpp.o.d"
+  "/root/repo/src/core/array.cpp" "CMakeFiles/hpfnt.dir/src/core/array.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/core/array.cpp.o.d"
+  "/root/repo/src/core/construct.cpp" "CMakeFiles/hpfnt.dir/src/core/construct.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/core/construct.cpp.o.d"
+  "/root/repo/src/core/data_env.cpp" "CMakeFiles/hpfnt.dir/src/core/data_env.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/core/data_env.cpp.o.d"
+  "/root/repo/src/core/dist_format.cpp" "CMakeFiles/hpfnt.dir/src/core/dist_format.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/core/dist_format.cpp.o.d"
+  "/root/repo/src/core/distribution.cpp" "CMakeFiles/hpfnt.dir/src/core/distribution.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/core/distribution.cpp.o.d"
+  "/root/repo/src/core/forest.cpp" "CMakeFiles/hpfnt.dir/src/core/forest.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/core/forest.cpp.o.d"
+  "/root/repo/src/core/index_domain.cpp" "CMakeFiles/hpfnt.dir/src/core/index_domain.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/core/index_domain.cpp.o.d"
+  "/root/repo/src/core/inquiry.cpp" "CMakeFiles/hpfnt.dir/src/core/inquiry.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/core/inquiry.cpp.o.d"
+  "/root/repo/src/core/layout_view.cpp" "CMakeFiles/hpfnt.dir/src/core/layout_view.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/core/layout_view.cpp.o.d"
+  "/root/repo/src/core/processors.cpp" "CMakeFiles/hpfnt.dir/src/core/processors.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/core/processors.cpp.o.d"
+  "/root/repo/src/core/triplet.cpp" "CMakeFiles/hpfnt.dir/src/core/triplet.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/core/triplet.cpp.o.d"
+  "/root/repo/src/directives/ast.cpp" "CMakeFiles/hpfnt.dir/src/directives/ast.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/directives/ast.cpp.o.d"
+  "/root/repo/src/directives/binder.cpp" "CMakeFiles/hpfnt.dir/src/directives/binder.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/directives/binder.cpp.o.d"
+  "/root/repo/src/directives/interp.cpp" "CMakeFiles/hpfnt.dir/src/directives/interp.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/directives/interp.cpp.o.d"
+  "/root/repo/src/directives/lexer.cpp" "CMakeFiles/hpfnt.dir/src/directives/lexer.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/directives/lexer.cpp.o.d"
+  "/root/repo/src/directives/parser.cpp" "CMakeFiles/hpfnt.dir/src/directives/parser.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/directives/parser.cpp.o.d"
+  "/root/repo/src/directives/token.cpp" "CMakeFiles/hpfnt.dir/src/directives/token.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/directives/token.cpp.o.d"
+  "/root/repo/src/exec/assign.cpp" "CMakeFiles/hpfnt.dir/src/exec/assign.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/exec/assign.cpp.o.d"
+  "/root/repo/src/exec/comm_plan.cpp" "CMakeFiles/hpfnt.dir/src/exec/comm_plan.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/exec/comm_plan.cpp.o.d"
+  "/root/repo/src/exec/overlap.cpp" "CMakeFiles/hpfnt.dir/src/exec/overlap.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/exec/overlap.cpp.o.d"
+  "/root/repo/src/exec/redistribute_exec.cpp" "CMakeFiles/hpfnt.dir/src/exec/redistribute_exec.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/exec/redistribute_exec.cpp.o.d"
+  "/root/repo/src/exec/section_expr.cpp" "CMakeFiles/hpfnt.dir/src/exec/section_expr.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/exec/section_expr.cpp.o.d"
+  "/root/repo/src/exec/stencil.cpp" "CMakeFiles/hpfnt.dir/src/exec/stencil.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/exec/stencil.cpp.o.d"
+  "/root/repo/src/exec/storage.cpp" "CMakeFiles/hpfnt.dir/src/exec/storage.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/exec/storage.cpp.o.d"
+  "/root/repo/src/hpf/hpf_model.cpp" "CMakeFiles/hpfnt.dir/src/hpf/hpf_model.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/hpf/hpf_model.cpp.o.d"
+  "/root/repo/src/hpf/template_object.cpp" "CMakeFiles/hpfnt.dir/src/hpf/template_object.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/hpf/template_object.cpp.o.d"
+  "/root/repo/src/machine/comm.cpp" "CMakeFiles/hpfnt.dir/src/machine/comm.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/machine/comm.cpp.o.d"
+  "/root/repo/src/machine/metrics.cpp" "CMakeFiles/hpfnt.dir/src/machine/metrics.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/machine/metrics.cpp.o.d"
+  "/root/repo/src/machine/topology.cpp" "CMakeFiles/hpfnt.dir/src/machine/topology.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/machine/topology.cpp.o.d"
+  "/root/repo/src/service/plan_service.cpp" "CMakeFiles/hpfnt.dir/src/service/plan_service.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/service/plan_service.cpp.o.d"
+  "/root/repo/src/support/error.cpp" "CMakeFiles/hpfnt.dir/src/support/error.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/support/error.cpp.o.d"
+  "/root/repo/src/support/rng.cpp" "CMakeFiles/hpfnt.dir/src/support/rng.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/support/rng.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "CMakeFiles/hpfnt.dir/src/support/strings.cpp.o" "gcc" "CMakeFiles/hpfnt.dir/src/support/strings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for hpfnt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_directives.dir/bench_directives.cpp.o"
+  "CMakeFiles/bench_directives.dir/bench_directives.cpp.o.d"
+  "bench_directives"
+  "bench_directives.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_directives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

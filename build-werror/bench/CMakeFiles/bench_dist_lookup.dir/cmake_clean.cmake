@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dist_lookup.dir/bench_dist_lookup.cpp.o"
+  "CMakeFiles/bench_dist_lookup.dir/bench_dist_lookup.cpp.o.d"
+  "bench_dist_lookup"
+  "bench_dist_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dist_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_iterative_sweep.dir/bench_iterative_sweep.cpp.o"
+  "CMakeFiles/bench_iterative_sweep.dir/bench_iterative_sweep.cpp.o.d"
+  "bench_iterative_sweep"
+  "bench_iterative_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_iterative_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plan_service.dir/bench_plan_service.cpp.o"
+  "CMakeFiles/bench_plan_service.dir/bench_plan_service.cpp.o.d"
+  "bench_plan_service"
+  "bench_plan_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plan_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proc_sections.dir/bench_proc_sections.cpp.o"
+  "CMakeFiles/bench_proc_sections.dir/bench_proc_sections.cpp.o.d"
+  "bench_proc_sections"
+  "bench_proc_sections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proc_sections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_procedure.dir/bench_procedure.cpp.o"
+  "CMakeFiles/bench_procedure.dir/bench_procedure.cpp.o.d"
+  "bench_procedure"
+  "bench_procedure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_procedure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_redistribute.dir/bench_redistribute.cpp.o"
+  "CMakeFiles/bench_redistribute.dir/bench_redistribute.cpp.o.d"
+  "bench_redistribute"
+  "bench_redistribute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_redistribute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

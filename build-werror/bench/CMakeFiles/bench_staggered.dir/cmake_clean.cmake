@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_staggered.dir/bench_staggered.cpp.o"
+  "CMakeFiles/bench_staggered.dir/bench_staggered.cpp.o.d"
+  "bench_staggered"
+  "bench_staggered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_staggered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_align_expr.dir/test_align_expr.cpp.o"
+  "CMakeFiles/test_align_expr.dir/test_align_expr.cpp.o.d"
+  "test_align_expr"
+  "test_align_expr.pdb"
+  "test_align_expr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_align_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_plan.dir/test_comm_plan.cpp.o"
+  "CMakeFiles/test_comm_plan.dir/test_comm_plan.cpp.o.d"
+  "test_comm_plan"
+  "test_comm_plan.pdb"
+  "test_comm_plan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conformance_errors.dir/test_conformance_errors.cpp.o"
+  "CMakeFiles/test_conformance_errors.dir/test_conformance_errors.cpp.o.d"
+  "test_conformance_errors"
+  "test_conformance_errors.pdb"
+  "test_conformance_errors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conformance_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_construct.dir/test_construct.cpp.o"
+  "CMakeFiles/test_construct.dir/test_construct.cpp.o.d"
+  "test_construct"
+  "test_construct.pdb"
+  "test_construct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_construct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_env.dir/test_data_env.cpp.o"
+  "CMakeFiles/test_data_env.dir/test_data_env.cpp.o.d"
+  "test_data_env"
+  "test_data_env.pdb"
+  "test_data_env[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_directives_lexer.dir/test_directives_lexer.cpp.o"
+  "CMakeFiles/test_directives_lexer.dir/test_directives_lexer.cpp.o.d"
+  "test_directives_lexer"
+  "test_directives_lexer.pdb"
+  "test_directives_lexer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_directives_lexer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

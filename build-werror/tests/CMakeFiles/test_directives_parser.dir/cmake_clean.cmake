@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_directives_parser.dir/test_directives_parser.cpp.o"
+  "CMakeFiles/test_directives_parser.dir/test_directives_parser.cpp.o.d"
+  "test_directives_parser"
+  "test_directives_parser.pdb"
+  "test_directives_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_directives_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

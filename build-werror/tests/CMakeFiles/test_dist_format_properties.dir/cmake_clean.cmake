@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_format_properties.dir/test_dist_format_properties.cpp.o"
+  "CMakeFiles/test_dist_format_properties.dir/test_dist_format_properties.cpp.o.d"
+  "test_dist_format_properties"
+  "test_dist_format_properties.pdb"
+  "test_dist_format_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_format_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_formats.dir/test_dist_formats.cpp.o"
+  "CMakeFiles/test_dist_formats.dir/test_dist_formats.cpp.o.d"
+  "test_dist_formats"
+  "test_dist_formats.pdb"
+  "test_dist_formats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eval_segments.dir/test_eval_segments.cpp.o"
+  "CMakeFiles/test_eval_segments.dir/test_eval_segments.cpp.o.d"
+  "test_eval_segments"
+  "test_eval_segments.pdb"
+  "test_eval_segments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eval_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

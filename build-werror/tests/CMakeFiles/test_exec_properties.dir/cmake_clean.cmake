@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_properties.dir/test_exec_properties.cpp.o"
+  "CMakeFiles/test_exec_properties.dir/test_exec_properties.cpp.o.d"
+  "test_exec_properties"
+  "test_exec_properties.pdb"
+  "test_exec_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_forest.dir/test_forest.cpp.o"
+  "CMakeFiles/test_forest.dir/test_forest.cpp.o.d"
+  "test_forest"
+  "test_forest.pdb"
+  "test_forest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_forest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hpf_templates.dir/test_hpf_templates.cpp.o"
+  "CMakeFiles/test_hpf_templates.dir/test_hpf_templates.cpp.o.d"
+  "test_hpf_templates"
+  "test_hpf_templates.pdb"
+  "test_hpf_templates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hpf_templates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index_domain.dir/test_index_domain.cpp.o"
+  "CMakeFiles/test_index_domain.dir/test_index_domain.cpp.o.d"
+  "test_index_domain"
+  "test_index_domain.pdb"
+  "test_index_domain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index_domain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

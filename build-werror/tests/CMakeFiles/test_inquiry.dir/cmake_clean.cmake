@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inquiry.dir/test_inquiry.cpp.o"
+  "CMakeFiles/test_inquiry.dir/test_inquiry.cpp.o.d"
+  "test_inquiry"
+  "test_inquiry.pdb"
+  "test_inquiry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inquiry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

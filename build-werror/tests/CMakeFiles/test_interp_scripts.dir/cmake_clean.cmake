@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp_scripts.dir/test_interp_scripts.cpp.o"
+  "CMakeFiles/test_interp_scripts.dir/test_interp_scripts.cpp.o.d"
+  "test_interp_scripts"
+  "test_interp_scripts.pdb"
+  "test_interp_scripts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp_scripts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_layout_view.dir/test_layout_view.cpp.o"
+  "CMakeFiles/test_layout_view.dir/test_layout_view.cpp.o.d"
+  "test_layout_view"
+  "test_layout_view.pdb"
+  "test_layout_view[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_layout_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

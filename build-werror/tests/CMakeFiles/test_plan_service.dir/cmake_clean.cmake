@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plan_service.dir/test_plan_service.cpp.o"
+  "CMakeFiles/test_plan_service.dir/test_plan_service.cpp.o.d"
+  "test_plan_service"
+  "test_plan_service.pdb"
+  "test_plan_service[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plan_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_procedures.dir/test_procedures.cpp.o"
+  "CMakeFiles/test_procedures.dir/test_procedures.cpp.o.d"
+  "test_procedures"
+  "test_procedures.pdb"
+  "test_procedures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_procedures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_small_vector.dir/test_small_vector.cpp.o"
+  "CMakeFiles/test_small_vector.dir/test_small_vector.cpp.o.d"
+  "test_small_vector"
+  "test_small_vector.pdb"
+  "test_small_vector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_small_vector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_split_phase.dir/test_split_phase.cpp.o"
+  "CMakeFiles/test_split_phase.dir/test_split_phase.cpp.o.d"
+  "test_split_phase"
+  "test_split_phase.pdb"
+  "test_split_phase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_split_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_triplet.dir/test_triplet.cpp.o"
+  "CMakeFiles/test_triplet.dir/test_triplet.cpp.o.d"
+  "test_triplet"
+  "test_triplet.pdb"
+  "test_triplet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_triplet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpflint.dir/hpflint.cpp.o"
+  "CMakeFiles/hpflint.dir/hpflint.cpp.o.d"
+  "hpflint"
+  "hpflint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpflint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

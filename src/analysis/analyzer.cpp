@@ -1,0 +1,615 @@
+#include "analysis/analyzer.hpp"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "core/data_env.hpp"
+#include "core/distribution.hpp"
+#include "directives/binder.hpp"
+#include "directives/parser.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt::analysis {
+
+namespace {
+
+using dir::AstNode;
+using dir::AstProgram;
+using dir::AstSecExpr;
+using dir::AstSecExprPtr;
+using dir::Binder;
+
+bool is_mapping_directive(AstNode::Kind kind) {
+  switch (kind) {
+    case AstNode::Kind::kProcessors:
+    case AstNode::Kind::kDistribute:
+    case AstNode::Kind::kAlign:
+    case AstNode::Kind::kDynamic:
+    case AstNode::Kind::kTemplate:
+    case AstNode::Kind::kInherit:
+    case AstNode::Kind::kShadow:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Array references of an expression tree in left-to-right depth-first
+/// order — the order bind_sec_expr emits section leaves, hence the order
+/// of SecExpr::leaves() (scalar names become folded constants, not
+/// leaves, so they are skipped here under the identical condition).
+void collect_array_refs(const AstSecExprPtr& expr, const DataEnv& env,
+                        std::vector<const AstSecExpr*>* out) {
+  if (!expr) return;
+  if (expr->kind == AstSecExpr::Kind::kRef) {
+    if (env.has(expr->name) && env.find(expr->name).rank() >= 1) {
+      out->push_back(expr.get());
+    }
+    return;
+  }
+  collect_array_refs(expr->lhs, env, out);
+  collect_array_refs(expr->rhs, env, out);
+}
+
+std::string render_section(const std::string& name,
+                           const std::vector<Triplet>& section) {
+  std::string out = name + "(";
+  for (std::size_t d = 0; d < section.size(); ++d) {
+    if (d) out += ",";
+    out += section[d].to_string();
+  }
+  return out + ")";
+}
+
+std::string render_shadow_fixit(const std::string& name,
+                                const std::vector<ShadowWidth>& widths) {
+  std::string out = "SHADOW " + name + "(";
+  for (std::size_t d = 0; d < widths.size(); ++d) {
+    if (d) out += ",";
+    out += cat(widths[d].left, ":", widths[d].right);
+  }
+  return out + ")";
+}
+
+class Analyzer {
+ public:
+  Analyzer(ProcessorSpace& space, const AstProgram& program)
+      : program_(&program), env_(space), binder_(space, env_) {
+    for (const dir::AstSubroutine& sub : program.subroutines) {
+      arity_[to_upper(sub.name)] = static_cast<int>(sub.dummies.size());
+    }
+  }
+
+  AnalysisResult run() {
+    for (const AstNode& node : program_->main) visit(node);
+    finish();
+    return std::move(result_);
+  }
+
+ private:
+  void diag(std::string code, Severity severity, std::string message,
+            int line, int column = 0, std::string note = "",
+            std::string fixit = "") {
+    Diagnostic d;
+    d.code = std::move(code);
+    d.severity = severity;
+    d.message = std::move(message);
+    d.line = line;
+    d.column = column;
+    d.note = std::move(note);
+    d.fixit = std::move(fixit);
+    result_.diagnostics.push_back(std::move(d));
+  }
+
+  void visit(const AstNode& node) {
+    switch (node.kind) {
+      case AstNode::Kind::kStats:
+        return;  // runtime counter snapshot; nothing static to say
+      case AstNode::Kind::kCall:
+        visit_call(node);
+        return;
+      case AstNode::Kind::kArrayAssign:
+        visit_array_assign(node);
+        return;
+      case AstNode::Kind::kAlign:
+        visit_align(node);
+        return;
+      case AstNode::Kind::kDistribute:
+        visit_distribute(node);
+        return;
+      default:
+        if (node.kind == AstNode::Kind::kDeclaration) {
+          for (const dir::AstDeclName& n : node.declaration->names) {
+            decl_line_.emplace(to_upper(n.name), node.line);
+          }
+        }
+        if (node.kind == AstNode::Kind::kDynamic) {
+          for (const std::string& n : node.dynamic->names) {
+            dynamic_line_.emplace(to_upper(n), node.line);
+          }
+        }
+        if (node.kind == AstNode::Kind::kShadow) {
+          shadow_line_[to_upper(node.shadow->name)] = node.line;
+        }
+        apply(node);
+        return;
+    }
+  }
+
+  /// Binds one node, converting front-end throws into diagnostics: HL003
+  /// for mapping directives, HF001 for statements. Returns false when the
+  /// node did not bind (its effects are skipped; analysis continues).
+  bool apply(const AstNode& node) {
+    const char* code =
+        is_mapping_directive(node.kind) ? "HL003" : "HF001";
+    try {
+      std::vector<RemapEvent> events;
+      binder_.apply(node, &events);
+      return true;
+    } catch (const DirectiveError& e) {
+      diag(code, Severity::kError, e.what(), e.line(), e.column());
+    } catch (const ConformanceError& e) {
+      diag(code, Severity::kError, e.message(),
+           e.located() ? e.line() : node.line, e.column());
+    } catch (const HpfError& e) {
+      diag(code, Severity::kError, e.what(), node.line);
+    }
+    return false;
+  }
+
+  // --- ALIGN / REALIGN -----------------------------------------------------
+
+  void visit_align(const AstNode& node) {
+    const dir::AstAlign& align = *node.align;
+    mapped_.insert(to_upper(align.alignee));
+    if (align.executable) remapped_.insert(to_upper(align.alignee));
+
+    // HL001: a self-alignment can never be satisfied — the directive asks
+    // the forest for a cycle of length one.
+    if (iequals(align.alignee, align.base)) {
+      diag("HL001", Severity::kError,
+           cat(align.executable ? "REALIGN" : "ALIGN", " of '", align.alignee,
+               "' with itself forms an alignment cycle"),
+           node.line);
+      return;
+    }
+
+    // HL002: the alignment forest keeps height <= 1, so the base must be a
+    // primary. The one legal exception: REALIGN A WITH B where B is
+    // currently aligned to A — realignment orphans A's tree first (§5.2),
+    // which turns B into a primary before the edge is re-made.
+    if (env_.has(align.alignee) && env_.has(align.base)) {
+      const DistArray& alignee = env_.find(align.alignee);
+      const DistArray& base = env_.find(align.base);
+      if (alignee.is_created() && base.is_created() &&
+          !env_.is_primary(base)) {
+        const DistArray* primary = env_.aligned_to(base);
+        const bool orphaned_first =
+            align.executable && primary == &alignee;
+        if (!orphaned_first) {
+          diag("HL002", Severity::kError,
+               cat(align.executable ? "REALIGN" : "ALIGN", " of '",
+                   align.alignee, "' onto '", align.base,
+                   "', which is itself a secondary — the alignment forest "
+                   "keeps height <= 1"),
+               node.line, 0,
+               primary ? cat("'", align.base, "' is aligned to '",
+                             primary->name(), "'; align to that primary "
+                             "instead")
+                       : "");
+          return;
+        }
+      }
+    }
+
+    if (!apply(node)) return;
+
+    // HL004: the directive bound, but any alignee axis that lands on a
+    // collapsed base dimension constrains nothing — the base's owners do
+    // not vary along that dimension.
+    if (!env_.has(align.base)) return;
+    const DistArray& base = env_.find(align.base);
+    if (!base.is_created()) return;
+    const Distribution& bdist = env_.distribution_of(base);
+    if (bdist.kind() != Distribution::Kind::kFormats) return;
+    const AlignSpec spec = binder_.bind_align_spec(align, base.domain());
+    const std::vector<BaseSub>& subs = spec.base_subs();
+    for (std::size_t j = 0; j < subs.size(); ++j) {
+      const BaseSub& sub = subs[j];
+      const bool maps_axis =
+          sub.kind == BaseSub::Kind::kColon ||
+          sub.kind == BaseSub::Kind::kTriplet ||
+          (sub.kind == BaseSub::Kind::kExpr && sub.expr.used_dummy());
+      if (!maps_axis) continue;
+      if (bdist.dim_mapping(static_cast<int>(j)).kind() !=
+          FormatKind::kCollapsed) {
+        continue;
+      }
+      diag("HL004", Severity::kWarning,
+           cat("alignee axis mapped onto dimension ", j + 1, " of '",
+               align.base,
+               "', which is collapsed: the alignment constrains no "
+               "locality there"),
+           node.line);
+    }
+  }
+
+  // --- DISTRIBUTE / REDISTRIBUTE -------------------------------------------
+
+  void visit_distribute(const AstNode& node) {
+    const dir::AstDistribute& dist = *node.distribute;
+    for (const std::string& n : dist.names) mapped_.insert(to_upper(n));
+    if (dist.executable) {
+      for (const std::string& n : dist.names) remapped_.insert(to_upper(n));
+    }
+
+    std::map<std::string, Distribution> before;
+    if (dist.executable) {
+      for (const std::string& n : dist.names) {
+        if (!env_.has(n)) continue;
+        const DistArray& array = env_.find(n);
+        if (!array.is_created()) continue;
+        // HL005: redistributing a secondary silently detaches it from its
+        // base (§4.2 moves alignees WITH their primary; naming the
+        // secondary itself instead dissolves the relation).
+        if (!env_.is_primary(array)) {
+          const DistArray* primary = env_.aligned_to(array);
+          diag("HL005", Severity::kWarning,
+               cat("REDISTRIBUTE of '", n,
+                   "', which is aligned to another array: this detaches "
+                   "it, silently dropping the alignment"),
+               node.line, 0,
+               primary ? cat("REDISTRIBUTE '", primary->name(),
+                             "' to move the whole alignment tree, or "
+                             "REALIGN '", n, "' if detaching is intended")
+                       : "");
+        }
+        before.emplace(to_upper(n), env_.distribution_of(array));
+      }
+    }
+
+    if (!apply(node)) return;
+
+    // HL006: a remap to the mapping the array already has moves nothing
+    // but still costs a directive (and, executed, a plan lookup).
+    for (const std::string& n : dist.names) {
+      auto it = before.find(to_upper(n));
+      if (it == before.end() || !env_.has(n)) continue;
+      const DistArray& array = env_.find(n);
+      if (!array.is_created()) continue;
+      if (it->second.same_mapping(env_.distribution_of(array))) {
+        diag("HL006", Severity::kWarning,
+             cat("REDISTRIBUTE of '", n,
+                 "' to its identical current mapping is a no-op"),
+             node.line);
+      }
+    }
+  }
+
+  // --- CALL ----------------------------------------------------------------
+
+  void visit_call(const AstNode& node) {
+    const dir::AstCall& call = *node.call;
+    auto it = arity_.find(to_upper(call.procedure));
+    if (it == arity_.end()) {
+      diag("HP001", Severity::kWarning,
+           cat("CALL to '", call.procedure,
+               "', which this script does not define: its mapping effects "
+               "are invisible to static analysis"),
+           node.line);
+      return;
+    }
+    if (static_cast<int>(call.args.size()) != it->second) {
+      diag("HP002", Severity::kError,
+           cat("CALL '", call.procedure, "' passes ", call.args.size(),
+               " arguments; the subroutine declares ", it->second,
+               " dummies"),
+           node.line);
+    }
+  }
+
+  // --- array-section assignment --------------------------------------------
+
+  void visit_array_assign(const AstNode& node) {
+    const dir::AstArrayAssign& assign = *node.array_assign;
+    dir::BoundArrayAssign bound;
+    try {
+      bound = binder_.bind_array_assign(assign);
+    } catch (const ConformanceError& e) {
+      diag("HF001", Severity::kError, e.message(),
+           e.located() ? e.line() : node.line, e.column());
+      return;
+    } catch (const HpfError& e) {
+      diag("HF001", Severity::kError, e.what(), node.line);
+      return;
+    }
+
+    // HF002: the RHS must conform with the target section (§2.4 shapes
+    // with unit dimensions squeezed; scalar-shaped operands broadcast).
+    const std::vector<Extent> lhs_shape = squeezed_shape(bound.section);
+    try {
+      const std::vector<Extent> rhs_shape = bound.rhs.shape();
+      if (!rhs_shape.empty() && rhs_shape != lhs_shape) {
+        diag("HF002", Severity::kError,
+             cat("right-hand side of shape ", shape_string(rhs_shape),
+                 " does not conform with target section ",
+                 render_section(assign.name, bound.section), " of shape ",
+                 shape_string(lhs_shape)),
+             node.line, assign.column);
+        return;
+      }
+    } catch (const ConformanceError& e) {
+      diag("HF002", Severity::kError, e.message(),
+           e.located() ? e.line() : node.line, e.column());
+      return;
+    }
+
+    std::vector<const AstSecExpr*> refs;
+    collect_array_refs(assign.rhs, env_, &refs);
+    const std::vector<SecLeaf> leaves = bound.rhs.leaves();
+    const Distribution& lhs_dist = env_.distribution_of(*bound.lhs);
+
+    // The minimal SHADOW per operand array that would post every pure-shift
+    // leaf of THIS statement — the fix-it must satisfy all of an array's
+    // leaves at once (U(i-1)+U(i+1) needs SHADOW U(1:1), not two one-sided
+    // declarations that each leave the other leaf exposed-sync).
+    std::map<std::string, std::vector<ShadowWidth>> stmt_needed;
+    for (const SecLeaf& leaf : leaves) {
+      const DistArray& array = env_.array(leaf.array);
+      accumulate_requirement(array, lhs_dist, bound.section, *leaf.section,
+                             &stmt_needed);
+    }
+
+    StatementComm stmt;
+    stmt.line = node.line;
+    stmt.lhs = bound.lhs->name();
+    for (std::size_t l = 0; l < leaves.size(); ++l) {
+      const SecLeaf& leaf = leaves[l];
+      const DistArray& array = env_.array(leaf.array);
+      const int line = l < refs.size() ? refs[l]->line : node.line;
+      const int column = l < refs.size() ? refs[l]->column : 0;
+      const CommClass comm =
+          classify_operand_comm(lhs_dist, bound.section,
+                                env_.distribution_of(array), *leaf.section,
+                                array.shadow());
+      OperandComm op;
+      op.array = array.name();
+      op.rendered = render_section(array.name(), *leaf.section);
+      op.line = line;
+      op.column = column;
+      op.comm = comm;
+
+      switch (comm) {
+        case CommClass::kLocal:
+          diag("HC001", Severity::kNote,
+               cat("operand ", op.rendered,
+                   ": LOCAL — every read is owner-resident"),
+               line, column);
+          break;
+        case CommClass::kPosted:
+          diag("HC002", Severity::kNote,
+               cat("operand ", op.rendered,
+                   ": POSTED — halo exchange into declared shadow, "
+                   "overlapped with interior compute"),
+               line, column);
+          note_shadow_use(array, bound.section, *leaf.section);
+          break;
+        case CommClass::kSync:
+          diag("HC003", Severity::kNote,
+               cat("operand ", op.rendered,
+                   ": SYNC-REMOTE — remote reads outside ghost cells "
+                   "block the statement"),
+               line, column);
+          check_shadow_shortfall(array, lhs_dist, bound.section,
+                                 *leaf.section, stmt_needed, line, column);
+          break;
+      }
+      stmt.operands.push_back(std::move(op));
+    }
+    result_.statements.push_back(std::move(stmt));
+  }
+
+  /// A posted operand whose shift crosses a distributed dimension really
+  /// lands in the array's ghost cells — its SHADOW is live, not dead.
+  void note_shadow_use(const DistArray& array,
+                       const std::vector<Triplet>& lhs_section,
+                       const std::vector<Triplet>& leaf_section) {
+    const std::optional<std::vector<Extent>> shifts =
+        section_shift(lhs_section, leaf_section);
+    if (!shifts) return;
+    const Distribution& dist = env_.distribution_of(array);
+    if (dist.kind() != Distribution::Kind::kFormats) return;
+    for (std::size_t d = 0; d < shifts->size(); ++d) {
+      if ((*shifts)[d] == 0) continue;
+      if (dist.dim_mapping(static_cast<int>(d)).kind() !=
+          FormatKind::kCollapsed) {
+        shadow_used_.insert(to_upper(array.name()));
+        return;
+      }
+    }
+  }
+
+  /// If this leaf is a pure per-dimension shift of the target section on a
+  /// structurally identical mapping whose shifted dimensions are all
+  /// collapsed or contiguous — i.e. the one shape a SHADOW declaration can
+  /// post — folds its width requirement (declared ∪ |shift| per side) into
+  /// `needed` under the array's case-folded name.
+  void accumulate_requirement(
+      const DistArray& array, const Distribution& lhs_dist,
+      const std::vector<Triplet>& lhs_section,
+      const std::vector<Triplet>& leaf_section,
+      std::map<std::string, std::vector<ShadowWidth>>* needed) {
+    const std::optional<std::vector<Extent>> shifts =
+        section_shift(lhs_section, leaf_section);
+    if (!shifts) return;
+    bool shifted = false;
+    for (Extent s : *shifts) shifted |= (s != 0);
+    if (!shifted) return;
+    const Distribution& dist = env_.distribution_of(array);
+    if (lhs_dist.kind() != Distribution::Kind::kFormats ||
+        dist.kind() != Distribution::Kind::kFormats ||
+        !lhs_dist.structurally_equal(dist)) {
+      return;
+    }
+    for (std::size_t d = 0; d < shifts->size(); ++d) {
+      if ((*shifts)[d] == 0) continue;
+      const DimMapping& m = dist.dim_mapping(static_cast<int>(d));
+      if (m.kind() == FormatKind::kCollapsed) continue;
+      if (!m.is_contiguous()) return;  // no shadow can post this leaf
+    }
+    std::vector<ShadowWidth>& widths = (*needed)[to_upper(array.name())];
+    if (widths.empty()) {
+      widths.resize(static_cast<std::size_t>(array.rank()));
+      const std::vector<ShadowWidth>& declared = array.shadow();
+      for (std::size_t d = 0; d < widths.size() && d < declared.size(); ++d) {
+        widths[d] = declared[d];
+      }
+    }
+    for (std::size_t d = 0; d < shifts->size() && d < widths.size(); ++d) {
+      const Extent shift = (*shifts)[d];
+      if (shift > 0) {
+        widths[d].right = std::max(widths[d].right, shift);
+      } else if (shift < 0) {
+        widths[d].left = std::max(widths[d].left, -shift);
+      }
+    }
+  }
+
+  /// HS001: the operand went SYNC for want of shadow alone — a pure shift
+  /// on the right mapping whose declared widths are just too narrow. The
+  /// fix-it is the minimal SHADOW declaration that posts every such leaf
+  /// of the statement (from `stmt_needed`, see visit_array_assign).
+  void check_shadow_shortfall(
+      const DistArray& array, const Distribution& lhs_dist,
+      const std::vector<Triplet>& lhs_section,
+      const std::vector<Triplet>& leaf_section,
+      const std::map<std::string, std::vector<ShadowWidth>>& stmt_needed,
+      int line, int column) {
+    const std::optional<std::vector<Extent>> shifts =
+        section_shift(lhs_section, leaf_section);
+    if (!shifts) return;
+    bool shifted = false;
+    for (Extent s : *shifts) shifted |= (s != 0);
+    if (!shifted) return;
+    const Distribution& dist = env_.distribution_of(array);
+    if (lhs_dist.kind() != Distribution::Kind::kFormats ||
+        dist.kind() != Distribution::Kind::kFormats ||
+        !lhs_dist.structurally_equal(dist)) {
+      return;
+    }
+    const std::vector<ShadowWidth>& declared = array.shadow();
+    std::string shortfall;
+    for (std::size_t d = 0; d < shifts->size(); ++d) {
+      const Extent shift = (*shifts)[d];
+      if (shift == 0) continue;
+      const DimMapping& m = dist.dim_mapping(static_cast<int>(d));
+      if (m.kind() == FormatKind::kCollapsed) continue;
+      if (!m.is_contiguous()) return;  // no shadow can post this one
+      const Extent left = d < declared.size() ? declared[d].left : 0;
+      const Extent right = d < declared.size() ? declared[d].right : 0;
+      if (shift > 0 && right < shift) {
+        shortfall += cat(shortfall.empty() ? "" : "; ", "shift ", shift,
+                         " > shadow ", right, " on dimension ", d + 1);
+      } else if (shift < 0 && left < -shift) {
+        shortfall += cat(shortfall.empty() ? "" : "; ", "shift ", shift,
+                         " > shadow ", left, " on dimension ", d + 1);
+      }
+    }
+    if (shortfall.empty()) return;
+    auto it = stmt_needed.find(to_upper(array.name()));
+    diag("HS001", Severity::kWarning,
+         cat("operand ", render_section(array.name(), leaf_section), ": ",
+             shortfall, ": this transfer will be exposed-sync"),
+         line, column,
+         "a pure stencil shift on an identical mapping posts as a halo "
+         "exchange once the declared shadow covers it",
+         it != stmt_needed.end()
+             ? render_shadow_fixit(array.name(), it->second)
+             : "");
+  }
+
+  // --- end-of-program (dead-directive) checks ------------------------------
+
+  void finish() {
+    for (const std::string& name : env_.array_names()) {
+      const DistArray& array = env_.find(name);
+      if (array.rank() < 1) continue;
+      const std::string key = to_upper(name);
+      if (array.has_shadow() && !shadow_used_.count(key)) {
+        auto it = shadow_line_.find(key);
+        diag("HD001", Severity::kWarning,
+             cat("SHADOW of '", name,
+                 "' never covers any statement's communication: dead "
+                 "ghost cells"),
+             it != shadow_line_.end() ? it->second : 0);
+      }
+      if (!mapped_.count(key)) {
+        auto it = decl_line_.find(key);
+        diag("HD002", Severity::kNote,
+             cat("'", name,
+                 "' is never named in a mapping directive; it relies on "
+                 "the compiler's implicit distribution"),
+             it != decl_line_.end() ? it->second : 0);
+      }
+      auto dyn = dynamic_line_.find(key);
+      if (dyn != dynamic_line_.end() && !remapped_.count(key)) {
+        diag("HD003", Severity::kWarning,
+             cat("'", name,
+                 "' is DYNAMIC but never REDISTRIBUTE/REALIGNed; the "
+                 "attribute buys only overhead"),
+             dyn->second);
+      }
+    }
+  }
+
+  static std::string shape_string(const std::vector<Extent>& shape) {
+    std::string out = "(";
+    for (std::size_t d = 0; d < shape.size(); ++d) {
+      if (d) out += "x";
+      out += cat(shape[d]);
+    }
+    return out + ")";
+  }
+
+  const AstProgram* program_;
+  DataEnv env_;
+  Binder binder_;
+  AnalysisResult result_;
+  std::map<std::string, int> arity_;         // subroutine -> dummy count
+  std::map<std::string, int> decl_line_;     // case-folded name -> line
+  std::map<std::string, int> dynamic_line_;  // DYNAMIC directive line
+  std::map<std::string, int> shadow_line_;   // SHADOW directive line
+  std::set<std::string> mapped_;       // named in any mapping directive
+  std::set<std::string> remapped_;     // named in an executable remap
+  std::set<std::string> shadow_used_;  // shadow covered a posted operand
+};
+
+}  // namespace
+
+AnalysisResult analyze_program(ProcessorSpace& space,
+                               const AstProgram& program) {
+  return Analyzer(space, program).run();
+}
+
+AnalysisResult analyze_script(ProcessorSpace& space,
+                              const std::string& source) {
+  AstProgram program;
+  try {
+    program = dir::parse_program(source);
+  } catch (const DirectiveError& e) {
+    AnalysisResult result;
+    Diagnostic d;
+    d.code = "HF000";
+    d.severity = Severity::kError;
+    d.message = e.what();
+    d.line = e.line();
+    d.column = e.column();
+    result.diagnostics.push_back(std::move(d));
+    return result;
+  }
+  return analyze_program(space, program);
+}
+
+}  // namespace hpfnt::analysis

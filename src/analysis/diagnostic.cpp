@@ -1,0 +1,91 @@
+#include "analysis/diagnostic.hpp"
+
+#include "support/strings.hpp"
+
+namespace hpfnt::analysis {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string to_string(const Diagnostic& d) {
+  std::string out;
+  if (d.line > 0) {
+    out += cat(d.line, ":");
+    if (d.column > 0) out += cat(d.column, ":");
+    out += " ";
+  }
+  out += cat(to_string(d.severity), ": [", d.code, "] ", d.message);
+  if (!d.note.empty()) out += "\n    note: " + d.note;
+  if (!d.fixit.empty()) out += "\n    fix-it: " + d.fixit;
+  return out;
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string to_json_line(const Diagnostic& d) {
+  std::string out = "{\"code\":";
+  append_json_string(out, d.code);
+  out += ",\"severity\":";
+  append_json_string(out, to_string(d.severity));
+  out += cat(",\"line\":", d.line, ",\"column\":", d.column, ",\"message\":");
+  append_json_string(out, d.message);
+  if (!d.note.empty()) {
+    out += ",\"note\":";
+    append_json_string(out, d.note);
+  }
+  if (!d.fixit.empty()) {
+    out += ",\"fixit\":";
+    append_json_string(out, d.fixit);
+  }
+  out += "}";
+  return out;
+}
+
+int count_of(const std::vector<Diagnostic>& diagnostics, Severity severity) {
+  int n = 0;
+  for (const Diagnostic& d : diagnostics) n += (d.severity == severity);
+  return n;
+}
+
+}  // namespace hpfnt::analysis

@@ -1,0 +1,51 @@
+// Structured diagnostics of the static analyzer (hpflint).
+//
+// A Diagnostic is one finding about a directive script: an identifying
+// code (see the table in analysis/analyzer.hpp), a severity, a 1-based
+// source location, the human message, and optionally an amplifying note
+// and a machine-applicable fix-it (the replacement directive text — e.g.
+// the minimal SHADOW declaration that would turn an exposed-sync transfer
+// into a posted halo exchange).
+//
+// Rendering is deliberately two-faced: to_string() for humans (clang-style
+// "line:col: severity: [CODE] message"), to_json_line() for tools (one
+// self-contained JSON object per line, no framing — the hpflint --json
+// mode CI greps).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace hpfnt::analysis {
+
+enum class Severity {
+  kNote,     ///< classification/informational; never affects exit status
+  kWarning,  ///< legal but almost certainly not what the author wanted
+  kError,    ///< the program violates the model; execution would throw
+};
+
+const char* to_string(Severity severity);
+
+struct Diagnostic {
+  std::string code;  ///< "HS001" — stable across releases, see analyzer.hpp
+  Severity severity = Severity::kNote;
+  std::string message;
+  int line = 0;    ///< 1-based; 0 = whole-script (e.g. end-of-program checks)
+  int column = 0;  ///< 1-based; 0 = whole-line
+  std::string note;   ///< optional amplification ("the base's primary is P")
+  std::string fixit;  ///< optional replacement directive ("SHADOW B(1:1)")
+};
+
+/// "4:7: warning: [HS001] message" plus indented note/fix-it lines.
+std::string to_string(const Diagnostic& diagnostic);
+
+/// One JSON object, no trailing newline:
+/// {"code":"HS001","severity":"warning","line":4,"column":7,
+///  "message":"...","note":"...","fixit":"..."}
+/// (note/fixit keys appear only when nonempty).
+std::string to_json_line(const Diagnostic& diagnostic);
+
+/// Count by severity.
+int count_of(const std::vector<Diagnostic>& diagnostics, Severity severity);
+
+}  // namespace hpfnt::analysis

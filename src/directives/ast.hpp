@@ -94,6 +94,40 @@ struct AstAssign {
   DirExprPtr value;
 };
 
+/// An elementwise array expression: the right-hand side of an array
+/// assignment. References are resolved by the binder — a name that is a
+/// declared array becomes a section leaf (whole array when no subscripts),
+/// anything else evaluates as a scalar over the symbol table.
+struct AstSecExpr;
+using AstSecExprPtr = std::shared_ptr<const AstSecExpr>;
+
+struct AstSecExpr {
+  enum class Kind { kInt, kRef, kAdd, kSub, kMul, kDiv, kNeg };
+  Kind kind = Kind::kInt;
+  Index1 value = 0;          // kInt
+  std::string name;          // kRef
+  std::vector<AstSub> subs;  // kRef: section subscripts
+  bool has_subs = false;     // kRef: NAME(subs) vs bare NAME
+  AstSecExprPtr lhs;
+  AstSecExprPtr rhs;
+  int line = 0;
+  int column = 0;
+};
+
+/// NAME(section) = expr — a Fortran-90-style array-section assignment,
+/// executed by the owner-computes executor (exec/assign.hpp) when a
+/// ProgramState is attached. The statement the paper's mapping model
+/// exists to serve: its communication is exactly determined by the
+/// participating distributions, so the static analyzer (src/analysis/)
+/// can classify every operand before any pricing run.
+struct AstArrayAssign {
+  std::string name;
+  std::vector<AstSub> subs;  // LHS section; absent = whole array
+  bool has_subs = false;
+  AstSecExprPtr rhs;
+  int column = 0;
+};
+
 struct AstAllocate {
   std::vector<AstDeclName> items;  // dims are the allocation shape
 };
@@ -166,6 +200,7 @@ struct AstNode {
   enum class Kind {
     kDeclaration,
     kAssign,
+    kArrayAssign,   // array-section assignment (exec/assign.hpp semantics)
     kAllocate,
     kDeallocate,
     kCall,
@@ -186,6 +221,7 @@ struct AstNode {
 
   std::optional<AstDeclaration> declaration;
   std::optional<AstAssign> assign;
+  std::optional<AstArrayAssign> array_assign;
   std::optional<AstAllocate> allocate;
   std::optional<AstDeallocate> deallocate;
   std::optional<AstCall> call;

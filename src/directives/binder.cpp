@@ -359,6 +359,75 @@ std::vector<ShadowWidth> Binder::bind_shadow(const AstShadow& shadow) const {
   return out;
 }
 
+SecExpr Binder::bind_sec_expr(const AstSecExprPtr& expr) const {
+  if (!expr) throw InternalError("null array expression");
+  const AstSecExpr& e = *expr;
+  switch (e.kind) {
+    case AstSecExpr::Kind::kInt:
+      return SecExpr::constant(static_cast<double>(e.value));
+    case AstSecExpr::Kind::kRef: {
+      if (env_->has(e.name) && env_->find(e.name).rank() >= 1) {
+        const DistArray& array = env_->find(e.name);
+        if (!array.is_created()) {
+          throw ConformanceError(
+              "array '" + e.name + "' is referenced before it is allocated",
+              e.line, e.column);
+        }
+        std::vector<Triplet> section = e.has_subs
+                                           ? bind_section(e.subs, array.domain())
+                                           : array.domain().dims();
+        return SecExpr::section(array, std::move(section));
+      }
+      if (e.has_subs) {
+        throw ConformanceError(
+            "'" + e.name + "' is not a declared array but is subscripted",
+            e.line, e.column);
+      }
+      auto it = scalars_.find(to_upper(e.name));
+      if (it == scalars_.end()) {
+        throw ConformanceError(
+            "unknown name '" + e.name +
+                "' in an array expression (declare the array or assign the "
+                "scalar first)",
+            e.line, e.column);
+      }
+      return SecExpr::constant(static_cast<double>(it->second));
+    }
+    case AstSecExpr::Kind::kAdd:
+      return bind_sec_expr(e.lhs) + bind_sec_expr(e.rhs);
+    case AstSecExpr::Kind::kSub:
+      return bind_sec_expr(e.lhs) - bind_sec_expr(e.rhs);
+    case AstSecExpr::Kind::kMul:
+      return bind_sec_expr(e.lhs) * bind_sec_expr(e.rhs);
+    case AstSecExpr::Kind::kDiv:
+      return bind_sec_expr(e.lhs) / bind_sec_expr(e.rhs);
+    case AstSecExpr::Kind::kNeg:
+      return SecExpr::constant(0.0) - bind_sec_expr(e.lhs);
+  }
+  throw InternalError("unreachable array-expression kind");
+}
+
+BoundArrayAssign Binder::bind_array_assign(const AstArrayAssign& assign) const {
+  if (!env_->has(assign.name)) {
+    throw ConformanceError("unknown array '" + assign.name + "'");
+  }
+  DistArray& lhs = env_->find(assign.name);
+  if (lhs.rank() < 1) {
+    throw ConformanceError("assignment target '" + assign.name +
+                           "' is a scalar, not an array");
+  }
+  if (!lhs.is_created()) {
+    throw ConformanceError("array '" + assign.name +
+                           "' is assigned before it is allocated");
+  }
+  BoundArrayAssign bound;
+  bound.lhs = &lhs;
+  bound.section = assign.has_subs ? bind_section(assign.subs, lhs.domain())
+                                  : lhs.domain().dims();
+  bound.rhs = bind_sec_expr(assign.rhs);
+  return bound;
+}
+
 ElemType Binder::bind_type(const std::string& type) const {
   if (iequals(type, "REAL")) return ElemType::kReal;
   if (iequals(type, "INTEGER")) return ElemType::kInteger;
@@ -368,6 +437,17 @@ ElemType Binder::bind_type(const std::string& type) const {
 }
 
 void Binder::apply(const AstNode& node, std::vector<RemapEvent>* events) {
+  try {
+    apply_node(node, events);
+  } catch (const ConformanceError& e) {
+    if (e.located()) throw;
+    // Attach the offending node's line the way the parser locates
+    // DirectiveErrors, so script diagnostics always carry a source span.
+    throw ConformanceError(e.message(), node.line, 1);
+  }
+}
+
+void Binder::apply_node(const AstNode& node, std::vector<RemapEvent>* events) {
   switch (node.kind) {
     case AstNode::Kind::kDeclaration: {
       const AstDeclaration& decl = *node.declaration;
@@ -505,6 +585,7 @@ void Binder::apply(const AstNode& node, std::vector<RemapEvent>* events) {
           "scalars instead, e.g.  N = 8");
     case AstNode::Kind::kCall:
     case AstNode::Kind::kStats:
+    case AstNode::Kind::kArrayAssign:
     case AstNode::Kind::kSubroutineStart:
     case AstNode::Kind::kEnd:
       throw InternalError("node must be handled by the interpreter");

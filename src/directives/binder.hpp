@@ -14,8 +14,18 @@
 
 #include "core/data_env.hpp"
 #include "directives/ast.hpp"
+#include "exec/section_expr.hpp"
 
 namespace hpfnt::dir {
+
+/// One bound array-section assignment, ready for the owner-computes
+/// executor (exec/assign.hpp): the LHS array, its bound section, and the
+/// RHS compiled into a SecExpr whose leaves are the operand sections.
+struct BoundArrayAssign {
+  DistArray* lhs = nullptr;
+  std::vector<Triplet> section;
+  SecExpr rhs = SecExpr::constant(0.0);
+};
 
 class Binder {
  public:
@@ -60,12 +70,27 @@ class Binder {
   /// Widths must be nonnegative; ':' and '*' subs are rejected.
   std::vector<ShadowWidth> bind_shadow(const AstShadow& shadow) const;
 
+  /// Binds an array-expression tree: a reference that names a declared
+  /// rank>=1 array becomes a section leaf (the whole array when it has no
+  /// subscripts), any other bare name evaluates as a scalar constant over
+  /// the symbol table. Throws ConformanceError (with the reference's
+  /// location) for unknown names and subscripted non-arrays.
+  SecExpr bind_sec_expr(const AstSecExprPtr& expr) const;
+
+  /// Binds NAME(section) = rhs. The LHS must be a created rank>=1 array.
+  BoundArrayAssign bind_array_assign(const AstArrayAssign& assign) const;
+
   // --- node application (main-program semantics) -----------------------------
   /// Applies one node. Executable remapping nodes append their RemapEvents
-  /// to `events`. Throws DirectiveError/ConformanceError on violations.
+  /// to `events`. Throws DirectiveError/ConformanceError on violations;
+  /// a ConformanceError escaping without a source location gets the node's
+  /// line attached on the way out (the parser's convention for
+  /// DirectiveError), so script-level callers can always point at the
+  /// offending statement.
   void apply(const AstNode& node, std::vector<RemapEvent>* events = nullptr);
 
  private:
+  void apply_node(const AstNode& node, std::vector<RemapEvent>* events);
   ElemType bind_type(const std::string& type) const;
 
   ProcessorSpace* space_;

@@ -42,11 +42,41 @@ void Interpreter::create_storage_for(DataEnv& env, const std::string& name) {
 }
 
 void Interpreter::exec_node(const AstNode& node, Binder& binder) {
+  // Attach the statement's source line to conformance errors raised past
+  // the binder (CALL arity, array-assignment execution, ...). The binder
+  // already locates its own; located() stops double-wrapping so the
+  // innermost (most precise) location wins.
+  try {
+    exec_node_impl(node, binder);
+  } catch (const ConformanceError& e) {
+    if (e.located()) throw;
+    throw ConformanceError(e.message(), node.line, 1);
+  }
+}
+
+void Interpreter::exec_node_impl(const AstNode& node, Binder& binder) {
   DataEnv& env = binder.env();
   switch (node.kind) {
     case AstNode::Kind::kCall:
       exec_call(*node.call, binder);
       return;
+    case AstNode::Kind::kArrayAssign: {
+      const AstArrayAssign& a = *node.array_assign;
+      BoundArrayAssign b = binder.bind_array_assign(a);
+      if (!state_) {
+        note(cat(a.name, " = <expr> (no program state attached)"));
+        return;
+      }
+      AssignExec exec;
+      exec.lhs = a.name;
+      exec.line = node.line;
+      exec.result =
+          hpfnt::assign(*state_, env, *b.lhs, b.section, b.rhs, a.name);
+      note(exec.result.step.to_string());
+      steps_.push_back(exec.result.step);
+      assigns_.push_back(std::move(exec));
+      return;
+    }
     case AstNode::Kind::kStats: {
       // Surface the plan-cache counters while the session still has them:
       // the L1 PlanCache is per-session and its counters silently reset

@@ -20,6 +20,7 @@
 
 #include "directives/binder.hpp"
 #include "directives/parser.hpp"
+#include "exec/assign.hpp"
 #include "exec/redistribute_exec.hpp"
 
 namespace hpfnt::dir {
@@ -42,6 +43,16 @@ struct PlanCacheStats {
   Extent shared_evictions = 0;
   double comm_exposed_us = 0.0;  ///< cumulative exposed comm (split-phase)
   double comm_hidden_us = 0.0;   ///< cumulative comm hidden under compute
+};
+
+/// One executed array-section assignment statement (owner-computes, via
+/// hpfnt::assign), in execution order. Kept alongside the plain StepStats
+/// stream because the AssignResult carries the per-leaf POSTED phase bits
+/// the static analyzer's classification is differentially tested against.
+struct AssignExec {
+  std::string lhs;   ///< target array name as written in the script
+  int line = 0;      ///< 1-based source line of the statement
+  AssignResult result;
 };
 
 class Interpreter {
@@ -77,6 +88,10 @@ class Interpreter {
     return plan_stats_;
   }
 
+  /// Array-section assignment statements executed on the attached state,
+  /// in execution order (empty when no state is attached).
+  const std::vector<AssignExec>& assigns() const noexcept { return assigns_; }
+
  private:
   struct CalleeScope {
     std::unique_ptr<Binder> binder;
@@ -84,6 +99,7 @@ class Interpreter {
   };
 
   void exec_node(const AstNode& node, Binder& binder);
+  void exec_node_impl(const AstNode& node, Binder& binder);
   void exec_call(const AstCall& call, Binder& binder);
   const AstSubroutine& find_subroutine(const std::string& name) const;
   ProcedureSig build_signature(const AstSubroutine& sub, Binder& binder,
@@ -100,6 +116,7 @@ class Interpreter {
   std::vector<StepStats> steps_;
   std::vector<std::string> trace_;
   std::vector<PlanCacheStats> plan_stats_;
+  std::vector<AssignExec> assigns_;
 };
 
 }  // namespace hpfnt::dir

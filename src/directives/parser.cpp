@@ -295,6 +295,100 @@ AstTarget parse_target(Cursor& c) {
   return target;
 }
 
+// --- array expressions --------------------------------------------------------
+
+AstSecExprPtr parse_sec_expr(Cursor& c);
+
+AstSecExprPtr parse_sec_factor(Cursor& c) {
+  const Token& t = c.peek();
+  if (c.accept(Tok::kMinus)) {
+    auto e = std::make_shared<AstSecExpr>();
+    e->kind = AstSecExpr::Kind::kNeg;
+    e->line = t.line;
+    e->column = t.column;
+    e->lhs = parse_sec_factor(c);
+    return e;
+  }
+  if (c.at(Tok::kInteger)) {
+    auto e = std::make_shared<AstSecExpr>();
+    e->kind = AstSecExpr::Kind::kInt;
+    e->value = c.eat().value;
+    e->line = t.line;
+    e->column = t.column;
+    return e;
+  }
+  if (c.at(Tok::kIdent)) {
+    auto e = std::make_shared<AstSecExpr>();
+    e->kind = AstSecExpr::Kind::kRef;
+    e->name = c.eat().text;
+    e->line = t.line;
+    e->column = t.column;
+    if (c.at(Tok::kLParen)) {
+      e->subs = parse_sub_list(c, "array-expression section");
+      e->has_subs = true;
+    }
+    return e;
+  }
+  if (c.accept(Tok::kLParen)) {
+    AstSecExprPtr inner = parse_sec_expr(c);
+    c.expect(Tok::kRParen, "parenthesized array expression");
+    return inner;
+  }
+  c.fail(cat("expected an array expression, found ",
+             Cursor::describe(c.peek())));
+}
+
+AstSecExprPtr parse_sec_term(Cursor& c) {
+  AstSecExprPtr lhs = parse_sec_factor(c);
+  while (c.at(Tok::kStar) || c.at(Tok::kSlash)) {
+    const Token& op = c.eat();
+    auto e = std::make_shared<AstSecExpr>();
+    e->kind = op.kind == Tok::kStar ? AstSecExpr::Kind::kMul
+                                    : AstSecExpr::Kind::kDiv;
+    e->line = op.line;
+    e->column = op.column;
+    e->lhs = lhs;
+    e->rhs = parse_sec_factor(c);
+    lhs = e;
+  }
+  return lhs;
+}
+
+AstSecExprPtr parse_sec_expr(Cursor& c) {
+  AstSecExprPtr lhs = parse_sec_term(c);
+  while (c.at(Tok::kPlus) || c.at(Tok::kMinus)) {
+    const Token& op = c.eat();
+    auto e = std::make_shared<AstSecExpr>();
+    e->kind = op.kind == Tok::kPlus ? AstSecExpr::Kind::kAdd
+                                    : AstSecExpr::Kind::kSub;
+    e->line = op.line;
+    e->column = op.column;
+    e->lhs = lhs;
+    e->rhs = parse_sec_term(c);
+    lhs = e;
+  }
+  return lhs;
+}
+
+/// True when the line is `NAME ( ... ) = ...` — an array-section
+/// assignment. Distinguished from a declaration/CALL/etc. by the caller;
+/// here only the parenthesized-prefix-then-'=' shape is scanned, without
+/// consuming tokens.
+bool looks_like_array_assign(const Cursor& c) {
+  if (c.peek(0).kind != Tok::kIdent || c.peek(1).kind != Tok::kLParen) {
+    return false;
+  }
+  int depth = 0;
+  for (int k = 1; c.peek(k).kind != Tok::kEnd; ++k) {
+    const Tok kind = c.peek(k).kind;
+    if (kind == Tok::kLParen || kind == Tok::kSlashParen) ++depth;
+    if (kind == Tok::kRParen || kind == Tok::kParenSlash) {
+      if (--depth == 0) return c.peek(k + 1).kind == Tok::kAssign;
+    }
+  }
+  return false;
+}
+
 // --- statements -------------------------------------------------------------------
 
 AstDeclName parse_decl_name(Cursor& c) {
@@ -430,6 +524,20 @@ AstNode parse_statement(Cursor& c, int line_no) {
     c.eat();
     node.kind = AstNode::Kind::kStats;
     c.expect_end("STATS");
+    return node;
+  }
+  // Array-section assignment: NAME(subs) = array-expr.
+  if (looks_like_array_assign(c)) {
+    node.kind = AstNode::Kind::kArrayAssign;
+    AstArrayAssign assign;
+    assign.column = c.peek().column;
+    assign.name = c.eat().text;
+    assign.subs = parse_sub_list(c, "assignment target section");
+    assign.has_subs = true;
+    c.expect(Tok::kAssign, "array assignment");
+    assign.rhs = parse_sec_expr(c);
+    c.expect_end("array assignment");
+    node.array_assign = std::move(assign);
     return node;
   }
   // Scalar assignment: NAME = expr.

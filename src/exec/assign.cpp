@@ -119,17 +119,14 @@ AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
   if (comm.overlap_enabled()) {
     for (std::size_t l = 0; l < leaves.size(); ++l) {
       const SecLeaf& leaf = leaves[l];
-      const std::optional<std::vector<Extent>> shifts =
-          section_shift(lhs_section, *leaf.section);
-      if (!shifts) continue;
-      bool shifted = false;
-      for (Extent sft : *shifts) shifted |= (sft != 0);
-      if (!shifted) continue;  // unshifted reads are owner-local anyway
-      if (!shadow_covers(lhs_dist, state.layout(leaf.array), *shifts,
-                         state.shadow_of(leaf.array))) {
-        continue;
-      }
-      posted[l] = 1;
+      // The shared predicate (exec/overlap.hpp) is the single source of
+      // truth for the phase partition: the static analyzer calls the same
+      // function over the same inputs, so its posted/sync report can never
+      // diverge from the recorded plan's phase bits.
+      posted[l] = classify_operand_comm(
+                      lhs_dist, lhs_section, state.layout(leaf.array),
+                      *leaf.section,
+                      state.shadow_of(leaf.array)) == CommClass::kPosted;
     }
   }
 
@@ -267,6 +264,7 @@ AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
   }
 
   result.elements = iteration.size();
+  result.posted_leaves = std::move(posted);
   result.local_reads = comm.local_reads() - local_before;
   const Extent total_reads = result.local_reads + result.step.element_transfers;
   result.remote_read_fraction =

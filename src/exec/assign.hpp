@@ -54,6 +54,12 @@ struct AssignResult {
   Extent pricing_ns = 0;
   /// Fraction of RHS element reads that crossed processors.
   double remote_read_fraction = 0.0;
+  /// Per-RHS-leaf phase bits, in SecExpr::leaves() order: 1 iff the leaf's
+  /// transfers were charged in the POSTED phase (the record-time partition
+  /// of exec/overlap.hpp::classify_operand_comm). Computed on warm and cold
+  /// paths alike — the bits feed the plan key — so the static analyzer's
+  /// classification can be checked against them differentially.
+  std::vector<char> posted_leaves;
 };
 
 /// LHS(section) = rhs.

@@ -145,6 +145,27 @@ bool shadow_covers(const Distribution& lhs, const Distribution& leaf,
   return true;
 }
 
+CommClass classify_operand_comm(const Distribution& lhs,
+                                const std::vector<Triplet>& lhs_section,
+                                const Distribution& leaf,
+                                const std::vector<Triplet>& leaf_section,
+                                const std::vector<ShadowWidth>& shadow) {
+  const std::optional<std::vector<Extent>> shifts =
+      section_shift(lhs_section, leaf_section);
+  if (!shifts) return CommClass::kSync;
+  bool shifted = false;
+  for (Extent sft : *shifts) shifted |= (sft != 0);
+  if (!shifted) {
+    // The identical section on an identical mapping: the owner of each LHS
+    // element owns the operand element, so every read is local. On any
+    // other mapping some reads may cross processors synchronously.
+    return lhs.structurally_equal(leaf) ? CommClass::kLocal
+                                        : CommClass::kSync;
+  }
+  return shadow_covers(lhs, leaf, *shifts, shadow) ? CommClass::kPosted
+                                                   : CommClass::kSync;
+}
+
 std::vector<OverlapArea> shadow_areas(const DimMapping& m, Extent left,
                                       Extent right) {
   if (!m.is_contiguous()) {

@@ -93,6 +93,36 @@ bool shadow_covers(const Distribution& lhs, const Distribution& leaf,
                    const std::vector<Extent>& shifts,
                    const std::vector<ShadowWidth>& shadow);
 
+/// Static communication class of one RHS operand of an owner-computes
+/// assignment LHS(section) = ...operand(section)... — decidable from the
+/// mappings and sections alone, before any pricing run (the paper's core
+/// claim: distribution and alignment are statically known).
+enum class CommClass {
+  kLocal,   ///< every read is satisfied by the computing owner itself
+  kPosted,  ///< pure halo exchange into declared shadow; overlaps compute
+  kSync,    ///< at least one remote read outside ghost cells; blocks
+};
+
+/// The record-time partition rule of exec/assign.cpp, exposed as a pure
+/// predicate so the static analyzer (src/analysis/) and the executor can
+/// never disagree — the executor's PlanTransfer::posted phase bits are set
+/// from exactly this classification (differential tests pin the equality):
+///   * kLocal  — the operand section is the unshifted translate of the LHS
+///     section on a structurally identical mapping: the computing owner of
+///     every element owns the operand element too;
+///   * kPosted — a pure nonzero per-dimension shift (section_shift) whose
+///     every shifted dimension is collapsed or contiguous with declared
+///     `shadow` at least as wide as the shift (shadow_covers): all remote
+///     reads are halo transfers landing in ghost cells;
+///   * kSync   — everything else (non-translate sections, broadcasts,
+///     mapping mismatches, insufficient shadow).
+/// `shadow` is the operand array's declared widths (may be empty).
+CommClass classify_operand_comm(const Distribution& lhs,
+                                const std::vector<Triplet>& lhs_section,
+                                const Distribution& leaf,
+                                const std::vector<Triplet>& leaf_section,
+                                const std::vector<ShadowWidth>& shadow);
+
 /// Ghost cells each processor (index p-1) materializes in one dimension
 /// for declared widths {left, right}: the declared widths clamped to the
 /// array bounds around the processor's block — the union of the ghost

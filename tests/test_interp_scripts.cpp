@@ -277,5 +277,144 @@ TEST_F(ScriptTest, TraceRecordsOperations) {
   EXPECT_EQ(in.trace()[1], "DEALLOCATE A");
 }
 
+// --- error locations (binder/interp parity with the parser's convention) -----
+
+/// Runs a bad script and returns the ConformanceError it must raise.
+ConformanceError run_expecting_conformance_error(ProcessorSpace& ps,
+                                                 const std::string& source) {
+  Interpreter in(ps);
+  try {
+    in.run(source);
+  } catch (const ConformanceError& e) {
+    return e;
+  }
+  ADD_FAILURE() << "script did not raise a ConformanceError:\n" << source;
+  return ConformanceError("unreached");
+}
+
+TEST_F(ScriptTest, BadAlignErrorCarriesLine) {
+  const ConformanceError e = run_expecting_conformance_error(
+      ps_,
+      "REAL A(8)\n"
+      "REAL B(8)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK)\n"
+      "!HPF$ ALIGN B(I,J) WITH A(I)\n");  // rank mismatch: B is rank 1
+  EXPECT_TRUE(e.located());
+  EXPECT_EQ(e.line(), 4);
+  // what() gains the location prefix, message() stays raw.
+  EXPECT_NE(std::string(e.what()).find("4:"), std::string::npos) << e.what();
+  EXPECT_EQ(e.message().find("conformance error"), std::string::npos);
+}
+
+TEST_F(ScriptTest, BadDistributeErrorCarriesLine) {
+  const ConformanceError e = run_expecting_conformance_error(
+      ps_,
+      "REAL A(8)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK)\n"
+      "!HPF$ REDISTRIBUTE A(CYCLIC)\n");  // A is not DYNAMIC
+  EXPECT_TRUE(e.located());
+  EXPECT_EQ(e.line(), 3);
+}
+
+TEST_F(ScriptTest, BadShadowErrorCarriesLine) {
+  // Width-count mismatches are rejected in the binder itself, which stamps
+  // the directive's own line/column (DirectiveError is always located).
+  Interpreter in(ps_);
+  try {
+    in.run(
+        "REAL A(8,8)\n"
+        "!HPF$ DISTRIBUTE A(BLOCK,BLOCK)\n"
+        "!HPF$ SHADOW A(1:1)\n");  // width count != rank
+    FAIL() << "SHADOW with too few widths was accepted";
+  } catch (const DirectiveError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+TEST_F(ScriptTest, ArrayAssignErrorCarriesStatementLine) {
+  const ConformanceError e = run_expecting_conformance_error(
+      ps_,
+      "REAL A(8)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK)\n"
+      "A(1:8) = NOPE(1:8)\n");
+  EXPECT_TRUE(e.located());
+  EXPECT_EQ(e.line(), 3);
+}
+
+// --- array-section assignment statements -------------------------------------
+
+TEST_F(ScriptTest, ArrayAssignExecutesWithState) {
+  Machine machine(32);
+  ProgramState state(machine);
+  Interpreter in(ps_);
+  in.set_state(&state);
+  in.run(
+      "REAL A(8)\n"
+      "REAL B(8)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK)\n"
+      "!HPF$ DISTRIBUTE B(BLOCK)\n"
+      "B(1:8) = 3\n"
+      "A(1:8) = B(1:8) * 2 + 1\n");
+  const ArrayId a = in.env().find("A").id();
+  for (Index1 i = 1; i <= 8; ++i) {
+    EXPECT_DOUBLE_EQ(state.value(a, idx({i})), 7.0);
+  }
+  ASSERT_EQ(in.assigns().size(), 2u);
+  EXPECT_EQ(in.assigns()[0].lhs, "B");
+  EXPECT_EQ(in.assigns()[1].lhs, "A");
+  EXPECT_EQ(in.assigns()[1].line, 6);
+  // One array operand leaf, read locally (identical section + mapping).
+  ASSERT_EQ(in.assigns()[1].result.posted_leaves.size(), 1u);
+  EXPECT_EQ(in.assigns()[1].result.posted_leaves[0], 0);
+  EXPECT_EQ(in.assigns()[1].result.step.element_transfers, 0);
+}
+
+TEST_F(ScriptTest, ArrayAssignStencilShifts) {
+  Machine machine(32);
+  ProgramState state(machine);
+  Interpreter in(ps_);
+  in.set_state(&state);
+  in.run(
+      "REAL U(32)\n"
+      "REAL V(32)\n"
+      "!HPF$ DISTRIBUTE U(BLOCK)\n"
+      "!HPF$ DISTRIBUTE V(BLOCK)\n"
+      "!HPF$ SHADOW V(1:1)\n"
+      "V(1:32) = 10\n"
+      "U(2:31) = (V(1:30) + V(3:32)) / 2\n");
+  const ArrayId u = in.env().find("U").id();
+  EXPECT_DOUBLE_EQ(state.value(u, idx({2})), 10.0);
+  EXPECT_DOUBLE_EQ(state.value(u, idx({17})), 10.0);
+  // Both stencil leaves rode the posted phase (shadow covers shift 1).
+  ASSERT_EQ(in.assigns().size(), 2u);
+  const std::vector<char>& posted = in.assigns()[1].result.posted_leaves;
+  ASSERT_EQ(posted.size(), 2u);
+  EXPECT_EQ(posted[0], 1);
+  EXPECT_EQ(posted[1], 1);
+  EXPECT_GT(in.assigns()[1].result.step.hidden_comm_us, 0.0);
+}
+
+TEST_F(ScriptTest, ArrayAssignWithoutStateStillBinds) {
+  Interpreter in(ps_);  // no ProgramState attached
+  in.run(
+      "REAL A(8)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK)\n"
+      "A(1:8) = A(1:8) + 1\n");
+  EXPECT_TRUE(in.assigns().empty());
+  ASSERT_EQ(in.trace().size(), 1u);
+  EXPECT_NE(in.trace()[0].find("no program state"), std::string::npos);
+}
+
+TEST_F(ScriptTest, ScalarAssignmentStaysScalar) {
+  // A bare NAME = expr remains a scalar assignment; only an explicit
+  // section makes an array statement.
+  Interpreter in(ps_);
+  in.run(
+      "N = 4\n"
+      "M = N * 2\n");
+  EXPECT_EQ(in.scalar("M"), 8);
+  EXPECT_TRUE(in.assigns().empty());
+}
+
 }  // namespace
 }  // namespace hpfnt

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <tuple>
 #include <utility>
@@ -229,6 +230,195 @@ INSTANTIATE_TEST_SUITE_P(
       return "fmt" + std::to_string(std::get<0>(info.param)) + "_shift" +
              (s < 0 ? "m" + std::to_string(-s) : std::to_string(s));
     });
+
+// --- section_shift / shadow_covers / classify_operand_comm -------------------
+// The documented operand-classification API (exec/overlap.hpp): the static
+// analyzer consumes exactly these predicates, so their contract is pinned
+// here and the composition law is checked against its components.
+
+TEST(SectionShift, DetectsPureTranslates) {
+  auto s = section_shift({Triplet(2, 63)}, {Triplet(1, 62)});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ((*s)[0], -1);
+  s = section_shift({Triplet(2, 63)}, {Triplet(3, 64)});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ((*s)[0], 1);
+  s = section_shift({Triplet(2, 63)}, {Triplet(2, 63)});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ((*s)[0], 0);
+  // Per-dimension independence in rank 2.
+  s = section_shift({Triplet(1, 8), Triplet(2, 9)},
+                    {Triplet(3, 10), Triplet(2, 9)});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ((*s)[0], 2);
+  EXPECT_EQ((*s)[1], 0);
+}
+
+TEST(SectionShift, RejectsNonTranslates) {
+  // Different extent: not a shift.
+  EXPECT_FALSE(section_shift({Triplet(1, 8)}, {Triplet(1, 7)}).has_value());
+  // Different stride: not a shift.
+  EXPECT_FALSE(
+      section_shift({Triplet(1, 8, 1)}, {Triplet(1, 15, 2)}).has_value());
+  // Rank mismatch: not a shift.
+  EXPECT_FALSE(
+      section_shift({Triplet(1, 8)}, {Triplet(1, 8), Triplet(1, 1)})
+          .has_value());
+}
+
+class ClassifyTest : public ::testing::Test {
+ protected:
+  ClassifyTest() : ps_(8) {
+    q_ = &ps_.declare("Q", IndexDomain::of_extents({8}));
+  }
+
+  Distribution block1d() const {
+    return Distribution::formats(IndexDomain{Dim(1, 64)},
+                                 {DistFormat::block()}, ProcessorRef(*q_));
+  }
+  Distribution cyclic1d() const {
+    return Distribution::formats(IndexDomain{Dim(1, 64)},
+                                 {DistFormat::cyclic()}, ProcessorRef(*q_));
+  }
+  Distribution block_collapsed() const {
+    return Distribution::formats(IndexDomain{Dim(1, 16), Dim(1, 16)},
+                                 {DistFormat::block(), DistFormat::collapsed()},
+                                 ProcessorRef(*q_));
+  }
+
+  ProcessorSpace ps_;
+  const ProcessorArrangement* q_ = nullptr;
+};
+
+TEST_F(ClassifyTest, ShadowCoversContract) {
+  const Distribution d = block1d();
+  const std::vector<ShadowWidth> one{{1, 1}};
+  EXPECT_TRUE(shadow_covers(d, d, {1}, one));
+  EXPECT_TRUE(shadow_covers(d, d, {-1}, one));
+  EXPECT_TRUE(shadow_covers(d, d, {0}, one));
+  // No declared widths, or zero widths: a nonzero shift is uncovered.
+  EXPECT_FALSE(shadow_covers(d, d, {1}, {}));
+  EXPECT_FALSE(shadow_covers(d, d, {1}, {{0, 0}}));
+  // Sidedness matters: left width covers negative shifts only.
+  EXPECT_TRUE(shadow_covers(d, d, {-1}, {{1, 0}}));
+  EXPECT_FALSE(shadow_covers(d, d, {1}, {{1, 0}}));
+  // The width is a per-side capacity, not a parity rule.
+  EXPECT_FALSE(shadow_covers(d, d, {2}, one));
+  EXPECT_TRUE(shadow_covers(d, d, {2}, {{0, 2}}));
+  // Structural mismatch between the mappings defeats any shadow.
+  EXPECT_FALSE(shadow_covers(block1d(), cyclic1d(), {1}, one));
+}
+
+TEST_F(ClassifyTest, ShadowCoversCollapsedDimensionNeedsNoWidths) {
+  // A shift along an undistributed dimension never leaves the processor.
+  const Distribution d = block_collapsed();
+  EXPECT_TRUE(shadow_covers(d, d, {0, 3}, {}));
+  EXPECT_FALSE(shadow_covers(d, d, {1, 0}, {}));  // distributed dim: needs width
+  EXPECT_TRUE(shadow_covers(d, d, {1, 3}, {{1, 1}, {0, 0}}));
+}
+
+TEST_F(ClassifyTest, ClassifyLocalPostedSync) {
+  const Distribution d = block1d();
+  const std::vector<Triplet> lhs{Triplet(2, 63)};
+  const std::vector<ShadowWidth> one{{1, 1}};
+  EXPECT_EQ(classify_operand_comm(d, lhs, d, {Triplet(2, 63)}, one),
+            CommClass::kLocal);
+  EXPECT_EQ(classify_operand_comm(d, lhs, d, {Triplet(1, 62)}, one),
+            CommClass::kPosted);
+  EXPECT_EQ(classify_operand_comm(d, lhs, d, {Triplet(3, 64)}, one),
+            CommClass::kPosted);
+  // Shift exceeds shadow: blocks.
+  EXPECT_EQ(classify_operand_comm(d, lhs, d, {Triplet(4, 65 - 2)}, one),
+            CommClass::kSync);
+  // No shadow at all: blocks.
+  EXPECT_EQ(classify_operand_comm(d, lhs, d, {Triplet(1, 62)}, {}),
+            CommClass::kSync);
+  // Not a translate (extent change): blocks.
+  EXPECT_EQ(classify_operand_comm(d, lhs, d, {Triplet(1, 1)}, one),
+            CommClass::kSync);
+  // Zero shift on structurally different mappings is NOT local.
+  EXPECT_EQ(
+      classify_operand_comm(block1d(), lhs, cyclic1d(), {Triplet(2, 63)}, one),
+      CommClass::kSync);
+}
+
+TEST_F(ClassifyTest, ClassifyComposesFromItsComponents) {
+  // The composition law the analyzer relies on: classify_operand_comm is
+  // exactly section_shift + structurally_equal + shadow_covers glued
+  // together, for every combination in this sweep.
+  const Distribution dists[] = {block1d(), cyclic1d()};
+  const std::vector<Triplet> lhs{Triplet(3, 60)};
+  const std::vector<Triplet> rhss[] = {
+      {Triplet(3, 60)}, {Triplet(2, 59)}, {Triplet(5, 62)},
+      {Triplet(1, 58)}, {Triplet(3, 30, 2)}};
+  const std::vector<std::vector<ShadowWidth>> shadows = {
+      {}, {{0, 0}}, {{1, 1}}, {{2, 2}}};
+  for (const Distribution& ld : dists) {
+    for (const Distribution& rd : dists) {
+      for (const auto& rhs : rhss) {
+        for (const auto& sh : shadows) {
+          const CommClass got = classify_operand_comm(ld, lhs, rd, rhs, sh);
+          const auto shift = section_shift(lhs, rhs);
+          CommClass want = CommClass::kSync;
+          if (shift.has_value()) {
+            const bool zero = std::all_of(shift->begin(), shift->end(),
+                                          [](Extent s) { return s == 0; });
+            if (zero && ld.structurally_equal(rd)) {
+              want = CommClass::kLocal;
+            } else if (!zero && shadow_covers(ld, rd, *shift, sh)) {
+              want = CommClass::kPosted;
+            }
+          }
+          EXPECT_EQ(got, want);
+        }
+      }
+    }
+  }
+}
+
+TEST(ClassifyDifferential, ExecutorPostedBitsMatchClassification) {
+  // Record-time ground truth: AssignResult::posted_leaves must equal the
+  // static classification for covered, uncovered, and unshifted operands.
+  const Extent n = 64;
+  const Extent procs = 8;
+  Machine machine(procs);
+  ProcessorSpace ps(procs);
+  const ProcessorArrangement& q =
+      ps.declare("Q", IndexDomain::of_extents({procs}));
+  DataEnv env(ps);
+  DistArray& a = env.real("A", IndexDomain{Dim(1, n)});
+  DistArray& b = env.real("B", IndexDomain{Dim(1, n)});
+  DistArray& c = env.real("C", IndexDomain{Dim(1, n)});
+  env.distribute(a, {DistFormat::block()}, ProcessorRef(q));
+  env.distribute(b, {DistFormat::block()}, ProcessorRef(q));
+  env.distribute(c, {DistFormat::block()}, ProcessorRef(q));
+  a.set_shadow({{1, 1}});  // A covers shift 1; C declares nothing
+  ProgramState state(machine);
+  state.create(env, a);
+  state.create(env, b);
+  state.create(env, c);
+
+  // B(2:63) = A(1:62) + A(2:63) + C(3:64): posted, local, sync.
+  const std::vector<Triplet> lhs{Triplet(2, 63)};
+  SecExpr rhs = SecExpr::section(a, {Triplet(1, 62)}) +
+                SecExpr::section(a, {Triplet(2, 63)}) +
+                SecExpr::section(c, {Triplet(3, 64)});
+  AssignResult r = assign(state, env, b, lhs, rhs);
+  ASSERT_EQ(r.posted_leaves.size(), 3u);
+
+  const std::vector<SecLeaf> leaves = rhs.leaves();
+  ASSERT_EQ(leaves.size(), 3u);
+  const CommClass expect[] = {CommClass::kPosted, CommClass::kLocal,
+                              CommClass::kSync};
+  for (std::size_t l = 0; l < leaves.size(); ++l) {
+    const CommClass cls = classify_operand_comm(
+        env.distribution_of("B"), lhs, state.layout(leaves[l].array),
+        *leaves[l].section, state.shadow_of(leaves[l].array));
+    EXPECT_EQ(cls, expect[l]) << "leaf " << l;
+    EXPECT_EQ(static_cast<bool>(r.posted_leaves[l]), cls == CommClass::kPosted)
+        << "leaf " << l;
+  }
+}
 
 }  // namespace
 }  // namespace hpfnt

@@ -1,0 +1,158 @@
+// hpflint — static analysis of HPF directive scripts (src/analysis/).
+//
+// Usage:
+//   hpflint [options] script.hpf [more.hpf ...]
+//
+// Options:
+//   --json       one JSON object per diagnostic (machine mode, no source
+//                echo); keys: file, code, severity, line, column, message,
+//                and optionally note/fixit
+//   --werror     warnings are as fatal as errors for the exit status
+//   --no-notes   suppress severity-note diagnostics (the HC* operand
+//                classification labels) in human output
+//   --procs N    analyze against an N-processor machine (default 32)
+//
+// Exit status: 0 when no script has errors (nor warnings under --werror),
+// 1 when any does, 2 on usage or I/O problems. Notes never affect it.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.hpp"
+#include "core/processors.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using hpfnt::analysis::AnalysisResult;
+using hpfnt::analysis::Diagnostic;
+using hpfnt::analysis::Severity;
+
+struct Options {
+  bool json = false;
+  bool werror = false;
+  bool notes = true;
+  int procs = 32;
+  std::vector<std::string> files;
+};
+
+void usage(std::ostream& out) {
+  out << "usage: hpflint [--json] [--werror] [--no-notes] [--procs N] "
+         "script.hpf...\n";
+}
+
+bool parse_args(int argc, char** argv, Options* opts) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      opts->json = true;
+    } else if (arg == "--werror") {
+      opts->werror = true;
+    } else if (arg == "--no-notes") {
+      opts->notes = false;
+    } else if (arg == "--procs") {
+      if (++i >= argc) return false;
+      opts->procs = std::atoi(argv[i]);
+      if (opts->procs < 1) return false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return false;
+    } else {
+      opts->files.push_back(arg);
+    }
+  }
+  return !opts->files.empty();
+}
+
+std::vector<std::string> split_lines(const std::string& source) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : source) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) lines.push_back(current);
+  return lines;
+}
+
+/// Human rendering with the source span: the diagnostic, the offending
+/// line, and a caret under the column.
+void print_human(const std::string& file, const Diagnostic& d,
+                 const std::vector<std::string>& lines) {
+  std::cout << file << ":" << to_string(d) << "\n";
+  if (d.line >= 1 && d.line <= static_cast<int>(lines.size())) {
+    const std::string& src = lines[static_cast<std::size_t>(d.line - 1)];
+    std::cout << "    | " << src << "\n";
+    if (d.column >= 1 && d.column <= static_cast<int>(src.size()) + 1) {
+      std::cout << "    | " << std::string(static_cast<std::size_t>(d.column - 1), ' ')
+                << "^\n";
+    }
+  }
+}
+
+void print_json(const std::string& file, const Diagnostic& d) {
+  // Splice {"file":...} in front of the diagnostic's own object.
+  std::string line = to_json_line(d);
+  std::string escaped;
+  for (char c : file) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    escaped += c;
+  }
+  std::cout << "{\"file\":\"" << escaped << "\"," << line.substr(1) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  if (!parse_args(argc, argv, &opts)) {
+    usage(std::cerr);
+    return 2;
+  }
+
+  hpfnt::ProcessorSpace space(static_cast<hpfnt::Extent>(opts.procs));
+  int total_errors = 0;
+  int total_warnings = 0;
+
+  for (const std::string& file : opts.files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::cerr << "hpflint: cannot read '" << file << "'\n";
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string source = buffer.str();
+
+    const AnalysisResult result =
+        hpfnt::analysis::analyze_script(space, source);
+    const std::vector<std::string> lines = split_lines(source);
+    for (const Diagnostic& d : result.diagnostics) {
+      if (!opts.notes && d.severity == Severity::kNote && !opts.json) continue;
+      if (opts.json) {
+        print_json(file, d);
+      } else {
+        print_human(file, d, lines);
+      }
+    }
+    total_errors += result.errors();
+    total_warnings += result.warnings();
+  }
+
+  if (!opts.json) {
+    std::cout << total_errors << " error(s), " << total_warnings
+              << " warning(s)\n";
+  }
+  if (total_errors > 0) return 1;
+  if (opts.werror && total_warnings > 0) return 1;
+  return 0;
+}
