@@ -50,6 +50,11 @@
 //   HD003   warning  DYNAMIC array is never REDISTRIBUTE/REALIGNed
 //   HP001   warning  CALL to a subroutine not defined in the script
 //   HP002   error    CALL arity differs from the subroutine's dummy list
+//   HX001   note     (hpfcost, analysis/cost_model.hpp) quantified cost of
+//                    one statement: predicted bytes/messages and exposed
+//                    communication time, with the heaviest processor pair
+//   HX002   note     (hpfcost) statement's plan key repeats an earlier
+//                    statement's — the executor replays the memoized plan
 //
 // Severities: errors mean execution would throw; warnings are legal
 // programs that almost certainly do not mean what they say; notes are the

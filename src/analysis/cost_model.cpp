@@ -1,0 +1,374 @@
+#include "analysis/cost_model.hpp"
+
+#include <map>
+#include <utility>
+
+#include "core/data_env.hpp"
+#include "core/layout_view.hpp"
+#include "directives/binder.hpp"
+#include "directives/parser.hpp"
+#include "exec/comm_plan.hpp"
+#include "exec/overlap.hpp"
+#include "exec/pricing.hpp"
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace hpfnt::analysis {
+
+namespace {
+
+using dir::AstNode;
+using dir::AstProgram;
+using dir::Binder;
+
+/// Adapts the storage-free StepPricer to the Engine concept the shared
+/// charge walks (exec/pricing.hpp) expect: the walks signal phases via
+/// begin_posted/end_posted (the CommEngine protocol), the pricer takes a
+/// flag per charge.
+struct PricerSink {
+  StepPricer* pricer;
+  bool posted = false;
+
+  void begin_posted() { posted = true; }
+  void end_posted() { posted = false; }
+  void transfer_block(ApId src, ApId dst, Extent elem_bytes, Extent count) {
+    pricer->transfer_block(src, dst, elem_bytes, count, posted);
+  }
+  void count_local_reads(Extent n) { pricer->count_local_reads(n); }
+  void compute(ApId p, Extent flops) { pricer->compute(p, flops); }
+};
+
+std::string render_section(const std::string& name,
+                           const std::vector<Triplet>& section) {
+  std::string out = name + "(";
+  for (std::size_t d = 0; d < section.size(); ++d) {
+    if (d) out += ",";
+    out += section[d].to_string();
+  }
+  return out + ")";
+}
+
+bool is_mapping_directive(AstNode::Kind kind) {
+  switch (kind) {
+    case AstNode::Kind::kProcessors:
+    case AstNode::Kind::kDistribute:
+    case AstNode::Kind::kAlign:
+    case AstNode::Kind::kDynamic:
+    case AstNode::Kind::kTemplate:
+    case AstNode::Kind::kInherit:
+    case AstNode::Kind::kShadow:
+      return true;
+    default:
+      return false;
+  }
+}
+
+class CostModel {
+ public:
+  CostModel(const Machine& machine, ProcessorSpace& space,
+            const AstProgram& program, const CostOptions& options)
+      : machine_(&machine),
+        program_(&program),
+        options_(options),
+        env_(space),
+        binder_(space, env_) {}
+
+  CostReport run() {
+    for (const AstNode& node : program_->main) visit(node);
+    report_.plans_priced = static_cast<Extent>(key_ids_.size());
+    return std::move(report_);
+  }
+
+ private:
+  void diag(std::string code, Severity severity, std::string message,
+            int line, std::string note = "") {
+    Diagnostic d;
+    d.code = std::move(code);
+    d.severity = severity;
+    d.message = std::move(message);
+    d.line = line;
+    d.note = std::move(note);
+    report_.diagnostics.push_back(std::move(d));
+  }
+
+  /// Binds one node, converting front-end throws into the same diagnostics
+  /// analysis/analyzer.hpp emits (HL003 for mapping directives, HF001 for
+  /// statements); the node's effects are skipped on failure. Remap events,
+  /// when requested, surface in `events`.
+  bool apply(const AstNode& node, std::vector<RemapEvent>* events = nullptr) {
+    const char* code = is_mapping_directive(node.kind) ? "HL003" : "HF001";
+    try {
+      std::vector<RemapEvent> local;
+      binder_.apply(node, events ? events : &local);
+      return true;
+    } catch (const DirectiveError& e) {
+      diag(code, Severity::kError, e.what(), e.line());
+    } catch (const ConformanceError& e) {
+      diag(code, Severity::kError, e.message(),
+           e.located() ? e.line() : node.line);
+    } catch (const HpfError& e) {
+      diag(code, Severity::kError, e.what(), node.line);
+    }
+    return false;
+  }
+
+  void visit(const AstNode& node) {
+    switch (node.kind) {
+      case AstNode::Kind::kStats:
+        return;  // runtime counter snapshot; nothing to price
+      case AstNode::Kind::kCall: {
+        // Callee effects (argument copies, body statements, restores) are
+        // not priced statically; record the gap rather than under-counting
+        // silently.
+        StatementCost stmt;
+        stmt.kind = StatementCost::Kind::kUnmodeled;
+        stmt.line = node.line;
+        stmt.label = "CALL " + node.call->procedure;
+        stmt.text = stmt.label;
+        report_.statements.push_back(std::move(stmt));
+        ++report_.unmodeled;
+        return;
+      }
+      case AstNode::Kind::kArrayAssign:
+        visit_array_assign(node);
+        return;
+      case AstNode::Kind::kDistribute:
+      case AstNode::Kind::kAlign: {
+        const bool executable = node.kind == AstNode::Kind::kDistribute
+                                    ? node.distribute->executable
+                                    : node.align->executable;
+        std::vector<RemapEvent> events;
+        if (!apply(node, executable ? &events : nullptr)) return;
+        // Each event is one priced step in the executor (apply_remaps);
+        // specification-part mappings move nothing and price nothing.
+        for (const RemapEvent& e : events) price_remap(node, e);
+        return;
+      }
+      default:
+        apply(node);
+        return;
+    }
+  }
+
+  // --- pricing, through the shared executor code ---------------------------
+
+  /// Finishes one priced statement: seals the predicted StepStats from the
+  /// pricer (the executor's end_step arithmetic), interns the plan key,
+  /// resolves replays, accumulates totals exactly as CommEngine's
+  /// cumulative counters do, and emits the HX diagnostics.
+  void seal(StatementCost stmt, const StepPricer& pricer) {
+    PhaseBreakdown phases;
+    stmt.stats = pricer.price(stmt.label, &phases);
+    stmt.phases = phases;
+    stmt.local_reads = pricer.local_reads();
+    stmt.traffic = pricer.traffic();
+
+    auto [it, inserted] = key_ids_.try_emplace(
+        stmt.plan_key,
+        std::pair<int, int>{static_cast<int>(key_ids_.size()) + 1,
+                            static_cast<int>(report_.statements.size())});
+    stmt.key_id = it->second.first;
+    if (!inserted) {
+      stmt.replay_of = it->second.second;
+      ++report_.plan_replays;
+    }
+
+    CostTotals& t = report_.totals;
+    t.messages += stmt.stats.messages;
+    t.bytes += stmt.stats.bytes;
+    t.element_transfers += stmt.stats.element_transfers;
+    t.flops += stmt.stats.flops;
+    t.local_reads += stmt.local_reads;
+    t.time_us += stmt.stats.time_us;
+    t.exposed_comm_us += stmt.stats.exposed_comm_us;
+    t.hidden_comm_us += stmt.stats.hidden_comm_us;
+
+    if (stmt.stats.bytes > 0) {
+      const PairFlow* heaviest = nullptr;
+      for (const PairFlow& f : stmt.traffic) {
+        if (!heaviest || f.bytes > heaviest->bytes) heaviest = &f;
+      }
+      diag("HX001", Severity::kNote,
+           cat("statement '", stmt.text, "': predicted ", stmt.stats.bytes,
+               " bytes in ", stmt.stats.messages, " messages, ",
+               stmt.exposed_us(), "us exposed communication"),
+           stmt.line,
+           heaviest ? cat("heaviest pair: processor ", heaviest->src, " -> ",
+                          heaviest->dst, " (", heaviest->bytes, " bytes, ",
+                          heaviest->posted ? "posted" : "sync", ")")
+                    : "");
+    }
+    if (stmt.replay_of >= 0) {
+      const StatementCost& first =
+          report_.statements[static_cast<std::size_t>(stmt.replay_of)];
+      diag("HX002", Severity::kNote,
+           cat("statement '", stmt.text, "': plan key #", stmt.key_id,
+               " repeats the statement at line ", first.line,
+               " — the executor replays the memoized plan instead of "
+               "re-pricing"),
+           stmt.line);
+    }
+    report_.statements.push_back(std::move(stmt));
+  }
+
+  /// One array-section assignment, priced exactly as exec/assign.cpp
+  /// prices it: same conformance gate, same phase classification, same
+  /// charge walk, same key builder — with a StepPricer standing in for the
+  /// recording CommEngine.
+  void visit_array_assign(const AstNode& node) {
+    const dir::AstArrayAssign& assign = *node.array_assign;
+    dir::BoundArrayAssign bound;
+    try {
+      bound = binder_.bind_array_assign(assign);
+      bound.lhs->domain().validate_section(bound.section);
+    } catch (const ConformanceError& e) {
+      diag("HF001", Severity::kError, e.message(),
+           e.located() ? e.line() : node.line);
+      return;
+    } catch (const HpfError& e) {
+      diag("HF001", Severity::kError, e.what(), node.line);
+      return;
+    }
+
+    // The executor's conformance gate (assign_impl): shapes match after
+    // squeezing unit dimensions, or the statement throws before pricing.
+    const std::vector<Extent> lhs_shape = squeezed_shape(
+        bound.lhs->domain().section_domain(bound.section).dims());
+    try {
+      const std::vector<Extent> rhs_shape = bound.rhs.shape();
+      if (!rhs_shape.empty() && rhs_shape != lhs_shape) {
+        diag("HF002", Severity::kError,
+             cat("right-hand side does not conform with target section ",
+                 render_section(assign.name, bound.section),
+                 " (after squeezing unit dimensions)"),
+             node.line);
+        return;
+      }
+    } catch (const ConformanceError& e) {
+      diag("HF002", Severity::kError, e.message(),
+           e.located() ? e.line() : node.line);
+      return;
+    }
+
+    const Extent bytes = elem_bytes(bound.lhs->type());
+    const Extent flops = bound.rhs.flops_per_element();
+    const Distribution& lhs_dist = env_.distribution_of(*bound.lhs);
+    const std::vector<SecLeaf>& leaves = bound.rhs.program().leaves();
+
+    // Phase classification through the shared predicate, over the same
+    // inputs the executor reads from its ProgramState (layout and shadow
+    // track the DataEnv exactly — the interpreter re-creates storage on
+    // every mapping/shadow change).
+    std::vector<char> posted(leaves.size(), 0);
+    if (options_.overlap) {
+      for (std::size_t l = 0; l < leaves.size(); ++l) {
+        const DistArray& array = env_.array(leaves[l].array);
+        posted[l] = classify_operand_comm(lhs_dist, bound.section,
+                                          env_.distribution_of(array),
+                                          *leaves[l].section,
+                                          array.shadow()) ==
+                    CommClass::kPosted;
+      }
+    }
+
+    StatementCost stmt;
+    stmt.kind = StatementCost::Kind::kAssign;
+    stmt.line = node.line;
+    stmt.label = assign.name;  // the step label hpfnt::assign is given
+    stmt.text = render_section(assign.name, bound.section) + " = <expr>";
+    stmt.posted_leaves = posted;
+
+    std::vector<AssignKeyLeaf> key_leaves;
+    key_leaves.reserve(leaves.size());
+    for (std::size_t l = 0; l < leaves.size(); ++l) {
+      const DistArray& array = env_.array(leaves[l].array);
+      key_leaves.push_back({&env_.distribution_of(array),
+                            leaves[l].section, leaves[l].bytes,
+                            posted[l] != 0, &array.shadow()});
+    }
+    stmt.plan_key =
+        assign_plan_key(lhs_dist, bound.section, bytes, flops, key_leaves);
+
+    const LayoutView lhs_view(lhs_dist, bound.section);
+    std::vector<LayoutView> leaf_views;
+    std::vector<Extent> leaf_bytes;
+    leaf_views.reserve(leaves.size());
+    leaf_bytes.reserve(leaves.size());
+    for (const SecLeaf& leaf : leaves) {
+      leaf_views.emplace_back(env_.distribution_of(env_.array(leaf.array)),
+                              *leaf.section);
+      leaf_bytes.push_back(leaf.bytes);
+    }
+    StepPricer pricer(machine_->cost());
+    PricerSink sink{&pricer};
+    charge_assign_step(lhs_view, leaf_views, leaf_bytes, posted, bytes,
+                       flops, sink);
+    seal(std::move(stmt), pricer);
+  }
+
+  /// One remap event, priced exactly as ProgramState::apply_remap prices
+  /// it (the memory deltas are the executor's business; StepStats carries
+  /// none).
+  void price_remap(const AstNode& node, const RemapEvent& event) {
+    const DistArray& array = env_.array(event.dummy);
+    if (!event.from.valid() || !event.to.valid()) return;
+
+    StatementCost stmt;
+    stmt.kind = StatementCost::Kind::kRemap;
+    stmt.line = node.line;
+    stmt.label =
+        event.reason.empty() ? ("remap " + array.name()) : event.reason;
+    stmt.text = stmt.label;
+
+    const Extent bytes = elem_bytes(array.type());
+    stmt.plan_key = remap_plan_key(event.from, event.to, bytes);
+
+    const LayoutView from_view = LayoutView::whole(event.from);
+    const LayoutView to_view = LayoutView::whole(event.to);
+    StepPricer pricer(machine_->cost());
+    PricerSink sink{&pricer};
+    charge_remap_step(from_view, to_view, bytes, sink,
+                      [](ApId, Extent) {});
+    seal(std::move(stmt), pricer);
+  }
+
+  const Machine* machine_;
+  const AstProgram* program_;
+  CostOptions options_;
+  DataEnv env_;
+  Binder binder_;
+  CostReport report_;
+  // plan key -> (1-based key id, index of the first statement priced
+  // under it)
+  std::map<std::string, std::pair<int, int>> key_ids_;
+};
+
+}  // namespace
+
+CostReport cost_program(const Machine& machine, ProcessorSpace& space,
+                        const AstProgram& program,
+                        const CostOptions& options) {
+  return CostModel(machine, space, program, options).run();
+}
+
+CostReport cost_script(const Machine& machine, const std::string& source,
+                       const CostOptions& options) {
+  dir::AstProgram program;
+  try {
+    program = dir::parse_program(source);
+  } catch (const DirectiveError& e) {
+    CostReport report;
+    Diagnostic d;
+    d.code = "HF000";
+    d.severity = Severity::kError;
+    d.message = e.what();
+    d.line = e.line();
+    d.column = e.column();
+    report.diagnostics.push_back(std::move(d));
+    return report;
+  }
+  ProcessorSpace space(machine.processors());
+  return cost_program(machine, space, program, options);
+}
+
+}  // namespace hpfnt::analysis

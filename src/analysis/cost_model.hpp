@@ -1,0 +1,133 @@
+// hpfcost — the static communication cost model over directive scripts.
+//
+// The paper's claim that mappings are statically known has a quantitative
+// corollary: since ownership is a pure function of the directives, the
+// COMPLETE priced communication schedule of every statement — bytes,
+// messages, the per-processor-pair traffic matrix, the posted/sync phase
+// split, and the max(compute, posted) + sync time bound — is computable
+// before a single element exists. This module cashes that in: it walks a
+// parsed program with a Binder/DataEnv exactly as analysis/analyzer.hpp
+// does (mapping bookkeeping only, no ProgramState, no storage), and prices
+// every assignment and remap through the SAME code the executor runs:
+//
+//   * the charge walks  — exec/pricing.hpp (charge_assign_step,
+//     charge_remap_step), driven here with a storage-free StepPricer sink
+//     instead of a recording CommEngine;
+//   * the phase rule    — exec/overlap.hpp::classify_operand_comm, the
+//     predicate that sets the executor's PlanTransfer::posted bits;
+//   * the arithmetic    — machine/step_pricer.hpp::StepPricer::price, the
+//     function CommEngine::end_step seals StepStats from;
+//   * the plan keys     — exec/comm_plan.hpp::assign_plan_key /
+//     remap_plan_key, the builders the executor caches plans under.
+//
+// Predictions are therefore differential BY CONSTRUCTION: a predicted
+// StepStats is byte-for-byte (doubles included — the pricer walks pairs in
+// one deterministic order) the StepStats the interpreter's execution of
+// the same script seals, and a predicted plan key is the executor's cache
+// key, so predicted plan reuse is the PlanCache's observed hit pattern.
+// tests/test_cost_model.cpp pins both, statement for statement, over the
+// example corpus.
+//
+// Diagnostics (hpflint --cost surfaces them; see docs/analysis.md):
+//
+//   HX001   note   statement's predicted communication, quantified: bytes,
+//                  messages, exposed time, and the dominant (src,dst) pair
+//   HX002   note   statement's plan key repeats an earlier statement's —
+//                  the executor will replay that plan, not re-price it
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostic.hpp"
+#include "core/processors.hpp"
+#include "directives/ast.hpp"
+#include "machine/comm.hpp"
+#include "machine/step_pricer.hpp"
+#include "machine/topology.hpp"
+
+namespace hpfnt::analysis {
+
+/// One priced statement of the main program, in execution order — aligned
+/// 1:1 with the steps the interpreter prices for the same (CALL-free)
+/// script, which is how the differential tests index them.
+struct StatementCost {
+  enum class Kind {
+    kAssign,     ///< array-section assignment (one step)
+    kRemap,      ///< one RemapEvent of a REDISTRIBUTE/REALIGN (one step)
+    kUnmodeled,  ///< CALL — callee effects are not priced statically
+  };
+
+  Kind kind = Kind::kAssign;
+  int line = 0;
+  std::string label;  ///< the step label the executor will use
+  std::string text;   ///< human rendering for the report table
+
+  /// The executor's content cache key (raw signature bytes — render
+  /// key_id, not this) and its interning: key_id is 1-based in order of
+  /// first appearance; replay_of is the index of the first statement with
+  /// the same key, or -1 when this statement prices its plan cold.
+  std::string plan_key;
+  int key_id = 0;
+  int replay_of = -1;
+
+  StepStats stats;           ///< predicted == executed, byte-exact
+  PhaseBreakdown phases;     ///< sync/posted/compute decomposition
+  Extent local_reads = 0;    ///< owner-resident reads (no message)
+  std::vector<PairFlow> traffic;      ///< per-(src,dst) matrix, both phases
+  std::vector<char> posted_leaves;    ///< assign only: per-operand phase
+
+  /// Communication the statement cannot hide: the sync phase plus the
+  /// posted excess over compute. The cost report ranks by this.
+  double exposed_us() const {
+    return phases.sync_us + stats.exposed_comm_us;
+  }
+};
+
+/// Whole-program totals, accumulated exactly as CommEngine's cumulative
+/// counters are (so they equal the engine's totals after execution).
+struct CostTotals {
+  Extent messages = 0;
+  Extent bytes = 0;
+  Extent element_transfers = 0;
+  Extent flops = 0;
+  Extent local_reads = 0;
+  double time_us = 0.0;
+  double exposed_comm_us = 0.0;
+  double hidden_comm_us = 0.0;
+};
+
+struct CostReport {
+  std::vector<Diagnostic> diagnostics;  ///< HX notes + HF/HL bind errors
+  std::vector<StatementCost> statements;
+  CostTotals totals;
+  Extent plans_priced = 0;  ///< distinct keys == the PlanCache's misses
+  Extent plan_replays = 0;  ///< repeated keys == the PlanCache's hits
+  Extent unmodeled = 0;     ///< CALL statements skipped
+
+  int errors() const { return count_of(diagnostics, Severity::kError); }
+};
+
+struct CostOptions {
+  /// Mirrors CommEngine::overlap_enabled: off, every operand prices sync
+  /// (the oracle baseline), exactly as the executor with overlap disabled.
+  bool overlap = true;
+};
+
+/// Prices a parsed program against a machine's cost parameters. Directives
+/// are bound (mapping bookkeeping only) so later statements see the
+/// mappings earlier directives established; nothing executes. Bind
+/// failures become HF001/HL003 error diagnostics and the offending
+/// statement is skipped, exactly as analysis/analyzer.hpp reports them.
+CostReport cost_program(const Machine& machine, ProcessorSpace& space,
+                        const dir::AstProgram& program,
+                        const CostOptions& options = {});
+
+/// Parses and prices a script source; a parse failure yields one HF000
+/// diagnostic. Creates its own ProcessorSpace of machine.processors() —
+/// plan keys are content signatures (address-free), so the predicted keys
+/// match any execution session over the same script and machine size.
+CostReport cost_script(const Machine& machine, const std::string& source,
+                       const CostOptions& options = {});
+
+}  // namespace hpfnt::analysis

@@ -5,6 +5,7 @@
 #include "core/layout_view.hpp"
 #include "exec/comm_plan.hpp"
 #include "exec/overlap.hpp"
+#include "exec/pricing.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -134,32 +135,19 @@ AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
   std::string key;
   std::vector<Distribution> pins;
   if (plans.enabled()) {
-    PlanKey k;
-    k.add_tag("assign");
-    k.add_distribution(lhs_dist);
-    k.add_section(lhs_section);
-    k.add_scalar(bytes);
-    k.add_scalar(flops);
+    // The shared key builder (exec/comm_plan.cpp) — the same call the
+    // static cost model makes over Binder-bound layouts, so predicted plan
+    // sharing is the executor's plan sharing by construction.
+    std::vector<AssignKeyLeaf> key_leaves;
+    key_leaves.reserve(leaves.size());
     for (std::size_t l = 0; l < leaves.size(); ++l) {
       const SecLeaf& leaf = leaves[l];
-      k.add_distribution(state.layout(leaf.array));
-      k.add_section(*leaf.section);
-      k.add_scalar(leaf.bytes);
-      // Posted leaves extend the key with the covering shadow widths, so a
-      // shadowed split-phase plan can never collide with the synchronous
-      // plan of the same layouts (overlap off, or no shadow declared,
-      // contributes nothing — those keys stay byte-identical to the
-      // pre-shadow scheme and keep sharing across sessions).
-      if (posted[l]) {
-        k.add_tag("posted");
-        for (const ShadowWidth& w : state.shadow_of(leaf.array)) {
-          k.add_scalar(w.left);
-          k.add_scalar(w.right);
-        }
-      }
+      key_leaves.push_back({&state.layout(leaf.array), leaf.section,
+                            leaf.bytes, posted[l] != 0,
+                            &state.shadow_of(leaf.array)});
     }
-    key = k.str();
-    pins = k.take_pins();
+    key = assign_plan_key(lhs_dist, lhs_section, bytes, flops, key_leaves,
+                          &pins);
   }
 
   AssignResult result;
@@ -175,62 +163,19 @@ AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
     // Run tables over the LHS section and every RHS operand section. All
     // sections conform, so one linear position space [0, size) indexes them
     // all; communication is decided per constant-owner segment, not per
-    // element.
+    // element — by the shared charge walk (exec/pricing.hpp), the same
+    // loop the static cost model drives with a storage-free pricer.
     const LayoutView lhs_view(lhs_dist, lhs_section);
     std::vector<LayoutView> leaf_views;
+    std::vector<Extent> leaf_bytes;
     leaf_views.reserve(leaves.size());
+    leaf_bytes.reserve(leaves.size());
     for (const SecLeaf& leaf : leaves) {
       leaf_views.emplace_back(state.layout(leaf.array), *leaf.section);
+      leaf_bytes.push_back(leaf.bytes);
     }
-
-    // The computing processor of a segment is the canonical (minimum) LHS
-    // owner; operand segments it does not own arrive as one transfer each,
-    // carrying the element count.
-    auto charge_reads = [&](Extent count, const OwnerSet& lhs_owners,
-                            const OwnerSet& leaf_owners, Extent leaf_bytes) {
-      const ApId p = min_owner(lhs_owners);
-      if (owner_set_contains(leaf_owners, p)) {
-        comm.count_local_reads(count);
-      } else {
-        comm.transfer_block(min_owner(leaf_owners), p, leaf_bytes, count);
-      }
-    };
-    for (std::size_t l = 0; l < leaves.size(); ++l) {
-      const SecLeaf& leaf = leaves[l];
-      const LayoutView& leaf_view = leaf_views[l];
-      if (leaf_view.size() != lhs_view.size()) {
-        // Conformance admits an empty squeezed RHS shape: a single-element
-        // leaf (all unit dimensions, pinned at position 1) broadcast over
-        // the whole LHS section. Every LHS element reads that one element.
-        if (leaf_view.size() != 1) {
-          throw InternalError("nonconforming operand run table in assignment");
-        }
-        const OwnerSet& leaf_owners = leaf_view.runs().front().owners;
-        for (const OwnerRun& r : lhs_view.runs()) {
-          charge_reads(r.count, r.owners, leaf_owners, leaf.bytes);
-        }
-        continue;
-      }
-      // A covered leaf's remote segments are all halo transfers (the
-      // plan==measure property of plan_shift): charge them in the posted
-      // phase so they overlap the compute and record as boundary transfers.
-      if (posted[l]) comm.begin_posted();
-      for_each_common_segment(
-          lhs_view.table(), leaf_view.table(),
-          [&](Extent, Extent count, const OwnerSet& lhs_owners,
-              const OwnerSet& leaf_owners) {
-            charge_reads(count, lhs_owners, leaf_owners, leaf.bytes);
-          });
-      if (posted[l]) comm.end_posted();
-    }
-    for (const OwnerRun& r : lhs_view.runs()) {
-      const ApId p = min_owner(r.owners);
-      if (flops > 0) comm.compute(p, flops * r.count);
-      // Replicas beyond the computing owner receive the run by message.
-      for (ApId q : r.owners) {
-        if (q != p) comm.transfer_block(p, q, bytes, r.count);
-      }
-    }
+    charge_assign_step(lhs_view, leaf_views, leaf_bytes, posted, bytes, flops,
+                       comm);
     result.step = comm.end_step();
     if (plans.enabled()) {
       state.publish_plan(key, std::move(rec), std::move(pins));

@@ -51,6 +51,77 @@ void PlanKey::add_distribution(const Distribution& dist) {
   pins_.push_back(dist);
 }
 
+namespace {
+
+void take_pins_into(PlanKey& k, std::vector<Distribution>* pins) {
+  if (pins) {
+    *pins = k.take_pins();
+  }
+}
+
+}  // namespace
+
+std::string assign_plan_key(const Distribution& lhs_dist,
+                            const std::vector<Triplet>& lhs_section,
+                            Extent elem_bytes, Extent flops,
+                            const std::vector<AssignKeyLeaf>& leaves,
+                            std::vector<Distribution>* pins) {
+  PlanKey k;
+  k.add_tag("assign");
+  k.add_distribution(lhs_dist);
+  k.add_section(lhs_section);
+  k.add_scalar(elem_bytes);
+  k.add_scalar(flops);
+  for (const AssignKeyLeaf& leaf : leaves) {
+    k.add_distribution(*leaf.dist);
+    k.add_section(*leaf.section);
+    k.add_scalar(leaf.bytes);
+    // Posted leaves extend the key with the covering shadow widths, so a
+    // shadowed split-phase plan can never collide with the synchronous
+    // plan of the same layouts (overlap off, or no shadow declared,
+    // contributes nothing — those keys stay byte-identical to the
+    // pre-shadow scheme and keep sharing across sessions).
+    if (leaf.posted) {
+      k.add_tag("posted");
+      for (const ShadowWidth& w : *leaf.shadow) {
+        k.add_scalar(w.left);
+        k.add_scalar(w.right);
+      }
+    }
+  }
+  take_pins_into(k, pins);
+  return k.str();
+}
+
+std::string remap_plan_key(const Distribution& from, const Distribution& to,
+                           Extent elem_bytes,
+                           std::vector<Distribution>* pins) {
+  PlanKey k;
+  k.add_tag("remap");
+  k.add_distribution(from);
+  k.add_distribution(to);
+  k.add_scalar(elem_bytes);
+  take_pins_into(k, pins);
+  return k.str();
+}
+
+std::string copy_plan_key(const Distribution& dst_dist,
+                          const std::vector<Triplet>& dst_section,
+                          const Distribution& src_dist,
+                          const std::vector<Triplet>& src_section,
+                          Extent elem_bytes,
+                          std::vector<Distribution>* pins) {
+  PlanKey k;
+  k.add_tag("copy");
+  k.add_distribution(dst_dist);
+  k.add_section(dst_section);
+  k.add_distribution(src_dist);
+  k.add_section(src_section);
+  k.add_scalar(elem_bytes);
+  take_pins_into(k, pins);
+  return k.str();
+}
+
 std::shared_ptr<const CommPlan> PlanCache::lookup(const std::string& key) {
   auto it = entries_.find(key);
   if (it == entries_.end()) {

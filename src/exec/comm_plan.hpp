@@ -65,6 +65,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/array.hpp"
 #include "core/distribution.hpp"
 #include "machine/comm.hpp"
 
@@ -156,6 +157,42 @@ class PlanKey {
   std::string key_;
   std::vector<Distribution> pins_;
 };
+
+/// One RHS operand's contribution to an assignment plan key: its layout,
+/// section, element size, and — when the operand's halo exchange is posted
+/// (classify_operand_comm == kPosted) — the covering shadow widths that
+/// distinguish the split-phase plan from the synchronous one.
+struct AssignKeyLeaf {
+  const Distribution* dist = nullptr;
+  const std::vector<Triplet>* section = nullptr;
+  Extent bytes = 0;
+  bool posted = false;
+  const std::vector<ShadowWidth>* shadow = nullptr;  ///< read when posted
+};
+
+/// The content cache keys of the three priced step kinds — built HERE and
+/// nowhere else, consumed by the executor (exec/assign.cpp,
+/// exec/storage.cpp) and by the static cost model
+/// (analysis/cost_model.hpp). Because both sides call the same builder
+/// over content signatures (address-free for every payload kind today),
+/// the cost model's predicted plan sharing is the executor's plan sharing
+/// by construction; tests/test_cost_model.cpp pins the key-for-key match
+/// against the PlanCache anyway. `pins`, when non-null, collects any
+/// address-keyed Distributions (none today) for PlanCache::insert.
+std::string assign_plan_key(const Distribution& lhs_dist,
+                            const std::vector<Triplet>& lhs_section,
+                            Extent elem_bytes, Extent flops,
+                            const std::vector<AssignKeyLeaf>& leaves,
+                            std::vector<Distribution>* pins = nullptr);
+std::string remap_plan_key(const Distribution& from, const Distribution& to,
+                           Extent elem_bytes,
+                           std::vector<Distribution>* pins = nullptr);
+std::string copy_plan_key(const Distribution& dst_dist,
+                          const std::vector<Triplet>& dst_section,
+                          const Distribution& src_dist,
+                          const std::vector<Triplet>& src_section,
+                          Extent elem_bytes,
+                          std::vector<Distribution>* pins = nullptr);
 
 /// Size-bounded LRU memo of sealed plans, keyed by PlanKey strings.
 /// Lookups promote the entry to most-recently-used; inserts evict from the

@@ -5,6 +5,7 @@
 
 #include "core/layout_view.hpp"
 #include "exec/overlap.hpp"
+#include "exec/pricing.hpp"
 #include "service/plan_service.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
@@ -313,13 +314,7 @@ StepStats ProgramState::apply_remap(const RemapEvent& event,
   std::vector<Distribution> pins;
   const bool cacheable = plans_.enabled();
   if (cacheable) {
-    PlanKey k;
-    k.add_tag("remap");
-    k.add_distribution(event.from);
-    k.add_distribution(event.to);
-    k.add_scalar(s.elem_bytes);
-    key = k.str();
-    pins = k.take_pins();
+    key = remap_plan_key(event.from, event.to, s.elem_bytes, &pins);
     if (std::shared_ptr<const CommPlan> plan = lookup_plan(key)) {
       // Ghost cells follow the layout: release under the old distribution
       // before the move, re-materialize under the new one after. This
@@ -349,38 +344,21 @@ StepStats ProgramState::apply_remap(const RemapEvent& event,
   if (cacheable) comm_.record_into(rec);
   // Walk the two layouts' run tables in lock step: every common segment has
   // constant owner sets on both sides, so each (mover, destination) pair is
-  // priced once per segment with the element count.
+  // priced once per segment with the element count. The walk itself is the
+  // shared charge_remap_step (exec/pricing.hpp); only the memory
+  // accounting — replicas appearing on new owners, disappearing from old —
+  // is the executor's to fold in, in charge order.
   const LayoutView from_view = LayoutView::whole(event.from);
   const LayoutView to_view = LayoutView::whole(event.to);
-  for_each_common_segment(
-      from_view.table(), to_view.table(),
-      [&](Extent, Extent count, const OwnerSet& old_owners,
-          const OwnerSet& new_owners) {
-        // The sending replica is the canonical (minimum) owner, the
-        // convention of Distribution::first_owner and the assignment
-        // executor; owner sets are not sorted in general.
-        const ApId src = min_owner(old_owners);
-        for (ApId q : new_owners) {
-          if (!owner_set_contains(old_owners, q)) {
-            comm_.transfer_block(src, q, s.elem_bytes, count);
-          }
-        }
-        // Memory accounting: replicas appear/disappear with the owner sets.
-        for (ApId q : new_owners) {
-          if (!owner_set_contains(old_owners, q)) {
-            const Extent bytes = s.elem_bytes * count;
-            memory_.allocate(q, bytes);
-            if (cacheable) rec->mem_ops.push_back({q, bytes});
-          }
-        }
-        for (ApId o : old_owners) {
-          if (!owner_set_contains(new_owners, o)) {
-            const Extent bytes = s.elem_bytes * count;
-            memory_.release(o, bytes);
-            if (cacheable) rec->mem_ops.push_back({o, -bytes});
-          }
-        }
-      });
+  charge_remap_step(from_view, to_view, s.elem_bytes, comm_,
+                    [&](ApId p, Extent delta) {
+                      if (delta >= 0) {
+                        memory_.allocate(p, delta);
+                      } else {
+                        memory_.release(p, -delta);
+                      }
+                      if (cacheable) rec->mem_ops.push_back({p, delta});
+                    });
   s.dist = event.to;
   StepStats step = comm_.end_step();
   account_shadow(s, /*allocate=*/true);
@@ -411,15 +389,8 @@ StepStats ProgramState::copy_section(const DistArray& dst,
   std::vector<Distribution> pins;
   const bool cacheable = plans_.enabled();
   if (cacheable) {
-    PlanKey k;
-    k.add_tag("copy");
-    k.add_distribution(d.dist);
-    k.add_section(dst_section);
-    k.add_distribution(s.dist);
-    k.add_section(src_section);
-    k.add_scalar(d.elem_bytes);
-    key = k.str();
-    pins = k.take_pins();
+    key = copy_plan_key(d.dist, dst_section, s.dist, src_section,
+                        d.elem_bytes, &pins);
   }
 
   // RHS snapshot first (Fortran semantics for overlapping sections), one
@@ -442,24 +413,13 @@ StepStats ProgramState::copy_section(const DistArray& dst,
     auto rec = std::make_shared<CommPlan>();
     if (cacheable) comm_.record_into(rec);
     // Charge per common constant-owner segment of the two sections' run
-    // tables: destination owners that do not already hold the value receive
-    // the whole segment from the sources' canonical (minimum) replica;
-    // owners that do hold it read it locally — the statistics assign keeps.
+    // tables (the shared charge_copy_step, exec/pricing.hpp): destination
+    // owners that do not already hold the value receive the whole segment
+    // from the sources' canonical (minimum) replica; owners that do hold it
+    // read it locally — the statistics assign keeps.
     const LayoutView dst_view(d.dist, dst_section);
     const LayoutView src_view(s.dist, src_section);
-    for_each_common_segment(
-        dst_view.table(), src_view.table(),
-        [&](Extent, Extent count, const OwnerSet& dst_owners,
-            const OwnerSet& src_owners) {
-          const ApId sender = min_owner(src_owners);
-          for (ApId q : dst_owners) {
-            if (owner_set_contains(src_owners, q)) {
-              comm_.count_local_reads(count);
-            } else {
-              comm_.transfer_block(sender, q, d.elem_bytes, count);
-            }
-          }
-        });
+    charge_copy_step(dst_view, src_view, d.elem_bytes, comm_);
     step = comm_.end_step();
     if (cacheable) publish_plan(key, std::move(rec), std::move(pins));
   }

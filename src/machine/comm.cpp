@@ -1,8 +1,5 @@
 #include "machine/comm.hpp"
 
-#include <algorithm>
-#include <map>
-
 // The plan struct lives with its cache in the exec layer; the engine only
 // appends operations to it while recording and reads its sealed statistics
 // on replay.
@@ -25,7 +22,8 @@ std::string StepStats::to_string() const {
   return s;
 }
 
-CommEngine::CommEngine(const Machine& machine) : machine_(&machine) {}
+CommEngine::CommEngine(const Machine& machine)
+    : machine_(&machine), pricer_(machine.cost()) {}
 
 void CommEngine::begin_step(std::string label) {
   if (recording_) {
@@ -41,9 +39,7 @@ void CommEngine::begin_step(std::string label) {
   in_step_ = true;
   posted_phase_ = false;
   label_ = std::move(label);
-  step_pairs_.clear();
-  posted_pairs_.clear();
-  step_flops_.clear();
+  pricer_.clear();
 }
 
 void CommEngine::begin_posted() {
@@ -79,10 +75,7 @@ void CommEngine::transfer(ApId src, ApId dst, Extent bytes) {
     if (recording_) recording_->local_reads += 1;
     return;
   }
-  PairTraffic& traffic =
-      (posted_phase_ ? posted_pairs_ : step_pairs_).accumulate({src, dst});
-  traffic.bytes += bytes;
-  traffic.elements += 1;
+  pricer_.transfer_block(src, dst, bytes, 1, posted_phase_);
   if (recording_) {
     recording_->transfers.push_back({src, dst, bytes, 1, posted_phase_});
   }
@@ -97,10 +90,7 @@ void CommEngine::transfer_block(ApId src, ApId dst, Extent elem_bytes,
     if (recording_) recording_->local_reads += count;
     return;
   }
-  PairTraffic& traffic =
-      (posted_phase_ ? posted_pairs_ : step_pairs_).accumulate({src, dst});
-  traffic.bytes += elem_bytes * count;
-  traffic.elements += count;
+  pricer_.transfer_block(src, dst, elem_bytes, count, posted_phase_);
   if (recording_) {
     recording_->transfers.push_back(
         {src, dst, elem_bytes, count, posted_phase_});
@@ -109,7 +99,7 @@ void CommEngine::transfer_block(ApId src, ApId dst, Extent elem_bytes,
 
 void CommEngine::compute(ApId p, Extent flops) {
   if (!in_step_) throw InternalError("compute outside a step");
-  step_flops_.accumulate(p) += flops;
+  pricer_.compute(p, flops);
   if (recording_) recording_->computes.push_back({p, flops});
 }
 
@@ -125,46 +115,10 @@ StepStats CommEngine::end_step() {
   }
   in_step_ = false;
 
-  StepStats stats;
-  stats.label = label_;
-  stats.messages =
-      static_cast<Extent>(step_pairs_.size() + posted_pairs_.size());
-
-  // Per-processor send/receive loads for one phase's BSP-like time bound.
-  // The pairs are walked in sorted (src, dst) order so the floating-point
-  // accumulation below stays byte-identical to the ordered-map iteration
-  // the flat tables replaced.
-  const CostParams& cost = machine_->cost();
-  auto bsp_bound = [&](const PairStepTable& pairs) {
-    std::map<ApId, double> send_us;
-    std::map<ApId, double> recv_us;
-    for (const PairStepTable::Cell& cell : pairs.sorted()) {
-      stats.bytes += cell.payload.bytes;
-      stats.element_transfers += cell.payload.elements;
-      const double t = cost.message_us(cell.payload.bytes);
-      send_us[cell.key.first] += t;
-      recv_us[cell.key.second] += t;
-    }
-    double bound = 0.0;
-    for (const auto& [p, t] : send_us) bound = std::max(bound, t);
-    for (const auto& [p, t] : recv_us) bound = std::max(bound, t);
-    return bound;
-  };
-  const double sync_us = bsp_bound(step_pairs_);
-  const double posted_us = bsp_bound(posted_pairs_);
-
-  double compute_us = 0.0;
-  for (const ApStepTable::Cell& cell : step_flops_.sorted()) {
-    stats.flops += cell.payload;
-    compute_us = std::max(compute_us,
-                          static_cast<double>(cell.payload) * cost.flop_us);
-  }
-  // Split-phase pricing: posted communication overlaps the computation,
-  // sync communication is serial. With no posted transfers this is
-  // sync + compute exactly — the pre-split-phase formula.
-  stats.hidden_comm_us = std::min(posted_us, compute_us);
-  stats.exposed_comm_us = posted_us - stats.hidden_comm_us;
-  stats.time_us = std::max(compute_us, posted_us) + sync_us;
+  // The statistics arithmetic is the shared StepPricer::price
+  // (machine/step_pricer.hpp) — the same call the static cost model makes
+  // over its predicted charges, so the two can never drift.
+  const StepStats stats = pricer_.price(label_);
 
   total_messages_ += stats.messages;
   total_bytes_ += stats.bytes;

@@ -36,6 +36,12 @@
 // collapse is the differential oracle — split-phase with zero shadow IS
 // the old synchronous step.
 //
+// The accumulation and the formula itself are implemented once, in
+// machine/step_pricer.hpp (StepPricer): this engine charges its steps
+// through an embedded pricer, and the static cost model
+// (analysis/cost_model.hpp) predicts steps through its own instance of the
+// same class, so prediction and execution share one arithmetic.
+//
 // Each BSP bound is the max over processors of the α+βn cost of the
 // messages a processor sends/receives within that phase; a (src, dst) pair
 // active in both phases carries two messages (the posted one really is a
@@ -58,6 +64,7 @@
 
 #include "core/types.hpp"
 #include "machine/step_accum.hpp"
+#include "machine/step_pricer.hpp"
 #include "machine/topology.hpp"
 
 namespace hpfnt {
@@ -166,13 +173,12 @@ class CommEngine {
   std::shared_ptr<CommPlan> recording_;
   const CommPlan* posted_plan_ = nullptr;
   std::string label_;
-  // Step accumulators are flat open-addressed tables (machine/step_accum.hpp)
-  // so cold pricing pays O(1) per charged segment, not a std::map's
-  // O(log P) node walk; end_step sorts the handful of entries once to keep
-  // its statistics byte-identical to the old ordered-map iteration.
-  PairStepTable step_pairs_;    // SYNC phase
-  PairStepTable posted_pairs_;  // POSTED phase
-  ApStepTable step_flops_;
+  // All per-step accumulation and the end_step statistics arithmetic live
+  // in the shared StepPricer (machine/step_pricer.hpp), the single pricing
+  // implementation this engine and the static cost model
+  // (analysis/cost_model.hpp) both consume — a predicted step and an
+  // executed step can therefore never price differently.
+  StepPricer pricer_;
 
   Extent total_messages_ = 0;
   Extent total_bytes_ = 0;

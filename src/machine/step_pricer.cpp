@@ -1,0 +1,78 @@
+#include "machine/step_pricer.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "machine/comm.hpp"
+
+namespace hpfnt {
+
+StepStats StepPricer::price(const std::string& label) const {
+  PhaseBreakdown breakdown;
+  return price(label, &breakdown);
+}
+
+StepStats StepPricer::price(const std::string& label,
+                            PhaseBreakdown* breakdown) const {
+  StepStats stats;
+  stats.label = label;
+  stats.messages = static_cast<Extent>(sync_.size() + posted_.size());
+
+  // Per-processor send/receive loads for one phase's BSP-like time bound.
+  // The pairs are walked in sorted (src, dst) order so the floating-point
+  // accumulation stays byte-identical to the ordered-map iteration the
+  // flat tables replaced — and identical between the executor and the
+  // static cost model, which is the whole point of sharing this function.
+  auto bsp_bound = [&](const PairStepTable& pairs, Extent* phase_bytes) {
+    std::map<ApId, double> send_us;
+    std::map<ApId, double> recv_us;
+    for (const PairStepTable::Cell& cell : pairs.sorted()) {
+      stats.bytes += cell.payload.bytes;
+      stats.element_transfers += cell.payload.elements;
+      *phase_bytes += cell.payload.bytes;
+      const double t = cost_->message_us(cell.payload.bytes);
+      send_us[cell.key.first] += t;
+      recv_us[cell.key.second] += t;
+    }
+    double bound = 0.0;
+    for (const auto& [p, t] : send_us) bound = std::max(bound, t);
+    for (const auto& [p, t] : recv_us) bound = std::max(bound, t);
+    return bound;
+  };
+  breakdown->sync_us = bsp_bound(sync_, &breakdown->sync_bytes);
+  breakdown->posted_us = bsp_bound(posted_, &breakdown->posted_bytes);
+  breakdown->sync_messages = static_cast<Extent>(sync_.size());
+  breakdown->posted_messages = static_cast<Extent>(posted_.size());
+
+  double compute_us = 0.0;
+  for (const ApStepTable::Cell& cell : flops_.sorted()) {
+    stats.flops += cell.payload;
+    compute_us = std::max(compute_us,
+                          static_cast<double>(cell.payload) * cost_->flop_us);
+  }
+  breakdown->compute_us = compute_us;
+  // Split-phase pricing: posted communication overlaps the computation,
+  // sync communication is serial. With no posted transfers this is
+  // sync + compute exactly — the pre-split-phase formula.
+  stats.hidden_comm_us = std::min(breakdown->posted_us, compute_us);
+  stats.exposed_comm_us = breakdown->posted_us - stats.hidden_comm_us;
+  stats.time_us =
+      std::max(compute_us, breakdown->posted_us) + breakdown->sync_us;
+  return stats;
+}
+
+std::vector<PairFlow> StepPricer::traffic() const {
+  std::vector<PairFlow> out;
+  out.reserve(sync_.size() + posted_.size());
+  for (const PairStepTable::Cell& cell : sync_.sorted()) {
+    out.push_back({cell.key.first, cell.key.second, cell.payload.bytes,
+                   cell.payload.elements, false});
+  }
+  for (const PairStepTable::Cell& cell : posted_.sorted()) {
+    out.push_back({cell.key.first, cell.key.second, cell.payload.bytes,
+                   cell.payload.elements, true});
+  }
+  return out;
+}
+
+}  // namespace hpfnt

@@ -1,0 +1,153 @@
+# Golden-output tests for the hpflint CLI (cmake -P script, registered as
+# one ctest by tests/CMakeLists.txt). Covers the contract the docs promise:
+# exit statuses (0 clean / 1 errors-or-werror-warnings / 2 usage-or-IO),
+# the --json line schema, --werror promotion, the --cost report (and its
+# differential guarantee: predicted totals equal --exec measured totals,
+# compared here with string(JSON)), and --fix application + idempotency.
+#
+# Expects: -DHPFLINT=<path to binary> -DSOURCE_DIR=<repo root>
+#          -DWORK_DIR=<scratch dir>
+cmake_minimum_required(VERSION 3.20)  # script mode: get NEW if() policies
+
+if(NOT HPFLINT OR NOT SOURCE_DIR OR NOT WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DHPFLINT=... -DSOURCE_DIR=... -DWORK_DIR=... -P hpflint_cli_test.cmake")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(SCRIPTS "${SOURCE_DIR}/examples/scripts")
+set(failures 0)
+
+# check(<label> <if-condition>...): everything after the label is evaluated
+# as an if() condition (so `check("..." idx GREATER -1)` works).
+function(check label)
+  if(${ARGN})
+    message(STATUS "ok: ${label}")
+  else()
+    message(SEND_ERROR "FAIL: ${label}")
+    math(EXPR n "${failures} + 1")
+    set(failures ${n} PARENT_SCOPE)
+  endif()
+endfunction()
+
+macro(run_hpflint expect_status)
+  execute_process(COMMAND ${HPFLINT} ${ARGN}
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err
+                  RESULT_VARIABLE status)
+  if(NOT status EQUAL ${expect_status})
+    check("hpflint ${ARGN}: exit ${status}, expected ${expect_status}" FALSE)
+  else()
+    check("hpflint ${ARGN}: exit ${expect_status}" TRUE)
+  endif()
+endmacro()
+
+# --- exit statuses ----------------------------------------------------------
+run_hpflint(0 "${SCRIPTS}/jacobi.hpf")
+run_hpflint(0 "${SCRIPTS}/remap_loop.hpf")
+# Warnings alone pass...
+run_hpflint(0 "${SCRIPTS}/bad_undershadow.hpf")
+string(FIND "${out}" "HS001" has_hs001)
+check("bad_undershadow reports HS001" has_hs001 GREATER -1)
+# ...unless promoted.
+run_hpflint(1 --werror "${SCRIPTS}/bad_undershadow.hpf")
+# Errors fail.
+file(WRITE "${WORK_DIR}/undeclared.hpf" "!HPF$ DISTRIBUTE X(BLOCK)\n")
+run_hpflint(1 "${WORK_DIR}/undeclared.hpf")
+# Usage and I/O problems are status 2.
+run_hpflint(2 --bogus-flag)
+run_hpflint(2 "${WORK_DIR}/no_such_file.hpf")
+run_hpflint(2 --dry-run "${SCRIPTS}/jacobi.hpf")  # --dry-run needs --fix
+
+# --- --json line schema -----------------------------------------------------
+run_hpflint(0 --json "${SCRIPTS}/bad_undershadow.hpf")
+string(REGEX REPLACE "\n$" "" json_out "${out}")
+string(REPLACE "\n" ";" json_lines "${json_out}")
+foreach(line IN LISTS json_lines)
+  string(JSON code ERROR_VARIABLE json_err GET "${line}" "code")
+  if(json_err)
+    check("--json line parses and has 'code': ${line}" FALSE)
+  else()
+    string(JSON file_field GET "${line}" "file")
+    if(NOT file_field MATCHES "bad_undershadow")
+      check("--json line carries the file name" FALSE)
+    endif()
+  endif()
+endforeach()
+check("--json emitted diagnostic lines" json_lines)
+
+# --- --cost report and the differential guarantee ---------------------------
+run_hpflint(0 --cost "${SCRIPTS}/remap_loop.hpf")
+string(FIND "${out}" "plans: 4 priced, 5 replay(s)" has_plans)
+check("--cost remap_loop predicts 4 plans / 5 replays" has_plans GREATER -1)
+string(FIND "${out}" "HX002" has_hx002)
+check("--cost remap_loop emits HX002 replay notes" has_hx002 GREATER -1)
+
+foreach(script jacobi remap_loop alignment bad_undershadow)
+  run_hpflint(0 --cost --exec --json "${SCRIPTS}/${script}.hpf")
+  string(REGEX REPLACE "\n$" "" json_out "${out}")
+  string(REPLACE "\n" ";" json_lines "${json_out}")
+  set(cost_totals "")
+  set(exec_totals "")
+  foreach(line IN LISTS json_lines)
+    string(JSON type ERROR_VARIABLE json_err GET "${line}" "type")
+    if(NOT json_err)
+      if(type STREQUAL "cost_totals")
+        set(cost_totals "${line}")
+      elseif(type STREQUAL "exec_totals")
+        set(exec_totals "${line}")
+      endif()
+    endif()
+  endforeach()
+  check("${script}: cost_totals line present" cost_totals)
+  check("${script}: exec_totals line present" exec_totals)
+  if(cost_totals AND exec_totals)
+    # Predicted == executed, field by field — the differential guarantee.
+    foreach(field messages bytes transfers local_reads time_us exposed_us hidden_us)
+      string(JSON predicted GET "${cost_totals}" "${field}")
+      string(JSON executed GET "${exec_totals}" "${field}")
+      if(NOT predicted STREQUAL executed)
+        check("${script}: predicted ${field}=${predicted} == executed ${executed}" FALSE)
+      endif()
+    endforeach()
+    string(JSON priced GET "${cost_totals}" "plans_priced")
+    string(JSON replays GET "${cost_totals}" "plan_replays")
+    string(JSON misses GET "${exec_totals}" "plan_misses")
+    string(JSON hits GET "${exec_totals}" "plan_hits")
+    if(NOT priced STREQUAL misses)
+      check("${script}: plans_priced ${priced} == plan_misses ${misses}" FALSE)
+    endif()
+    if(NOT replays STREQUAL hits)
+      check("${script}: plan_replays ${replays} == plan_hits ${hits}" FALSE)
+    endif()
+    check("${script}: predicted totals match execution" TRUE)
+  endif()
+endforeach()
+
+# --- --fix application and idempotency --------------------------------------
+file(COPY "${SCRIPTS}/bad_undershadow.hpf" DESTINATION "${WORK_DIR}")
+set(fixme "${WORK_DIR}/bad_undershadow.hpf")
+run_hpflint(0 --fix --dry-run "${fixme}")
+string(FIND "${out}" "would insert '!HPF\$ SHADOW U(1:1)'" has_dry)
+check("--fix --dry-run plans SHADOW U(1:1)" has_dry GREATER -1)
+file(READ "${fixme}" before_fix)
+file(READ "${SCRIPTS}/bad_undershadow.hpf" pristine)
+if(NOT before_fix STREQUAL pristine)
+  check("--dry-run left the file untouched" FALSE)
+endif()
+run_hpflint(0 --fix "${fixme}")
+file(READ "${fixme}" after_fix)
+string(FIND "${after_fix}" "!HPF\$ SHADOW U(1:1)" has_shadow)
+check("--fix inserted the SHADOW directive" has_shadow GREATER -1)
+run_hpflint(0 --werror "${fixme}")  # HS001 gone: clean even under --werror
+run_hpflint(0 --fix "${fixme}")
+string(FIND "${out}" "nothing to fix" second_pass)
+check("--fix is idempotent (second pass: nothing to fix)" second_pass GREATER -1)
+file(READ "${fixme}" after_second)
+if(NOT after_fix STREQUAL after_second)
+  check("--fix second pass left the file unchanged" FALSE)
+endif()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "${failures} hpflint CLI golden check(s) failed")
+endif()
+message(STATUS "hpflint CLI golden checks passed")

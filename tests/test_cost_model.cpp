@@ -1,0 +1,340 @@
+// hpfcost (src/analysis/cost_model.*): the differential-exact acceptance
+// suite. For every statement of every example script, the static
+// prediction must be BYTE-EXACT against execution — StepStats doubles
+// included — because prediction and execution share one charge walk
+// (exec/pricing.hpp), one phase predicate (exec/overlap.hpp), one pricing
+// arithmetic (machine/step_pricer.hpp), and one plan-key builder
+// (exec/comm_plan.hpp). These tests pin:
+//
+//   * per-statement StepStats equality (all fields, exact doubles) against
+//     the interpreter's executed step sequence;
+//   * per-statement local reads and per-operand posted bits against the
+//     executed assignments;
+//   * per-pair traffic against the recorded CommPlan's transfers, looked
+//     up in the executor's PlanCache BY THE PREDICTED KEY — which also
+//     proves the predicted keys are the executor's keys;
+//   * predicted plan reuse == the PlanCache's observed hits and misses;
+//   * whole-program totals == the comm engine's cumulative counters;
+//   * the HS001 --fix pipeline on bad_undershadow.hpf: the fixed script
+//     is HS001-free, its predictions go posted, prediction stays exact
+//     pre- and post-fix, and fixing is idempotent.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+#include "analysis/analyzer.hpp"
+#include "analysis/cost_model.hpp"
+#include "analysis/fixit.hpp"
+#include "directives/interp.hpp"
+#include "exec/comm_plan.hpp"
+
+namespace hpfnt {
+namespace {
+
+using analysis::CostReport;
+using analysis::StatementCost;
+
+const char* const kExampleScripts[] = {
+    "alignment.hpf",
+    "bad_undershadow.hpf",
+    "jacobi.hpf",
+    "remap_loop.hpf",
+};
+
+std::string read_example(const std::string& name) {
+  const std::string path =
+      std::string(HPFNT_SOURCE_DIR) + "/examples/scripts/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct ExecSession {
+  ExecSession() : machine(32), ps(32), state(machine), in(ps) {
+    in.set_state(&state);
+  }
+  Machine machine;
+  ProcessorSpace ps;
+  ProgramState state;
+  dir::Interpreter in;
+};
+
+void expect_stats_equal(const StepStats& predicted, const StepStats& executed,
+                        const std::string& where) {
+  EXPECT_EQ(predicted.label, executed.label) << where;
+  EXPECT_EQ(predicted.messages, executed.messages) << where;
+  EXPECT_EQ(predicted.bytes, executed.bytes) << where;
+  EXPECT_EQ(predicted.element_transfers, executed.element_transfers) << where;
+  EXPECT_EQ(predicted.flops, executed.flops) << where;
+  // Exact, not approximate: both sides run StepPricer::price over charges
+  // accumulated in the same deterministic order.
+  EXPECT_EQ(predicted.time_us, executed.time_us) << where;
+  EXPECT_EQ(predicted.exposed_comm_us, executed.exposed_comm_us) << where;
+  EXPECT_EQ(predicted.hidden_comm_us, executed.hidden_comm_us) << where;
+}
+
+/// Aggregates a recorded plan's transfers into the cost model's traffic
+/// shape: per (src, dst) per phase, sync rows first, each phase sorted by
+/// (src, dst) — the order StepPricer::traffic() emits.
+std::vector<PairFlow> plan_traffic(const CommPlan& plan) {
+  std::map<std::tuple<bool, ApId, ApId>, PairFlow> rows;
+  for (const PlanTransfer& t : plan.transfers) {
+    PairFlow& f = rows[{t.posted, t.src, t.dst}];
+    f.src = t.src;
+    f.dst = t.dst;
+    f.posted = t.posted;
+    f.bytes += t.elem_bytes * t.count;
+    f.elements += t.count;
+  }
+  std::vector<PairFlow> out;
+  out.reserve(rows.size());
+  for (const auto& [k, f] : rows) out.push_back(f);
+  return out;
+}
+
+/// The acceptance differential over one script: predict statically, then
+/// execute, then compare everything there is to compare.
+void expect_prediction_matches_execution(const std::string& script,
+                                         const std::string& name) {
+  Machine machine(32);
+  const CostReport report = analysis::cost_script(machine, script);
+  ASSERT_EQ(report.errors(), 0) << name;
+  ASSERT_EQ(report.unmodeled, 0) << name << ": corpus must be CALL-free";
+
+  ExecSession session;
+  session.in.run(script);
+
+  // 1:1 with the executed step sequence, in order, all fields exact.
+  const std::vector<StepStats>& steps = session.in.steps();
+  ASSERT_EQ(report.statements.size(), steps.size()) << name;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    expect_stats_equal(report.statements[i].stats, steps[i],
+                       name + " statement " + std::to_string(i));
+  }
+
+  // Per-assignment: local reads and the per-operand phase bits.
+  const std::vector<dir::AssignExec>& assigns = session.in.assigns();
+  std::vector<const StatementCost*> predicted_assigns;
+  for (const StatementCost& s : report.statements) {
+    if (s.kind == StatementCost::Kind::kAssign) {
+      predicted_assigns.push_back(&s);
+    }
+  }
+  ASSERT_EQ(predicted_assigns.size(), assigns.size()) << name;
+  for (std::size_t i = 0; i < assigns.size(); ++i) {
+    EXPECT_EQ(predicted_assigns[i]->local_reads,
+              assigns[i].result.local_reads)
+        << name << " assign " << i;
+    EXPECT_EQ(predicted_assigns[i]->posted_leaves,
+              assigns[i].result.posted_leaves)
+        << name << " assign " << i;
+  }
+
+  // Predicted plan reuse IS the cache's observed behavior: every cold
+  // price is a miss, every repeat of a predicted key is a hit.
+  const PlanCache& plans = session.state.plans();
+  EXPECT_EQ(report.plans_priced, plans.misses()) << name;
+  EXPECT_EQ(report.plan_replays, plans.hits()) << name;
+  EXPECT_EQ(plans.evictions(), 0) << name;
+
+  // The predicted keys are the executor's keys: each one must hit a
+  // cached plan whose sealed stats and per-pair traffic equal the
+  // prediction (label aside — a shared plan keeps its first label, while
+  // both sides relabel per statement).
+  std::map<std::string, const CommPlan*> cached;
+  plans.for_each([&](const std::string& key, const CommPlan& plan) {
+    cached[key] = &plan;
+  });
+  EXPECT_EQ(cached.size(), static_cast<std::size_t>(report.plans_priced))
+      << name;
+  for (std::size_t i = 0; i < report.statements.size(); ++i) {
+    const StatementCost& stmt = report.statements[i];
+    auto it = cached.find(stmt.plan_key);
+    ASSERT_NE(it, cached.end())
+        << name << " statement " << i << ": predicted key not in PlanCache";
+    const CommPlan& plan = *it->second;
+    StepStats relabelled = plan.stats;
+    relabelled.label = stmt.stats.label;
+    expect_stats_equal(stmt.stats, relabelled,
+                       name + " cached plan of statement " +
+                           std::to_string(i));
+    EXPECT_EQ(stmt.local_reads, plan.local_reads)
+        << name << " statement " << i;
+    EXPECT_EQ(stmt.traffic, plan_traffic(plan))
+        << name << " statement " << i << ": per-pair traffic";
+  }
+
+  // Replay pointers are internally consistent: a replayed statement's key
+  // id names the statement that priced the plan.
+  for (std::size_t i = 0; i < report.statements.size(); ++i) {
+    const StatementCost& stmt = report.statements[i];
+    if (stmt.replay_of < 0) continue;
+    const StatementCost& first =
+        report.statements[static_cast<std::size_t>(stmt.replay_of)];
+    EXPECT_EQ(first.plan_key, stmt.plan_key) << name;
+    EXPECT_EQ(first.key_id, stmt.key_id) << name;
+    EXPECT_EQ(first.replay_of, -1) << name;
+  }
+
+  // Whole-program totals == the engine's cumulative counters, exactly
+  // (the totals accumulate the same doubles in the same order).
+  const CommEngine& comm = session.state.comm();
+  EXPECT_EQ(report.totals.messages, comm.total_messages()) << name;
+  EXPECT_EQ(report.totals.bytes, comm.total_bytes()) << name;
+  EXPECT_EQ(report.totals.element_transfers, comm.total_transfers()) << name;
+  EXPECT_EQ(report.totals.local_reads, comm.local_reads()) << name;
+  EXPECT_EQ(report.totals.time_us, comm.total_time_us()) << name;
+  EXPECT_EQ(report.totals.exposed_comm_us, comm.total_exposed_comm_us())
+      << name;
+  EXPECT_EQ(report.totals.hidden_comm_us, comm.total_hidden_comm_us())
+      << name;
+}
+
+int count_code(const CostReport& report, const std::string& code) {
+  int n = 0;
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    if (d.code == code) ++n;
+  }
+  return n;
+}
+
+// --- the acceptance criterion: byte-exact over the whole corpus ----------
+
+TEST(CostModelDifferential, EveryExampleScriptPredictsExecutionExactly) {
+  for (const char* name : kExampleScripts) {
+    expect_prediction_matches_execution(read_example(name), name);
+  }
+}
+
+TEST(CostModelDifferential, OverlapOffMatchesExecutionWithOverlapOff) {
+  // The baseline oracle: with overlap disabled both sides price every
+  // operand synchronously, and the equality must hold just the same.
+  for (const char* name : {"jacobi.hpf", "bad_undershadow.hpf"}) {
+    const std::string script = read_example(name);
+    Machine machine(32);
+    analysis::CostOptions options;
+    options.overlap = false;
+    const CostReport report =
+        analysis::cost_script(machine, script, options);
+    ASSERT_EQ(report.errors(), 0);
+
+    ExecSession session;
+    session.state.comm().set_overlap_enabled(false);
+    session.in.run(script);
+    const std::vector<StepStats>& steps = session.in.steps();
+    ASSERT_EQ(report.statements.size(), steps.size());
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      expect_stats_equal(report.statements[i].stats, steps[i],
+                         std::string(name) + " overlap-off statement " +
+                             std::to_string(i));
+      EXPECT_EQ(report.statements[i].stats.hidden_comm_us, 0.0);
+    }
+  }
+}
+
+// --- plan-reuse analysis --------------------------------------------------
+
+TEST(CostModelPlanReuse, RemapLoopSharesFourPlansAcrossNineStatements) {
+  Machine machine(32);
+  const CostReport report =
+      analysis::cost_script(machine, read_example("remap_loop.hpf"));
+  ASSERT_EQ(report.errors(), 0);
+  // 5 assignments + 4 remaps; two assignment layouts and two remap
+  // directions -> 4 distinct plans, 5 predicted replays.
+  ASSERT_EQ(report.statements.size(), 9u);
+  EXPECT_EQ(report.plans_priced, 4);
+  EXPECT_EQ(report.plan_replays, 5);
+  EXPECT_EQ(count_code(report, "HX002"), 5);
+}
+
+TEST(CostModelPlanReuse, AlignedJacobiSharesOnePlanBetweenSweeps) {
+  // The ALIGN-ed flip-flop of jacobi.hpf: both sweeps key identically
+  // (content signatures are address-free), so the second statement is a
+  // predicted replay of the first.
+  Machine machine(32);
+  const CostReport report =
+      analysis::cost_script(machine, read_example("jacobi.hpf"));
+  ASSERT_EQ(report.errors(), 0);
+  ASSERT_EQ(report.statements.size(), 2u);
+  EXPECT_EQ(report.plans_priced, 1);
+  EXPECT_EQ(report.plan_replays, 1);
+  EXPECT_EQ(report.statements[1].replay_of, 0);
+}
+
+// --- HX diagnostics -------------------------------------------------------
+
+TEST(CostModelDiagnostics, QuantifiedTrafficNotesNameTheHeaviestPair) {
+  Machine machine(32);
+  const CostReport report =
+      analysis::cost_script(machine, read_example("jacobi.hpf"));
+  const int hx001 = count_code(report, "HX001");
+  EXPECT_EQ(hx001, 2);  // both sweeps move halo bytes
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    if (d.code != "HX001") continue;
+    EXPECT_EQ(d.severity, analysis::Severity::kNote);
+    EXPECT_NE(d.message.find("predicted"), std::string::npos);
+    EXPECT_NE(d.note.find("heaviest pair"), std::string::npos);
+  }
+}
+
+TEST(CostModelDiagnostics, ParseFailureYieldsHF000) {
+  Machine machine(32);
+  const CostReport report =
+      analysis::cost_script(machine, "!HPF$ DISTRIBUTE ((");
+  EXPECT_EQ(count_code(report, "HF000"), 1);
+  EXPECT_GT(report.errors(), 0);
+  EXPECT_TRUE(report.statements.empty());
+}
+
+// --- the --fix pipeline ---------------------------------------------------
+
+TEST(CostModelFixit, UndershadowFixPostsTheSyncTransfers) {
+  const std::string before = read_example("bad_undershadow.hpf");
+
+  ProcessorSpace ps(32);
+  const analysis::FixPlan plan = analysis::plan_shadow_fixes(ps, before);
+  ASSERT_EQ(plan.fixes.size(), 1u);
+  EXPECT_EQ(plan.fixes[0].array, "U");
+  EXPECT_EQ(plan.fixes[0].directive, "!HPF$ SHADOW U(1:1)");
+  EXPECT_EQ(plan.fixes[0].replace_line, 0);  // U declares no SHADOW yet
+
+  const std::string after = analysis::apply_fixes(before, plan);
+  ASSERT_NE(after, before);
+
+  // The fixed script is HS001-free and still clean of errors.
+  ProcessorSpace ps2(32);
+  const analysis::AnalysisResult lint = analysis::analyze_script(ps2, after);
+  EXPECT_EQ(lint.errors(), 0);
+  for (const analysis::Diagnostic& d : lint.diagnostics) {
+    EXPECT_NE(d.code, "HS001") << d.message;
+  }
+
+  // Idempotent: a second plan over the fixed source is empty.
+  ProcessorSpace ps3(32);
+  const analysis::FixPlan again = analysis::plan_shadow_fixes(ps3, after);
+  EXPECT_TRUE(again.empty());
+  EXPECT_EQ(analysis::apply_fixes(after, again), after);
+
+  // The fix moved the second sweep's stencil reads from sync to posted —
+  // visible statically as hidden communication appearing.
+  Machine machine(32);
+  const CostReport pre = analysis::cost_script(machine, before);
+  const CostReport post = analysis::cost_script(machine, after);
+  ASSERT_EQ(pre.statements.size(), 2u);
+  ASSERT_EQ(post.statements.size(), 2u);
+  EXPECT_EQ(pre.statements[1].phases.posted_bytes, 0);
+  EXPECT_GT(post.statements[1].phases.posted_bytes, 0);
+  EXPECT_LT(post.statements[1].exposed_us(), pre.statements[1].exposed_us());
+
+  // And the acceptance criterion holds on BOTH sides of the fix.
+  expect_prediction_matches_execution(before, "bad_undershadow(pre-fix)");
+  expect_prediction_matches_execution(after, "bad_undershadow(post-fix)");
+}
+
+}  // namespace
+}  // namespace hpfnt
