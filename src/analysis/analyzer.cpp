@@ -107,6 +107,11 @@ class Analyzer {
     switch (node.kind) {
       case AstNode::Kind::kStats:
         return;  // runtime counter snapshot; nothing static to say
+      case AstNode::Kind::kFaults:
+      case AstNode::Kind::kCheckpoint:
+      case AstNode::Kind::kRestore:
+      case AstNode::Kind::kFailProc:
+        return;  // fault-injection controls; runtime-only, nothing static
       case AstNode::Kind::kCall:
         visit_call(node);
         return;

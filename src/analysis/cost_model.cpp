@@ -129,6 +129,24 @@ class CostModel {
         ++report_.unmodeled;
         return;
       }
+      case AstNode::Kind::kFaults:
+      case AstNode::Kind::kCheckpoint:
+      case AstNode::Kind::kRestore:
+      case AstNode::Kind::kFailProc: {
+        // Fault-injection and recovery are data- and RNG-dependent: their
+        // cost cannot be predicted from mappings alone. Record the gap.
+        StatementCost stmt;
+        stmt.kind = StatementCost::Kind::kUnmodeled;
+        stmt.line = node.line;
+        stmt.label = node.kind == AstNode::Kind::kFaults       ? "FAULTS"
+                     : node.kind == AstNode::Kind::kCheckpoint ? "CHECKPOINT"
+                     : node.kind == AstNode::Kind::kRestore    ? "RESTORE"
+                                                               : "FAIL_PROC";
+        stmt.text = stmt.label;
+        report_.statements.push_back(std::move(stmt));
+        ++report_.unmodeled;
+        return;
+      }
       case AstNode::Kind::kArrayAssign:
         visit_array_assign(node);
         return;

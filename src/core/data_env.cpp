@@ -199,17 +199,12 @@ void DataEnv::align(DistArray& alignee, DistArray& base,
   forest_.make_secondary(alignee.id(), base.id(), std::move(alpha));
 }
 
-std::vector<RemapEvent> DataEnv::redistribute(DistArray& array,
-                                              std::vector<DistFormat> formats,
-                                              ProcessorRef target) {
+std::vector<RemapEvent> DataEnv::redistribute_impl(
+    DistArray& array, std::vector<DistFormat> formats, ProcessorRef target,
+    const std::string& verb) {
   if (!array.is_created()) {
-    throw ConformanceError("REDISTRIBUTE of the unallocated array '" +
+    throw ConformanceError(verb + " of the unallocated array '" +
                            array.name() + "'");
-  }
-  if (!array.is_dynamic()) {
-    throw ConformanceError(
-        "REDISTRIBUTE may only be used for arrays declared DYNAMIC (§4.2): "
-        "'" + array.name() + "' is not DYNAMIC");
   }
   // Snapshot the mappings that are about to change: the array itself and,
   // when it is a primary, every secondary aligned to it (§4.2).
@@ -218,7 +213,7 @@ std::vector<RemapEvent> DataEnv::redistribute(DistArray& array,
     RemapEvent event;
     event.dummy = array.id();
     event.from = distribution_of(array);
-    event.reason = "REDISTRIBUTE " + array.name();
+    event.reason = verb + " " + array.name();
     events.push_back(std::move(event));
   }
   std::vector<ArrayId> followers;
@@ -228,7 +223,7 @@ std::vector<RemapEvent> DataEnv::redistribute(DistArray& array,
       RemapEvent event;
       event.dummy = child;
       event.from = forest_.distribution_of(child);
-      event.reason = "REDISTRIBUTE " + array.name() + ": aligned array " +
+      event.reason = verb + " " + array.name() + ": aligned array " +
                      this->array(child).name() + " follows (§4.2)";
       events.push_back(std::move(event));
     }
@@ -242,6 +237,26 @@ std::vector<RemapEvent> DataEnv::redistribute(DistArray& array,
     events[k + 1].to = forest_.distribution_of(followers[k]);
   }
   return events;
+}
+
+std::vector<RemapEvent> DataEnv::redistribute(DistArray& array,
+                                              std::vector<DistFormat> formats,
+                                              ProcessorRef target) {
+  if (array.is_created() && !array.is_dynamic()) {
+    throw ConformanceError(
+        "REDISTRIBUTE may only be used for arrays declared DYNAMIC (§4.2): "
+        "'" + array.name() + "' is not DYNAMIC");
+  }
+  return redistribute_impl(array, std::move(formats), std::move(target),
+                           "REDISTRIBUTE");
+}
+
+std::vector<RemapEvent> DataEnv::system_redistribute(
+    DistArray& array, std::vector<DistFormat> formats, ProcessorRef target) {
+  // No DYNAMIC gate: processor loss forces every affected array onto the
+  // survivors, exactly as a compiler's runtime would (fault/recovery.cpp).
+  return redistribute_impl(array, std::move(formats), std::move(target),
+                           "RECOVER");
 }
 
 RemapEvent DataEnv::realign(DistArray& alignee, DistArray& base,

@@ -184,6 +184,15 @@ class DataEnv {
                                        std::vector<DistFormat> formats,
                                        ProcessorRef target = {});
 
+  /// The recovery path's remap (src/fault/recovery.cpp): identical to
+  /// redistribute but without the DYNAMIC requirement — losing a processor
+  /// forces EVERY affected array onto the survivors, DYNAMIC or not,
+  /// exactly as a compiler's runtime would. Events carry a "RECOVER"
+  /// reason. Still requires a created array.
+  std::vector<RemapEvent> system_redistribute(DistArray& array,
+                                              std::vector<DistFormat> formats,
+                                              ProcessorRef target = {});
+
   /// REALIGN (§5.2); requires a DYNAMIC, created alignee.
   RemapEvent realign(DistArray& alignee, DistArray& base,
                      const AlignSpec& spec);
@@ -249,6 +258,10 @@ class DataEnv {
   Distribution build_format_distribution(const IndexDomain& domain,
                                          std::vector<DistFormat> formats,
                                          ProcessorRef target) const;
+  std::vector<RemapEvent> redistribute_impl(DistArray& array,
+                                            std::vector<DistFormat> formats,
+                                            ProcessorRef target,
+                                            const std::string& verb);
   void apply_deferred(DistArray& array);
   Deferred& deferred_of(ArrayId id);
 

@@ -194,6 +194,22 @@ struct AstShadow {
   std::vector<AstSub> widths;
 };
 
+/// FAULTS(seed, prob_permille, retries) — configures the machine's
+/// transient-fault injection (src/fault/): RNG seed, per-message fault
+/// probability in integer per-mille (the directive language has no real
+/// literals; 10 = 1%), and the per-message retry budget. FAULTS(s, 0, r)
+/// disables injection.
+struct AstFaults {
+  DirExprPtr seed;
+  DirExprPtr prob_permille;
+  DirExprPtr retries;
+};
+
+/// FAIL_PROC p — kills processor p and runs recovery (fault/recovery.hpp).
+struct AstFailProc {
+  DirExprPtr proc;
+};
+
 // --- program structure ---------------------------------------------------------------
 
 struct AstNode {
@@ -213,6 +229,10 @@ struct AstNode {
     kShadow,        // SHADOW: declared ghost-region widths (HPF/JA)
     kRead,          // READ parsed and reported as unsupported at bind time
     kStats,         // STATS: snapshot the session's plan-cache counters
+    kFaults,        // FAULTS(seed, prob_permille, retries): fault injection
+    kCheckpoint,    // CHECKPOINT: snapshot values+layouts to stable storage
+    kRestore,       // RESTORE: write the snapshot back (values only)
+    kFailProc,      // FAIL_PROC p: kill processor p, recover onto survivors
     kSubroutineStart,
     kEnd,
   };
@@ -232,6 +252,8 @@ struct AstNode {
   std::optional<AstTemplateDecl> template_decl;
   std::optional<AstInherit> inherit;
   std::optional<AstShadow> shadow;
+  std::optional<AstFaults> faults;
+  std::optional<AstFailProc> fail_proc;
   std::string subroutine_name;               // kSubroutineStart
   std::vector<std::string> subroutine_args;  // kSubroutineStart
 };

@@ -585,6 +585,10 @@ void Binder::apply_node(const AstNode& node, std::vector<RemapEvent>* events) {
           "scalars instead, e.g.  N = 8");
     case AstNode::Kind::kCall:
     case AstNode::Kind::kStats:
+    case AstNode::Kind::kFaults:
+    case AstNode::Kind::kCheckpoint:
+    case AstNode::Kind::kRestore:
+    case AstNode::Kind::kFailProc:
     case AstNode::Kind::kArrayAssign:
     case AstNode::Kind::kSubroutineStart:
     case AstNode::Kind::kEnd:

@@ -114,6 +114,74 @@ void Interpreter::exec_node_impl(const AstNode& node, Binder& binder) {
       note(std::move(line));
       return;
     }
+    case AstNode::Kind::kFaults: {
+      const AstFaults& f = *node.faults;
+      const Index1 seed = binder.eval(f.seed);
+      const Index1 permille = binder.eval(f.prob_permille);
+      const Index1 retries = binder.eval(f.retries);
+      if (permille < 0 || permille > 1000) {
+        throw ConformanceError(
+            cat("FAULTS: probability is per-mille and must be in 0..1000, "
+                "got ",
+                permille));
+      }
+      if (retries < 0) {
+        throw ConformanceError(
+            cat("FAULTS: retry budget must be >= 0, got ", retries));
+      }
+      if (!state_) {
+        note("FAULTS (no program state attached)");
+        return;
+      }
+      FaultConfig config;
+      config.seed = static_cast<std::uint64_t>(seed);
+      config.prob = static_cast<double>(permille) / 1000.0;
+      config.max_retries = static_cast<int>(retries);
+      state_->comm().set_fault_config(config);
+      note(cat("FAULTS seed=", seed, " prob=", permille, "/1000 retries=",
+               retries));
+      return;
+    }
+    case AstNode::Kind::kCheckpoint: {
+      if (!state_) {
+        note("CHECKPOINT (no program state attached)");
+        return;
+      }
+      ckpt_.emplace();
+      StepStats step = state_->checkpoint(*ckpt_, "CHECKPOINT");
+      note(step.to_string());
+      steps_.push_back(std::move(step));
+      return;
+    }
+    case AstNode::Kind::kRestore: {
+      if (!state_) {
+        note("RESTORE (no program state attached)");
+        return;
+      }
+      if (!ckpt_) {
+        throw ConformanceError("RESTORE without a preceding CHECKPOINT");
+      }
+      StepStats step = state_->restore(*ckpt_, "RESTORE");
+      note(step.to_string());
+      steps_.push_back(std::move(step));
+      return;
+    }
+    case AstNode::Kind::kFailProc: {
+      const Index1 p = binder.eval(node.fail_proc->proc);
+      if (!state_) {
+        note("FAIL_PROC (no program state attached)");
+        return;
+      }
+      RecoveryReport report = recover_processor_loss(
+          *state_, env, static_cast<ApId>(p), ckpt_ ? &*ckpt_ : nullptr);
+      for (const StepStats& s : report.steps) {
+        note(s.to_string());
+        steps_.push_back(s);
+      }
+      note(report.to_string());
+      recoveries_.push_back(std::move(report));
+      return;
+    }
     case AstNode::Kind::kDeclaration: {
       binder.apply(node);
       for (const AstDeclName& n : node.declaration->names) {

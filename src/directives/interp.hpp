@@ -22,6 +22,8 @@
 #include "directives/parser.hpp"
 #include "exec/assign.hpp"
 #include "exec/redistribute_exec.hpp"
+#include "fault/checkpoint.hpp"
+#include "fault/recovery.hpp"
 
 namespace hpfnt::dir {
 
@@ -92,6 +94,18 @@ class Interpreter {
   /// in execution order (empty when no state is attached).
   const std::vector<AssignExec>& assigns() const noexcept { return assigns_; }
 
+  /// The most recent CHECKPOINT snapshot, if one was taken (scripts hold at
+  /// most one — a new CHECKPOINT replaces the previous snapshot, matching
+  /// the single-rollback-point model of docs/robustness.md).
+  const std::optional<Checkpoint>& checkpoint() const noexcept {
+    return ckpt_;
+  }
+
+  /// Recovery reports produced by FAIL_PROC statements, in execution order.
+  const std::vector<RecoveryReport>& recoveries() const noexcept {
+    return recoveries_;
+  }
+
  private:
   struct CalleeScope {
     std::unique_ptr<Binder> binder;
@@ -117,6 +131,8 @@ class Interpreter {
   std::vector<std::string> trace_;
   std::vector<PlanCacheStats> plan_stats_;
   std::vector<AssignExec> assigns_;
+  std::optional<Checkpoint> ckpt_;
+  std::vector<RecoveryReport> recoveries_;
 };
 
 }  // namespace hpfnt::dir

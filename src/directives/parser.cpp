@@ -526,6 +526,45 @@ AstNode parse_statement(Cursor& c, int line_no) {
     c.expect_end("STATS");
     return node;
   }
+  // Fault statements (src/fault/). The same lookaheads keep scalars named
+  // CHECKPOINT etc. assignable, and an array named FAULTS subscriptable.
+  if (c.at_ident("CHECKPOINT") && c.peek(1).kind != Tok::kAssign) {
+    c.eat();
+    node.kind = AstNode::Kind::kCheckpoint;
+    c.expect_end("CHECKPOINT");
+    return node;
+  }
+  if (c.at_ident("RESTORE") && c.peek(1).kind != Tok::kAssign) {
+    c.eat();
+    node.kind = AstNode::Kind::kRestore;
+    c.expect_end("RESTORE");
+    return node;
+  }
+  if (c.at_ident("FAIL_PROC") && c.peek(1).kind != Tok::kAssign) {
+    c.eat();
+    node.kind = AstNode::Kind::kFailProc;
+    AstFailProc fp;
+    fp.proc = parse_expr(c);
+    c.expect_end("FAIL_PROC");
+    node.fail_proc = std::move(fp);
+    return node;
+  }
+  if (c.at_ident("FAULTS") && c.peek(1).kind == Tok::kLParen &&
+      !looks_like_array_assign(c)) {
+    c.eat();
+    node.kind = AstNode::Kind::kFaults;
+    c.expect(Tok::kLParen, "FAULTS");
+    AstFaults f;
+    f.seed = parse_expr(c);
+    c.expect(Tok::kComma, "FAULTS");
+    f.prob_permille = parse_expr(c);
+    c.expect(Tok::kComma, "FAULTS");
+    f.retries = parse_expr(c);
+    c.expect(Tok::kRParen, "FAULTS");
+    c.expect_end("FAULTS");
+    node.faults = std::move(f);
+    return node;
+  }
   // Array-section assignment: NAME(subs) = array-expr.
   if (looks_like_array_assign(c)) {
     node.kind = AstNode::Kind::kArrayAssign;

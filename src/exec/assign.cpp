@@ -157,6 +157,11 @@ AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
     result.step = comm.replay(*plan, step_label);
   } else {
     comm.begin_step(step_label);
+    // The LHS write-back (pass 3) runs after the step, so values are safe;
+    // the guard keeps the ENGINE safe — an exception out of the charge
+    // walk or out of end_step (fault exhaustion) aborts the half-charged
+    // step instead of leaving it open with a recording armed.
+    StepGuard guard(comm);
     auto rec = std::make_shared<CommPlan>();
     if (plans.enabled()) comm.record_into(rec);
 
@@ -177,6 +182,7 @@ AssignResult assign_impl(ProgramState& state, const Distribution& lhs_dist,
     charge_assign_step(lhs_view, leaf_views, leaf_bytes, posted, bytes, flops,
                        comm);
     result.step = comm.end_step();
+    guard.dismiss();
     if (plans.enabled()) {
       state.publish_plan(key, std::move(rec), std::move(pins));
     }

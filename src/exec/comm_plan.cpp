@@ -1,5 +1,7 @@
 #include "exec/comm_plan.hpp"
 
+#include <algorithm>
+
 #include "support/strings.hpp"
 
 namespace hpfnt {
@@ -7,6 +9,21 @@ namespace hpfnt {
 // Keys are byte strings of fixed-width fields (append_raw,
 // support/strings.hpp) behind one-byte structure tags: unambiguous, cheap
 // to build (no formatting), cheap to hash.
+
+bool CommPlan::references_any(const std::vector<ApId>& failed) const {
+  auto a = referenced_procs.begin();
+  auto b = failed.begin();
+  while (a != referenced_procs.end() && b != failed.end()) {
+    if (*a < *b) {
+      ++a;
+    } else if (*b < *a) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
 
 bool has_structural_signature(const Distribution& dist) {
   // Every valid payload now carries a content signature
@@ -131,6 +148,37 @@ std::shared_ptr<const CommPlan> PlanCache::lookup(const std::string& key) {
   ++hits_;
   lru_.splice(lru_.begin(), lru_, it->second.pos);  // promote to front
   return it->second.plan;
+}
+
+std::shared_ptr<const CommPlan> PlanCache::lookup(const std::string& key,
+                                                 const Machine& topo) {
+  // One consistent snapshot for the whole check; a concurrent epoch bump
+  // is seen wholly or not at all (machine/topology.hpp).
+  const std::shared_ptr<const FailureSet> snap = topo.failures();
+  if (!snap->any()) return lookup(key);
+
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  Entry& e = it->second;
+  if (e.validated_epoch != snap->epoch) {
+    if (e.plan->references_any(snap->failed)) {
+      // The schedule names a dead processor: drop it so it can never
+      // replay. The caller re-prices against the surviving topology and
+      // re-inserts under the same key if the layouts still produce it.
+      lru_.erase(e.pos);
+      entries_.erase(it);
+      ++invalidations_;
+      ++misses_;
+      return nullptr;
+    }
+    e.validated_epoch = snap->epoch;  // fast path for repeat lookups
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, e.pos);
+  return e.plan;
 }
 
 void PlanCache::insert(const std::string& key,

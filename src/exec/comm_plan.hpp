@@ -125,8 +125,17 @@ struct CommPlan {
   std::vector<PlanCompute> computes;
   Extent local_reads = 0;        ///< reads satisfied without a message
   std::vector<PlanMemOp> mem_ops;  ///< remap only, in charge order
+  /// Sorted-unique processors the schedule touches (transfer endpoints,
+  /// compute and memory charges), filled at seal. The epoch-checked cache
+  /// lookups intersect this with the machine's failed set: a plan that
+  /// references a dead processor must never replay.
+  std::vector<ApId> referenced_procs;
   StepStats stats;                 ///< sealed by CommEngine::end_step
   bool sealed = false;
+
+  /// Whether the sealed schedule touches any processor in `failed`
+  /// (both sets sorted ascending; linear merge walk).
+  bool references_any(const std::vector<ApId>& failed) const;
 };
 
 /// True when the payload's schedule-relevant state is fully captured by a
@@ -205,6 +214,16 @@ class PlanCache {
   /// The sealed plan for `key`, or null. Counts a hit or a miss.
   std::shared_ptr<const CommPlan> lookup(const std::string& key);
 
+  /// Epoch-checked lookup (src/fault/): on a machine with failed
+  /// processors, an entry whose plan references any of them is erased and
+  /// the lookup misses — a stale schedule must never replay after
+  /// fail_processor. Entries surviving the check are stamped with the
+  /// machine's topology epoch so repeat lookups at the same epoch skip the
+  /// intersection; a machine with no failures takes the plain lookup path
+  /// unchanged.
+  std::shared_ptr<const CommPlan> lookup(const std::string& key,
+                                         const Machine& topo);
+
   void insert(const std::string& key, std::shared_ptr<const CommPlan> plan,
               std::vector<Distribution> pinned);
 
@@ -215,6 +234,7 @@ class PlanCache {
   Extent hits() const noexcept { return hits_; }
   Extent misses() const noexcept { return misses_; }
   Extent evictions() const noexcept { return evictions_; }
+  Extent invalidations() const noexcept { return invalidations_; }
   std::size_t size() const noexcept { return entries_.size(); }
 
   /// Bound on the number of cached plans; shrinking evicts from the LRU
@@ -236,6 +256,7 @@ class PlanCache {
     std::shared_ptr<const CommPlan> plan;
     std::vector<Distribution> pinned;
     std::list<std::string>::iterator pos;  // position in lru_
+    Extent validated_epoch = 0;  // last topology epoch the plan survived
   };
 
   bool enabled_ = true;
@@ -243,6 +264,7 @@ class PlanCache {
   Extent hits_ = 0;
   Extent misses_ = 0;
   Extent evictions_ = 0;
+  Extent invalidations_ = 0;
   std::list<std::string> lru_;  // front = most recently used
   std::unordered_map<std::string, Entry> entries_;
 };

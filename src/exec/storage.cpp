@@ -18,9 +18,15 @@ ProgramState::ProgramState(Machine& machine)
 std::shared_ptr<const CommPlan> ProgramState::lookup_plan(
     const std::string& key) {
   if (!plans_.enabled()) return nullptr;
-  if (std::shared_ptr<const CommPlan> plan = plans_.lookup(key)) return plan;
+  // Both levels consult the machine's failure state: after fail_processor,
+  // a cached plan referencing the lost processor is dropped at lookup and
+  // can never replay (the fault-free machine takes the plain path inside).
+  if (std::shared_ptr<const CommPlan> plan = plans_.lookup(key, *machine_)) {
+    return plan;
+  }
   if (service_) {
-    if (std::shared_ptr<const CommPlan> plan = service_->lookup(key)) {
+    if (std::shared_ptr<const CommPlan> plan =
+            service_->lookup(key, *machine_)) {
       // Back-fill the session L1 so this session's next touch of the key
       // replays without a shard lock (the warm path of a hot loop).
       plans_.insert(key, plan, {});
@@ -164,6 +170,7 @@ void ProgramState::create_with(const DistArray& array, Distribution layout) {
     throw InternalError("array '" + array.name() + "' already has storage");
   }
   Store s;
+  s.name = array.name();
   s.domain = array.domain();
   s.dist = std::move(layout);
   s.values.assign(static_cast<std::size_t>(s.domain.size()), 0.0);
@@ -316,13 +323,16 @@ StepStats ProgramState::apply_remap(const RemapEvent& event,
   if (cacheable) {
     key = remap_plan_key(event.from, event.to, s.elem_bytes, &pins);
     if (std::shared_ptr<const CommPlan> plan = lookup_plan(key)) {
+      // Replay FIRST: it is the only throwing operation on this path (an
+      // exhausted retry budget under fault injection), and nothing has
+      // been mutated yet when it throws.
+      StepStats step = comm_.replay(*plan, label);
       // Ghost cells follow the layout: release under the old distribution
       // before the move, re-materialize under the new one after. This
       // happens outside the plan in both the warm and cold paths, so the
       // recorded mem_ops stay layout-only and the interleaving (and thus
       // the peak gauges) is identical either way.
       account_shadow(s, /*allocate=*/false);
-      StepStats step = comm_.replay(*plan, label);
       // Replay the memory deltas in recorded order: peak gauges depend on
       // the allocate/release interleaving, not just the totals.
       for (const PlanMemOp& op : plan->mem_ops) {
@@ -338,8 +348,16 @@ StepStats ProgramState::apply_remap(const RemapEvent& event,
     }
   }
 
-  account_shadow(s, /*allocate=*/false);  // see the warm path above
+  // Cold path: stage, then commit. The run-table walk and the step pricing
+  // can throw (conformance checks, fault exhaustion at end_step), so the
+  // memory deltas are only collected during the walk and applied — in
+  // recorded charge order, after the shadow release, exactly the warm
+  // path's sequence — once the step has sealed. An unwind through the
+  // guard aborts the half-charged step and leaves layout, memory gauges,
+  // and engine totals exactly as before the call.
+  std::vector<PlanMemOp> staged_ops;
   comm_.begin_step(label);
+  StepGuard guard(comm_);
   auto rec = std::make_shared<CommPlan>();
   if (cacheable) comm_.record_into(rec);
   // Walk the two layouts' run tables in lock step: every common segment has
@@ -352,15 +370,21 @@ StepStats ProgramState::apply_remap(const RemapEvent& event,
   const LayoutView to_view = LayoutView::whole(event.to);
   charge_remap_step(from_view, to_view, s.elem_bytes, comm_,
                     [&](ApId p, Extent delta) {
-                      if (delta >= 0) {
-                        memory_.allocate(p, delta);
-                      } else {
-                        memory_.release(p, -delta);
-                      }
+                      staged_ops.push_back({p, delta});
                       if (cacheable) rec->mem_ops.push_back({p, delta});
                     });
-  s.dist = event.to;
   StepStats step = comm_.end_step();
+  guard.dismiss();
+
+  account_shadow(s, /*allocate=*/false);
+  for (const PlanMemOp& op : staged_ops) {
+    if (op.delta >= 0) {
+      memory_.allocate(op.p, op.delta);
+    } else {
+      memory_.release(op.p, -op.delta);
+    }
+  }
+  s.dist = event.to;
   account_shadow(s, /*allocate=*/true);
   if (cacheable) publish_plan(key, std::move(rec), std::move(pins));
   return step;
@@ -407,9 +431,12 @@ StepStats ProgramState::copy_section(const DistArray& dst,
   std::shared_ptr<const CommPlan> plan =
       cacheable ? lookup_plan(key) : nullptr;
   if (plan) {
+    // A throwing replay (fault exhaustion) lands before the write-back
+    // below: the destination is untouched, only the scratch staging moved.
     step = comm_.replay(*plan, label);
   } else {
     comm_.begin_step(label);
+    StepGuard guard(comm_);
     auto rec = std::make_shared<CommPlan>();
     if (cacheable) comm_.record_into(rec);
     // Charge per common constant-owner segment of the two sections' run
@@ -421,6 +448,7 @@ StepStats ProgramState::copy_section(const DistArray& dst,
     const LayoutView src_view(s.dist, src_section);
     charge_copy_step(dst_view, src_view, d.elem_bytes, comm_);
     step = comm_.end_step();
+    guard.dismiss();
     if (cacheable) publish_plan(key, std::move(rec), std::move(pins));
   }
 
@@ -430,6 +458,112 @@ StepStats ProgramState::copy_section(const DistArray& dst,
     written += seg.count;
   });
   return step;
+}
+
+namespace {
+
+// The canonical sender of a run on a possibly degraded machine: the
+// minimum owner still alive. Falls back to the minimum owner when every
+// replica is on a failed processor (the checkpoint gather of an array that
+// lost all replicas prices through the dead sender — the data is gone
+// either way, and the recovery walk, not the checkpoint, handles that
+// case from an earlier snapshot).
+ApId min_surviving_owner(const OwnerSet& owners, const FailureSet& failed) {
+  ApId best = -1;
+  for (ApId p : owners) {
+    if (failed.contains(p)) continue;
+    if (best < 0 || p < best) best = p;
+  }
+  return best >= 0 ? best : min_owner(owners);
+}
+
+}  // namespace
+
+StepStats ProgramState::checkpoint(Checkpoint& out, const std::string& label) {
+  const std::shared_ptr<const FailureSet> failed = machine_->failures();
+  const ApId coordinator = machine_->survivors().front();
+
+  // Deterministic order: ascending array id, not unordered_map order.
+  std::vector<ArrayId> ids;
+  ids.reserve(stores_.size());
+  for (const auto& [id, s] : stores_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+
+  // Price the gather first: each constant-owner run travels once, from its
+  // minimum surviving replica to the coordinator (coordinator-owned runs
+  // are free local reads, as always). A fault exhaustion throws out of
+  // end_step with nothing snapshotted.
+  comm_.begin_step(label);
+  StepGuard guard(comm_);
+  for (ArrayId id : ids) {
+    const Store& s = stores_.at(id);
+    for (const OwnerRun& r : LayoutView::whole(s.dist).runs()) {
+      comm_.transfer_block(min_surviving_owner(r.owners, *failed),
+                           coordinator, s.elem_bytes, r.count);
+    }
+  }
+  StepStats step = comm_.end_step();
+  guard.dismiss();
+
+  out.entries.clear();
+  out.entries.reserve(ids.size());
+  for (ArrayId id : ids) {
+    const Store& s = stores_.at(id);
+    out.entries.push_back(
+        {id, s.name, s.domain, s.dist, s.values, s.elem_bytes});
+  }
+  return step;
+}
+
+StepStats ProgramState::restore(const Checkpoint& ckpt,
+                                const std::string& label) {
+  // Validate every entry before pricing or mutating anything: restore is
+  // all-or-nothing.
+  for (const CheckpointEntry& e : ckpt.entries) {
+    auto it = stores_.find(e.id);
+    if (it == stores_.end()) {
+      throw ConformanceError("RESTORE: checkpointed array '" + e.name +
+                             "' no longer has storage");
+    }
+    if (it->second.domain != e.domain ||
+        it->second.elem_bytes != e.elem_bytes) {
+      throw ConformanceError("RESTORE: array '" + e.name +
+                             "' changed shape since the checkpoint");
+    }
+  }
+
+  // The mirror scatter: the coordinator sends each constant-owner run of
+  // the array's CURRENT layout to every owner (replicas each receive their
+  // copy; coordinator-owned runs are local).
+  const ApId coordinator = machine_->survivors().front();
+  comm_.begin_step(label);
+  StepGuard guard(comm_);
+  for (const CheckpointEntry& e : ckpt.entries) {
+    const Store& s = stores_.at(e.id);
+    for (const OwnerRun& r : LayoutView::whole(s.dist).runs()) {
+      for (ApId p : r.owners) {
+        comm_.transfer_block(coordinator, p, s.elem_bytes, r.count);
+      }
+    }
+  }
+  StepStats step = comm_.end_step();
+  guard.dismiss();
+
+  for (const CheckpointEntry& e : ckpt.entries) {
+    stores_.at(e.id).values = e.values;
+  }
+  return step;
+}
+
+void ProgramState::rebind_layout(ArrayId id, const Distribution& dist) {
+  Store& s = store(id);
+  if (!dist.valid() || dist.domain() != s.domain) {
+    throw InternalError(
+        "rebind_layout with an invalid or shape-changing distribution");
+  }
+  account_shadow(s, /*allocate=*/false);
+  s.dist = dist;
+  account_shadow(s, /*allocate=*/true);
 }
 
 }  // namespace hpfnt

@@ -25,6 +25,7 @@
 #include "core/data_env.hpp"
 #include "core/distribution.hpp"
 #include "exec/comm_plan.hpp"
+#include "fault/checkpoint.hpp"
 #include "machine/comm.hpp"
 #include "machine/memory.hpp"
 #include "machine/topology.hpp"
@@ -167,8 +168,34 @@ class ProgramState {
                          const std::vector<Triplet>& src_section,
                          const std::string& label);
 
+  // --- checkpoint / recovery (src/fault/) ---------------------------------
+
+  /// Snapshots every stored array's canonical values and current layout
+  /// into `out` (replacing its contents), priced as one gather step: each
+  /// constant-owner run travels from its minimum surviving replica to the
+  /// coordinator, the minimum surviving processor. The snapshot models
+  /// stable storage outside the processor array (fault/checkpoint.hpp), so
+  /// it occupies no simulated memory and survives any later failure.
+  StepStats checkpoint(Checkpoint& out, const std::string& label);
+
+  /// Writes a checkpoint's values back onto the arrays' CURRENT layouts,
+  /// priced as the mirror scatter step (coordinator to every owner of
+  /// every run). Validates every entry — array still stored, domain and
+  /// element size unchanged — before pricing or touching anything, and
+  /// commits the values only after the step completes, so a thrown
+  /// ConformanceError or TransferFaultError leaves the state unmodified.
+  /// Mappings are deliberately not restored (fault/checkpoint.hpp).
+  StepStats restore(const Checkpoint& ckpt, const std::string& label);
+
+  /// Swaps an array's layout without moving data — the recovery walk
+  /// (fault/recovery.cpp) migrates the values itself and accounts its own
+  /// replica memory deltas; this re-derives only the ghost-cell accounting
+  /// around the change.
+  void rebind_layout(ArrayId id, const Distribution& dist);
+
  private:
   struct Store {
+    std::string name;  // for checkpoint/restore diagnostics
     IndexDomain domain;
     Distribution dist;
     std::vector<double> values;  // canonical, by domain linearization

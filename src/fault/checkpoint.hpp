@@ -1,0 +1,48 @@
+// Checkpoint snapshots: the recovery subsystem's stable storage.
+//
+// A Checkpoint captures, per created array, the canonical values (the one
+// value per element the replicas agree on), the layout the data followed,
+// and the element size. It models era-typical checkpoint files on a host
+// or I/O node OUTSIDE the processor array — taking one is priced as a
+// gather of every canonical replica to a coordinator processor (the
+// minimum survivor), restoring as the mirror scatter — so the snapshot
+// itself occupies no simulated processor memory and survives any
+// processor loss.
+//
+// restore() writes values back onto the arrays' CURRENT layouts; it
+// deliberately does not restore mappings (REDISTRIBUTE decisions taken
+// since the snapshot are kept — re-mapping is the recovery path's job, not
+// the checkpoint's). The recovery walk (fault/recovery.hpp) reads
+// per-array entries directly when every replica of a segment died with the
+// failed processor.
+#pragma once
+
+#include <vector>
+
+#include "core/array.hpp"
+#include "core/distribution.hpp"
+#include "core/index_domain.hpp"
+
+namespace hpfnt {
+
+struct CheckpointEntry {
+  ArrayId id = 0;
+  std::string name;            ///< for error messages
+  IndexDomain domain;
+  Distribution dist;           ///< layout at snapshot time (informational)
+  std::vector<double> values;  ///< canonical values, domain Fortran order
+  Extent elem_bytes = 8;
+};
+
+struct Checkpoint {
+  std::vector<CheckpointEntry> entries;
+
+  const CheckpointEntry* find(ArrayId id) const noexcept {
+    for (const CheckpointEntry& e : entries) {
+      if (e.id == id) return &e;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace hpfnt

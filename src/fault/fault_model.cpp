@@ -1,0 +1,32 @@
+#include "fault/fault_model.hpp"
+
+#include "support/strings.hpp"
+
+namespace hpfnt {
+
+FaultCharge FaultModel::roll(const std::vector<PairFlow>& flows,
+                             const CostParams& cost,
+                             const std::string& label) {
+  FaultCharge charge;
+  for (const PairFlow& flow : flows) {
+    const double message_us = cost.message_us(flow.bytes);
+    int r = 0;
+    while (rng_.uniform01() < config_.prob) {
+      ++r;
+      if (r > config_.max_retries) {
+        throw TransferFaultError(
+            cat("transfer fault: message ", flow.src, "->", flow.dst, " (",
+                flow.bytes, " B) in step '", label, "' failed ", r,
+                " times, exceeding the retry budget of ", config_.max_retries));
+      }
+    }
+    for (int k = 0; k < r; ++k) {
+      charge.retry_us +=
+          config_.backoff_base_us * static_cast<double>(1 << k) + message_us;
+    }
+    charge.retries += static_cast<Extent>(r);
+  }
+  return charge;
+}
+
+}  // namespace hpfnt

@@ -1,5 +1,9 @@
 #include "machine/comm.hpp"
 
+#include <algorithm>
+#include <map>
+#include <utility>
+
 // The plan struct lives with its cache in the exec layer; the engine only
 // appends operations to it while recording and reads its sealed statistics
 // on replay.
@@ -19,8 +23,55 @@ std::string StepStats::to_string() const {
     s += cat(" exposed=", exposed_comm_us, "us hidden=", hidden_comm_us,
              "us");
   }
+  // Same golden-string rule for fault charges: a step that saw no fault
+  // prints exactly as on the fault-free machine.
+  if (retries != 0) {
+    s += cat(" retries=", retries, " retry=", retry_us, "us");
+  }
   return s;
 }
+
+namespace {
+
+// A sealed plan's per-pair flows, aggregated back into the canonical
+// StepPricer::traffic() order (sync flows then posted flows, each sorted by
+// (src, dst)) so a replay's fault rolls consume the RNG stream exactly as
+// the cold pricing of the same step would.
+std::vector<PairFlow> aggregate_plan_flows(const CommPlan& plan) {
+  std::map<std::pair<ApId, ApId>, std::pair<Extent, Extent>> sync, posted;
+  for (const PlanTransfer& t : plan.transfers) {
+    auto& acc = (t.posted ? posted : sync)[{t.src, t.dst}];
+    acc.first += t.elem_bytes * t.count;
+    acc.second += t.count;
+  }
+  std::vector<PairFlow> flows;
+  flows.reserve(sync.size() + posted.size());
+  for (const auto& [pair, acc] : sync) {
+    flows.push_back({pair.first, pair.second, acc.first, acc.second, false});
+  }
+  for (const auto& [pair, acc] : posted) {
+    flows.push_back({pair.first, pair.second, acc.first, acc.second, true});
+  }
+  return flows;
+}
+
+// The sorted-unique processor footprint of a recorded schedule — the set
+// the epoch-checked plan caches intersect with the machine's failed set.
+std::vector<ApId> plan_footprint(const CommPlan& plan) {
+  std::vector<ApId> procs;
+  procs.reserve(plan.transfers.size() * 2 + plan.computes.size());
+  for (const PlanTransfer& t : plan.transfers) {
+    procs.push_back(t.src);
+    procs.push_back(t.dst);
+  }
+  for (const PlanCompute& c : plan.computes) procs.push_back(c.p);
+  for (const PlanMemOp& m : plan.mem_ops) procs.push_back(m.p);
+  std::sort(procs.begin(), procs.end());
+  procs.erase(std::unique(procs.begin(), procs.end()), procs.end());
+  return procs;
+}
+
+}  // namespace
 
 CommEngine::CommEngine(const Machine& machine)
     : machine_(&machine), pricer_(machine.cost()) {}
@@ -63,6 +114,7 @@ void CommEngine::record_into(std::shared_ptr<CommPlan> plan) {
     recording_->transfers.clear();
     recording_->computes.clear();
     recording_->mem_ops.clear();
+    recording_->referenced_procs.clear();
     recording_->local_reads = 0;
     recording_->sealed = false;
   }
@@ -118,7 +170,28 @@ StepStats CommEngine::end_step() {
   // The statistics arithmetic is the shared StepPricer::price
   // (machine/step_pricer.hpp) — the same call the static cost model makes
   // over its predicted charges, so the two can never drift.
-  const StepStats stats = pricer_.price(label_);
+  StepStats stats = pricer_.price(label_);
+
+  // Seal the recording with the BASE (fault-free) statistics first: a plan
+  // is a reusable schedule, and faults are a property of one execution, not
+  // of the schedule — every replay re-rolls them. Sealing before the roll
+  // also means a retry-budget exhaustion below leaves the engine fully
+  // closed (step done, recording disarmed), so the caller can catch and
+  // re-issue.
+  if (recording_) {
+    recording_->stats = stats;
+    recording_->referenced_procs = plan_footprint(*recording_);
+    recording_->sealed = true;
+    recording_.reset();
+  }
+
+  if (faults_.enabled()) {
+    const FaultCharge charge =
+        faults_.roll(pricer_.traffic(), machine_->cost(), stats.label);
+    stats.retries = charge.retries;
+    stats.retry_us = charge.retry_us;
+    stats.time_us += charge.retry_us;
+  }
 
   total_messages_ += stats.messages;
   total_bytes_ += stats.bytes;
@@ -126,12 +199,16 @@ StepStats CommEngine::end_step() {
   total_time_us_ += stats.time_us;
   total_exposed_us_ += stats.exposed_comm_us;
   total_hidden_us_ += stats.hidden_comm_us;
-  if (recording_) {
-    recording_->stats = stats;
-    recording_->sealed = true;
-    recording_.reset();
-  }
+  total_retries_ += stats.retries;
+  total_retry_us_ += stats.retry_us;
   return stats;
+}
+
+void CommEngine::abort_step() noexcept {
+  in_step_ = false;
+  posted_phase_ = false;
+  recording_.reset();
+  pricer_.clear();
 }
 
 StepStats CommEngine::replay(const CommPlan& plan, const std::string& label) {
@@ -145,12 +222,29 @@ StepStats CommEngine::replay(const CommPlan& plan, const std::string& label) {
   }
   StepStats stats = plan.stats;
   if (!label.empty()) stats.label = label;
+
+  // Replay re-rolls faults over the plan's aggregated flows — in the
+  // canonical traffic order, so a replayed step consumes the same RNG draws
+  // a cold pricing of the same schedule would. The roll happens before ANY
+  // counter moves: an exhausted retry budget throws with the engine totals
+  // untouched. A sealed plan always carries fault-free stats (retries==0),
+  // so the charge below never double-counts.
+  if (faults_.enabled()) {
+    const FaultCharge charge = faults_.roll(aggregate_plan_flows(plan),
+                                            machine_->cost(), stats.label);
+    stats.retries = charge.retries;
+    stats.retry_us = charge.retry_us;
+    stats.time_us += charge.retry_us;
+  }
+
   total_messages_ += stats.messages;
   total_bytes_ += stats.bytes;
   total_transfers_ += stats.element_transfers;
   total_time_us_ += stats.time_us;
   total_exposed_us_ += stats.exposed_comm_us;
   total_hidden_us_ += stats.hidden_comm_us;
+  total_retries_ += stats.retries;
+  total_retry_us_ += stats.retry_us;
   local_reads_ += plan.local_reads;
   return stats;
 }
@@ -192,6 +286,8 @@ void CommEngine::reset() {
   total_time_us_ = 0.0;
   total_exposed_us_ = 0.0;
   total_hidden_us_ = 0.0;
+  total_retries_ = 0;
+  total_retry_us_ = 0.0;
 }
 
 }  // namespace hpfnt

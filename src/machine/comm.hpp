@@ -63,6 +63,7 @@
 #include <vector>
 
 #include "core/types.hpp"
+#include "fault/fault_model.hpp"
 #include "machine/step_accum.hpp"
 #include "machine/step_pricer.hpp"
 #include "machine/topology.hpp"
@@ -82,6 +83,12 @@ struct StepStats {
   double time_us = 0.0;          // max(compute, posted comm) + sync comm
   double exposed_comm_us = 0.0;  // posted comm the compute could not hide
   double hidden_comm_us = 0.0;   // posted comm overlapped with compute
+  // Fault injection (src/fault/): re-issued messages and their priced
+  // backoff+resend cost, already folded into time_us. Zero on the
+  // fault-free machine, so the struct stays byte-identical to the
+  // pre-fault model whenever no fault fires.
+  Extent retries = 0;
+  double retry_us = 0.0;
 
   std::string to_string() const;
 };
@@ -150,6 +157,32 @@ class CommEngine {
   bool overlap_enabled() const noexcept { return overlap_enabled_; }
   void set_overlap_enabled(bool on) noexcept { overlap_enabled_ = on; }
 
+  // --- transient-fault injection (src/fault/fault_model.hpp) -------------
+  //
+  // With a nonzero fault probability configured, every closing step (and
+  // every plan replay — sealed plans stay fault-free, faults re-roll per
+  // re-issue) rolls per-message faults in the canonical traffic order and
+  // folds the priced retries into its StepStats. A message exhausting its
+  // retry budget throws TransferFaultError AFTER the step is closed and
+  // any recording disarmed, and BEFORE any cumulative counter moves — the
+  // engine is immediately reusable and the totals are all-or-nothing.
+
+  /// Installs a fault configuration and rewinds the fault RNG to its seed.
+  void set_fault_config(const FaultConfig& config) {
+    faults_.configure(config);
+  }
+  const FaultConfig& fault_config() const noexcept { return faults_.config(); }
+  bool faults_enabled() const noexcept { return faults_.enabled(); }
+
+  Extent total_retries() const noexcept { return total_retries_; }
+  double total_retry_us() const noexcept { return total_retry_us_; }
+
+  /// Abandons the open step (if any): closes it, discards its charges, and
+  /// disarms any plan recording — nothing is priced or accumulated. Also
+  /// clears an unclosed posted phase. Idempotent, safe outside a step; the
+  /// unwind path of the exec layer's StepGuard.
+  void abort_step() noexcept;
+
   // --- cumulative counters ---
   Extent total_messages() const noexcept { return total_messages_; }
   Extent total_bytes() const noexcept { return total_bytes_; }
@@ -179,6 +212,7 @@ class CommEngine {
   // (analysis/cost_model.hpp) both consume — a predicted step and an
   // executed step can therefore never price differently.
   StepPricer pricer_;
+  FaultModel faults_;
 
   Extent total_messages_ = 0;
   Extent total_bytes_ = 0;
@@ -187,6 +221,29 @@ class CommEngine {
   double total_time_us_ = 0.0;
   double total_exposed_us_ = 0.0;
   double total_hidden_us_ = 0.0;
+  Extent total_retries_ = 0;
+  double total_retry_us_ = 0.0;
+};
+
+/// Scope guard for the exec layer's cold (recording) paths: any exception
+/// thrown between begin_step and end_step — a ConformanceError from a
+/// conformance check, a TransferFaultError from an exhausted retry budget —
+/// unwinds through ~StepGuard, which aborts the half-charged step so the
+/// engine (and its cumulative totals) are exactly as before begin_step.
+/// Call dismiss() once end_step has run.
+class StepGuard {
+ public:
+  explicit StepGuard(CommEngine& engine) noexcept : engine_(&engine) {}
+  ~StepGuard() {
+    if (engine_) engine_->abort_step();
+  }
+  void dismiss() noexcept { engine_ = nullptr; }
+
+  StepGuard(const StepGuard&) = delete;
+  StepGuard& operator=(const StepGuard&) = delete;
+
+ private:
+  CommEngine* engine_;
 };
 
 }  // namespace hpfnt

@@ -1,15 +1,62 @@
 #include "machine/topology.hpp"
 
+#include <algorithm>
+#include <atomic>
+
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
 namespace hpfnt {
+
+bool FailureSet::contains(ApId p) const noexcept {
+  return std::binary_search(failed.begin(), failed.end(), p);
+}
 
 Machine::Machine(Extent processors, CostParams cost)
     : p_(processors), cost_(cost) {
   if (processors <= 0) {
     throw ConformanceError("a machine needs at least one processor");
   }
+  failures_ = std::make_shared<const FailureSet>();
+}
+
+std::shared_ptr<const FailureSet> Machine::failures() const noexcept {
+  return std::atomic_load(&failures_);
+}
+
+void Machine::fail_processor(ApId p) {
+  std::shared_ptr<const FailureSet> cur = failures();
+  if (p < 0 || p >= p_) {
+    throw ConformanceError(cat("fail_processor(", p,
+                               "): processor id outside the machine's 0..",
+                               p_ - 1, " range"));
+  }
+  if (cur->contains(p)) {
+    throw ConformanceError(
+        cat("fail_processor(", p, "): processor already failed"));
+  }
+  if (static_cast<Extent>(cur->failed.size()) + 1 >= p_) {
+    throw ConformanceError(cat(
+        "fail_processor(", p,
+        "): cannot fail the last surviving processor of the machine"));
+  }
+  auto next = std::make_shared<FailureSet>();
+  next->epoch = cur->epoch + 1;
+  next->failed = cur->failed;
+  next->failed.insert(
+      std::upper_bound(next->failed.begin(), next->failed.end(), p), p);
+  std::atomic_store(&failures_,
+                    std::shared_ptr<const FailureSet>(std::move(next)));
+}
+
+std::vector<ApId> Machine::survivors() const {
+  std::shared_ptr<const FailureSet> cur = failures();
+  std::vector<ApId> alive;
+  alive.reserve(static_cast<std::size_t>(p_) - cur->failed.size());
+  for (ApId p = 0; p < p_; ++p) {
+    if (!cur->contains(p)) alive.push_back(p);
+  }
+  return alive;
 }
 
 std::string Machine::to_string() const {

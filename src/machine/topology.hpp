@@ -10,7 +10,9 @@
 // (who wins, where crossovers fall) is meaningful.
 #pragma once
 
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "core/types.hpp"
 
@@ -30,6 +32,19 @@ struct CostParams {
   }
 };
 
+/// Immutable snapshot of the machine's failure state. fail_processor swaps
+/// a fresh snapshot in atomically, so a plan-cache lookup racing an epoch
+/// bump from another thread always reads a consistent (epoch, failed set)
+/// pair — either wholly before or wholly after the failure, never a torn
+/// mix (the TSan fault-stress suite exercises exactly that race).
+struct FailureSet {
+  Extent epoch = 0;           ///< bumped once per fail_processor
+  std::vector<ApId> failed;   ///< sorted ascending
+
+  bool any() const noexcept { return !failed.empty(); }
+  bool contains(ApId p) const noexcept;
+};
+
 class Machine {
  public:
   explicit Machine(Extent processors, CostParams cost = {});
@@ -37,11 +52,38 @@ class Machine {
   Extent processors() const noexcept { return p_; }
   const CostParams& cost() const noexcept { return cost_; }
 
+  // --- processor failure (src/fault/) ------------------------------------
+  //
+  // The failure state lives behind an atomically swapped immutable
+  // snapshot; readers (the epoch-checked plan caches, the recovery path)
+  // grab one shared_ptr and reason over a consistent view.
+
+  /// The current failure snapshot (never null; epoch 0 = no failures yet).
+  std::shared_ptr<const FailureSet> failures() const noexcept;
+
+  /// Marks processor `p` as failed and bumps the topology epoch, making
+  /// every cached plan that references `p` stale (the epoch-checked cache
+  /// lookups drop such plans lazily). Throws ConformanceError when `p` is
+  /// out of range, already failed, or the last survivor.
+  void fail_processor(ApId p);
+
+  Extent topology_epoch() const noexcept { return failures()->epoch; }
+  bool has_failures() const noexcept { return failures()->any(); }
+  bool is_failed(ApId p) const noexcept { return failures()->contains(p); }
+
+  /// Processors still alive, ascending.
+  std::vector<ApId> survivors() const;
+  Extent alive_count() const noexcept {
+    return p_ - static_cast<Extent>(failures()->failed.size());
+  }
+
   std::string to_string() const;
 
  private:
   Extent p_;
   CostParams cost_;
+  // Accessed only via std::atomic_load/std::atomic_store (see failures()).
+  std::shared_ptr<const FailureSet> failures_;
 };
 
 }  // namespace hpfnt

@@ -33,6 +33,12 @@ Extent PlanServiceStats::evictions() const noexcept {
   return n;
 }
 
+Extent PlanServiceStats::invalidations() const noexcept {
+  Extent n = 0;
+  for (const PlanShardStats& s : shards) n += s.invalidations;
+  return n;
+}
+
 std::size_t PlanServiceStats::size() const noexcept {
   std::size_t n = 0;
   for (const PlanShardStats& s : shards) n += s.size;
@@ -66,7 +72,7 @@ double PlanServiceStats::eviction_pressure() const noexcept {
 
 std::string PlanServiceStats::to_string() const {
   TextTable table({"shard", "hits", "misses", "hit rate", "inserts",
-                   "evictions", "plans", "occupancy"});
+                   "evictions", "invalidations", "plans", "occupancy"});
   auto row = [&](const std::string& name, const PlanShardStats& s) {
     const Extent lookups = s.hits + s.misses;
     const double rate =
@@ -79,7 +85,7 @@ std::string PlanServiceStats::to_string() const {
                               static_cast<double>(s.capacity);
     table.add_row({name, format_count(s.hits), format_count(s.misses),
                    format_pct(rate), format_count(s.inserts),
-                   format_count(s.evictions),
+                   format_count(s.evictions), format_count(s.invalidations),
                    format_count(static_cast<Extent>(s.size)),
                    format_pct(occ)});
   };
@@ -91,6 +97,7 @@ std::string PlanServiceStats::to_string() const {
   total.misses = misses();
   total.inserts = inserts();
   total.evictions = evictions();
+  total.invalidations = invalidations();
   total.size = size();
   total.capacity = capacity();
   row("total", total);
@@ -120,6 +127,30 @@ std::shared_ptr<const CommPlan> PlanService::lookup(const std::string& key) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.entries.find(key);
   if (it == shard.entries.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second.pos);
+  return it->second.plan;
+}
+
+std::shared_ptr<const CommPlan> PlanService::lookup(const std::string& key,
+                                                    const Machine& topo) {
+  const std::shared_ptr<const FailureSet> snap = topo.failures();
+  if (!snap->any()) return lookup(key);
+
+  Shard& shard = *shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.entries.find(key);
+  if (it == shard.entries.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  if (it->second.plan->references_any(snap->failed)) {
+    shard.lru.erase(it->second.pos);
+    shard.entries.erase(it);
+    ++shard.invalidations;
     ++shard.misses;
     return nullptr;
   }
@@ -166,6 +197,7 @@ PlanServiceStats PlanService::stats() const {
     s.misses = shard.misses;
     s.inserts = shard.inserts;
     s.evictions = shard.evictions;
+    s.invalidations = shard.invalidations;
     s.size = shard.entries.size();
     s.capacity = shard_capacity_;
     out.shards.push_back(s);

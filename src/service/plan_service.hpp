@@ -64,6 +64,7 @@ struct PlanShardStats {
   Extent misses = 0;
   Extent inserts = 0;    ///< insert calls that stored or refreshed a plan
   Extent evictions = 0;  ///< entries dropped from the LRU tail
+  Extent invalidations = 0;  ///< entries dropped for referencing a dead proc
   std::size_t size = 0;
   std::size_t capacity = 0;
 };
@@ -78,6 +79,7 @@ struct PlanServiceStats {
   Extent misses() const noexcept;
   Extent inserts() const noexcept;
   Extent evictions() const noexcept;
+  Extent invalidations() const noexcept;
   std::size_t size() const noexcept;
   std::size_t capacity() const noexcept;
 
@@ -105,6 +107,18 @@ class PlanService {
   /// The sealed plan for `key`, or null. Counts a hit or a miss on the
   /// key's shard and promotes the entry to most-recently-used.
   std::shared_ptr<const CommPlan> lookup(const std::string& key);
+
+  /// Epoch-checked lookup (src/fault/): on a machine with failed
+  /// processors, a cached plan referencing any of them is erased under the
+  /// shard lock and the lookup misses — the stale schedule can never be
+  /// served again, to this session or any other. Unlike the L1 there is no
+  /// per-entry epoch stamp: the service is multi-tenant and different
+  /// sessions run different machines, so the check re-runs per lookup; the
+  /// common no-failure machine short-circuits to the plain path. Safe to
+  /// call concurrently with fail_processor — the failure snapshot is read
+  /// atomically (machine/topology.hpp).
+  std::shared_ptr<const CommPlan> lookup(const std::string& key,
+                                         const Machine& topo);
 
   /// Publishes a sealed plan (unsealed/null plans are ignored). Re-inserts
   /// of an existing key refresh the entry and promote it; both count as an
@@ -147,6 +161,7 @@ class PlanService {
     Extent misses = 0;
     Extent inserts = 0;
     Extent evictions = 0;
+    Extent invalidations = 0;
   };
 
   std::size_t shard_capacity_;

@@ -57,6 +57,20 @@ run_hpflint(1 "${WORK_DIR}/undeclared.hpf")
 run_hpflint(2 --bogus-flag)
 run_hpflint(2 "${WORK_DIR}/no_such_file.hpf")
 run_hpflint(2 --dry-run "${SCRIPTS}/jacobi.hpf")  # --dry-run needs --fix
+# Degenerate inputs are refused with a one-line message, not linted.
+file(WRITE "${WORK_DIR}/empty.hpf" "")
+run_hpflint(2 "${WORK_DIR}/empty.hpf")
+string(FIND "${err}" "is empty" has_empty_msg)
+check("empty file refused with one-line message" has_empty_msg GREATER -1)
+# A >1MiB single line is not a directive script (e.g. a binary blob).
+string(REPEAT "x" 2097152 huge_line)
+file(WRITE "${WORK_DIR}/huge_line.hpf" "${huge_line}")
+run_hpflint(2 "${WORK_DIR}/huge_line.hpf")
+string(FIND "${err}" "exceeds 1 MiB" has_huge_msg)
+check("oversized line refused with one-line message" has_huge_msg GREATER -1)
+# A directory opens but cannot be read as a script.
+file(MAKE_DIRECTORY "${WORK_DIR}/a_directory.hpf")
+run_hpflint(2 "${WORK_DIR}/a_directory.hpf")
 
 # --- --json line schema -----------------------------------------------------
 run_hpflint(0 --json "${SCRIPTS}/bad_undershadow.hpf")

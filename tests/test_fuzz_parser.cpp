@@ -1,0 +1,182 @@
+// Seeded randomized robustness test for the directive front end.
+//
+// Mutates the checked-in example scripts (plus seeds covering every
+// statement kind, including the fault-injection statements) with a fixed
+// splitmix64 stream and feeds each mutant through the full front end —
+// parse_program + the stateless Interpreter, which binds and executes
+// every node kind. The property under test is NOT that mutants are
+// rejected; it is that the front end never escapes its error contract:
+// every mutant either runs clean or throws an HpfError (DirectiveError
+// carrying a 1-based source line). Crashes, non-HpfError exceptions and
+// memory errors (the CI fault-stress job runs this under ASan+UBSan) are
+// the failures.
+//
+// Deterministic by construction: a fixed seed per strategy, no time- or
+// address-dependent draws, so a failure message's (strategy, iteration)
+// pair reproduces the exact mutant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "directives/interp.hpp"
+#include "directives/parser.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace hpfnt {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing corpus file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// The mutation corpus: every example script plus inline seeds that reach
+/// the statements the examples do not use (FAULTS/CHECKPOINT/RESTORE/
+/// FAIL_PROC, CALL with section arguments, STATS).
+std::vector<std::string> corpus() {
+  const std::string scripts =
+      std::string(HPFNT_SOURCE_DIR) + "/examples/scripts/";
+  std::vector<std::string> sources;
+  for (const char* name :
+       {"jacobi.hpf", "remap_loop.hpf", "alignment.hpf",
+        "bad_undershadow.hpf"}) {
+    sources.push_back(read_file(scripts + name));
+  }
+  sources.push_back(
+      "REAL A(64)\n"
+      "!HPF$ PROCESSORS P(8)\n"
+      "!HPF$ DISTRIBUTE A(BLOCK) TO P\n"
+      "FAULTS(42, 10, 3)\n"
+      "CHECKPOINT\n"
+      "A(1:32) = A(33:64) + 1\n"
+      "FAIL_PROC 3\n"
+      "RESTORE\n"
+      "STATS\n"
+      "FAULTS(42, 0, 3)\n");
+  sources.push_back(
+      "REAL B(32), C(32)\n"
+      "!HPF$ DYNAMIC B\n"
+      "!HPF$ DISTRIBUTE B(CYCLIC)\n"
+      "!HPF$ ALIGN C(I) WITH B(I)\n"
+      "!HPF$ REDISTRIBUTE B(BLOCK)\n"
+      "CALL S(B(1:16), C)\n"
+      "SUBROUTINE S(X, Y)\n"
+      "REAL X(16), Y(32)\n"
+      "!HPF$ DISTRIBUTE X *\n"
+      "END\n");
+  return sources;
+}
+
+constexpr char kPrintable[] =
+    " !$(),*:=ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_\n";
+
+std::string mutate(const std::string& base, Rng& rng, int strategy) {
+  if (base.empty()) return base;
+  const auto pos = [&](std::size_t span) {
+    return static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(span) - 1));
+  };
+  std::string m = base;
+  switch (strategy) {
+    case 0: {  // flip 1..8 characters to random printable bytes
+      const int flips = static_cast<int>(rng.uniform(1, 8));
+      for (int i = 0; i < flips; ++i) {
+        m[pos(m.size())] = kPrintable[pos(sizeof kPrintable - 1)];
+      }
+      return m;
+    }
+    case 1: {  // delete a random span
+      const std::size_t at = pos(m.size());
+      const std::size_t len = 1 + pos(std::min<std::size_t>(40, m.size() - at));
+      return m.erase(at, len);
+    }
+    case 2: {  // duplicate a random span in place
+      const std::size_t at = pos(m.size());
+      const std::size_t len = 1 + pos(std::min<std::size_t>(40, m.size() - at));
+      return m.insert(at, m.substr(at, len));
+    }
+    case 3:  // truncate mid-token
+      return m.substr(0, 1 + pos(m.size()));
+    default: {  // inject a keyword where it does not belong
+      static const char* kTokens[] = {"FAULTS(",   "CHECKPOINT\n", "RESTORE",
+                                      "FAIL_PROC", "!HPF$ ",       "::",
+                                      "(BLOCK)",   "*",            "1:0:-1"};
+      return m.insert(pos(m.size()),
+                      kTokens[pos(sizeof kTokens / sizeof *kTokens)]);
+    }
+  }
+}
+
+/// Runs one mutant through parse + bind/execute (stateless interpreter).
+/// Returns true when the error contract held.
+bool front_end_contract_holds(const std::string& source, std::string* why) {
+  try {
+    ProcessorSpace space(16);
+    dir::Interpreter interp(space);
+    interp.run(source);
+    return true;
+  } catch (const DirectiveError& e) {
+    if (e.line() < 1) {
+      *why = std::string("DirectiveError without a source line: ") + e.what();
+      return false;
+    }
+    return true;
+  } catch (const HpfError&) {
+    return true;  // semantic rejection is a correct outcome
+  } catch (const std::exception& e) {
+    *why = std::string("non-HpfError exception: ") + e.what();
+    return false;
+  }
+}
+
+TEST(FuzzParser, MutatedCorpusNeverEscapesTheErrorContract) {
+  const std::vector<std::string> sources = corpus();
+  for (int strategy = 0; strategy < 5; ++strategy) {
+    Rng rng(0x9e3779b97f4a7c15ull + static_cast<std::uint64_t>(strategy));
+    for (int iter = 0; iter < 150; ++iter) {
+      const std::string& base =
+          sources[static_cast<std::size_t>(rng.uniform(
+              0, static_cast<std::int64_t>(sources.size()) - 1))];
+      const std::string mutant = mutate(base, rng, strategy);
+      std::string why;
+      if (!front_end_contract_holds(mutant, &why)) {
+        FAIL() << "strategy " << strategy << " iteration " << iter << ": "
+               << why << "\n--- mutant ---\n"
+               << mutant;
+      }
+    }
+  }
+}
+
+TEST(FuzzParser, SplicedCorpusPairsNeverEscapeTheErrorContract) {
+  const std::vector<std::string> sources = corpus();
+  Rng rng(0xdeadbeefcafef00dull);
+  for (int iter = 0; iter < 150; ++iter) {
+    const std::string& a = sources[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(sources.size()) - 1))];
+    const std::string& b = sources[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(sources.size()) - 1))];
+    const std::size_t cut_a = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(a.size())));
+    const std::size_t cut_b = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(b.size())));
+    const std::string mutant = a.substr(0, cut_a) + b.substr(cut_b);
+    std::string why;
+    if (!front_end_contract_holds(mutant, &why)) {
+      FAIL() << "splice iteration " << iter << ": " << why
+             << "\n--- mutant ---\n"
+             << mutant;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hpfnt

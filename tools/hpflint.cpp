@@ -354,8 +354,28 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
+    if (in.bad()) {
+      // Opened but unreadable: a directory, a device, a permissions race.
+      std::cerr << "hpflint: cannot read '" << file << "'\n";
+      return 2;
+    }
     const std::string source = buffer.str();
+    if (source.empty()) {
+      std::cerr << "hpflint: '" << file << "' is empty\n";
+      return 2;
+    }
     const std::vector<std::string> lines = split_lines(source);
+    // A line over 1 MiB is not a directive script (the longest legitimate
+    // line is a GENERAL_BLOCK bounds list, orders of magnitude shorter);
+    // refuse early rather than feed a binary blob to the lexer.
+    constexpr std::size_t kMaxLine = 1u << 20;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (lines[i].size() > kMaxLine) {
+        std::cerr << "hpflint: '" << file << "' line " << (i + 1)
+                  << " exceeds 1 MiB; not a directive script\n";
+        return 2;
+      }
+    }
 
     if (opts.fix) {
       const int status = run_fix(opts, file, source);
